@@ -1,0 +1,75 @@
+// Ablation: the weighting factor alpha in the Eq. 11 objective.
+//
+// The paper fixes alpha = 0.5 ("we equally consider minimizing energy and
+// maximizing QoE"). This bench sweeps alpha for the online algorithm across
+// the five traces, tracing out the energy/QoE trade-off curve that the
+// weighted-sum formulation exposes: alpha -> 0 recovers a QoE-maximising
+// player, alpha -> 1 a battery-saver.
+
+#include "bench_common.h"
+#include "eacs/core/online.h"
+#include "eacs/sim/evaluation.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Ablation: alpha sweep",
+                "Energy/QoE trade-off of the online algorithm as alpha varies");
+
+  const auto sessions = trace::build_all_sessions();
+
+  AsciiTable table("Mean across the five traces");
+  table.set_header({"alpha", "energy (J)", "mean QoE", "mean bitrate (Mbps)",
+                    "saving vs Youtube"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+
+  for (const double alpha : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    sim::EvaluationConfig config;
+    config.alpha = alpha;
+    const sim::Evaluation evaluation(config);
+    const auto result = evaluation.run(sessions);
+    double energy = 0.0;
+    double qoe = 0.0;
+    double bitrate = 0.0;
+    const auto rows = result.rows_for("Ours");
+    for (const auto& row : rows) {
+      energy += row.total_energy_j;
+      qoe += row.mean_qoe;
+      bitrate += row.mean_bitrate_mbps;
+    }
+    const auto n = static_cast<double>(rows.size());
+    table.add_row({AsciiTable::num(alpha, 2), AsciiTable::num(energy / n, 0),
+                   AsciiTable::num(qoe / n, 2), AsciiTable::num(bitrate / n, 2),
+                   AsciiTable::percent(result.mean_energy_saving("Ours"), 1)});
+  }
+  table.print();
+  std::printf("\n(The paper's operating point is alpha = 0.5.)\n");
+}
+
+void BM_ReferenceLevel(benchmark::State& state) {
+  core::ObjectiveConfig config;
+  config.alpha = 0.5;
+  const core::Objective objective(qoe::QoeModel{}, power::PowerModel{}, config);
+  core::TaskEnvironment env;
+  env.duration_s = 2.0;
+  env.signal_dbm = -100.0;
+  env.vibration = 5.0;
+  env.bandwidth_mbps = 10.0;
+  for (double r : media::BitrateLadder::evaluation14().bitrates()) {
+    env.size_megabits.push_back(r * 2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(objective.reference_level(env, 30.0));
+  }
+}
+BENCHMARK(BM_ReferenceLevel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

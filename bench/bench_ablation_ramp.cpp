@@ -1,0 +1,104 @@
+// Ablation: Algorithm 1's smoothing rules (lines 5-10).
+//
+// The paper motivates the gradual one-level ramp-up and the buffer-checked
+// step-down as protection against rebuffering and switch-impairment under
+// network variation. This bench compares the full algorithm against a
+// variant that jumps straight to the reference bitrate every segment.
+
+#include "bench_common.h"
+#include "eacs/core/online.h"
+#include "eacs/player/player.h"
+#include "eacs/sim/metrics.h"
+#include "eacs/trace/session.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Ablation: Algorithm 1 smoothing",
+                "Gradual ramp / safe step-down vs. jump-to-reference");
+
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  core::ObjectiveConfig objective_config;
+  const core::Objective objective(qoe_model, power_model, objective_config);
+
+  AsciiTable table("Per-trace comparison");
+  table.set_header({"trace", "variant", "energy (J)", "QoE", "switches",
+                    "rebuffer (s)"});
+  table.set_alignment({Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight});
+
+  double smooth_switches = 0.0;
+  double jump_switches = 0.0;
+  double smooth_qoe = 0.0;
+  double jump_qoe = 0.0;
+  for (const auto& spec : media::evaluation_sessions()) {
+    const auto session = trace::build_session(spec);
+    const media::VideoManifest manifest("trace" + std::to_string(spec.id),
+                                        spec.length_s, 2.0,
+                                        media::BitrateLadder::evaluation14());
+    const player::PlayerSimulator simulator(manifest);
+
+    core::OnlineBitrateSelector smooth(
+        objective, {.startup_level = 3, .display_name = "smooth"});
+    core::OnlineBitrateSelector jump(
+        objective,
+        {.startup_level = 3, .display_name = "jump", .smoothing = false});
+
+    for (auto* policy : {static_cast<player::AbrPolicy*>(&smooth),
+                         static_cast<player::AbrPolicy*>(&jump)}) {
+      const auto playback = simulator.run(*policy, session);
+      const auto metrics = sim::compute_metrics(policy->name(), spec.id, playback,
+                                                manifest, qoe_model, power_model);
+      table.add_row({"trace" + std::to_string(spec.id), metrics.algorithm,
+                     AsciiTable::num(metrics.total_energy_j, 0),
+                     AsciiTable::num(metrics.mean_qoe, 2),
+                     std::to_string(metrics.switch_count),
+                     AsciiTable::num(metrics.rebuffer_s, 1)});
+      if (metrics.algorithm == "smooth") {
+        smooth_switches += double(metrics.switch_count);
+        smooth_qoe += metrics.mean_qoe;
+      } else {
+        jump_switches += double(metrics.switch_count);
+        jump_qoe += metrics.mean_qoe;
+      }
+    }
+  }
+  table.print();
+  std::printf("\nTotals: smoothing %.0f switches (mean QoE %.2f) vs "
+              "jump-to-reference %.0f switches (mean QoE %.2f)\n",
+              smooth_switches, smooth_qoe / 5.0, jump_switches, jump_qoe / 5.0);
+}
+
+void BM_OnlineDecision(benchmark::State& state) {
+  core::ObjectiveConfig config;
+  const core::Objective objective(qoe::QoeModel{}, power::PowerModel{}, config);
+  core::OnlineBitrateSelector policy(objective, {.startup_level = 3});
+  const media::VideoManifest manifest("bench", 600.0, 2.0,
+                                      media::BitrateLadder::evaluation14());
+  net::HarmonicMeanEstimator estimator(20);
+  for (int i = 0; i < 20; ++i) estimator.observe(10.0 + (i % 5));
+  player::AbrContext ctx;
+  ctx.segment_index = 50;
+  ctx.num_segments = manifest.num_segments();
+  ctx.buffer_s = 25.0;
+  ctx.startup_phase = false;
+  ctx.prev_level = 7;
+  ctx.manifest = &manifest;
+  ctx.bandwidth = &estimator;
+  ctx.vibration_level = 5.0;
+  ctx.signal_dbm = -102.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.choose_level(ctx));
+  }
+}
+BENCHMARK(BM_OnlineDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

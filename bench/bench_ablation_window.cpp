@@ -1,0 +1,88 @@
+// Ablation: estimator windows.
+//
+// The paper fixes two windows: the vibration estimator's trailing window
+// (0.2 * 30 s = 6 s of accelerometer data) and FESTIVE-style harmonic-mean
+// depth (20 segment throughputs). This bench sweeps both on the roughest
+// trace and reports the resulting energy/QoE plus estimator behaviour.
+
+#include "bench_common.h"
+#include "eacs/core/online.h"
+#include "eacs/player/player.h"
+#include "eacs/sim/metrics.h"
+#include "eacs/trace/session.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Ablation: estimator windows",
+                "Vibration-window and bandwidth-window sweeps (trace 1)");
+
+  const auto spec = media::evaluation_sessions()[0];
+  const auto session = trace::build_session(spec);
+  const media::VideoManifest manifest("trace1", spec.length_s, 2.0,
+                                      media::BitrateLadder::evaluation14());
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  core::ObjectiveConfig objective_config;
+  const core::Objective objective(qoe_model, power_model, objective_config);
+
+  AsciiTable vibration_table("Vibration window sweep (paper: 6 s)");
+  vibration_table.set_header({"window (s)", "energy (J)", "QoE", "switches"});
+  vibration_table.set_alignment({Align::kRight, Align::kRight, Align::kRight,
+                                 Align::kRight});
+  for (const double window_s : {1.5, 3.0, 6.0, 12.0, 24.0}) {
+    player::PlayerConfig player_config;
+    player_config.vibration.window_s = window_s;
+    const player::PlayerSimulator simulator(manifest, player_config);
+    core::OnlineBitrateSelector policy(objective, {.startup_level = 3});
+    const auto playback = simulator.run(policy, session);
+    const auto metrics = sim::compute_metrics("Ours", spec.id, playback, manifest,
+                                              qoe_model, power_model);
+    vibration_table.add_row({AsciiTable::num(window_s, 1),
+                             AsciiTable::num(metrics.total_energy_j, 0),
+                             AsciiTable::num(metrics.mean_qoe, 2),
+                             std::to_string(metrics.switch_count)});
+  }
+  vibration_table.print();
+
+  AsciiTable bandwidth_table("\nBandwidth-estimator depth sweep (paper: 20)");
+  bandwidth_table.set_header({"window (segments)", "energy (J)", "QoE",
+                              "rebuffer (s)", "switches"});
+  bandwidth_table.set_alignment({Align::kRight, Align::kRight, Align::kRight,
+                                 Align::kRight, Align::kRight});
+  for (const std::size_t depth : {3UL, 5UL, 10UL, 20UL, 40UL}) {
+    player::PlayerConfig player_config;
+    player_config.bandwidth_window = depth;
+    const player::PlayerSimulator simulator(manifest, player_config);
+    core::OnlineBitrateSelector policy(objective, {.startup_level = 3});
+    const auto playback = simulator.run(policy, session);
+    const auto metrics = sim::compute_metrics("Ours", spec.id, playback, manifest,
+                                              qoe_model, power_model);
+    bandwidth_table.add_row({std::to_string(depth),
+                             AsciiTable::num(metrics.total_energy_j, 0),
+                             AsciiTable::num(metrics.mean_qoe, 2),
+                             AsciiTable::num(metrics.rebuffer_s, 1),
+                             std::to_string(metrics.switch_count)});
+  }
+  bandwidth_table.print();
+}
+
+void BM_VibrationEstimatorUpdate(benchmark::State& state) {
+  sensors::VibrationConfig config;
+  config.window_s = static_cast<double>(state.range(0));
+  sensors::VibrationEstimator estimator(config);
+  sensors::AccelSample sample{0.0, 0.1, 0.0, 9.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.update(sample));
+  }
+}
+BENCHMARK(BM_VibrationEstimatorUpdate)->Arg(3)->Arg(6)->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

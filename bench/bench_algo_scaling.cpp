@@ -1,0 +1,108 @@
+// Scaling: the optimal planner's cost as the task count and ladder size
+// grow — Section IV-A puts the Fig. 4 shortest-path at O(M*N*log(M*N)) with
+// Dijkstra; our DAG dynamic program is O(N*M^2). This bench times both and
+// the online algorithm's per-decision latency (which must be negligible on
+// a phone).
+
+#include "bench_common.h"
+#include "eacs/core/online.h"
+#include "eacs/core/optimal.h"
+#include "eacs/util/rng.h"
+
+namespace {
+
+using namespace eacs;
+
+std::vector<core::TaskEnvironment> make_tasks(std::size_t n, std::size_t m,
+                                              std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  std::vector<core::TaskEnvironment> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TaskEnvironment env;
+    env.index = i;
+    env.duration_s = 2.0;
+    env.signal_dbm = rng.uniform(-115.0, -85.0);
+    env.vibration = rng.uniform(0.0, 7.0);
+    env.bandwidth_mbps = rng.uniform(2.0, 30.0);
+    for (std::size_t level = 0; level < m; ++level) {
+      env.size_megabits.push_back(0.2 * static_cast<double>(level + 1) * 2.0);
+    }
+    tasks.push_back(std::move(env));
+  }
+  return tasks;
+}
+
+core::Objective make_objective() {
+  return core::Objective(qoe::QoeModel{}, power::PowerModel{},
+                         core::ObjectiveConfig{});
+}
+
+void print_reproduction() {
+  bench::banner("Algorithm scaling",
+                "Optimal planner (DAG DP vs. Dijkstra) and online decision cost");
+  std::printf("A %zu-segment video on the 14-rate ladder is planned in "
+              "milliseconds;\nsee the timing benchmarks below for exact "
+              "numbers on this machine.\n",
+              std::size_t{300});
+}
+
+void BM_PlannerDagDp(benchmark::State& state) {
+  const auto tasks = make_tasks(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 42);
+  core::OptimalPlanner planner(make_objective());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDagDp));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PlannerDagDp)
+    ->Args({50, 6})
+    ->Args({50, 14})
+    ->Args({200, 14})
+    ->Args({800, 14})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlannerDijkstra(benchmark::State& state) {
+  const auto tasks = make_tasks(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 42);
+  core::OptimalPlanner planner(make_objective());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDijkstra));
+  }
+}
+BENCHMARK(BM_PlannerDijkstra)
+    ->Args({50, 14})
+    ->Args({200, 14})
+    ->Args({800, 14})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OnlineChooseLevel(benchmark::State& state) {
+  const core::Objective objective = make_objective();
+  core::OnlineBitrateSelector policy(objective, {.startup_level = 3});
+  const media::VideoManifest manifest("bench", 600.0, 2.0,
+                                      media::BitrateLadder::evaluation14());
+  net::HarmonicMeanEstimator estimator(20);
+  for (int i = 0; i < 20; ++i) estimator.observe(8.0 + (i % 7));
+  player::AbrContext ctx;
+  ctx.segment_index = 100;
+  ctx.num_segments = manifest.num_segments();
+  ctx.buffer_s = 28.0;
+  ctx.prev_level = 7;
+  ctx.startup_phase = false;
+  ctx.manifest = &manifest;
+  ctx.bandwidth = &estimator;
+  ctx.vibration_level = 6.0;
+  ctx.signal_dbm = -104.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.choose_level(ctx));
+  }
+}
+BENCHMARK(BM_OnlineChooseLevel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

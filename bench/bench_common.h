@@ -1,0 +1,35 @@
+#pragma once
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure from the paper: main()
+// prints the reproduced rows/series as ASCII tables (with the paper's
+// reported values alongside where the paper quotes numbers), then hands over
+// to google-benchmark for the timing cases the binary registers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "eacs/util/table.h"
+
+namespace eacs::bench {
+
+/// Prints the experiment banner.
+inline void banner(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction: %s\n", experiment_id);
+  std::printf("%s\n", description);
+  std::printf("==============================================================\n\n");
+}
+
+/// Standard main() tail: run the registered timing benchmarks.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::printf("\n-- timing benchmarks --\n");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace eacs::bench

@@ -1,0 +1,71 @@
+// Extension: the energy/QoE Pareto front.
+//
+// Materialises the trade-off curve behind the paper's Eq. 11 weighted sum:
+// for trace 1 (rough ride) and trace 2 (smooth ride), sweep alpha, solve
+// each weighting optimally, and print the non-dominated (energy, QoE)
+// points with the knee highlighted. The paper's alpha = 0.5 operating point
+// can be judged against the front's shape.
+
+#include "bench_common.h"
+#include "eacs/core/pareto.h"
+#include "eacs/sim/evaluation.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_front_for(const media::SessionSpec& spec) {
+  const auto session = trace::build_session(spec);
+  const media::VideoManifest manifest("trace" + std::to_string(spec.id),
+                                      spec.length_s, 2.0,
+                                      media::BitrateLadder::evaluation14());
+  const auto tasks = core::build_task_environments(manifest, session);
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  const auto front = core::compute_pareto_front(tasks, qoe_model, power_model, 21);
+
+  AsciiTable table("Trace " + std::to_string(spec.id) + " (avg vibration " +
+                   AsciiTable::num(spec.avg_vibration, 2) + " m/s^2)");
+  table.set_header({"alpha", "energy (J)", "mean QoE", ""});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight, Align::kLeft});
+  for (std::size_t i = 0; i < front.points.size(); ++i) {
+    const auto& point = front.points[i];
+    table.add_row({AsciiTable::num(point.alpha, 2),
+                   AsciiTable::num(point.energy_j, 0),
+                   AsciiTable::num(point.mean_qoe, 3),
+                   i == front.knee_index ? "<- knee" : ""});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void print_reproduction() {
+  bench::banner("Extension: Pareto front",
+                "Optimal energy/QoE trade-off curve per trace (alpha sweep)");
+  print_front_for(media::evaluation_sessions()[0]);
+  print_front_for(media::evaluation_sessions()[1]);
+  std::printf("(Each row is the *optimal* plan for its weighting; no plan can\n"
+              "improve one column without worsening the other.)\n");
+}
+
+void BM_ParetoFront(benchmark::State& state) {
+  const auto spec = media::evaluation_sessions()[0];
+  const auto session = trace::build_session(spec);
+  const media::VideoManifest manifest("trace1", spec.length_s, 2.0,
+                                      media::BitrateLadder::evaluation14());
+  const auto tasks = core::build_task_environments(manifest, session);
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_pareto_front(
+        tasks, qoe_model, power_model, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ParetoFront)->Arg(5)->Arg(21)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

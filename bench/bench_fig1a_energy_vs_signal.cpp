@@ -1,0 +1,61 @@
+// Fig. 1(a): total energy to download 100 MB as a function of signal
+// strength. Paper anchors: ~49 J at -90 dBm rising to ~193 J at -115 dBm.
+
+#include "bench_common.h"
+#include "eacs/power/model.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Fig. 1(a)",
+                "Energy to download 100 MB vs. signal strength (LTE radio)");
+  const power::PowerModel model;
+
+  AsciiTable table("Energy for a 100 MB download");
+  table.set_header({"signal (dBm)", "energy (J)", "paper"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight});
+  for (double s = -90.0; s >= -115.0; s -= 5.0) {
+    std::string paper;
+    if (s == -90.0) paper = "49";
+    if (s == -115.0) paper = "193";
+    table.add_row({AsciiTable::num(s, 0),
+                   AsciiTable::num(model.download_energy(100.0, s), 1), paper});
+  }
+  table.print();
+  std::printf("\nShape check: energy roughly quadruples from -90 to -115 dBm "
+              "(paper: 49 J -> 193 J, ~3.9x; ours: %.1fx)\n",
+              model.download_energy(100.0, -115.0) /
+                  model.download_energy(100.0, -90.0));
+}
+
+void BM_EnergyPerMb(benchmark::State& state) {
+  const power::PowerModel model;
+  double s = -90.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.energy_per_mb(s));
+    s = s <= -115.0 ? -90.0 : s - 0.01;
+  }
+}
+BENCHMARK(BM_EnergyPerMb);
+
+void BM_TaskEnergy(benchmark::State& state) {
+  const power::PowerModel model;
+  power::TaskEnergyInput input;
+  input.size_mb = 1.45;
+  input.bitrate_mbps = 5.8;
+  input.signal_dbm = -105.0;
+  input.play_s = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.task_energy(input));
+  }
+}
+BENCHMARK(BM_TaskEnergy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,89 @@
+// Fig. 1(b): perceived QoE and relative energy as functions of bitrate under
+// the two contexts (quiet room vs. moving vehicle). Paper anchors: dropping
+// 1080p -> 480p loses ~12% QoE in a quiet room but only ~4% on a vehicle,
+// while saving ~65% of the (relative download) energy on the vehicle.
+
+#include "bench_common.h"
+#include "eacs/media/bitrate_ladder.h"
+#include "eacs/power/model.h"
+#include "eacs/qoe/model.h"
+
+namespace {
+
+using namespace eacs;
+
+constexpr double kVehicleVibration = 6.0;
+constexpr double kRoomSignal = -88.0;
+constexpr double kVehicleSignal = -108.0;
+constexpr double kVideoSeconds = 198.0;  // Table V trace 1 length
+
+double stream_energy(const power::PowerModel& model, double bitrate, double signal) {
+  // Radio energy of streaming the whole video at this bitrate (the screen
+  // and decode baseline is common to every bar, Fig. 1(b) plots the
+  // *relative* energy).
+  return model.download_energy(bitrate * kVideoSeconds / 8.0, signal);
+}
+
+void print_reproduction() {
+  bench::banner("Fig. 1(b)",
+                "QoE and relative energy vs. bitrate, quiet room vs. vehicle");
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  const auto ladder = media::BitrateLadder::table2();
+
+  AsciiTable table("Per-bitrate QoE and relative energy");
+  table.set_header({"bitrate (Mbps)", "resolution", "QoE room", "QoE vehicle",
+                    "energy room (J)", "energy vehicle (J)"});
+  table.set_alignment({Align::kRight, Align::kLeft, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight});
+  for (std::size_t level = 0; level < ladder.size(); ++level) {
+    const double r = ladder.bitrate(level);
+    table.add_row({AsciiTable::num(r, 3), ladder.rung(level).resolution,
+                   AsciiTable::num(qoe_model.perceived_quality(r, 0.0), 2),
+                   AsciiTable::num(qoe_model.perceived_quality(r, kVehicleVibration), 2),
+                   AsciiTable::num(stream_energy(power_model, r, kRoomSignal), 1),
+                   AsciiTable::num(stream_energy(power_model, r, kVehicleSignal), 1)});
+  }
+  table.print();
+
+  const double room_drop =
+      1.0 - qoe_model.perceived_quality(1.5, 0.0) / qoe_model.perceived_quality(5.8, 0.0);
+  const double vehicle_drop =
+      1.0 - qoe_model.perceived_quality(1.5, kVehicleVibration) /
+                qoe_model.perceived_quality(5.8, kVehicleVibration);
+  const double energy_saving =
+      1.0 - stream_energy(power_model, 1.5, kVehicleSignal) /
+                stream_energy(power_model, 5.8, kVehicleSignal);
+  std::printf("\n1080p -> 480p QoE drop, quiet room:  %5.1f%%   (paper: 12%%)\n",
+              room_drop * 100.0);
+  std::printf("1080p -> 480p QoE drop, vehicle:     %5.1f%%   (paper:  4%%)\n",
+              vehicle_drop * 100.0);
+  std::printf("1080p -> 480p energy saved, vehicle: %5.1f%%   (paper: 65%%)\n",
+              energy_saving * 100.0);
+}
+
+void BM_PerceivedQuality(benchmark::State& state) {
+  const qoe::QoeModel model;
+  double r = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.perceived_quality(r, 6.0));
+    r = r >= 5.8 ? 0.1 : r + 0.01;
+  }
+}
+BENCHMARK(BM_PerceivedQuality);
+
+void BM_SegmentQoe(benchmark::State& state) {
+  const qoe::QoeModel model;
+  qoe::SegmentContext ctx{3.0, 6.0, 1.5, 0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.segment_qoe(ctx));
+  }
+}
+BENCHMARK(BM_SegmentQoe);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,76 @@
+// Fig. 2(a): ITU-T P.910 spatial/temporal information of the test videos.
+// The paper plots its ten YouTube videos spanning SI ~30-60, TI ~0-30; our
+// synthetic stand-ins are measured with the same P.910 pipeline and must
+// preserve the layout (speech bottom-left, sports/racing top-right).
+
+#include "bench_common.h"
+#include "eacs/media/catalogue.h"
+#include "eacs/media/si_ti.h"
+
+namespace {
+
+using namespace eacs;
+
+constexpr std::size_t kWidth = 128;
+constexpr std::size_t kHeight = 96;
+constexpr std::size_t kFrames = 8;
+
+void print_reproduction() {
+  bench::banner("Fig. 2(a)", "Spatial/temporal information of the test videos "
+                             "(P.910 Sobel-stddev / frame-diff-stddev)");
+
+  AsciiTable table("Measured SI/TI per synthetic stand-in");
+  table.set_header({"video", "SI (measured)", "TI (measured)", "SI (target)",
+                    "TI (target)"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  double prev_si = 0.0;
+  bool si_ordered = true;
+  for (const auto& video : media::test_videos()) {
+    media::FrameGenerator generator(kWidth, kHeight, video.profile);
+    const auto frames = generator.generate(kFrames);
+    const auto result = media::analyze_si_ti(frames);
+    table.add_row({video.name, AsciiTable::num(result.si_mean, 1),
+                   AsciiTable::num(result.ti_mean, 1),
+                   AsciiTable::num(video.target_si, 0),
+                   AsciiTable::num(video.target_ti, 0)});
+    if (result.si_mean < prev_si) si_ordered = false;
+    prev_si = result.si_mean;
+  }
+  table.print();
+  std::printf("\nLayout check: SI strictly increases along the catalogue's "
+              "complexity ordering: %s\n", si_ordered ? "yes" : "NO");
+}
+
+void BM_SobelSi(benchmark::State& state) {
+  media::FrameGenerator generator(kWidth, kHeight, media::test_videos()[5].profile);
+  const auto frame = generator.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::spatial_information(frame));
+  }
+}
+BENCHMARK(BM_SobelSi);
+
+void BM_AnalyzeSiTi(benchmark::State& state) {
+  media::FrameGenerator generator(64, 64, media::test_videos()[5].profile);
+  const auto frames = generator.generate(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::analyze_si_ti(frames));
+  }
+}
+BENCHMARK(BM_AnalyzeSiTi);
+
+void BM_FrameGeneration(benchmark::State& state) {
+  media::FrameGenerator generator(64, 64, media::test_videos()[9].profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.next());
+  }
+}
+BENCHMARK(BM_FrameGeneration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

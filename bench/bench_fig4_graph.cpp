@@ -1,0 +1,101 @@
+// Fig. 4: mapping the bitrate-selection problem to the shortest-path
+// problem. Builds the explicit layered graph for a small instance, prints
+// its structure and the Graphviz DOT form, cross-checks three independent
+// solvers (explicit Bellman-Ford, implicit DAG-DP, per-layer-offset
+// Dijkstra), and reports the paper's complexity claim against measured
+// sizes.
+
+#include "bench_common.h"
+#include "eacs/core/graph.h"
+#include "eacs/core/optimal.h"
+#include "eacs/trace/session.h"
+
+namespace {
+
+using namespace eacs;
+
+core::Objective make_objective() {
+  return core::Objective(qoe::QoeModel{}, power::PowerModel{},
+                         core::ObjectiveConfig{});
+}
+
+void print_reproduction() {
+  bench::banner("Fig. 4", "The bitrate-selection graph, built explicitly");
+
+  // Small illustrative instance: 3 tasks on the Table II 6-rate ladder.
+  const auto session = trace::build_session(media::evaluation_sessions()[0]);
+  const media::VideoManifest manifest("fig4", 6.0, 2.0,
+                                      media::BitrateLadder::table2());
+  const auto tasks = core::build_task_environments(manifest, session);
+  const auto objective = make_objective();
+  const auto graph = core::build_selection_graph(objective, tasks);
+
+  std::printf("Instance: N = %zu tasks x M = %zu bitrates\n", graph.num_tasks,
+              graph.num_levels);
+  std::printf("Graph: %zu nodes (paper: N*M + 2 = %zu), %zu edges "
+              "(M + (N-1)*M^2 + M = %zu)\n\n",
+              graph.nodes.size(), graph.num_tasks * graph.num_levels + 2,
+              graph.edges.size(),
+              graph.num_levels +
+                  (graph.num_tasks - 1) * graph.num_levels * graph.num_levels +
+                  graph.num_levels);
+
+  const auto path = core::bellman_ford_shortest_path(graph);
+  core::OptimalPlanner planner(objective);
+  const auto dp = planner.plan(tasks, core::PlannerMethod::kDagDp);
+  const auto dijkstra = planner.plan(tasks, core::PlannerMethod::kDijkstra);
+
+  AsciiTable table("Three independent shortest-path solvers");
+  table.set_header({"solver", "total cost", "levels"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kLeft});
+  const auto levels_text = [](const std::vector<std::size_t>& levels) {
+    std::string out;
+    for (std::size_t level : levels) out += std::to_string(level) + " ";
+    return out;
+  };
+  table.add_row({"Bellman-Ford (explicit graph)", AsciiTable::num(path.total_cost, 6),
+                 levels_text(path.levels)});
+  table.add_row({"DAG dynamic program", AsciiTable::num(dp.total_cost, 6),
+                 levels_text(dp.levels)});
+  table.add_row({"offset Dijkstra (paper's choice)",
+                 AsciiTable::num(dijkstra.total_cost, 6),
+                 levels_text(dijkstra.levels)});
+  table.print();
+
+  std::printf("\nGraphviz DOT of the instance (render with `dot -Tpng`):\n\n%s\n",
+              graph.to_dot().c_str());
+}
+
+void BM_BuildGraph(benchmark::State& state) {
+  const auto session = trace::build_session(media::evaluation_sessions()[0]);
+  const media::VideoManifest manifest(
+      "fig4", static_cast<double>(state.range(0)) * 2.0, 2.0,
+      media::BitrateLadder::evaluation14());
+  const auto tasks = core::build_task_environments(manifest, session);
+  const auto objective = make_objective();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_selection_graph(objective, tasks));
+  }
+}
+BENCHMARK(BM_BuildGraph)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_BellmanFord(benchmark::State& state) {
+  const auto session = trace::build_session(media::evaluation_sessions()[0]);
+  const media::VideoManifest manifest(
+      "fig4", static_cast<double>(state.range(0)) * 2.0, 2.0,
+      media::BitrateLadder::evaluation14());
+  const auto tasks = core::build_task_environments(manifest, session);
+  const auto objective = make_objective();
+  const auto graph = core::build_selection_graph(objective, tasks);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::bellman_ford_shortest_path(graph));
+  }
+}
+BENCHMARK(BM_BellmanFord)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,90 @@
+// Fig. 6: QoE comparison.
+//   (a) per-trace QoE for each algorithm (YouTube best everywhere, but by a
+//       small margin; trace 2 — the low-vibration session — scores highest);
+//   (b) average QoE per algorithm;
+//   (c) QoE degradation vs. YouTube (paper: Ours 3.5%, FESTIVE 3.3%,
+//       BBA 2.1%).
+
+#include "bench_common.h"
+#include "eacs/abr/fixed.h"
+#include "eacs/sim/evaluation.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Fig. 6", "QoE comparison across algorithms and traces");
+  const sim::Evaluation evaluation;
+  const auto result = evaluation.run();
+  const auto algorithms = result.algorithms();
+
+  AsciiTable per_trace("Fig. 6(a): mean QoE per trace");
+  std::vector<std::string> header = {"trace"};
+  for (const auto& algo : algorithms) header.push_back(algo);
+  per_trace.set_header(header);
+  std::vector<Align> alignment(header.size(), Align::kRight);
+  alignment[0] = Align::kLeft;
+  per_trace.set_alignment(alignment);
+  for (const auto& spec : media::evaluation_sessions()) {
+    std::vector<std::string> row = {"trace" + std::to_string(spec.id)};
+    for (const auto& algo : algorithms) {
+      row.push_back(AsciiTable::num(result.row(algo, spec.id).mean_qoe, 2));
+    }
+    per_trace.add_row(row);
+  }
+  per_trace.print();
+
+  AsciiTable averages("\nFig. 6(b): average QoE");
+  averages.set_header({"algorithm", "mean QoE"});
+  averages.set_alignment({Align::kLeft, Align::kRight});
+  for (const auto& algo : algorithms) {
+    averages.add_row({algo, AsciiTable::num(result.mean_qoe(algo), 2)});
+  }
+  averages.print();
+
+  AsciiTable degradation("\nFig. 6(c): QoE degradation vs. Youtube");
+  degradation.set_header({"algorithm", "degradation", "paper"});
+  degradation.set_alignment({Align::kLeft, Align::kRight, Align::kRight});
+  const std::pair<const char*, const char*> expectations[] = {
+      {"FESTIVE", "3.3%"}, {"BBA", "2.1%"}, {"Ours", "3.5%"}, {"Optimal", "-"}};
+  for (const auto& [algo, paper] : expectations) {
+    degradation.add_row({algo, AsciiTable::percent(result.mean_qoe_degradation(algo), 1),
+                         paper});
+  }
+  degradation.print();
+
+  // Trace 2 (the smooth ride) should have the best QoE for every algorithm.
+  bool trace2_best = true;
+  for (const auto& algo : algorithms) {
+    const double qoe2 = result.row(algo, 2).mean_qoe;
+    for (int other : {1, 3, 4, 5}) {
+      if (result.row(algo, other).mean_qoe > qoe2 + 1e-9) trace2_best = false;
+    }
+  }
+  std::printf("\nTrace 2 (lowest vibration) scores best for every algorithm: %s\n",
+              trace2_best ? "yes" : "no");
+}
+
+void BM_MetricsComputation(benchmark::State& state) {
+  const sim::Evaluation evaluation;
+  const auto session = trace::build_session(media::evaluation_sessions()[1]);
+  const auto manifest = evaluation.manifest_for(session.spec);
+  player::PlayerSimulator simulator(manifest);
+  abr::FixedBitrate youtube;
+  const auto playback = simulator.run(youtube, session);
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compute_metrics("Youtube", 2, playback, manifest,
+                                                  qoe_model, power_model));
+  }
+}
+BENCHMARK(BM_MetricsComputation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

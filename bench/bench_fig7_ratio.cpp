@@ -1,0 +1,59 @@
+// Fig. 7: the ratio of energy saving over QoE degradation — the paper's
+// headline "considering both energy and QoE" metric. Paper: Ours achieves
+// ~4.8x FESTIVE's ratio and ~5.1x BBA's.
+
+#include "bench_common.h"
+#include "eacs/sim/evaluation.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Fig. 7", "Energy saving / QoE degradation ratio");
+  const sim::Evaluation evaluation;
+  const auto result = evaluation.run();
+
+  AsciiTable table("Ratio per algorithm (higher is better)");
+  table.set_header({"algorithm", "energy saving", "QoE degradation", "ratio"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& algo : {"FESTIVE", "BBA", "Ours", "Optimal"}) {
+    table.add_row({algo, AsciiTable::percent(result.mean_energy_saving(algo), 1),
+                   AsciiTable::percent(result.mean_qoe_degradation(algo), 1),
+                   AsciiTable::num(result.saving_degradation_ratio(algo), 1)});
+  }
+  table.print();
+
+  const double ours = result.saving_degradation_ratio("Ours");
+  const double festive = result.saving_degradation_ratio("FESTIVE");
+  const double bba = result.saving_degradation_ratio("BBA");
+  if (festive > 0.0) {
+    std::printf("\nOurs / FESTIVE ratio: %.1fx (paper: ~4.8x)\n", ours / festive);
+  } else {
+    std::printf("\nFESTIVE shows no QoE degradation on these traces; its ratio "
+                "is undefined (paper measured ~1/4.8 of Ours).\n");
+  }
+  if (bba > 0.0) {
+    std::printf("Ours / BBA ratio:     %.1fx (paper: ~5.1x)\n", ours / bba);
+  } else {
+    std::printf("BBA shows no QoE degradation on these traces; its ratio is "
+                "undefined (paper measured ~1/5.1 of Ours).\n");
+  }
+}
+
+void BM_SummaryAggregation(benchmark::State& state) {
+  const sim::Evaluation evaluation;
+  const auto result = evaluation.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result.saving_degradation_ratio("Ours"));
+    benchmark::DoNotOptimize(result.mean_energy_saving("Optimal"));
+  }
+}
+BENCHMARK(BM_SummaryAggregation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,75 @@
+// Tables I & II: the quality-assessment video dataset and the
+// resolution/bitrate ladder.
+
+#include "bench_common.h"
+#include "eacs/media/bitrate_ladder.h"
+#include "eacs/media/catalogue.h"
+#include "eacs/media/manifest.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Tables I & II", "Test-video dataset and encoding ladder");
+
+  AsciiTable videos("Table I: the test videos");
+  videos.set_header({"genre", "explanation", "SI target", "TI target"});
+  videos.set_alignment({Align::kLeft, Align::kLeft, Align::kRight, Align::kRight});
+  for (const auto& video : media::test_videos()) {
+    videos.add_row({video.name, video.description,
+                    AsciiTable::num(video.target_si, 0),
+                    AsciiTable::num(video.target_ti, 0)});
+  }
+  videos.print();
+
+  AsciiTable ladder_table("\nTable II: resolution and bitrate ladder");
+  ladder_table.set_header({"resolution", "bitrate (Mbps)"});
+  ladder_table.set_alignment({Align::kLeft, Align::kRight});
+  const auto ladder = media::BitrateLadder::table2();
+  for (std::size_t level = ladder.size(); level-- > 0;) {  // paper lists high->low
+    ladder_table.add_row(
+        {ladder.rung(level).resolution, AsciiTable::num(ladder.bitrate(level), 3)});
+  }
+  ladder_table.print();
+
+  AsciiTable eval_ladder("\nSection V-A: the 14-rate evaluation ladder");
+  eval_ladder.set_header({"level", "bitrate (Mbps)", "2 s segment (megabits)"});
+  eval_ladder.set_alignment({Align::kRight, Align::kRight, Align::kRight});
+  const auto eval14 = media::BitrateLadder::evaluation14();
+  for (std::size_t level = 0; level < eval14.size(); ++level) {
+    eval_ladder.add_row({std::to_string(level), AsciiTable::num(eval14.bitrate(level), 3),
+                         AsciiTable::num(eval14.bitrate(level) * 2.0, 2)});
+  }
+  eval_ladder.print();
+}
+
+void BM_ManifestSegmentSize(benchmark::State& state) {
+  const media::VideoManifest manifest("bench", 600.0, 2.0,
+                                      media::BitrateLadder::evaluation14(),
+                                      media::VbrModel{0.15});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manifest.segment_size_megabits(i % manifest.num_segments(),
+                                                            i % 14));
+    ++i;
+  }
+}
+BENCHMARK(BM_ManifestSegmentSize);
+
+void BM_LadderLookup(benchmark::State& state) {
+  const auto ladder = media::BitrateLadder::evaluation14();
+  double cap = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ladder.highest_level_not_above(cap));
+    cap = cap >= 6.0 ? 0.1 : cap + 0.03;
+  }
+}
+BENCHMARK(BM_LadderLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,59 @@
+// Table V: the five evaluation sessions — the paper's recorded values next
+// to the measured statistics of our calibrated synthetic traces.
+
+#include "bench_common.h"
+#include "eacs/sensors/vibration.h"
+#include "eacs/trace/session.h"
+#include "eacs/util/stats.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Table V", "Evaluation video traces (synthetic, calibrated)");
+
+  const auto sessions = trace::build_all_sessions();
+
+  AsciiTable table("Sessions: paper columns + measured synthetic statistics");
+  table.set_header({"id", "length (s)", "paper size (MB)", "paper avg vib.",
+                    "measured avg vib.", "mean signal (dBm)", "mean bw (Mbps)"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& session : sessions) {
+    table.add_row({std::to_string(session.spec.id),
+                   AsciiTable::num(session.spec.length_s, 0),
+                   AsciiTable::num(session.spec.data_size_mb, 1),
+                   AsciiTable::num(session.spec.avg_vibration, 2),
+                   AsciiTable::num(sensors::mean_vibration_level(session.accel), 2),
+                   AsciiTable::num(mean(session.signal_dbm.values()), 1),
+                   AsciiTable::num(mean(session.throughput_mbps.values()), 1)});
+  }
+  table.print();
+  std::printf("\n(The paper's data-size column describes its recorded YouTube "
+              "sessions; in the\nsimulation each algorithm chooses its own "
+              "download volume, so size is an output,\nnot an input.)\n");
+}
+
+void BM_BuildSession(benchmark::State& state) {
+  const auto& spec = media::evaluation_sessions()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::build_session(spec));
+  }
+}
+BENCHMARK(BM_BuildSession)->Unit(benchmark::kMillisecond);
+
+void BM_VibrationEstimation(benchmark::State& state) {
+  const auto session = trace::build_session(media::evaluation_sessions()[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensors::mean_vibration_level(session.accel));
+  }
+}
+BENCHMARK(BM_VibrationEstimation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

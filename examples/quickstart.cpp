@@ -1,0 +1,73 @@
+// Quickstart: the library in ~60 lines.
+//
+// Builds one synthetic "bus commute" session, streams a video with the
+// paper's online context-aware algorithm, and compares energy/QoE against
+// a fixed-1080p (YouTube-style) player.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "eacs/abr/fixed.h"
+#include "eacs/core/online.h"
+#include "eacs/media/catalogue.h"
+#include "eacs/player/player.h"
+#include "eacs/sim/evaluation.h"
+#include "eacs/sim/metrics.h"
+#include "eacs/trace/session.h"
+#include "eacs/util/table.h"
+
+int main() {
+  using namespace eacs;
+
+  // 1. A streaming session: video metadata plus network/sensor traces.
+  //    (Replace build_session with CSV-loaded real traces if you have them.)
+  const media::SessionSpec spec = media::evaluation_sessions()[0];  // bus ride
+  const trace::SessionTraces session = trace::build_session(spec);
+
+  // 2. A DASH manifest: 2 s segments over the paper's 14-rate ladder.
+  const media::VideoManifest manifest("quickstart", spec.length_s, 2.0,
+                                      media::BitrateLadder::evaluation14());
+
+  // 3. The models: QoE (bitrate + vibration) and power (bitrate + signal).
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+
+  // 4. The paper's online algorithm, weighting energy and QoE equally.
+  core::ObjectiveConfig objective_config;
+  objective_config.alpha = 0.5;
+  core::Objective objective(qoe_model, power_model, objective_config);
+  core::OnlineBitrateSelector ours(objective, {.startup_level = 3});
+
+  // 5. A YouTube-style baseline: everything at 5.8 Mbps.
+  abr::FixedBitrate youtube;
+
+  // 6. Replay the session with both policies and account the results.
+  const player::PlayerSimulator simulator(manifest);
+  const auto ours_run = simulator.run(ours, session);
+  const auto youtube_run = simulator.run(youtube, session);
+
+  const auto ours_metrics = sim::compute_metrics("Ours", spec.id, ours_run, manifest,
+                                                 qoe_model, power_model);
+  const auto youtube_metrics = sim::compute_metrics("Youtube", spec.id, youtube_run,
+                                                    manifest, qoe_model, power_model);
+
+  AsciiTable table("Quickstart: one bus-commute session (Table V trace 1)");
+  table.set_header({"algorithm", "energy (J)", "mean QoE", "mean bitrate (Mbps)",
+                    "rebuffer (s)"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  for (const auto& m : {youtube_metrics, ours_metrics}) {
+    table.add_row({m.algorithm, AsciiTable::num(m.total_energy_j, 1),
+                   AsciiTable::num(m.mean_qoe, 2),
+                   AsciiTable::num(m.mean_bitrate_mbps, 2),
+                   AsciiTable::num(m.rebuffer_s, 1)});
+  }
+  table.print();
+
+  const double saving = 1.0 - ours_metrics.total_energy_j / youtube_metrics.total_energy_j;
+  const double degradation = 1.0 - ours_metrics.mean_qoe / youtube_metrics.mean_qoe;
+  std::printf("\nEnergy saving vs Youtube: %.1f%%  |  QoE degradation: %.1f%%\n",
+              saving * 100.0, degradation * 100.0);
+  return 0;
+}

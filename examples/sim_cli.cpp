@@ -1,0 +1,176 @@
+// sim_cli: command-line front end for the trace-driven simulator.
+//
+//   ./examples/sim_cli [--trace N] [--algo NAME] [--alpha X]
+//                      [--segment S] [--buffer B] [--no-context]
+//                      [--mpd out.mpd] [--all]
+//
+//   --trace N      Table V session id (1..5; default 1)
+//   --algo NAME    youtube | festive | bba | bola | mpc | ours | ours-rh |
+//                  optimal (default: ours)
+//   --alpha X      Eq. 11 energy weight (default 0.5)
+//   --segment S    segment duration seconds (default 2)
+//   --buffer B     buffer threshold seconds (default 30)
+//   --no-context   disable the vibration term (energy-aware only)
+//   --mpd FILE     also write the session's DASH MPD manifest to FILE
+//   --csv FILE     also write the per-run metrics as CSV
+//   --all          run every algorithm and print the comparison table
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "eacs/abr/bba.h"
+#include "eacs/abr/bola.h"
+#include "eacs/abr/festive.h"
+#include "eacs/abr/fixed.h"
+#include "eacs/abr/mpc.h"
+#include "eacs/core/horizon.h"
+#include "eacs/core/online.h"
+#include "eacs/core/optimal.h"
+#include "eacs/media/mpd.h"
+#include "eacs/sim/evaluation.h"
+#include "eacs/sim/report.h"
+#include "eacs/util/table.h"
+
+namespace {
+
+using namespace eacs;
+
+struct CliOptions {
+  int trace_id = 1;
+  std::string algo = "ours";
+  double alpha = 0.5;
+  double segment_s = 2.0;
+  double buffer_s = 30.0;
+  bool context_aware = true;
+  bool run_all = false;
+  std::string mpd_path;
+  std::string csv_path;
+};
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "sim_cli: %s\n", message);
+  std::fprintf(stderr,
+               "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
+               "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n");
+  std::exit(2);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--trace") options.trace_id = std::atoi(next_value());
+    else if (arg == "--algo") options.algo = next_value();
+    else if (arg == "--alpha") options.alpha = std::atof(next_value());
+    else if (arg == "--segment") options.segment_s = std::atof(next_value());
+    else if (arg == "--buffer") options.buffer_s = std::atof(next_value());
+    else if (arg == "--no-context") options.context_aware = false;
+    else if (arg == "--mpd") options.mpd_path = next_value();
+    else if (arg == "--csv") options.csv_path = next_value();
+    else if (arg == "--all") options.run_all = true;
+    else usage_error(("unknown argument " + arg).c_str());
+  }
+  if (options.trace_id < 1 || options.trace_id > 5) {
+    usage_error("--trace must be 1..5");
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) usage_error("--alpha must be in [0,1]");
+  return options;
+}
+
+std::unique_ptr<player::AbrPolicy> make_policy(const std::string& name,
+                                               const core::Objective& objective,
+                                               const media::VideoManifest& manifest,
+                                               const trace::SessionTraces& session) {
+  if (name == "youtube") return std::make_unique<abr::FixedBitrate>();
+  if (name == "festive") return std::make_unique<abr::Festive>();
+  if (name == "bba") return std::make_unique<abr::Bba>(5.0, 30.0);
+  if (name == "bola") return std::make_unique<abr::Bola>(5.0, 30.0);
+  if (name == "mpc") return std::make_unique<abr::Mpc>();
+  if (name == "ours") {
+    return std::make_unique<core::OnlineBitrateSelector>(
+        objective, core::OnlineOptions{.startup_level = 3});
+  }
+  if (name == "ours-rh") {
+    return std::make_unique<core::RollingHorizonSelector>(
+        objective, core::HorizonOptions{.horizon = 5, .startup_level = 3});
+  }
+  if (name == "optimal") {
+    const auto tasks = core::build_task_environments(manifest, session);
+    core::OptimalPlanner planner(objective);
+    return std::make_unique<core::PlannedPolicy>(planner.plan(tasks));
+  }
+  usage_error(("unknown algorithm '" + name + "'").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_cli(argc, argv);
+
+  const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
+  std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,
+              spec.length_s, spec.avg_vibration);
+  const auto session = trace::build_session(spec);
+
+  const media::VideoManifest manifest("trace" + std::to_string(spec.id),
+                                      spec.length_s, options.segment_s,
+                                      media::BitrateLadder::evaluation14());
+  if (!options.mpd_path.empty()) {
+    std::ofstream out(options.mpd_path);
+    out << media::to_mpd_xml(manifest);
+    std::printf("MPD manifest written to %s\n", options.mpd_path.c_str());
+  }
+
+  const qoe::QoeModel qoe_model;
+  const power::PowerModel power_model;
+  core::ObjectiveConfig objective_config;
+  objective_config.alpha = options.alpha;
+  objective_config.buffer_threshold_s = options.buffer_s;
+  objective_config.context_aware = options.context_aware;
+  const core::Objective objective(qoe_model, power_model, objective_config);
+
+  player::PlayerConfig player_config;
+  player_config.buffer_threshold_s = options.buffer_s;
+  const player::PlayerSimulator simulator(manifest, player_config);
+
+  const std::vector<std::string> names =
+      options.run_all
+          ? std::vector<std::string>{"youtube", "festive", "bba", "bola", "mpc",
+                                     "ours", "ours-rh", "optimal"}
+          : std::vector<std::string>{options.algo};
+
+  eacs::AsciiTable table("Results");
+  table.set_header({"algorithm", "energy (J)", "extra (J)", "QoE", "bitrate (Mbps)",
+                    "rebuffer (s)", "switches", "startup (s)"});
+  table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight});
+  sim::EvaluationResult collected;
+  for (const auto& name : names) {
+    auto policy = make_policy(name, objective, manifest, session);
+    const auto playback = simulator.run(*policy, session);
+    const auto metrics = sim::compute_metrics(policy->name(), spec.id, playback,
+                                              manifest, qoe_model, power_model);
+    collected.rows.push_back(metrics);
+    table.add_row({metrics.algorithm, eacs::AsciiTable::num(metrics.total_energy_j, 1),
+                   eacs::AsciiTable::num(metrics.extra_energy_j, 1),
+                   eacs::AsciiTable::num(metrics.mean_qoe, 2),
+                   eacs::AsciiTable::num(metrics.mean_bitrate_mbps, 2),
+                   eacs::AsciiTable::num(metrics.rebuffer_s, 1),
+                   std::to_string(metrics.switch_count),
+                   eacs::AsciiTable::num(metrics.startup_delay_s, 2)});
+  }
+  table.print();
+  if (!options.csv_path.empty()) {
+    sim::write_evaluation_csv(options.csv_path, collected);
+    std::printf("Metrics CSV written to %s\n", options.csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Trace explorer: synthesises the five Table V evaluation sessions, prints
+// their measured statistics next to the paper's reported values, and saves
+// every trace as CSV so it can be inspected or replaced with real recordings.
+//
+//   ./examples/trace_explorer [output-dir]
+
+#include <cstdio>
+#include <filesystem>
+
+#include "eacs/sensors/vibration.h"
+#include "eacs/trace/session.h"
+#include "eacs/trace/trace_io.h"
+#include "eacs/util/stats.h"
+#include "eacs/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace eacs;
+
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() / "eacs_traces";
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("Synthesising the five Table V sessions (deterministic seeds)...\n\n");
+  const auto sessions = trace::build_all_sessions();
+
+  AsciiTable table("Evaluation sessions (paper Table V vs measured synthetic)");
+  table.set_header({"id", "length (s)", "paper vib.", "measured vib.",
+                    "mean signal (dBm)", "mean bw (Mbps)", "accel samples"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& session : sessions) {
+    const double measured_vibration = sensors::mean_vibration_level(session.accel);
+    const auto signal_values = session.signal_dbm.values();
+    const auto throughput_values = session.throughput_mbps.values();
+    table.add_row({std::to_string(session.spec.id),
+                   AsciiTable::num(session.spec.length_s, 0),
+                   AsciiTable::num(session.spec.avg_vibration, 2),
+                   AsciiTable::num(measured_vibration, 2),
+                   AsciiTable::num(mean(signal_values), 1),
+                   AsciiTable::num(mean(throughput_values), 1),
+                   std::to_string(session.accel.size())});
+
+    const auto prefix = out_dir / ("trace" + std::to_string(session.spec.id));
+    trace::save_time_series(prefix.string() + "_signal_dbm.csv", session.signal_dbm);
+    trace::save_time_series(prefix.string() + "_throughput_mbps.csv",
+                            session.throughput_mbps);
+    trace::save_accel(prefix.string() + "_accel.csv", session.accel);
+  }
+  table.print();
+
+  std::printf("\nCSV traces written to %s\n", out_dir.c_str());
+  std::printf("Round-trip check: reloading trace1 signal... ");
+  const auto reloaded =
+      trace::load_time_series(out_dir / "trace1_signal_dbm.csv");
+  std::printf("%zu samples, mean %.1f dBm. OK.\n", reloaded.size(),
+              mean(reloaded.values()));
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+// BBA baseline (Huang et al., SIGCOMM 2014): buffer-based rate adaptation.
+//
+// As the paper describes it: throughput-driven during the startup phase;
+// after reaching steady state, a linear function maps the current buffer
+// occupancy between a reservoir and a cushion onto the bitrate ladder —
+// requesting the highest bitrate whenever the buffer exceeds the cushion,
+// which is why BBA is the most energy-hungry adaptive baseline in Fig. 5.
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// BBA-0 style buffer-based adaptation.
+class Bba final : public player::AbrPolicy {
+ public:
+  /// `reservoir_s`: below this buffer level the lowest bitrate is used.
+  /// `cushion_s`: at/above this level the highest bitrate is used; defaults
+  /// to the paper's 30 s player threshold at run time when <= 0.
+  explicit Bba(double reservoir_s = 5.0, double cushion_s = 0.0);
+
+  std::string name() const override { return "BBA"; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+  void reset() override { steady_state_ = false; }
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+  bool steady_state_ = false;
+};
+
+}  // namespace eacs::abr

@@ -1,0 +1,31 @@
+#pragma once
+// BOLA baseline (Spiteri, Urgaonkar, Sitaraman — INFOCOM 2016).
+//
+// Not part of the paper's comparison (it cites BOLA in related work); we
+// include it as an extension baseline. BOLA-BASIC: pick the level maximising
+//   (V * (u_j + gamma_p) - Q) / S_j
+// where u_j = ln(S_j / S_min) is the utility of level j, S_j its size, Q the
+// buffer occupancy in segments, and V is derived from the maximum buffer so
+// that the top level is reached exactly when the buffer is full.
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// Lyapunov buffer-based utility maximiser.
+class Bola final : public player::AbrPolicy {
+ public:
+  /// `gamma_p` trades utility against rebuffer avoidance (BOLA paper uses 5).
+  /// `buffer_target_s` should match the player's buffer threshold; defaults
+  /// to 30 s when <= 0.
+  explicit Bola(double gamma_p = 5.0, double buffer_target_s = 0.0);
+
+  std::string name() const override { return "BOLA"; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+ private:
+  double gamma_p_;
+  double buffer_target_s_;
+};
+
+}  // namespace eacs::abr

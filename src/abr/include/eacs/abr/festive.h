@@ -1,0 +1,27 @@
+#pragma once
+// FESTIVE baseline (Jiang, Sekar, Zhang — IEEE/ACM ToN 2014), as used in the
+// paper's evaluation: estimate bandwidth as the harmonic mean of the last 20
+// segment throughputs and select the highest ladder bitrate strictly below
+// the estimate. The paper (and therefore this reproduction) omits FESTIVE's
+// randomized scheduling and multi-player fairness machinery.
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// Throughput-based adaptation.
+class Festive final : public player::AbrPolicy {
+ public:
+  /// `gradual_ramp`: real FESTIVE raises the bitrate at most one level per
+  /// switch; enabled by default, disable for the paper's simplified variant.
+  explicit Festive(bool gradual_ramp = true);
+
+  std::string name() const override { return "FESTIVE"; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+  void reset() override {}
+
+ private:
+  bool gradual_ramp_;
+};
+
+}  // namespace eacs::abr

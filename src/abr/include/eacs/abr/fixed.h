@@ -1,0 +1,29 @@
+#pragma once
+// "YouTube" baseline: every segment at a fixed ladder level.
+//
+// The paper's YouTube baseline streams everything at 5.8 Mbps (1080p) — the
+// highest rung — consuming the most energy and suffering no switch
+// impairment.
+
+#include <optional>
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// Requests a constant level; by default the top of the ladder.
+class FixedBitrate final : public player::AbrPolicy {
+ public:
+  /// `level` = std::nullopt means "always the highest rung".
+  explicit FixedBitrate(std::optional<std::size_t> level = std::nullopt,
+                        std::string name = "Youtube");
+
+  std::string name() const override { return name_; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+ private:
+  std::optional<std::size_t> level_;
+  std::string name_;
+};
+
+}  // namespace eacs::abr

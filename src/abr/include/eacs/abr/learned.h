@@ -1,0 +1,45 @@
+#pragma once
+// Learned ABR policy (extension; the paper's ref [27] is Pensieve, which
+// trains a neural policy with A3C on a cluster). We implement the same idea
+// at laptop scale: a linear-sigmoid policy over normalized player/context
+// features. The trainer lives in eacs::sim (sim/training.h) — it needs the
+// whole simulation stack; the policy itself only needs the player
+// interface, so pre-trained weight vectors are usable standalone.
+//
+//   features f = [1, bandwidth, buffer, prev level, vibration, signal]
+//   policy   level = round((M-1) * sigmoid(w . f))
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// Normalized policy features.
+struct PolicyFeatures {
+  static constexpr std::size_t kCount = 6;
+
+  /// Extracts [bias, bandwidth/20, buffer/30, prev/(M-1), vibration/7,
+  /// (signal+120)/40] from a decision context, each clamped to [0, 1].
+  static std::array<double, kCount> extract(const player::AbrContext& context);
+};
+
+/// Linear-sigmoid policy over PolicyFeatures.
+class LinearPolicy final : public player::AbrPolicy {
+ public:
+  /// `weights` must have PolicyFeatures::kCount entries.
+  explicit LinearPolicy(std::vector<double> weights, std::string name = "Learned");
+
+  std::string name() const override { return name_; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  std::string name_;
+};
+
+}  // namespace eacs::abr

@@ -1,0 +1,42 @@
+#pragma once
+// MPC baseline (Yin, Jindal, Sekar, Sinopoli — SIGCOMM 2015, the paper's
+// reference [17]): model-predictive bitrate control.
+//
+// Not part of the paper's comparison; included as an extension baseline.
+// Every segment, the controller enumerates all bitrate sequences over a
+// short lookahead horizon, simulates the buffer under the (harmonic-mean)
+// bandwidth prediction, scores each sequence with the standard DASH QoE
+// objective
+//     sum_k  q(r_k) - mu * rebuffer_k - lambda * |q(r_k) - q(r_{k-1})|
+// (q = log-utility of the bitrate) and plays the first action of the best
+// sequence (receding horizon).
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// RobustMPC-style configuration.
+struct MpcConfig {
+  std::size_t horizon = 3;            ///< lookahead segments (14^h sequences)
+  double rebuffer_penalty = 4.3;      ///< MOS-equivalents per stalled second
+  double switch_penalty = 1.0;        ///< per unit |utility delta|
+  double bandwidth_discount = 0.85;   ///< robustness: use discounted estimate
+};
+
+/// Exhaustive receding-horizon controller.
+class Mpc final : public player::AbrPolicy {
+ public:
+  explicit Mpc(MpcConfig config = {});
+
+  std::string name() const override { return "MPC"; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+ private:
+  double sequence_score(const player::AbrContext& context,
+                        const std::vector<std::size_t>& levels,
+                        double bandwidth_mbps) const;
+
+  MpcConfig config_;
+};
+
+}  // namespace eacs::abr

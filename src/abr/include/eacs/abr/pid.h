@@ -1,0 +1,44 @@
+#pragma once
+// PID-control baseline (Qin et al., INFOCOM 2017 — the paper's ref [4]:
+// "A Control Theoretic Approach to ABR Video Streaming: A Fresh Look at
+// PID-Based Rate Adaptation").
+//
+// The controller regulates the buffer level around a setpoint: the error
+// e = buffer - setpoint feeds a discrete PID whose output scales the
+// bandwidth estimate into a target rate; the ladder level is the highest
+// rate not above the target. Above-setpoint buffers push rates up,
+// below-setpoint buffers pull them down — a smoother buffer-feedback loop
+// than BBA's piecewise-linear map.
+
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::abr {
+
+/// PID gains and limits.
+struct PidConfig {
+  double setpoint_s = 20.0;  ///< buffer target
+  double kp = 0.05;          ///< proportional gain (per second of error)
+  double ki = 0.002;         ///< integral gain
+  double kd = 0.05;          ///< derivative gain
+  double min_factor = 0.25;  ///< clamp on the rate multiplier
+  double max_factor = 1.50;
+  double integral_limit = 60.0;  ///< anti-windup bound on the error integral
+};
+
+/// Buffer-feedback rate controller.
+class PidController final : public player::AbrPolicy {
+ public:
+  explicit PidController(PidConfig config = {});
+
+  std::string name() const override { return "PID"; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+  void reset() override;
+
+ private:
+  PidConfig config_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace eacs::abr

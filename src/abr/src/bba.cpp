@@ -1,0 +1,37 @@
+#include "eacs/abr/bba.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::abr {
+
+Bba::Bba(double reservoir_s, double cushion_s)
+    : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {
+  if (reservoir_s_ <= 0.0) throw std::invalid_argument("Bba: reservoir must be > 0");
+  if (cushion_s_ > 0.0 && cushion_s_ <= reservoir_s_) {
+    throw std::invalid_argument("Bba: cushion must exceed the reservoir");
+  }
+}
+
+std::size_t Bba::choose_level(const player::AbrContext& context) {
+  const auto& ladder = context.manifest->ladder();
+  const double cushion = cushion_s_ > 0.0 ? cushion_s_ : 30.0;
+
+  // Startup phase: throughput-based ramp (the buffer map would pin the
+  // bitrate to the floor while the buffer is still filling).
+  if (context.startup_phase || !steady_state_) {
+    if (context.buffer_s >= cushion - 1e-9) steady_state_ = true;
+    const double estimate = context.bandwidth->estimate();
+    if (estimate <= 0.0) return ladder.lowest_level();
+    return ladder.highest_level_not_above(estimate).value_or(ladder.lowest_level());
+  }
+
+  // Steady state: linear map of buffer occupancy onto the ladder.
+  if (context.buffer_s <= reservoir_s_) return ladder.lowest_level();
+  if (context.buffer_s >= cushion) return ladder.highest_level();
+  const double fraction = (context.buffer_s - reservoir_s_) / (cushion - reservoir_s_);
+  const auto span = static_cast<double>(ladder.highest_level());
+  return ladder.clamp_level(static_cast<long long>(std::floor(fraction * span + 0.5)));
+}
+
+}  // namespace eacs::abr

@@ -1,0 +1,48 @@
+#include "eacs/abr/bola.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eacs::abr {
+
+Bola::Bola(double gamma_p, double buffer_target_s)
+    : gamma_p_(gamma_p), buffer_target_s_(buffer_target_s) {
+  if (gamma_p_ <= 0.0) throw std::invalid_argument("Bola: gamma_p must be > 0");
+}
+
+std::size_t Bola::choose_level(const player::AbrContext& context) {
+  const auto& ladder = context.manifest->ladder();
+  const double segment_s = context.manifest->segment_duration_s();
+  const double buffer_target =
+      buffer_target_s_ > 0.0 ? buffer_target_s_ : 30.0;
+
+  // Startup: nothing buffered and no throughput history — bottom rung.
+  if (context.bandwidth->observations() == 0 && context.buffer_s <= 0.0) {
+    return ladder.lowest_level();
+  }
+
+  const double q_segments = context.buffer_s / segment_s;          // Q
+  const double q_max_segments = buffer_target / segment_s;         // Q_max
+  const double s_min = ladder.lowest_bitrate() * segment_s;        // megabits
+
+  const double u_max = std::log(ladder.highest_bitrate() / ladder.lowest_bitrate());
+  // V chosen so the argmax hits the top level when the buffer is full:
+  // standard BOLA-BASIC derivation V = (Q_max - 1) / (u_max + gamma_p).
+  const double v = std::max(1e-9, (q_max_segments - 1.0)) / (u_max + gamma_p_);
+
+  std::size_t best_level = ladder.lowest_level();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t level = 0; level < ladder.size(); ++level) {
+    const double size = ladder.bitrate(level) * segment_s;  // megabits
+    const double utility = std::log(size / s_min);
+    const double score = (v * (utility + gamma_p_) - q_segments) / size;
+    if (score > best_score) {
+      best_score = score;
+      best_level = level;
+    }
+  }
+  return best_level;
+}
+
+}  // namespace eacs::abr

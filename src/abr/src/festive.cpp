@@ -1,0 +1,22 @@
+#include "eacs/abr/festive.h"
+
+namespace eacs::abr {
+
+Festive::Festive(bool gradual_ramp) : gradual_ramp_(gradual_ramp) {}
+
+std::size_t Festive::choose_level(const player::AbrContext& context) {
+  const auto& ladder = context.manifest->ladder();
+  const double estimate = context.bandwidth->estimate();
+  if (estimate <= 0.0) {
+    // No measurement yet: conservative start at the bottom rung.
+    return ladder.lowest_level();
+  }
+  const std::size_t target =
+      ladder.highest_level_below(estimate).value_or(ladder.lowest_level());
+  if (gradual_ramp_ && context.prev_level.has_value() && target > *context.prev_level) {
+    return *context.prev_level + 1;
+  }
+  return target;
+}
+
+}  // namespace eacs::abr

@@ -1,0 +1,14 @@
+#include "eacs/abr/fixed.h"
+
+namespace eacs::abr {
+
+FixedBitrate::FixedBitrate(std::optional<std::size_t> level, std::string name)
+    : level_(level), name_(std::move(name)) {}
+
+std::size_t FixedBitrate::choose_level(const player::AbrContext& context) {
+  const auto& ladder = context.manifest->ladder();
+  if (!level_.has_value()) return ladder.highest_level();
+  return ladder.clamp_level(static_cast<long long>(*level_));
+}
+
+}  // namespace eacs::abr

@@ -1,0 +1,45 @@
+#include "eacs/abr/learned.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::abr {
+
+std::array<double, PolicyFeatures::kCount> PolicyFeatures::extract(
+    const player::AbrContext& context) {
+  const double levels =
+      static_cast<double>(context.manifest->ladder().size() - 1);
+  std::array<double, kCount> features{};
+  features[0] = 1.0;  // bias
+  features[1] = std::min(1.0, context.bandwidth->estimate() / 20.0);
+  features[2] = std::min(1.0, context.buffer_s / 30.0);
+  features[3] = context.prev_level.has_value() && levels > 0.0
+                    ? static_cast<double>(*context.prev_level) / levels
+                    : 0.0;
+  features[4] = std::min(1.0, context.vibration_level / 7.0);
+  features[5] = std::clamp((context.signal_dbm + 120.0) / 40.0, 0.0, 1.0);
+  return features;
+}
+
+LinearPolicy::LinearPolicy(std::vector<double> weights, std::string name)
+    : weights_(std::move(weights)), name_(std::move(name)) {
+  if (weights_.size() != PolicyFeatures::kCount) {
+    throw std::invalid_argument("LinearPolicy: expected " +
+                                std::to_string(PolicyFeatures::kCount) + " weights");
+  }
+}
+
+std::size_t LinearPolicy::choose_level(const player::AbrContext& context) {
+  const auto features = PolicyFeatures::extract(context);
+  double activation = 0.0;
+  for (std::size_t i = 0; i < PolicyFeatures::kCount; ++i) {
+    activation += weights_[i] * features[i];
+  }
+  const double squashed = 1.0 / (1.0 + std::exp(-activation));
+  const auto& ladder = context.manifest->ladder();
+  const double levels = static_cast<double>(ladder.size() - 1);
+  return ladder.clamp_level(static_cast<long long>(std::llround(squashed * levels)));
+}
+
+}  // namespace eacs::abr

@@ -1,0 +1,61 @@
+#pragma once
+// ContextMonitor: the app-facing sensing façade.
+//
+// A real player integration feeds this object raw accelerometer samples,
+// completed-download throughputs and telephony signal readings; it exposes
+// the context snapshot (vibration level, bandwidth estimate, signal) that
+// OnlineBitrateSelector consumes. The player simulator performs the same
+// wiring internally; examples use this class to demonstrate the public API.
+
+#include "eacs/net/bandwidth_estimator.h"
+#include "eacs/sensors/vibration.h"
+
+namespace eacs::core {
+
+/// Point-in-time context snapshot.
+struct ContextSnapshot {
+  double vibration = 0.0;        ///< m/s^2, trailing-window estimate
+  double bandwidth_mbps = 0.0;   ///< harmonic-mean estimate; 0 = no data yet
+  double signal_dbm = -90.0;     ///< latest signal reading
+  bool vibrating_environment = false;  ///< vibration above the configured bar
+};
+
+/// ContextMonitor tunables.
+struct ContextMonitorConfig {
+  sensors::VibrationConfig vibration;
+  std::size_t bandwidth_window = 20;
+  double vibrating_threshold = 2.0;  ///< m/s^2 bar for the boolean flag
+};
+
+/// Streaming context aggregator.
+class ContextMonitor {
+ public:
+  using Config = ContextMonitorConfig;
+
+  explicit ContextMonitor(Config config = {});
+
+  /// Feeds one raw accelerometer sample.
+  void update_accel(const sensors::AccelSample& sample);
+
+  /// Records a completed segment download's measured throughput.
+  void observe_throughput(double mbps);
+
+  /// Records a telephony signal-strength reading.
+  void observe_signal(double dbm);
+
+  ContextSnapshot snapshot() const;
+
+  const net::BandwidthEstimator& bandwidth_estimator() const noexcept {
+    return bandwidth_;
+  }
+
+  void reset();
+
+ private:
+  Config config_;
+  sensors::VibrationEstimator vibration_;
+  net::HarmonicMeanEstimator bandwidth_;
+  double last_signal_dbm_ = -90.0;
+};
+
+}  // namespace eacs::core

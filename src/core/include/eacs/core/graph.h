@@ -1,0 +1,66 @@
+#pragma once
+// The Fig. 4 graph, materialised (Section IV-A).
+//
+// The optimal planner's DP and Dijkstra walk the layered graph implicitly;
+// this module builds it explicitly — source S, one layer of M bitrate nodes
+// per task, sink D, edge weights equal to the Eq. 11 summand — so it can be
+// inspected, exported to Graphviz DOT (the paper's Fig. 4 picture), and
+// solved by a third independent algorithm (Bellman-Ford, which tolerates
+// the negative weights natively). Tests pin all three solvers to identical
+// costs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eacs/core/objective.h"
+#include "eacs/core/task.h"
+
+namespace eacs::core {
+
+/// One node of the layered graph.
+struct GraphNode {
+  std::string label;        ///< "S", "D", or "T<i>R<j>"
+  std::size_t task = 0;     ///< layer index (unused for S/D)
+  std::size_t level = 0;    ///< bitrate index (unused for S/D)
+  bool is_terminal = false; ///< S or D
+};
+
+/// One weighted directed edge.
+struct GraphEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double weight = 0.0;
+};
+
+/// The explicit selection graph.
+struct SelectionGraph {
+  std::vector<GraphNode> nodes;
+  std::vector<GraphEdge> edges;
+  std::size_t source = 0;
+  std::size_t sink = 0;
+  std::size_t num_tasks = 0;
+  std::size_t num_levels = 0;
+
+  /// Graphviz DOT rendering (left-to-right layers, weights as edge labels).
+  std::string to_dot() const;
+};
+
+/// Builds the Fig. 4 graph for the given tasks: O(N*M) nodes, O(N*M^2)
+/// edges. Throws std::invalid_argument on empty/ragged tasks.
+SelectionGraph build_selection_graph(const Objective& objective,
+                                     const std::vector<TaskEnvironment>& tasks,
+                                     double buffer_s = 0.0);
+
+/// Shortest-path outcome on the explicit graph.
+struct GraphShortestPath {
+  std::vector<std::size_t> levels;  ///< bitrate per task along the path
+  double total_cost = 0.0;
+};
+
+/// Bellman-Ford over the explicit graph (handles negative edge weights;
+/// the graph is a DAG so no negative cycles exist). Cross-checks the
+/// planner's DP and offset-Dijkstra solutions.
+GraphShortestPath bellman_ford_shortest_path(const SelectionGraph& graph);
+
+}  // namespace eacs::core

@@ -1,0 +1,41 @@
+#pragma once
+// Rolling-horizon bitrate selection (extension beyond the paper).
+//
+// The paper's two algorithms sit at the ends of a spectrum: the online
+// algorithm optimises each task myopically (horizon 1, plus smoothing
+// heuristics), the optimal algorithm optimises all N tasks with oracle
+// knowledge. This selector fills the middle: every segment it solves the
+// paper's Eq. 11 objective *exactly* (including the switch coupling) over a
+// short lookahead window by dynamic programming, holding the estimated
+// bandwidth / vibration / signal constant across the window, and commits
+// only the first decision (receding horizon). Unlike the heuristic
+// smoothing of Algorithm 1, ramp behaviour emerges from the switch term.
+
+#include "eacs/core/objective.h"
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::core {
+
+/// Tunables for RollingHorizonSelector.
+struct HorizonOptions {
+  std::size_t horizon = 5;        ///< lookahead tasks per decision
+  std::size_t startup_level = 0;  ///< rung before any throughput sample
+  std::string display_name = "Ours-RH";
+};
+
+/// Receding-horizon optimiser over the Eq. 11 objective.
+class RollingHorizonSelector final : public player::AbrPolicy {
+ public:
+  RollingHorizonSelector(Objective objective, HorizonOptions options = {});
+
+  std::string name() const override { return options_.display_name; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+  const Objective& objective() const noexcept { return objective_; }
+
+ private:
+  Objective objective_;
+  HorizonOptions options_;
+};
+
+}  // namespace eacs::core

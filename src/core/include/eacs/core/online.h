@@ -1,0 +1,61 @@
+#pragma once
+// The online bitrate-selection algorithm (Section IV-B, Algorithm 1) — the
+// paper's deployable contribution ("Ours" in the evaluation).
+//
+// Per segment:
+//  1. estimate bandwidth (harmonic mean of past segment throughputs) and the
+//     vibration level (trailing-window estimator over accelerometer data);
+//  2. compute the reference bitrate: the ladder level minimising the Eq. 11
+//     weighted cost under the estimates;
+//  3. smooth the decision against the previous segment's bitrate:
+//     - reference above previous: step up exactly one level (gradual ramp;
+//       a consistently high reference walks the bitrate up to it);
+//     - reference below previous: step down to the highest level in
+//       [reference, previous) whose download fits in the current buffer
+//       (size/bandwidth <= buffer); if none fits, jump to the reference;
+//     - reference equals previous: keep it.
+
+#include <optional>
+
+#include "eacs/core/objective.h"
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::core {
+
+/// Tunables for OnlineBitrateSelector.
+struct OnlineOptions {
+  std::size_t startup_level = 0;  ///< rung used before any throughput sample
+  std::string display_name = "Ours";
+  /// Algorithm 1's lines 5-10. Disabling jumps straight to the reference
+  /// bitrate every segment (the ramp ablation bench) — more switches, larger
+  /// switch impairments, occasional rebuffering on sudden upswings.
+  bool smoothing = true;
+};
+
+/// Algorithm 1 as a player policy.
+class OnlineBitrateSelector final : public player::AbrPolicy {
+ public:
+  using Options = OnlineOptions;
+
+  explicit OnlineBitrateSelector(Objective objective, Options options = {});
+
+  std::string name() const override { return options_.display_name; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+  void reset() override {}
+
+  const Objective& objective() const noexcept { return objective_; }
+
+  /// Exposed for unit testing: the smoothing rule applied to a reference
+  /// level given the previous level and feasibility data.
+  static std::size_t smooth(std::size_t reference, std::size_t previous,
+                            const TaskEnvironment& env, double bandwidth_mbps,
+                            double buffer_s);
+
+ private:
+  TaskEnvironment environment_from(const player::AbrContext& context) const;
+
+  Objective objective_;
+  Options options_;
+};
+
+}  // namespace eacs::core

@@ -1,0 +1,77 @@
+#pragma once
+// The optimal algorithm (Section IV-A, Fig. 4).
+//
+// Bitrate selection for N tasks with M candidate bitrates maps to a shortest
+// path on a layered graph: source S, one layer of M nodes per task, sink D.
+// An edge from node (i-1, j') to node (i, j) carries the Eq. 11 summand of
+// choosing bitrate j for task i after j' (the switch term reads both
+// endpoints). The shortest S->D path is the optimal bitrate sequence.
+//
+// The raw edge weights can be negative (the -(1-alpha)*Q/Qmax term), which
+// plain Dijkstra does not tolerate. Because every S->D path crosses each
+// layer exactly once, shifting all edges *entering* a layer by a per-layer
+// constant changes every path cost by the same total and preserves the
+// argmin — so we offset each layer's edges to be non-negative and run
+// Dijkstra, as the paper prescribes. An exact DAG dynamic program is also
+// provided; tests assert both return identical plans/costs.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eacs/core/objective.h"
+#include "eacs/core/task.h"
+#include "eacs/player/abr_policy.h"
+
+namespace eacs::core {
+
+/// A complete bitrate plan for a session.
+struct OptimalPlan {
+  std::vector<std::size_t> levels;  ///< ladder level per task
+  double total_cost = 0.0;          ///< Eq. 11 objective value of the plan
+};
+
+/// Algorithm selector for the planner.
+enum class PlannerMethod {
+  kDagDp,     ///< exact dynamic program over the layered DAG, O(N*M^2)
+  kDijkstra,  ///< per-layer-offset Dijkstra on the Fig. 4 graph
+};
+
+/// Computes optimal plans given perfect knowledge of all task environments.
+class OptimalPlanner {
+ public:
+  explicit OptimalPlanner(Objective objective);
+
+  /// Plans the whole session. `buffer_s` is the buffer-occupancy proxy used
+  /// in the per-task rebuffer estimate (the paper's B = 30 s threshold by
+  /// default, taken from the objective's config when <= 0).
+  OptimalPlan plan(const std::vector<TaskEnvironment>& tasks,
+                   PlannerMethod method = PlannerMethod::kDagDp,
+                   double buffer_s = 0.0) const;
+
+  const Objective& objective() const noexcept { return objective_; }
+
+ private:
+  OptimalPlan plan_dag_dp(const std::vector<TaskEnvironment>& tasks,
+                          double buffer_s) const;
+  OptimalPlan plan_dijkstra(const std::vector<TaskEnvironment>& tasks,
+                            double buffer_s) const;
+
+  Objective objective_;
+};
+
+/// Replays a precomputed plan through the player simulator ("Optimal" row of
+/// the evaluation figures).
+class PlannedPolicy final : public player::AbrPolicy {
+ public:
+  explicit PlannedPolicy(OptimalPlan plan, std::string name = "Optimal");
+
+  std::string name() const override { return name_; }
+  std::size_t choose_level(const player::AbrContext& context) override;
+
+ private:
+  OptimalPlan plan_;
+  std::string name_;
+};
+
+}  // namespace eacs::core

@@ -1,0 +1,54 @@
+#pragma once
+// Energy/QoE Pareto front (extension).
+//
+// The paper formulates Eq. 11 via the weighted-sum method and evaluates a
+// single operating point (alpha = 0.5), citing the adaptive-weighted-sum
+// literature for Pareto-front generation. This module materialises the
+// front: sweep alpha, solve each weighting exactly with the optimal
+// planner, price the resulting plans in physical units (joules, MOS) and
+// return the non-dominated set plus the knee point (the alpha past which
+// further energy savings start costing disproportionate QoE).
+
+#include <vector>
+
+#include "eacs/core/optimal.h"
+#include "eacs/core/task.h"
+#include "eacs/power/model.h"
+#include "eacs/qoe/model.h"
+
+namespace eacs::core {
+
+/// One operating point on the front.
+struct ParetoPoint {
+  double alpha = 0.0;
+  double energy_j = 0.0;   ///< plan energy in joules
+  double mean_qoe = 0.0;   ///< plan mean per-task QoE
+  std::vector<std::size_t> levels;  ///< the plan itself
+};
+
+/// Result of a front sweep.
+struct ParetoFront {
+  std::vector<ParetoPoint> points;   ///< non-dominated, ascending alpha
+  std::size_t knee_index = 0;        ///< max-curvature point (see knee())
+
+  const ParetoPoint& knee() const { return points.at(knee_index); }
+};
+
+/// Sweeps alpha over [0, 1] with `steps` samples, plans each weighting with
+/// the optimal planner, prices the plans and filters to the non-dominated
+/// set. The knee is the point maximising distance from the segment joining
+/// the front's endpoints (a standard knee heuristic).
+ParetoFront compute_pareto_front(const std::vector<TaskEnvironment>& tasks,
+                                 const qoe::QoeModel& qoe_model,
+                                 const power::PowerModel& power_model,
+                                 std::size_t steps = 21,
+                                 double buffer_s = 30.0);
+
+/// Physical pricing of an arbitrary plan over task environments: total
+/// energy (J) and duration-weighted mean QoE, including switch terms.
+ParetoPoint price_plan(const std::vector<TaskEnvironment>& tasks,
+                       const std::vector<std::size_t>& levels,
+                       const qoe::QoeModel& qoe_model,
+                       const power::PowerModel& power_model, double buffer_s = 30.0);
+
+}  // namespace eacs::core

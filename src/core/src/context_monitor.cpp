@@ -1,0 +1,33 @@
+#include "eacs/core/context_monitor.h"
+
+namespace eacs::core {
+
+ContextMonitor::ContextMonitor(Config config)
+    : config_(config),
+      vibration_(config.vibration),
+      bandwidth_(config.bandwidth_window) {}
+
+void ContextMonitor::update_accel(const sensors::AccelSample& sample) {
+  vibration_.update(sample);
+}
+
+void ContextMonitor::observe_throughput(double mbps) { bandwidth_.observe(mbps); }
+
+void ContextMonitor::observe_signal(double dbm) { last_signal_dbm_ = dbm; }
+
+ContextSnapshot ContextMonitor::snapshot() const {
+  ContextSnapshot snap;
+  snap.vibration = vibration_.level();
+  snap.bandwidth_mbps = bandwidth_.estimate();
+  snap.signal_dbm = last_signal_dbm_;
+  snap.vibrating_environment = snap.vibration >= config_.vibrating_threshold;
+  return snap;
+}
+
+void ContextMonitor::reset() {
+  vibration_.reset();
+  bandwidth_.reset();
+  last_signal_dbm_ = -90.0;
+}
+
+}  // namespace eacs::core

@@ -1,0 +1,80 @@
+#include "eacs/core/horizon.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace eacs::core {
+
+RollingHorizonSelector::RollingHorizonSelector(Objective objective,
+                                               HorizonOptions options)
+    : objective_(std::move(objective)), options_(std::move(options)) {
+  if (options_.horizon == 0) {
+    throw std::invalid_argument("RollingHorizonSelector: horizon must be > 0");
+  }
+}
+
+std::size_t RollingHorizonSelector::choose_level(const player::AbrContext& context) {
+  const auto& manifest = *context.manifest;
+  const auto& ladder = manifest.ladder();
+  if (context.bandwidth->observations() == 0) {
+    return ladder.clamp_level(static_cast<long long>(options_.startup_level));
+  }
+
+  // Build the lookahead window: per-segment candidate sizes from the
+  // manifest; the environment estimates are held constant over the window
+  // (the estimators are the best forecast available online).
+  const std::size_t remaining = manifest.num_segments() - context.segment_index;
+  const std::size_t window = std::min(options_.horizon, remaining);
+  std::vector<TaskEnvironment> tasks;
+  tasks.reserve(window);
+  for (std::size_t k = 0; k < window; ++k) {
+    TaskEnvironment env;
+    env.index = context.segment_index + k;
+    env.duration_s = manifest.segment_duration(env.index);
+    env.signal_dbm = context.signal_dbm;
+    env.vibration = context.vibration_level;
+    env.bandwidth_mbps = context.bandwidth->estimate();
+    env.size_megabits.reserve(ladder.size());
+    for (std::size_t level = 0; level < ladder.size(); ++level) {
+      env.size_megabits.push_back(manifest.segment_size_megabits(env.index, level));
+    }
+    tasks.push_back(std::move(env));
+  }
+
+  // Exact DP over the window with switch coupling; the first task's switch
+  // term couples to the previously played segment.
+  const std::size_t m = ladder.size();
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(m, kInfinity);
+  std::vector<std::size_t> first_action(m, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    dp[j] = objective_.task_cost(tasks[0], j, context.prev_level, context.buffer_s);
+    first_action[j] = j;
+  }
+  std::vector<double> next(m, kInfinity);
+  std::vector<std::size_t> next_first(m, 0);
+  for (std::size_t k = 1; k < tasks.size(); ++k) {
+    std::fill(next.begin(), next.end(), kInfinity);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t jp = 0; jp < m; ++jp) {
+        const double candidate =
+            dp[jp] + objective_.task_cost(tasks[k], j, jp, context.buffer_s);
+        if (candidate < next[j]) {
+          next[j] = candidate;
+          next_first[j] = first_action[jp];
+        }
+      }
+    }
+    dp.swap(next);
+    first_action.swap(next_first);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < m; ++j) {
+    if (dp[j] < dp[best]) best = j;
+  }
+  return first_action[best];
+}
+
+}  // namespace eacs::core

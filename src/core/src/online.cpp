@@ -1,0 +1,62 @@
+#include "eacs/core/online.h"
+
+namespace eacs::core {
+
+OnlineBitrateSelector::OnlineBitrateSelector(Objective objective, Options options)
+    : objective_(std::move(objective)), options_(std::move(options)) {}
+
+TaskEnvironment OnlineBitrateSelector::environment_from(
+    const player::AbrContext& context) const {
+  TaskEnvironment env;
+  env.index = context.segment_index;
+  env.duration_s = context.manifest->segment_duration(context.segment_index);
+  env.signal_dbm = context.signal_dbm;
+  env.vibration = context.vibration_level;
+  env.bandwidth_mbps = context.bandwidth->estimate();
+  const std::size_t levels = context.manifest->ladder().size();
+  env.size_megabits.reserve(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    env.size_megabits.push_back(
+        context.manifest->segment_size_megabits(context.segment_index, level));
+  }
+  return env;
+}
+
+std::size_t OnlineBitrateSelector::smooth(std::size_t reference, std::size_t previous,
+                                          const TaskEnvironment& env,
+                                          double bandwidth_mbps, double buffer_s) {
+  if (reference > previous) {
+    // Gradual ramp-up: one ladder level per segment.
+    return previous + 1;
+  }
+  if (reference < previous) {
+    // Find the highest level below the previous one (down to the reference)
+    // whose download completes before the buffer drains.
+    for (std::size_t level = previous; level-- > reference;) {
+      if (bandwidth_mbps > 0.0 &&
+          env.size_megabits.at(level) / bandwidth_mbps <= buffer_s) {
+        return level;
+      }
+    }
+    return reference;
+  }
+  return previous;
+}
+
+std::size_t OnlineBitrateSelector::choose_level(const player::AbrContext& context) {
+  const auto& ladder = context.manifest->ladder();
+  if (context.bandwidth->observations() == 0) {
+    // No throughput history yet: conservative startup rung.
+    return ladder.clamp_level(static_cast<long long>(options_.startup_level));
+  }
+
+  const TaskEnvironment env = environment_from(context);
+  const std::size_t reference = objective_.reference_level(env, context.buffer_s);
+  if (!options_.smoothing || !context.prev_level.has_value()) return reference;
+
+  return ladder.clamp_level(static_cast<long long>(
+      smooth(reference, *context.prev_level, env, env.bandwidth_mbps,
+             context.buffer_s)));
+}
+
+}  // namespace eacs::core

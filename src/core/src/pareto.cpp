@@ -1,0 +1,119 @@
+#include "eacs/core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::core {
+
+ParetoPoint price_plan(const std::vector<TaskEnvironment>& tasks,
+                       const std::vector<std::size_t>& levels,
+                       const qoe::QoeModel& qoe_model,
+                       const power::PowerModel& power_model, double buffer_s) {
+  if (tasks.size() != levels.size()) {
+    throw std::invalid_argument("price_plan: plan length mismatch");
+  }
+  ParetoPoint point;
+  point.levels = levels;
+  double qoe_weighted = 0.0;
+  double duration = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& env = tasks[i];
+    const double size_megabits = env.size_megabits.at(levels[i]);
+    const double bitrate = size_megabits / std::max(1e-9, env.duration_s);
+
+    const double download_s =
+        env.bandwidth_mbps > 0.0 ? size_megabits / env.bandwidth_mbps : buffer_s;
+    const double rebuffer = std::max(0.0, download_s - buffer_s);
+
+    power::TaskEnergyInput energy_input;
+    energy_input.size_mb = size_megabits / 8.0;
+    energy_input.bitrate_mbps = bitrate;
+    energy_input.signal_dbm = env.signal_dbm;
+    energy_input.play_s = env.duration_s;
+    energy_input.rebuffer_s = rebuffer;
+    point.energy_j += power_model.task_energy(energy_input);
+
+    qoe::SegmentContext qoe_context;
+    qoe_context.bitrate_mbps = bitrate;
+    qoe_context.vibration = env.vibration;
+    if (i > 0) {
+      qoe_context.prev_bitrate_mbps =
+          tasks[i - 1].size_megabits.at(levels[i - 1]) /
+          std::max(1e-9, tasks[i - 1].duration_s);
+    }
+    qoe_context.rebuffer_s = rebuffer;
+    qoe_weighted += qoe_model.segment_qoe(qoe_context) * env.duration_s;
+    duration += env.duration_s;
+  }
+  point.mean_qoe = duration > 0.0 ? qoe_weighted / duration : 0.0;
+  return point;
+}
+
+ParetoFront compute_pareto_front(const std::vector<TaskEnvironment>& tasks,
+                                 const qoe::QoeModel& qoe_model,
+                                 const power::PowerModel& power_model,
+                                 std::size_t steps, double buffer_s) {
+  if (tasks.empty()) throw std::invalid_argument("compute_pareto_front: no tasks");
+  if (steps < 2) throw std::invalid_argument("compute_pareto_front: steps < 2");
+
+  std::vector<ParetoPoint> candidates;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double alpha =
+        static_cast<double>(k) / static_cast<double>(steps - 1);
+    ObjectiveConfig config;
+    config.alpha = alpha;
+    config.buffer_threshold_s = buffer_s;
+    const Objective objective(qoe_model, power_model, config);
+    OptimalPlanner planner(objective);
+    const auto plan = planner.plan(tasks, PlannerMethod::kDagDp, buffer_s);
+    ParetoPoint point = price_plan(tasks, plan.levels, qoe_model, power_model, buffer_s);
+    point.alpha = alpha;
+    candidates.push_back(std::move(point));
+  }
+
+  // Non-dominated filter: keep points where no other has both less energy
+  // and more QoE.
+  ParetoFront front;
+  for (const auto& candidate : candidates) {
+    bool dominated = false;
+    for (const auto& other : candidates) {
+      if (other.energy_j < candidate.energy_j - 1e-9 &&
+        other.mean_qoe > candidate.mean_qoe + 1e-9) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.points.push_back(candidate);
+  }
+  std::sort(front.points.begin(), front.points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.alpha < b.alpha;
+            });
+
+  // Knee: max perpendicular distance to the endpoint chord in the
+  // normalised (energy, qoe) plane.
+  if (front.points.size() >= 3) {
+    const auto& first = front.points.front();
+    const auto& last = front.points.back();
+    const double energy_span = std::max(1e-9, std::fabs(first.energy_j - last.energy_j));
+    const double qoe_span = std::max(1e-9, std::fabs(first.mean_qoe - last.mean_qoe));
+    double best_distance = -1.0;
+    for (std::size_t i = 0; i < front.points.size(); ++i) {
+      const double x = (front.points[i].energy_j - last.energy_j) / energy_span;
+      const double y = (front.points[i].mean_qoe - last.mean_qoe) / qoe_span;
+      const double x1 = (first.energy_j - last.energy_j) / energy_span;
+      const double y1 = (first.mean_qoe - last.mean_qoe) / qoe_span;
+      // Distance from (x, y) to the chord through (0,0)-(x1,y1).
+      const double chord = std::sqrt(x1 * x1 + y1 * y1);
+      const double distance = std::fabs(x * y1 - y * x1) / std::max(1e-12, chord);
+      if (distance > best_distance) {
+        best_distance = distance;
+        front.knee_index = i;
+      }
+    }
+  }
+  return front;
+}
+
+}  // namespace eacs::core

@@ -1,0 +1,43 @@
+#include "eacs/core/task.h"
+
+#include "eacs/sensors/vibration.h"
+
+namespace eacs::core {
+
+std::vector<TaskEnvironment> build_task_environments(
+    const media::VideoManifest& manifest, const trace::SessionTraces& session) {
+  std::vector<TaskEnvironment> tasks;
+  tasks.reserve(manifest.num_segments());
+
+  // Stream the vibration estimator along the playback timeline once.
+  sensors::VibrationEstimator vibration;
+  std::size_t accel_cursor = 0;
+  const auto vibration_at = [&](double t_s) {
+    while (accel_cursor < session.accel.size() &&
+           session.accel[accel_cursor].t_s <= t_s) {
+      vibration.update(session.accel[accel_cursor]);
+      ++accel_cursor;
+    }
+    return vibration.level();
+  };
+
+  const std::size_t levels = manifest.ladder().size();
+  for (std::size_t i = 0; i < manifest.num_segments(); ++i) {
+    TaskEnvironment env;
+    env.index = i;
+    env.duration_s = manifest.segment_duration(i);
+    const double t0 = static_cast<double>(i) * manifest.segment_duration_s();
+    const double t1 = t0 + env.duration_s;
+    env.signal_dbm = session.signal_dbm.mean_over(t0, t1);
+    env.bandwidth_mbps = session.throughput_mbps.mean_over(t0, t1);
+    env.vibration = vibration_at(t0);
+    env.size_megabits.reserve(levels);
+    for (std::size_t level = 0; level < levels; ++level) {
+      env.size_megabits.push_back(manifest.segment_size_megabits(i, level));
+    }
+    tasks.push_back(std::move(env));
+  }
+  return tasks;
+}
+
+}  // namespace eacs::core

@@ -1,0 +1,49 @@
+#pragma once
+// The paper's video datasets.
+//
+//  * Table I — ten quality-assessment videos covering a wide SI/TI range
+//    (speech, shows, documentary, animation, movies, sports).
+//  * Table V — the five streaming sessions used in the trace-driven
+//    evaluation (length, downloaded data size, average vibration level).
+//
+// Each Table I entry carries synthesiser knobs plus the approximate SI/TI
+// coordinates read off Fig. 2(a) so tests/benches can verify that the
+// measured P.910 values land in the right region and ordering.
+
+#include <string>
+#include <vector>
+
+#include "eacs/media/frames.h"
+
+namespace eacs::media {
+
+/// One quality-assessment video (Table I).
+struct TestVideo {
+  std::string name;         ///< short name, e.g. "Matrix"
+  std::string description;  ///< Table I explanation column
+  ContentProfile profile;   ///< synthesiser knobs standing in for the content
+  double target_si = 0.0;   ///< approximate Fig. 2(a) coordinate
+  double target_ti = 0.0;
+};
+
+/// One evaluation streaming session (Table V).
+struct SessionSpec {
+  int id = 0;
+  double length_s = 0.0;          ///< video length in seconds
+  double data_size_mb = 0.0;      ///< total downloaded data (YouTube baseline)
+  double avg_vibration = 0.0;     ///< mean vibration level, m/s^2
+  bool on_vehicle = false;        ///< derived context flag (vibration >= 4)
+  std::uint64_t seed = 0;         ///< deterministic trace seed
+};
+
+/// Table I: the ten test videos.
+const std::vector<TestVideo>& test_videos();
+
+/// Table V: the five evaluation sessions (lengths 198/371/449/498/612 s,
+/// average vibration 6.83/2.46/6.61/6.41/5.23 m/s^2).
+const std::vector<SessionSpec>& evaluation_sessions();
+
+/// Looks up a test video by name; throws std::out_of_range when absent.
+const TestVideo& test_video(const std::string& name);
+
+}  // namespace eacs::media

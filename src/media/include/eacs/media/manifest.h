@@ -1,0 +1,78 @@
+#pragma once
+// DASH-style video manifest: a fixed segment duration, a bitrate ladder and a
+// per-segment size model. Mirrors the subset of an MPEG-DASH MPD that the
+// bitrate-adaptation algorithms consume.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eacs/media/bitrate_ladder.h"
+
+namespace eacs::media {
+
+/// A downloadable media segment at a specific bitrate level.
+struct Segment {
+  std::size_t index = 0;        ///< position in the stream, 0-based
+  std::size_t level = 0;        ///< ladder level the segment is encoded at
+  double duration_s = 0.0;      ///< playback duration in seconds
+  double bitrate_mbps = 0.0;    ///< nominal encode bitrate
+  double size_megabits = 0.0;   ///< actual size in megabits (VBR-adjusted)
+
+  double size_megabytes() const noexcept { return size_megabits / 8.0; }
+};
+
+/// Per-segment encoder variability model.
+///
+/// Real encoders produce variable-bitrate segments: scene complexity makes a
+/// nominal-R segment larger or smaller than R*duration. We model size as
+/// nominal * (1 + vbr_amplitude * w(index)) where w is a deterministic smooth
+/// pseudo-random waveform in [-1, 1] derived from (video id, segment index) —
+/// so sizes are reproducible without storing them.
+struct VbrModel {
+  double amplitude = 0.0;  ///< 0 disables VBR (CBR sizes)
+
+  /// Deterministic waveform value in [-1, 1].
+  static double waveform(std::uint64_t video_hash, std::size_t segment_index) noexcept;
+};
+
+/// Immutable description of one adaptive stream.
+class VideoManifest {
+ public:
+  /// Throws std::invalid_argument on non-positive durations.
+  VideoManifest(std::string video_id, double total_duration_s, double segment_duration_s,
+                BitrateLadder ladder, VbrModel vbr = {});
+
+  const std::string& video_id() const noexcept { return video_id_; }
+  double total_duration_s() const noexcept { return total_duration_s_; }
+  double segment_duration_s() const noexcept { return segment_duration_s_; }
+  const BitrateLadder& ladder() const noexcept { return ladder_; }
+  const VbrModel& vbr() const noexcept { return vbr_; }
+
+  /// Number of segments (last segment may be shorter than the nominal
+  /// duration to cover the tail of the stream).
+  std::size_t num_segments() const noexcept { return num_segments_; }
+
+  /// Playback duration of segment `index`.
+  double segment_duration(std::size_t index) const;
+
+  /// Fully-described segment at (index, level). Throws std::out_of_range.
+  Segment segment(std::size_t index, std::size_t level) const;
+
+  /// Size in megabits of segment `index` at ladder level `level`.
+  double segment_size_megabits(std::size_t index, std::size_t level) const;
+
+  /// Total size in megabytes if every segment used `level`.
+  double total_size_megabytes(std::size_t level) const;
+
+ private:
+  std::string video_id_;
+  double total_duration_s_;
+  double segment_duration_s_;
+  BitrateLadder ladder_;
+  VbrModel vbr_;
+  std::size_t num_segments_;
+  std::uint64_t video_hash_;
+};
+
+}  // namespace eacs::media

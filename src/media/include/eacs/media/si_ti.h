@@ -1,0 +1,39 @@
+#pragma once
+// ITU-T P.910 spatial / temporal information measures.
+//
+// SI = max over frames of stddev_space(Sobel(F_n))
+// TI = max over frames of stddev_space(F_n - F_{n-1})
+//
+// These are the exact definitions in Recommendation P.910 §7.7; the paper
+// uses them to characterise its test videos (Fig. 2(a)).
+
+#include <span>
+#include <vector>
+
+#include "eacs/media/frames.h"
+
+namespace eacs::media {
+
+/// Result of a P.910 analysis over a frame sequence.
+struct SiTiResult {
+  double si = 0.0;       ///< spatial information (max over frames)
+  double ti = 0.0;       ///< temporal information (max over frame pairs)
+  double si_mean = 0.0;  ///< mean across frames, useful for stable plots
+  double ti_mean = 0.0;
+};
+
+/// Sobel gradient magnitude image of a frame (borders excluded, i.e. the
+/// result covers (width-2) x (height-2) interior pixels).
+std::vector<double> sobel_magnitude(const Frame& frame);
+
+/// Spatial information of a single frame: stddev of its Sobel magnitude.
+double spatial_information(const Frame& frame);
+
+/// Temporal information of a frame pair: stddev of the pixel difference.
+/// Throws std::invalid_argument if dimensions differ.
+double temporal_information(const Frame& current, const Frame& previous);
+
+/// Full P.910 analysis. Requires at least 2 frames for TI (TI = 0 otherwise).
+SiTiResult analyze_si_ti(std::span<const Frame> frames);
+
+}  // namespace eacs::media

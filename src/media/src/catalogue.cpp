@@ -1,0 +1,51 @@
+#include "eacs/media/catalogue.h"
+
+#include <stdexcept>
+
+namespace eacs::media {
+
+const std::vector<TestVideo>& test_videos() {
+  // spatial_detail / motion knobs are ordered to reproduce the Fig. 2(a)
+  // layout: speech-like content bottom-left (low SI, low TI), sports and
+  // horseracing top-right (high SI, high TI).
+  static const std::vector<TestVideo> videos = {
+      {"Speech", "Speech on TV", {0.18, 0.05, 101}, 30.0, 2.0},
+      {"Show", "Allen show", {0.30, 0.15, 102}, 36.0, 5.0},
+      {"Doc", "Documentary", {0.40, 0.24, 103}, 40.0, 8.0},
+      {"BBB", "Big Buck Bunny (animation)", {0.45, 0.32, 104}, 42.0, 10.0},
+      {"Sintel", "Sintel (movie)", {0.52, 0.38, 105}, 45.0, 12.0},
+      {"Yacht", "Moving yacht", {0.55, 0.48, 106}, 48.0, 15.0},
+      {"Matrix", "A fight scene in The Matrix (movie)", {0.66, 0.56, 107}, 50.0, 18.0},
+      {"Basketball", "Sport", {0.70, 0.78, 108}, 52.0, 25.0},
+      {"Battle", "A battle scene in The Hobbit (movie)", {0.86, 0.66, 109}, 55.0, 22.0},
+      {"Goodwood", "Horseracing", {0.88, 0.90, 110}, 58.0, 28.0},
+  };
+  return videos;
+}
+
+const std::vector<SessionSpec>& evaluation_sessions() {
+  static const std::vector<SessionSpec> sessions = [] {
+    std::vector<SessionSpec> list = {
+        {1, 198.0, 65.1, 6.83, false, 0},
+        {2, 371.0, 123.8, 2.46, false, 0},
+        {3, 449.0, 140.6, 6.61, false, 0},
+        {4, 498.0, 152.2, 6.41, false, 0},
+        {5, 612.0, 173.1, 5.23, false, 0},
+    };
+    for (auto& session : list) {
+      session.on_vehicle = session.avg_vibration >= 4.0;
+      session.seed = 0x5EED'0000ULL + static_cast<std::uint64_t>(session.id);
+    }
+    return list;
+  }();
+  return sessions;
+}
+
+const TestVideo& test_video(const std::string& name) {
+  for (const auto& video : test_videos()) {
+    if (video.name == name) return video;
+  }
+  throw std::out_of_range("test_video: unknown video '" + name + "'");
+}
+
+}  // namespace eacs::media

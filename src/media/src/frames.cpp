@@ -1,0 +1,83 @@
+#include "eacs/media/frames.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::media {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::uint8_t to_pixel(double value) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(value, 0.0, 255.0));
+}
+
+}  // namespace
+
+Frame::Frame(std::size_t width, std::size_t height)
+    : width_(width), height_(height), pixels_(width * height, 0) {
+  if (width == 0 || height == 0) throw std::invalid_argument("Frame: empty dimensions");
+}
+
+FrameGenerator::FrameGenerator(std::size_t width, std::size_t height,
+                               ContentProfile profile)
+    : width_(width), height_(height), profile_(profile), rng_(profile.seed) {
+  if (profile_.spatial_detail < 0.0 || profile_.spatial_detail > 1.0 ||
+      profile_.motion < 0.0 || profile_.motion > 1.0) {
+    throw std::invalid_argument("FrameGenerator: knobs must be in [0, 1]");
+  }
+  // A bank of oriented sinusoids. Higher spatial_detail adds higher spatial
+  // frequencies (larger gradients => larger Sobel response => larger SI).
+  // Frequencies, orientations and amplitudes are deterministic functions of
+  // the knob so the measured SI is monotone in spatial_detail; only the
+  // phases carry the content seed (two videos with equal knobs still look
+  // different without measuring differently).
+  const std::size_t num_waves = 4 + static_cast<std::size_t>(profile_.spatial_detail * 8);
+  const double max_freq = 0.04 + 0.26 * profile_.spatial_detail;  // cycles/pixel
+  waves_.reserve(num_waves);
+  for (std::size_t i = 0; i < num_waves; ++i) {
+    const double position =
+        num_waves > 1 ? static_cast<double>(i) / static_cast<double>(num_waves - 1)
+                      : 1.0;
+    const double freq = max_freq * (0.35 + 0.65 * position);
+    const double angle = kPi * (0.1 + 0.8 * position);  // spread orientations
+    Wave wave;
+    wave.fx = 2.0 * kPi * freq * std::cos(angle);
+    wave.fy = 2.0 * kPi * freq * std::sin(angle);
+    wave.phase = rng_.uniform(0.0, 2.0 * kPi);
+    wave.amplitude =
+        (30.0 + 40.0 * profile_.spatial_detail) / static_cast<double>(num_waves);
+    waves_.push_back(wave);
+  }
+}
+
+Frame FrameGenerator::next() {
+  Frame frame(width_, height_);
+  // Motion: global pan of the texture plus per-frame scintillation noise.
+  const double displacement = 6.0 * profile_.motion * static_cast<double>(frame_index_);
+  const double scintillation = 18.0 * profile_.motion;
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      double value = 128.0;
+      const double px = static_cast<double>(x) + displacement;
+      const double py = static_cast<double>(y) + 0.5 * displacement;
+      for (const Wave& wave : waves_) {
+        value += wave.amplitude * std::sin(wave.fx * px + wave.fy * py + wave.phase);
+      }
+      if (scintillation > 0.0) value += rng_.normal(0.0, scintillation);
+      frame.set(x, y, to_pixel(value));
+    }
+  }
+  ++frame_index_;
+  return frame;
+}
+
+std::vector<Frame> FrameGenerator::generate(std::size_t count) {
+  std::vector<Frame> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) frames.push_back(next());
+  return frames;
+}
+
+}  // namespace eacs::media

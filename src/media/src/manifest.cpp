@@ -1,0 +1,79 @@
+#include "eacs/media/manifest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::media {
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+double VbrModel::waveform(std::uint64_t video_hash, std::size_t segment_index) noexcept {
+  // Two incommensurate sinusoids seeded by the video hash: smooth across
+  // neighbouring segments (scene complexity is correlated in time) yet
+  // deterministic and cheap.
+  const double phase = static_cast<double>(video_hash % 1000003ULL);
+  const double t = static_cast<double>(segment_index);
+  return 0.6 * std::sin(0.37 * t + phase) + 0.4 * std::sin(0.113 * t + 2.0 * phase);
+}
+
+VideoManifest::VideoManifest(std::string video_id, double total_duration_s,
+                             double segment_duration_s, BitrateLadder ladder,
+                             VbrModel vbr)
+    : video_id_(std::move(video_id)),
+      total_duration_s_(total_duration_s),
+      segment_duration_s_(segment_duration_s),
+      ladder_(std::move(ladder)),
+      vbr_(vbr),
+      num_segments_(0),
+      video_hash_(fnv1a(video_id_)) {
+  if (total_duration_s_ <= 0.0 || segment_duration_s_ <= 0.0) {
+    throw std::invalid_argument("VideoManifest: durations must be positive");
+  }
+  if (vbr_.amplitude < 0.0 || vbr_.amplitude >= 1.0) {
+    throw std::invalid_argument("VideoManifest: vbr amplitude must be in [0, 1)");
+  }
+  num_segments_ = static_cast<std::size_t>(
+      std::ceil(total_duration_s_ / segment_duration_s_ - 1e-9));
+}
+
+double VideoManifest::segment_duration(std::size_t index) const {
+  if (index >= num_segments_) throw std::out_of_range("VideoManifest: segment index");
+  const double start = static_cast<double>(index) * segment_duration_s_;
+  return std::min(segment_duration_s_, total_duration_s_ - start);
+}
+
+double VideoManifest::segment_size_megabits(std::size_t index, std::size_t level) const {
+  const double nominal = ladder_.bitrate(level) * segment_duration(index);
+  const double factor = 1.0 + vbr_.amplitude * VbrModel::waveform(video_hash_, index);
+  return nominal * factor;
+}
+
+Segment VideoManifest::segment(std::size_t index, std::size_t level) const {
+  Segment out;
+  out.index = index;
+  out.level = level;
+  out.duration_s = segment_duration(index);
+  out.bitrate_mbps = ladder_.bitrate(level);
+  out.size_megabits = segment_size_megabits(index, level);
+  return out;
+}
+
+double VideoManifest::total_size_megabytes(std::size_t level) const {
+  double megabits = 0.0;
+  for (std::size_t i = 0; i < num_segments_; ++i) {
+    megabits += segment_size_megabits(i, level);
+  }
+  return megabits / 8.0;
+}
+
+}  // namespace eacs::media

@@ -1,0 +1,65 @@
+#include "eacs/media/si_ti.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "eacs/util/stats.h"
+
+namespace eacs::media {
+
+std::vector<double> sobel_magnitude(const Frame& frame) {
+  const std::size_t w = frame.width();
+  const std::size_t h = frame.height();
+  if (w < 3 || h < 3) throw std::invalid_argument("sobel_magnitude: frame too small");
+  std::vector<double> out;
+  out.reserve((w - 2) * (h - 2));
+  for (std::size_t y = 1; y + 1 < h; ++y) {
+    for (std::size_t x = 1; x + 1 < w; ++x) {
+      const auto p = [&](std::size_t dx, std::size_t dy) {
+        return static_cast<double>(frame.at(x + dx - 1, y + dy - 1));
+      };
+      const double gx = (p(2, 0) + 2.0 * p(2, 1) + p(2, 2)) -
+                        (p(0, 0) + 2.0 * p(0, 1) + p(0, 2));
+      const double gy = (p(0, 2) + 2.0 * p(1, 2) + p(2, 2)) -
+                        (p(0, 0) + 2.0 * p(1, 0) + p(2, 0));
+      out.push_back(std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+double spatial_information(const Frame& frame) {
+  const auto gradient = sobel_magnitude(frame);
+  return stddev(gradient);
+}
+
+double temporal_information(const Frame& current, const Frame& previous) {
+  if (current.width() != previous.width() || current.height() != previous.height()) {
+    throw std::invalid_argument("temporal_information: dimension mismatch");
+  }
+  std::vector<double> diff;
+  diff.reserve(current.pixels().size());
+  for (std::size_t i = 0; i < current.pixels().size(); ++i) {
+    diff.push_back(static_cast<double>(current.pixels()[i]) -
+                   static_cast<double>(previous.pixels()[i]));
+  }
+  return stddev(diff);
+}
+
+SiTiResult analyze_si_ti(std::span<const Frame> frames) {
+  SiTiResult result;
+  if (frames.empty()) return result;
+  RunningStats si_stats;
+  RunningStats ti_stats;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    si_stats.add(spatial_information(frames[i]));
+    if (i > 0) ti_stats.add(temporal_information(frames[i], frames[i - 1]));
+  }
+  result.si = si_stats.max();
+  result.si_mean = si_stats.mean();
+  result.ti = ti_stats.count() > 0 ? ti_stats.max() : 0.0;
+  result.ti_mean = ti_stats.mean();
+  return result;
+}
+
+}  // namespace eacs::media

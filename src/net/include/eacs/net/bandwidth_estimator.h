@@ -1,0 +1,79 @@
+#pragma once
+// Client-side bandwidth estimation.
+//
+// The paper's online algorithm (and FESTIVE) estimate available bandwidth as
+// the harmonic mean of the downloading throughputs of the past several
+// segments — the harmonic mean damps isolated spikes, which matters on a
+// moving vehicle where throughput fluctuates widely. EMA and last-sample
+// estimators are included for the estimator ablation bench.
+
+#include <cstddef>
+#include <memory>
+
+#include "eacs/util/filters.h"
+#include "eacs/util/stats.h"
+
+namespace eacs::net {
+
+/// Streaming bandwidth estimator interface.
+class BandwidthEstimator {
+ public:
+  virtual ~BandwidthEstimator() = default;
+
+  /// Records the measured throughput of one completed segment download.
+  virtual void observe(double throughput_mbps) = 0;
+
+  /// Current estimate in Mbps; 0 before any observation.
+  virtual double estimate() const = 0;
+
+  /// Number of observations consumed.
+  virtual std::size_t observations() const = 0;
+
+  virtual void reset() = 0;
+};
+
+/// Harmonic mean of the last `window` samples (FESTIVE uses window = 20).
+class HarmonicMeanEstimator final : public BandwidthEstimator {
+ public:
+  explicit HarmonicMeanEstimator(std::size_t window = 20);
+
+  void observe(double throughput_mbps) override;
+  double estimate() const override;
+  std::size_t observations() const override { return seen_; }
+  void reset() override;
+
+ private:
+  eacs::SlidingWindow window_;
+  std::size_t seen_ = 0;
+};
+
+/// Exponential moving average estimator (ablation baseline).
+class EmaEstimator final : public BandwidthEstimator {
+ public:
+  explicit EmaEstimator(double alpha = 0.25);
+
+  void observe(double throughput_mbps) override;
+  double estimate() const override;
+  std::size_t observations() const override { return seen_; }
+  void reset() override;
+
+ private:
+  eacs::EmaFilter filter_;
+  std::size_t seen_ = 0;
+};
+
+/// Uses only the most recent sample (ablation baseline; maximally reactive
+/// and maximally noisy).
+class LastSampleEstimator final : public BandwidthEstimator {
+ public:
+  void observe(double throughput_mbps) override;
+  double estimate() const override { return last_; }
+  std::size_t observations() const override { return seen_; }
+  void reset() override;
+
+ private:
+  double last_ = 0.0;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace eacs::net

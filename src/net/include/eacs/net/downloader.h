@@ -1,0 +1,44 @@
+#pragma once
+// Trace-driven segment download simulation.
+//
+// Given a throughput trace (Mbps over time), computes when a download of a
+// given size finishes if started at a given instant — the inverse of the
+// trace's time-integral. This is the primitive the player simulator uses to
+// replay DASH sessions against recorded or synthetic network traces.
+
+#include "eacs/trace/time_series.h"
+
+namespace eacs::net {
+
+/// Outcome of one simulated transfer.
+struct DownloadResult {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double size_megabits = 0.0;
+  /// Effective mean throughput over the transfer (size / duration).
+  double mean_throughput_mbps = 0.0;
+
+  double duration_s() const noexcept { return end_s - start_s; }
+};
+
+/// Simulates transfers against a fixed throughput trace.
+class SegmentDownloader {
+ public:
+  /// The trace must be non-empty. Beyond its end the last sample's value is
+  /// held (the session generators append enough margin that this is rare).
+  explicit SegmentDownloader(const trace::TimeSeries& throughput_mbps);
+
+  /// Computes the completion of a `size_megabits` transfer starting at
+  /// `start_s`. Throws std::invalid_argument for negative sizes.
+  DownloadResult download(double start_s, double size_megabits) const;
+
+  /// Instantaneous available bandwidth at `t_s` (linear interpolation).
+  double bandwidth_at(double t_s) const;
+
+  const trace::TimeSeries& trace() const noexcept { return throughput_; }
+
+ private:
+  trace::TimeSeries throughput_;
+};
+
+}  // namespace eacs::net

@@ -1,0 +1,105 @@
+#pragma once
+// Bandwidth prediction beyond the harmonic mean (extension).
+//
+// The paper uses the harmonic mean "similar to [FESTIVE]" and defers richer
+// estimation to its references ([3] ARBITER+, [22] piStream, [23]
+// LinkForecast). This module implements that design space behind the
+// BandwidthEstimator interface plus an evaluation harness measuring
+// prediction error against ground-truth traces:
+//
+//   * HoltLinearEstimator — double exponential smoothing with a trend term
+//     (tracks ramps that any windowed mean lags);
+//   * SignalAwareEstimator — LinkForecast-style: fuses the throughput
+//     history with the current RSRP reading through the capacity curve,
+//     anticipating throughput change *before* it shows up in samples;
+//   * PredictionEvaluator — walks a throughput trace, feeds each estimator
+//     the per-segment samples a client would see, and scores next-sample
+//     predictions (MAE / MAPE / RMSE).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eacs/net/bandwidth_estimator.h"
+#include "eacs/trace/throughput_gen.h"
+#include "eacs/trace/time_series.h"
+
+namespace eacs::net {
+
+/// Holt's linear (double-exponential) smoothing: level + trend.
+class HoltLinearEstimator final : public BandwidthEstimator {
+ public:
+  /// `alpha` smooths the level, `beta` the trend; forecasts one step ahead.
+  explicit HoltLinearEstimator(double alpha = 0.4, double beta = 0.2);
+
+  void observe(double throughput_mbps) override;
+  double estimate() const override;
+  std::size_t observations() const override { return seen_; }
+  void reset() override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t seen_ = 0;
+};
+
+/// Signal-assisted estimator: blends the harmonic-mean history with the
+/// capacity implied by the latest signal-strength reading.
+///
+/// The fusion weight leans on the signal-implied capacity when it diverges
+/// from the history (the radio knows about the fade before the next segment
+/// measures it) and on the history otherwise.
+class SignalAwareEstimator final : public BandwidthEstimator {
+ public:
+  SignalAwareEstimator(trace::ThroughputModel capacity_model, std::size_t window = 20,
+                       double signal_weight = 0.5);
+
+  /// Feeds the latest RSRP reading (call before estimate()).
+  void observe_signal(double dbm);
+
+  void observe(double throughput_mbps) override;
+  double estimate() const override;
+  std::size_t observations() const override { return history_.observations(); }
+  void reset() override;
+
+ private:
+  trace::ThroughputModel capacity_model_;
+  HarmonicMeanEstimator history_;
+  double signal_weight_;
+  double last_signal_dbm_ = -90.0;
+  bool has_signal_ = false;
+  /// Running ratio between measured throughput and signal-implied capacity,
+  /// calibrating the capacity curve to the link actually observed.
+  double capacity_bias_ = 1.0;
+  std::size_t bias_samples_ = 0;
+};
+
+/// One estimator's aggregate prediction error over a trace.
+struct PredictionScore {
+  std::string name;
+  double mae_mbps = 0.0;   ///< mean absolute error
+  double mape = 0.0;       ///< mean absolute percentage error
+  double rmse_mbps = 0.0;  ///< root mean squared error
+  std::size_t samples = 0;
+};
+
+/// Walks a (throughput, signal) trace pair segment by segment: after each
+/// simulated segment download the estimators observe its mean throughput
+/// (and the signal reading), then predict the next segment's; errors are
+/// aggregated into a PredictionScore per estimator.
+class PredictionEvaluator {
+ public:
+  /// `segment_s` sets the sampling cadence (one observation per segment).
+  explicit PredictionEvaluator(double segment_s = 2.0);
+
+  PredictionScore score(const std::string& name, BandwidthEstimator& estimator,
+                        const trace::TimeSeries& throughput,
+                        const trace::TimeSeries* signal_dbm = nullptr) const;
+
+ private:
+  double segment_s_;
+};
+
+}  // namespace eacs::net

@@ -1,0 +1,49 @@
+#include "eacs/net/bandwidth_estimator.h"
+
+namespace eacs::net {
+
+HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window) : window_(window) {}
+
+void HarmonicMeanEstimator::observe(double throughput_mbps) {
+  if (throughput_mbps > 0.0) {
+    window_.push(throughput_mbps);
+    ++seen_;
+  }
+}
+
+double HarmonicMeanEstimator::estimate() const { return window_.harmonic_mean(); }
+
+void HarmonicMeanEstimator::reset() {
+  window_.clear();
+  seen_ = 0;
+}
+
+EmaEstimator::EmaEstimator(double alpha) : filter_(alpha) {}
+
+void EmaEstimator::observe(double throughput_mbps) {
+  if (throughput_mbps > 0.0) {
+    filter_.update(throughput_mbps);
+    ++seen_;
+  }
+}
+
+double EmaEstimator::estimate() const { return filter_.primed() ? filter_.value() : 0.0; }
+
+void EmaEstimator::reset() {
+  filter_.reset();
+  seen_ = 0;
+}
+
+void LastSampleEstimator::observe(double throughput_mbps) {
+  if (throughput_mbps > 0.0) {
+    last_ = throughput_mbps;
+    ++seen_;
+  }
+}
+
+void LastSampleEstimator::reset() {
+  last_ = 0.0;
+  seen_ = 0;
+}
+
+}  // namespace eacs::net

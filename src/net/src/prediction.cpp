@@ -1,0 +1,130 @@
+#include "eacs/net/prediction.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::net {
+
+HoltLinearEstimator::HoltLinearEstimator(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  if (alpha <= 0.0 || alpha > 1.0 || beta <= 0.0 || beta > 1.0) {
+    throw std::invalid_argument("HoltLinearEstimator: smoothing factors in (0,1]");
+  }
+}
+
+void HoltLinearEstimator::observe(double throughput_mbps) {
+  if (throughput_mbps <= 0.0) return;
+  if (seen_ == 0) {
+    level_ = throughput_mbps;
+    trend_ = 0.0;
+  } else {
+    const double prev_level = level_;
+    level_ = alpha_ * throughput_mbps + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  ++seen_;
+}
+
+double HoltLinearEstimator::estimate() const {
+  if (seen_ == 0) return 0.0;
+  return std::max(0.0, level_ + trend_);  // one-step-ahead forecast
+}
+
+void HoltLinearEstimator::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  seen_ = 0;
+}
+
+SignalAwareEstimator::SignalAwareEstimator(trace::ThroughputModel capacity_model,
+                                           std::size_t window, double signal_weight)
+    : capacity_model_(capacity_model), history_(window), signal_weight_(signal_weight) {
+  if (signal_weight_ < 0.0 || signal_weight_ > 1.0) {
+    throw std::invalid_argument("SignalAwareEstimator: weight must be in [0,1]");
+  }
+}
+
+void SignalAwareEstimator::observe_signal(double dbm) {
+  last_signal_dbm_ = dbm;
+  has_signal_ = true;
+}
+
+void SignalAwareEstimator::observe(double throughput_mbps) {
+  if (throughput_mbps <= 0.0) return;
+  history_.observe(throughput_mbps);
+  if (has_signal_) {
+    // Calibrate the capacity curve against this link: EMA of the
+    // measured/implied ratio.
+    const double implied = capacity_model_.capacity_mbps(last_signal_dbm_);
+    if (implied > 0.0) {
+      const double ratio = throughput_mbps / implied;
+      const double alpha = bias_samples_ < 5 ? 0.5 : 0.1;
+      capacity_bias_ += alpha * (ratio - capacity_bias_);
+      ++bias_samples_;
+    }
+  }
+}
+
+double SignalAwareEstimator::estimate() const {
+  const double history = history_.estimate();
+  if (!has_signal_ || bias_samples_ == 0) return history;
+  const double signal_implied =
+      capacity_model_.capacity_mbps(last_signal_dbm_) * capacity_bias_;
+  if (history <= 0.0) return signal_implied;
+  return (1.0 - signal_weight_) * history + signal_weight_ * signal_implied;
+}
+
+void SignalAwareEstimator::reset() {
+  history_.reset();
+  has_signal_ = false;
+  last_signal_dbm_ = -90.0;
+  capacity_bias_ = 1.0;
+  bias_samples_ = 0;
+}
+
+PredictionEvaluator::PredictionEvaluator(double segment_s) : segment_s_(segment_s) {
+  if (segment_s_ <= 0.0) {
+    throw std::invalid_argument("PredictionEvaluator: segment duration must be > 0");
+  }
+}
+
+PredictionScore PredictionEvaluator::score(const std::string& name,
+                                           BandwidthEstimator& estimator,
+                                           const trace::TimeSeries& throughput,
+                                           const trace::TimeSeries* signal_dbm) const {
+  estimator.reset();
+  PredictionScore result;
+  result.name = name;
+  double abs_sum = 0.0;
+  double pct_sum = 0.0;
+  double sq_sum = 0.0;
+  std::size_t n = 0;
+
+  auto* signal_aware = dynamic_cast<SignalAwareEstimator*>(&estimator);
+  const double end = throughput.end_time();
+  for (double t = throughput.start_time(); t + 2.0 * segment_s_ <= end;
+       t += segment_s_) {
+    const double observed = throughput.mean_over(t, t + segment_s_);
+    estimator.observe(observed);
+    if (signal_aware != nullptr && signal_dbm != nullptr) {
+      signal_aware->observe_signal(signal_dbm->linear_at(t + segment_s_));
+    }
+    const double predicted = estimator.estimate();
+    if (predicted <= 0.0) continue;  // warm-up
+    const double actual = throughput.mean_over(t + segment_s_, t + 2.0 * segment_s_);
+    const double error = predicted - actual;
+    abs_sum += std::fabs(error);
+    if (actual > 0.0) pct_sum += std::fabs(error) / actual;
+    sq_sum += error * error;
+    ++n;
+  }
+  if (n > 0) {
+    result.mae_mbps = abs_sum / static_cast<double>(n);
+    result.mape = pct_sum / static_cast<double>(n);
+    result.rmse_mbps = std::sqrt(sq_sum / static_cast<double>(n));
+    result.samples = n;
+  }
+  return result;
+}
+
+}  // namespace eacs::net

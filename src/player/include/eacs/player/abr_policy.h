@@ -1,0 +1,47 @@
+#pragma once
+// The ABR policy interface: the single extension point every bitrate
+// adaptation algorithm (YouTube-fixed, FESTIVE, BBA, BOLA, the paper's online
+// algorithm, precomputed optimal plans) implements.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "eacs/media/manifest.h"
+#include "eacs/net/bandwidth_estimator.h"
+
+namespace eacs::player {
+
+/// Everything a policy may observe when choosing the next segment's level.
+struct AbrContext {
+  std::size_t segment_index = 0;   ///< segment about to be requested
+  std::size_t num_segments = 0;    ///< total segments in the stream
+  double now_s = 0.0;              ///< wall-clock time of the decision
+  double buffer_s = 0.0;           ///< buffered media ahead of the play head
+  bool startup_phase = true;       ///< playback has not begun yet
+  std::optional<std::size_t> prev_level;  ///< level of the previous segment
+
+  const media::VideoManifest* manifest = nullptr;   ///< never null during run
+  const net::BandwidthEstimator* bandwidth = nullptr;  ///< primed estimator
+
+  double vibration_level = 0.0;    ///< current estimated vibration (m/s^2)
+  double signal_dbm = -90.0;       ///< current signal-strength reading
+};
+
+/// Bitrate-adaptation policy.
+class AbrPolicy {
+ public:
+  virtual ~AbrPolicy() = default;
+
+  /// Human-readable algorithm name (used in result tables).
+  virtual std::string name() const = 0;
+
+  /// Picks the ladder level for the segment described by `context`.
+  /// Must return a valid level for the manifest's ladder.
+  virtual std::size_t choose_level(const AbrContext& context) = 0;
+
+  /// Clears any internal state before a fresh run.
+  virtual void reset() {}
+};
+
+}  // namespace eacs::player

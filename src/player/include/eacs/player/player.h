@@ -1,0 +1,81 @@
+#pragma once
+// Trace-driven DASH player simulator.
+//
+// Replays one streaming session: segments are requested sequentially, each
+// download runs against the session's throughput trace, playback drains the
+// buffer in wall-clock time, stalls (rebuffering) occur when the buffer
+// empties mid-download, and downloading pauses whenever the buffer reaches
+// the paper's 30 s threshold. The ABR policy under test is consulted before
+// every segment request with the estimator state a real client would have.
+
+#include <cstddef>
+#include <vector>
+
+#include "eacs/media/manifest.h"
+#include "eacs/net/bandwidth_estimator.h"
+#include "eacs/net/downloader.h"
+#include "eacs/player/abr_policy.h"
+#include "eacs/sensors/vibration.h"
+#include "eacs/trace/session.h"
+
+namespace eacs::player {
+
+/// Player buffer configuration (paper: B = 30 s threshold).
+struct PlayerConfig {
+  double buffer_threshold_s = 30.0;  ///< pause downloading above this level
+  double startup_buffer_s = 4.0;     ///< playback begins once buffered
+  std::size_t bandwidth_window = 20; ///< harmonic-mean estimator depth
+  sensors::VibrationConfig vibration;  ///< vibration estimator settings
+};
+
+/// Per-segment ("task") record of a completed run. This is the unit the
+/// energy/QoE accounting in eacs::sim consumes.
+struct TaskRecord {
+  std::size_t segment_index = 0;
+  std::size_t level = 0;
+  double bitrate_mbps = 0.0;
+  double size_mb = 0.0;
+  double duration_s = 0.0;          ///< media duration of the segment
+  double download_start_s = 0.0;
+  double download_end_s = 0.0;
+  double throughput_mbps = 0.0;     ///< measured size/time for this download
+  double signal_dbm = -90.0;        ///< mean signal during the download
+  double vibration = 0.0;           ///< vibration estimate at decision time
+  double buffer_before_s = 0.0;     ///< buffer level when the request was made
+  double rebuffer_s = 0.0;          ///< stall time waiting for this segment
+  bool startup = false;             ///< downloaded before playback began
+};
+
+/// Whole-session outcome.
+struct PlaybackResult {
+  std::vector<TaskRecord> tasks;
+  double startup_delay_s = 0.0;
+  double total_rebuffer_s = 0.0;    ///< post-startup stalls only
+  std::size_t rebuffer_events = 0;
+  std::size_t switch_count = 0;     ///< level changes between consecutive tasks
+  double session_end_s = 0.0;       ///< wall clock when playback finished
+
+  /// Total downloaded data in MB.
+  double total_downloaded_mb() const noexcept;
+  /// Mean selected bitrate weighted by segment duration.
+  double mean_bitrate_mbps() const noexcept;
+};
+
+/// The simulator. One instance per (manifest, config); `run` is const and can
+/// be reused across policies and sessions.
+class PlayerSimulator {
+ public:
+  PlayerSimulator(media::VideoManifest manifest, PlayerConfig config = {});
+
+  const media::VideoManifest& manifest() const noexcept { return manifest_; }
+  const PlayerConfig& config() const noexcept { return config_; }
+
+  /// Replays the session with the given policy. The policy is reset() first.
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session) const;
+
+ private:
+  media::VideoManifest manifest_;
+  PlayerConfig config_;
+};
+
+}  // namespace eacs::player

@@ -1,0 +1,163 @@
+#include "eacs/player/player.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eacs::player {
+namespace {
+
+/// Streams accelerometer samples into a vibration estimator in lockstep with
+/// the player's wall clock.
+class VibrationClock {
+ public:
+  VibrationClock(const sensors::AccelTrace& trace, sensors::VibrationConfig config)
+      : trace_(trace), estimator_(config) {}
+
+  /// Consumes all samples with timestamp <= t_s and returns the level.
+  double advance_to(double t_s) {
+    while (cursor_ < trace_.size() && trace_[cursor_].t_s <= t_s) {
+      estimator_.update(trace_[cursor_]);
+      ++cursor_;
+    }
+    return estimator_.level();
+  }
+
+ private:
+  const sensors::AccelTrace& trace_;
+  sensors::VibrationEstimator estimator_;
+  std::size_t cursor_ = 0;
+};
+
+constexpr double kStallEpsilon = 1e-9;
+
+}  // namespace
+
+double PlaybackResult::total_downloaded_mb() const noexcept {
+  double total = 0.0;
+  for (const auto& task : tasks) total += task.size_mb;
+  return total;
+}
+
+double PlaybackResult::mean_bitrate_mbps() const noexcept {
+  double weighted = 0.0;
+  double duration = 0.0;
+  for (const auto& task : tasks) {
+    weighted += task.bitrate_mbps * task.duration_s;
+    duration += task.duration_s;
+  }
+  return duration > 0.0 ? weighted / duration : 0.0;
+}
+
+PlayerSimulator::PlayerSimulator(media::VideoManifest manifest, PlayerConfig config)
+    : manifest_(std::move(manifest)), config_(config) {
+  if (config_.buffer_threshold_s <= 0.0 || config_.startup_buffer_s <= 0.0) {
+    throw std::invalid_argument("PlayerSimulator: buffer parameters must be > 0");
+  }
+  if (config_.startup_buffer_s > config_.buffer_threshold_s) {
+    throw std::invalid_argument(
+        "PlayerSimulator: startup buffer cannot exceed the buffer threshold");
+  }
+}
+
+PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
+                                    const trace::SessionTraces& session) const {
+  policy.reset();
+  const net::SegmentDownloader downloader(session.throughput_mbps);
+  net::HarmonicMeanEstimator bandwidth(config_.bandwidth_window);
+  VibrationClock vibration(session.accel, config_.vibration);
+
+  PlaybackResult result;
+  result.tasks.reserve(manifest_.num_segments());
+
+  double now = 0.0;
+  double buffer = 0.0;   // seconds of media buffered ahead of the play head
+  bool playing = false;
+  std::optional<std::size_t> prev_level;
+
+  for (std::size_t i = 0; i < manifest_.num_segments(); ++i) {
+    // Buffer throttle: above the threshold the player idles; playback keeps
+    // draining the buffer during the idle period.
+    if (playing && buffer > config_.buffer_threshold_s) {
+      const double wait = buffer - config_.buffer_threshold_s;
+      now += wait;
+      buffer = config_.buffer_threshold_s;
+    }
+
+    const double vibration_level = vibration.advance_to(now);
+
+    AbrContext context;
+    context.segment_index = i;
+    context.num_segments = manifest_.num_segments();
+    context.now_s = now;
+    context.buffer_s = buffer;
+    context.startup_phase = !playing;
+    context.prev_level = prev_level;
+    context.manifest = &manifest_;
+    context.bandwidth = &bandwidth;
+    context.vibration_level = vibration_level;
+    context.signal_dbm = session.signal_dbm.linear_at(now);
+
+    const std::size_t level =
+        manifest_.ladder().clamp_level(static_cast<long long>(policy.choose_level(context)));
+
+    const double size_megabits = manifest_.segment_size_megabits(i, level);
+    const auto download = downloader.download(now, size_megabits);
+    const double download_time = download.duration_s();
+
+    // Playback during the download.
+    double stall = 0.0;
+    if (playing) {
+      if (buffer >= download_time) {
+        buffer -= download_time;
+      } else {
+        stall = download_time - buffer;
+        buffer = 0.0;
+      }
+    }
+    now = download.end_s;
+    buffer += manifest_.segment_duration(i);
+
+    TaskRecord task;
+    task.segment_index = i;
+    task.level = level;
+    task.bitrate_mbps = manifest_.ladder().bitrate(level);
+    task.size_mb = size_megabits / 8.0;
+    task.duration_s = manifest_.segment_duration(i);
+    task.download_start_s = download.start_s;
+    task.download_end_s = download.end_s;
+    task.throughput_mbps = download.mean_throughput_mbps;
+    task.signal_dbm = download_time > 0.0
+                          ? session.signal_dbm.mean_over(download.start_s, download.end_s)
+                          : session.signal_dbm.linear_at(download.start_s);
+    task.vibration = vibration_level;
+    task.buffer_before_s = context.buffer_s;
+    task.rebuffer_s = stall;
+    task.startup = context.startup_phase;
+
+    if (stall > kStallEpsilon) {
+      result.total_rebuffer_s += stall;
+      ++result.rebuffer_events;
+    }
+    if (prev_level.has_value() && *prev_level != level) ++result.switch_count;
+    prev_level = level;
+
+    bandwidth.observe(download.mean_throughput_mbps);
+    result.tasks.push_back(task);
+
+    // Startup transition: playback begins once enough media is buffered.
+    if (!playing && buffer >= config_.startup_buffer_s) {
+      playing = true;
+      result.startup_delay_s = now;
+    }
+  }
+
+  // Short video that never reached the startup buffer: playback begins when
+  // everything is downloaded.
+  if (!playing) result.startup_delay_s = now;
+
+  // The remaining buffer plays out after the last download.
+  result.session_end_s = now + buffer;
+  return result;
+}
+
+}  // namespace eacs::player

@@ -1,0 +1,81 @@
+#pragma once
+// The paper's QoE model (Section III-B, Fig. 2, Table III).
+//
+// Perceived quality of one video segment ("task") decomposes into:
+//
+//   Q(i) = q0(r_i)                       original quality (quiet room)
+//        - I(v_i, r_i)                   vibration impairment
+//        - lambda * |q0(r_i)-q0(r_im1)|  bitrate-switch impairment
+//        - mu * T_rebuf(i)               rebuffering impairment
+//
+// clamped to the 5-level MOS range [1, 5].
+//
+// Functional forms (reconstruction of the OCR-lost Eqs. 1-4; see DESIGN.md):
+//   q0(r)   = 5 - a * r^(-b)                      a=1.036, b=0.429 (Table III)
+//   I(v, r) = kappa * v^alpha_v * r^beta_r        fit to the paper's four
+//                                                 reported surface samples
+//                                                 (0.049/0.184/0.174/0.549)
+//
+// Sanity anchors from the paper that tests assert:
+//   * 1080p -> 480p in a quiet room loses ~12% QoE; on a vehicle only ~4%;
+//   * I grows with both v and r; I ~ 0 at very low bitrate or vibration.
+
+#include <cstddef>
+
+namespace eacs::qoe {
+
+/// Model coefficients (Table III reconstruction).
+struct QoeModelParams {
+  // Original-quality curve q0(r) = 5 - a * r^(-b).
+  double a = 1.036;
+  double b = 0.429;
+  // Vibration impairment surface I(v, r) = kappa * v^alpha_v * r^beta_r.
+  double kappa = 0.0165;
+  double alpha_v = 1.124;
+  double beta_r = 0.872;
+  // Bitrate-switch impairment weight (per unit |q0 delta|).
+  double switch_penalty = 0.5;
+  // Rebuffering impairment weight (MOS points per stalled second).
+  double rebuffer_penalty_per_s = 0.8;
+
+  // MOS scale bounds.
+  double mos_min = 1.0;
+  double mos_max = 5.0;
+};
+
+/// Per-segment QoE inputs.
+struct SegmentContext {
+  double bitrate_mbps = 0.0;       ///< this segment's encode bitrate
+  double vibration = 0.0;          ///< vibration level during playback (m/s^2)
+  double prev_bitrate_mbps = 0.0;  ///< previous segment's bitrate; <= 0 means
+                                   ///< "first segment" (no switch term)
+  double rebuffer_s = 0.0;         ///< stall time attributed to this segment
+};
+
+/// Evaluates the QoE model.
+class QoeModel {
+ public:
+  explicit QoeModel(QoeModelParams params = {});
+
+  const QoeModelParams& params() const noexcept { return params_; }
+
+  /// Original (quiet-room) quality of a bitrate, clamped to [mos_min, mos_max].
+  double original_quality(double bitrate_mbps) const noexcept;
+
+  /// Vibration impairment I(v, r); >= 0, and 0 when v <= 0 or r <= 0.
+  double vibration_impairment(double vibration, double bitrate_mbps) const noexcept;
+
+  /// Context-adjusted quality q0(r) - I(v, r), clamped to the MOS range.
+  double perceived_quality(double bitrate_mbps, double vibration) const noexcept;
+
+  /// Full per-segment QoE including switch and rebuffer impairments.
+  double segment_qoe(const SegmentContext& context) const noexcept;
+
+  /// Bitrate-switch impairment term alone.
+  double switch_impairment(double bitrate_mbps, double prev_bitrate_mbps) const noexcept;
+
+ private:
+  QoeModelParams params_;
+};
+
+}  // namespace eacs::qoe

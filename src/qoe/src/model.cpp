@@ -1,0 +1,53 @@
+#include "eacs/qoe/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::qoe {
+
+QoeModel::QoeModel(QoeModelParams params) : params_(params) {
+  if (params_.mos_min >= params_.mos_max) {
+    throw std::invalid_argument("QoeModel: mos_min must be < mos_max");
+  }
+  if (params_.a < 0.0 || params_.kappa < 0.0 || params_.switch_penalty < 0.0 ||
+      params_.rebuffer_penalty_per_s < 0.0) {
+    throw std::invalid_argument("QoeModel: negative coefficient");
+  }
+}
+
+double QoeModel::original_quality(double bitrate_mbps) const noexcept {
+  if (bitrate_mbps <= 0.0) return params_.mos_min;
+  const double q = params_.mos_max - params_.a * std::pow(bitrate_mbps, -params_.b);
+  return std::clamp(q, params_.mos_min, params_.mos_max);
+}
+
+double QoeModel::vibration_impairment(double vibration,
+                                      double bitrate_mbps) const noexcept {
+  if (vibration <= 0.0 || bitrate_mbps <= 0.0) return 0.0;
+  return params_.kappa * std::pow(vibration, params_.alpha_v) *
+         std::pow(bitrate_mbps, params_.beta_r);
+}
+
+double QoeModel::perceived_quality(double bitrate_mbps, double vibration) const noexcept {
+  const double q =
+      original_quality(bitrate_mbps) - vibration_impairment(vibration, bitrate_mbps);
+  return std::clamp(q, params_.mos_min, params_.mos_max);
+}
+
+double QoeModel::switch_impairment(double bitrate_mbps,
+                                   double prev_bitrate_mbps) const noexcept {
+  if (prev_bitrate_mbps <= 0.0) return 0.0;
+  return params_.switch_penalty *
+         std::fabs(original_quality(bitrate_mbps) - original_quality(prev_bitrate_mbps));
+}
+
+double QoeModel::segment_qoe(const SegmentContext& context) const noexcept {
+  double q = original_quality(context.bitrate_mbps);
+  q -= vibration_impairment(context.vibration, context.bitrate_mbps);
+  q -= switch_impairment(context.bitrate_mbps, context.prev_bitrate_mbps);
+  q -= params_.rebuffer_penalty_per_s * std::max(0.0, context.rebuffer_s);
+  return std::clamp(q, params_.mos_min, params_.mos_max);
+}
+
+}  // namespace eacs::qoe

@@ -1,0 +1,27 @@
+#pragma once
+// Accelerometer sample types (Android TYPE_ACCELEROMETER semantics: raw
+// specific force including gravity, in m/s^2).
+
+#include <cmath>
+#include <vector>
+
+namespace eacs::sensors {
+
+/// One 3-axis accelerometer sample.
+struct AccelSample {
+  double t_s = 0.0;  ///< timestamp, seconds since stream start
+  double x = 0.0;    ///< m/s^2, includes gravity
+  double y = 0.0;
+  double z = 0.0;
+
+  /// Euclidean magnitude of the acceleration vector.
+  double magnitude() const noexcept { return std::sqrt(x * x + y * y + z * z); }
+};
+
+/// A time-ordered accelerometer stream.
+using AccelTrace = std::vector<AccelSample>;
+
+/// Standard gravity used throughout the synthetic generators.
+inline constexpr double kGravity = 9.80665;
+
+}  // namespace eacs::sensors

@@ -1,0 +1,73 @@
+#pragma once
+// Vibration-level estimation (reconstruction of the paper's Eq. 5).
+//
+// The paper records accelerometer data during video watching and computes a
+// scalar "vibration level" v (m/s^2, observed range ~0..7) over the trailing
+// time window 0.2*W where W is the 30 s player buffer threshold, i.e. a 6 s
+// window. We implement v as the RMS of the gravity-removed acceleration
+// magnitude over that window:
+//
+//   v = rms_{window}( highpass( |a(t)| ) )
+//
+// A quiet room yields v close to 0 (sensor noise only); a moving vehicle
+// yields v of several m/s^2, matching Table V's 2.46..6.83 averages.
+
+#include <cstddef>
+#include <span>
+
+#include "eacs/sensors/accel.h"
+#include "eacs/util/filters.h"
+
+namespace eacs::sensors {
+
+/// Configuration for the vibration estimator.
+struct VibrationConfig {
+  double window_s = 6.0;        ///< trailing window (paper: 0.2 * 30 s)
+  double sample_rate_hz = 50.0; ///< accelerometer rate
+  double highpass_cutoff_hz = 0.5;  ///< gravity-removal cutoff
+
+  std::size_t window_samples() const noexcept {
+    const double n = window_s * sample_rate_hz;
+    return n < 1.0 ? 1 : static_cast<std::size_t>(n);
+  }
+};
+
+/// Streaming vibration-level estimator.
+///
+/// Push raw samples as they arrive; `level()` returns the current vibration
+/// level over the trailing window. O(1) per sample.
+class VibrationEstimator {
+ public:
+  explicit VibrationEstimator(VibrationConfig config = {});
+
+  /// Consumes one raw sample and returns the updated level.
+  double update(const AccelSample& sample);
+
+  /// Current vibration level (m/s^2). 0 before any sample.
+  double level() const noexcept;
+
+  /// Number of samples consumed.
+  std::size_t samples_seen() const noexcept { return samples_seen_; }
+
+  const VibrationConfig& config() const noexcept { return config_; }
+
+  void reset();
+
+ private:
+  VibrationConfig config_;
+  eacs::HighPassFilter highpass_;
+  eacs::MovingRms rms_;
+  std::size_t samples_seen_ = 0;
+};
+
+/// Batch helper: vibration level over the trailing window of a whole trace.
+double vibration_level(std::span<const AccelSample> trace, VibrationConfig config = {});
+
+/// Batch helper: mean vibration level over the full trace, computed by
+/// streaming the estimator across it and averaging the per-sample levels once
+/// the window is primed. This is the statistic reported in Table V's
+/// "Avg. vibration" column.
+double mean_vibration_level(std::span<const AccelSample> trace,
+                            VibrationConfig config = {});
+
+}  // namespace eacs::sensors

@@ -1,0 +1,53 @@
+#include "eacs/sensors/vibration.h"
+
+#include <stdexcept>
+
+#include "eacs/util/stats.h"
+
+namespace eacs::sensors {
+
+VibrationEstimator::VibrationEstimator(VibrationConfig config)
+    : config_(config),
+      highpass_(config.highpass_cutoff_hz, config.sample_rate_hz),
+      rms_(config.window_samples()) {
+  if (config_.window_s <= 0.0 || config_.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("VibrationEstimator: non-positive window/rate");
+  }
+}
+
+double VibrationEstimator::update(const AccelSample& sample) {
+  const double ac_component = highpass_.update(sample.magnitude());
+  ++samples_seen_;
+  return rms_.update(ac_component);
+}
+
+double VibrationEstimator::level() const noexcept { return rms_.value(); }
+
+void VibrationEstimator::reset() {
+  highpass_.reset();
+  rms_.reset();
+  samples_seen_ = 0;
+}
+
+double vibration_level(std::span<const AccelSample> trace, VibrationConfig config) {
+  VibrationEstimator estimator(config);
+  double level = 0.0;
+  for (const auto& sample : trace) level = estimator.update(sample);
+  return level;
+}
+
+double mean_vibration_level(std::span<const AccelSample> trace, VibrationConfig config) {
+  VibrationEstimator estimator(config);
+  const std::size_t warmup = config.window_samples();
+  eacs::RunningStats stats;
+  std::size_t index = 0;
+  for (const auto& sample : trace) {
+    const double level = estimator.update(sample);
+    if (++index >= warmup) stats.add(level);
+  }
+  // Short traces (< one window): fall back to the final level.
+  if (stats.count() == 0) return estimator.level();
+  return stats.mean();
+}
+
+}  // namespace eacs::sensors

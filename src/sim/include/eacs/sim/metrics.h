@@ -1,0 +1,93 @@
+#pragma once
+// Post-run accounting: turns a PlaybackResult (what the player did) into the
+// energy/QoE metrics the paper reports.
+//
+// Energy decomposition (Fig. 5(c)): the *base* energy is what the session
+// would have cost had every segment been fetched at the lowest bitrate —
+// screen + decode + minimum radio traffic; it is the floor no ABR algorithm
+// can undercut. The *extra* energy is everything above that floor, i.e. what
+// bitrate adaptation actually controls. The paper's headline numbers (77% /
+// 80% savings for Ours/Optimal) are on the extra-energy basis.
+
+#include <string>
+#include <vector>
+
+#include "eacs/player/player.h"
+#include "eacs/power/model.h"
+#include "eacs/power/rrc.h"
+#include "eacs/qoe/model.h"
+
+namespace eacs::sim {
+
+/// Metrics of one (algorithm, session) run.
+struct SessionMetrics {
+  std::string algorithm;
+  int session_id = 0;
+
+  double total_energy_j = 0.0;
+  double base_energy_j = 0.0;
+  double extra_energy_j = 0.0;
+
+  double mean_qoe = 0.0;           ///< duration-weighted per-task QoE
+  double mean_bitrate_mbps = 0.0;
+  double downloaded_mb = 0.0;
+
+  double rebuffer_s = 0.0;
+  std::size_t rebuffer_events = 0;
+  std::size_t switch_count = 0;
+  double startup_delay_s = 0.0;
+};
+
+/// Computes all metrics for one run.
+SessionMetrics compute_metrics(const std::string& algorithm, int session_id,
+                               const player::PlaybackResult& result,
+                               const media::VideoManifest& manifest,
+                               const qoe::QoeModel& qoe_model,
+                               const power::PowerModel& power_model);
+
+/// Whole-session energy from the task records (sum of per-task energies).
+double session_energy_j(const player::PlaybackResult& result,
+                        const power::PowerModel& power_model);
+
+/// Base energy: the same session with every segment at the lowest rung and
+/// no stalls, priced under each task's recorded signal conditions.
+double session_base_energy_j(const player::PlaybackResult& result,
+                             const media::VideoManifest& manifest,
+                             const power::PowerModel& power_model);
+
+/// Duration-weighted mean per-task QoE (vibration, switch and rebuffer
+/// impairments included).
+double session_mean_qoe(const player::PlaybackResult& result,
+                        const qoe::QoeModel& qoe_model);
+
+/// RRC-aware whole-session energy decomposition (extension).
+///
+/// The paper's per-byte radio model prices only the bytes moved; the RRC
+/// machine adds what pacing costs: tail energy after each download burst,
+/// DRX/idle floors between bursts, and promotion energy when the radio has
+/// dropped to IDLE. Radio-active energy keeps the signal-dependent per-byte
+/// pricing (e(s) * bytes); RRC supplies the tail/idle/promotion components
+/// on top, and playback energy is accounted as in the base model.
+struct RrcSessionEnergy {
+  double data_j = 0.0;        ///< per-byte e(signal) radio energy
+  double tail_j = 0.0;        ///< post-burst tail states
+  double idle_j = 0.0;        ///< radio idle floor
+  double promotion_j = 0.0;   ///< IDLE -> CONNECTED promotions
+  double playback_j = 0.0;    ///< screen + decode (+ stalls)
+  std::size_t promotions = 0;
+  double tail_time_s = 0.0;
+
+  double radio_j() const noexcept {
+    return data_j + tail_j + idle_j + promotion_j;
+  }
+  double total_j() const noexcept { return radio_j() + playback_j; }
+};
+
+/// Computes the RRC-aware decomposition from a playback run. The download
+/// burst timeline is taken from the task records; playback covers each
+/// task's media duration plus its stalls.
+RrcSessionEnergy session_energy_rrc(const player::PlaybackResult& result,
+                                    const power::PowerModel& power_model,
+                                    const power::RrcSimulator& rrc);
+
+}  // namespace eacs::sim

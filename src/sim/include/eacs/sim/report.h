@@ -1,0 +1,34 @@
+#pragma once
+// Result export: evaluation outcomes as CSV tables for external plotting
+// (gnuplot/matplotlib/spreadsheets). Every figure bench prints ASCII; this
+// module provides the same data machine-readably.
+
+#include <filesystem>
+
+#include "eacs/sim/evaluation.h"
+#include "eacs/sim/robustness.h"
+#include "eacs/util/csv.h"
+
+namespace eacs::sim {
+
+/// Per-(algorithm, session) rows: one line per SessionMetrics with every
+/// field as a column.
+eacs::CsvTable evaluation_to_csv(const EvaluationResult& result);
+
+/// Headline summary per algorithm vs. a reference (default "Youtube"):
+/// whole-phone/extra-energy savings, QoE, QoE degradation, ratio.
+eacs::CsvTable summary_to_csv(const EvaluationResult& result,
+                              const std::string& reference = "Youtube");
+
+/// Robustness distributions: one row per (algorithm, metric) with
+/// mean/stddev/min/max/runs columns.
+eacs::CsvTable robustness_to_csv(const RobustnessResult& result);
+
+/// Convenience file writers (throw std::runtime_error on I/O failure).
+void write_evaluation_csv(const std::filesystem::path& path,
+                          const EvaluationResult& result);
+void write_summary_csv(const std::filesystem::path& path,
+                       const EvaluationResult& result,
+                       const std::string& reference = "Youtube");
+
+}  // namespace eacs::sim

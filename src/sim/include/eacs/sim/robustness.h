@@ -1,0 +1,42 @@
+#pragma once
+// Seed-robustness study (extension).
+//
+// Trace-driven results can be an artifact of one lucky trace draw. This
+// harness re-runs the whole Section V evaluation across independently
+// seeded synthetic trace sets (same Table V targets — lengths, vibration
+// levels, context coupling — different random realisations) and reports the
+// distribution of every headline metric, demonstrating that the paper-shape
+// conclusions hold across the trace ensemble and not just the default seed.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eacs/sim/evaluation.h"
+#include "eacs/util/stats.h"
+
+namespace eacs::sim {
+
+/// Distribution of the headline metrics for one algorithm.
+struct AlgorithmDistribution {
+  eacs::RunningStats energy_saving;        ///< vs. YouTube, whole-phone
+  eacs::RunningStats extra_energy_saving;  ///< vs. YouTube, extra-energy basis
+  eacs::RunningStats qoe_degradation;      ///< vs. YouTube
+  eacs::RunningStats mean_qoe;
+};
+
+/// Outcome of the robustness study.
+struct RobustnessResult {
+  std::size_t runs = 0;
+  /// Keyed by algorithm name ("FESTIVE", "BBA", "Ours", "Optimal").
+  std::map<std::string, AlgorithmDistribution> per_algorithm;
+};
+
+/// Runs `runs` independent evaluations, each over freshly seeded Table V
+/// sessions (seed = spec.seed XOR mix(run)), and aggregates the headline
+/// metrics. Deterministic in (config, base_seed).
+RobustnessResult run_robustness_study(const EvaluationConfig& config = {},
+                                      std::size_t runs = 10,
+                                      std::uint64_t base_seed = 0xB0B5'7D1EULL);
+
+}  // namespace eacs::sim

@@ -1,0 +1,71 @@
+#include "eacs/sim/report.h"
+
+namespace eacs::sim {
+
+eacs::CsvTable evaluation_to_csv(const EvaluationResult& result) {
+  eacs::CsvTable table({"algorithm", "session_id", "total_energy_j", "base_energy_j",
+                        "extra_energy_j", "mean_qoe", "mean_bitrate_mbps",
+                        "downloaded_mb", "rebuffer_s", "rebuffer_events",
+                        "switch_count", "startup_delay_s"});
+  for (const auto& row : result.rows) {
+    table.add_row({row.algorithm, std::to_string(row.session_id),
+                   eacs::format_double(row.total_energy_j),
+                   eacs::format_double(row.base_energy_j),
+                   eacs::format_double(row.extra_energy_j),
+                   eacs::format_double(row.mean_qoe),
+                   eacs::format_double(row.mean_bitrate_mbps),
+                   eacs::format_double(row.downloaded_mb),
+                   eacs::format_double(row.rebuffer_s),
+                   std::to_string(row.rebuffer_events),
+                   std::to_string(row.switch_count),
+                   eacs::format_double(row.startup_delay_s)});
+  }
+  return table;
+}
+
+eacs::CsvTable summary_to_csv(const EvaluationResult& result,
+                              const std::string& reference) {
+  eacs::CsvTable table({"algorithm", "energy_saving", "extra_energy_saving",
+                        "mean_qoe", "qoe_degradation", "saving_degradation_ratio"});
+  for (const auto& algorithm : result.algorithms()) {
+    table.add_row({algorithm,
+                   eacs::format_double(result.mean_energy_saving(algorithm, reference)),
+                   eacs::format_double(
+                       result.mean_extra_energy_saving(algorithm, reference)),
+                   eacs::format_double(result.mean_qoe(algorithm)),
+                   eacs::format_double(result.mean_qoe_degradation(algorithm, reference)),
+                   eacs::format_double(
+                       result.saving_degradation_ratio(algorithm, reference))});
+  }
+  return table;
+}
+
+eacs::CsvTable robustness_to_csv(const RobustnessResult& result) {
+  eacs::CsvTable table({"algorithm", "metric", "mean", "stddev", "min", "max", "runs"});
+  const auto add = [&](const std::string& algorithm, const std::string& metric,
+                       const eacs::RunningStats& stats) {
+    table.add_row({algorithm, metric, eacs::format_double(stats.mean()),
+                   eacs::format_double(stats.stddev()),
+                   eacs::format_double(stats.min()), eacs::format_double(stats.max()),
+                   std::to_string(stats.count())});
+  };
+  for (const auto& [algorithm, dist] : result.per_algorithm) {
+    add(algorithm, "energy_saving", dist.energy_saving);
+    add(algorithm, "extra_energy_saving", dist.extra_energy_saving);
+    add(algorithm, "qoe_degradation", dist.qoe_degradation);
+    add(algorithm, "mean_qoe", dist.mean_qoe);
+  }
+  return table;
+}
+
+void write_evaluation_csv(const std::filesystem::path& path,
+                          const EvaluationResult& result) {
+  eacs::write_csv_file(path, evaluation_to_csv(result));
+}
+
+void write_summary_csv(const std::filesystem::path& path,
+                       const EvaluationResult& result, const std::string& reference) {
+  eacs::write_csv_file(path, summary_to_csv(result, reference));
+}
+
+}  // namespace eacs::sim

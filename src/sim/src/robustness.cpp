@@ -1,0 +1,38 @@
+#include "eacs/sim/robustness.h"
+
+#include <stdexcept>
+
+#include "eacs/util/rng.h"
+
+namespace eacs::sim {
+
+RobustnessResult run_robustness_study(const EvaluationConfig& config,
+                                      std::size_t runs, std::uint64_t base_seed) {
+  if (runs == 0) throw std::invalid_argument("run_robustness_study: runs must be > 0");
+
+  RobustnessResult result;
+  result.runs = runs;
+  const Evaluation evaluation(config);
+  eacs::Rng seed_stream(base_seed);
+
+  for (std::size_t run = 0; run < runs; ++run) {
+    const std::uint64_t run_salt = seed_stream.next_u64();
+    // Fresh trace realisations with the same Table V targets.
+    std::vector<trace::SessionTraces> sessions;
+    for (media::SessionSpec spec : media::evaluation_sessions()) {
+      spec.seed ^= run_salt;
+      sessions.push_back(trace::build_session(spec, config.session_options));
+    }
+    const EvaluationResult eval = evaluation.run(sessions);
+    for (const auto& algo : {"FESTIVE", "BBA", "Ours", "Optimal"}) {
+      auto& dist = result.per_algorithm[algo];
+      dist.energy_saving.add(eval.mean_energy_saving(algo));
+      dist.extra_energy_saving.add(eval.mean_extra_energy_saving(algo));
+      dist.qoe_degradation.add(eval.mean_qoe_degradation(algo));
+      dist.mean_qoe.add(eval.mean_qoe(algo));
+    }
+  }
+  return result;
+}
+
+}  // namespace eacs::sim

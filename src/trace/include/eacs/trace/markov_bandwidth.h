@@ -1,0 +1,79 @@
+#pragma once
+// Markov-modulated bandwidth generator (extension).
+//
+// The session builder's default throughput process is an OU fading model
+// conditioned on signal strength. A second family is standard in the ABR
+// literature (and in public 3G/HSDPA trace collections): a continuous-time
+// Markov chain over discrete link states (excellent / good / fair / poor /
+// outage), each with its own mean rate, within-state jitter and sojourn
+// time. Evaluating under both families shows the paper-shape conclusions
+// are not an artifact of one network model
+// (bench_ablation_network_model).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eacs/trace/session.h"
+#include "eacs/trace/time_series.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::trace {
+
+/// One link state of the chain.
+struct LinkState {
+  std::string name;
+  double mean_mbps = 0.0;       ///< state mean rate
+  double jitter_fraction = 0.2; ///< lognormal-ish within-state variation
+  double mean_sojourn_s = 20.0; ///< exponential sojourn time
+  double signal_dbm = -95.0;    ///< representative RSRP for the state (the
+                                ///< energy model prices bytes by signal)
+};
+
+/// Chain specification: states plus a row-stochastic transition matrix
+/// (self-transitions are ignored; the sojourn time governs dwell).
+struct MarkovBandwidthModel {
+  std::vector<LinkState> states;
+  std::vector<std::vector<double>> transitions;  ///< [from][to], rows sum to 1
+
+  /// A 5-state LTE-flavoured chain calibrated so that "vehicle" conditions
+  /// (start in fair/poor) roughly match the OU vehicle traces, including
+  /// short outages.
+  static MarkovBandwidthModel lte_vehicle();
+  /// A 3-state stable indoor chain.
+  static MarkovBandwidthModel lte_indoor();
+
+  /// Validates shape and stochasticity; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Generated pair of aligned traces.
+struct MarkovTraces {
+  TimeSeries throughput_mbps;
+  TimeSeries signal_dbm;
+  std::vector<std::size_t> state_sequence;  ///< state index per sample
+};
+
+/// Samples the chain.
+class MarkovBandwidthGenerator {
+ public:
+  MarkovBandwidthGenerator(MarkovBandwidthModel model, std::uint64_t seed);
+
+  /// Generates `duration_s` seconds sampled every `dt_s`, starting from
+  /// `initial_state` (index into model.states).
+  MarkovTraces generate(double duration_s, double dt_s = 0.5,
+                        std::size_t initial_state = 0);
+
+ private:
+  MarkovBandwidthModel model_;
+  eacs::Rng rng_;
+};
+
+/// Replaces a session's throughput/signal with Markov-generated ones (the
+/// accelerometer context is kept), for apples-to-apples network-model
+/// ablations.
+SessionTraces with_markov_network(SessionTraces session,
+                                  const MarkovBandwidthModel& model,
+                                  std::uint64_t seed, std::size_t initial_state = 0);
+
+}  // namespace eacs::trace

@@ -1,0 +1,68 @@
+#pragma once
+// Multi-phase scenario synthesis (extension).
+//
+// Real viewing sessions cross contexts: start at home on strong Wi-Fi-like
+// signal, walk to the stop, ride the bus, sit down in a cafe. The
+// ScenarioBuilder composes such phases into a single SessionTraces with a
+// continuous signal process (each phase's OU walk starts where the previous
+// one ended) and per-phase calibrated vibration, so the adaptation
+// algorithms can be studied across context *transitions* — the regime the
+// paper's 30 s-window estimators must track.
+
+#include <string>
+#include <vector>
+
+#include "eacs/trace/accel_gen.h"
+#include "eacs/trace/session.h"
+#include "eacs/trace/signal_gen.h"
+#include "eacs/trace/throughput_gen.h"
+
+namespace eacs::trace {
+
+/// One homogeneous scenario phase.
+struct ScenarioPhase {
+  std::string label;           ///< e.g. "home", "bus"
+  double duration_s = 60.0;
+  SignalModel signal;          ///< signal process during the phase
+  AccelModel accel;            ///< accelerometer process during the phase
+  double target_vibration = 0.0;  ///< calibrated mean vibration; <= 0 keeps
+                                  ///< the raw (typically quiet) waveform
+
+  /// Context presets.
+  static ScenarioPhase home(double duration_s);
+  static ScenarioPhase walking(double duration_s, double vibration = 2.0);
+  static ScenarioPhase bus(double duration_s, double vibration = 6.5);
+  static ScenarioPhase cafe(double duration_s);
+};
+
+/// Phase boundary in the built session (for labelling plots/examples).
+struct PhaseBoundary {
+  std::string label;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Composes phases into one continuous session.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::uint64_t seed = 0x5CE7A210ULL);
+
+  ScenarioBuilder& add_phase(ScenarioPhase phase);
+
+  /// Total duration of the added phases.
+  double total_duration_s() const noexcept;
+  const std::vector<ScenarioPhase>& phases() const noexcept { return phases_; }
+
+  /// Builds the composite session; `margin_s` extends the final phase so the
+  /// traces outlast the video. Throws std::logic_error with no phases.
+  SessionTraces build(double margin_s = 120.0) const;
+
+  /// Phase boundaries of the built session (same order as added).
+  std::vector<PhaseBoundary> boundaries() const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<ScenarioPhase> phases_;
+};
+
+}  // namespace eacs::trace

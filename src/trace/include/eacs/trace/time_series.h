@@ -1,0 +1,64 @@
+#pragma once
+// Time-indexed scalar series: the common representation for throughput traces
+// (Mbps) and signal-strength traces (dBm), whether synthetic or loaded from
+// CSV recordings.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eacs::trace {
+
+/// One (time, value) sample.
+struct TimePoint {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// Monotonic time series with step and linear interpolation lookups.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Builds from samples; throws std::invalid_argument if timestamps are not
+  /// strictly increasing.
+  explicit TimeSeries(std::vector<TimePoint> samples);
+
+  /// Appends a sample; throws if `t_s` does not advance time.
+  void append(double t_s, double value);
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  const TimePoint& at(std::size_t i) const { return samples_.at(i); }
+  std::span<const TimePoint> samples() const noexcept { return samples_; }
+
+  double start_time() const;
+  double end_time() const;
+  double duration() const;
+
+  /// Value of the most recent sample at or before `t_s` (zero-order hold).
+  /// Before the first sample, returns the first value.
+  double step_at(double t_s) const;
+
+  /// Linear interpolation between neighbouring samples; clamps outside the
+  /// covered range.
+  double linear_at(double t_s) const;
+
+  /// Mean of `linear_at` over [t0, t1] via trapezoidal integration.
+  double mean_over(double t0, double t1) const;
+
+  /// Time-integral of `linear_at` over [t0, t1] (e.g. Mbps * s = Mbits).
+  double integral_over(double t0, double t1) const;
+
+  /// All values, in time order.
+  std::vector<double> values() const;
+
+  /// Uniformly resampled copy (linear interpolation) with step `dt_s`.
+  TimeSeries resampled(double dt_s) const;
+
+ private:
+  std::size_t index_at_or_before(double t_s) const;
+  std::vector<TimePoint> samples_;
+};
+
+}  // namespace eacs::trace

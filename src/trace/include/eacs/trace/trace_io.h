@@ -1,0 +1,33 @@
+#pragma once
+// CSV persistence for traces.
+//
+// Formats (headers are authoritative; extra columns are ignored on load):
+//   time series:    t_s,value
+//   accelerometer:  t_s,x,y,z
+//
+// Real recorded traces in the same format can be dropped in to replace the
+// synthetic generators anywhere a TimeSeries / AccelTrace is accepted.
+
+#include <filesystem>
+
+#include "eacs/sensors/accel.h"
+#include "eacs/trace/time_series.h"
+#include "eacs/util/csv.h"
+
+namespace eacs::trace {
+
+/// TimeSeries <-> CsvTable.
+eacs::CsvTable time_series_to_csv(const TimeSeries& series);
+TimeSeries time_series_from_csv(const eacs::CsvTable& table);
+
+/// AccelTrace <-> CsvTable.
+eacs::CsvTable accel_to_csv(const sensors::AccelTrace& trace);
+sensors::AccelTrace accel_from_csv(const eacs::CsvTable& table);
+
+/// File round-trips (throw std::runtime_error on I/O failure).
+void save_time_series(const std::filesystem::path& path, const TimeSeries& series);
+TimeSeries load_time_series(const std::filesystem::path& path);
+void save_accel(const std::filesystem::path& path, const sensors::AccelTrace& trace);
+sensors::AccelTrace load_accel(const std::filesystem::path& path);
+
+}  // namespace eacs::trace

@@ -1,0 +1,125 @@
+#include "eacs/trace/markov_bandwidth.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::trace {
+
+void MarkovBandwidthModel::validate() const {
+  if (states.empty()) throw std::invalid_argument("MarkovBandwidthModel: no states");
+  if (transitions.size() != states.size()) {
+    throw std::invalid_argument("MarkovBandwidthModel: transition rows != states");
+  }
+  for (const auto& state : states) {
+    if (state.mean_mbps < 0.0 || state.mean_sojourn_s <= 0.0 ||
+        state.jitter_fraction < 0.0) {
+      throw std::invalid_argument("MarkovBandwidthModel: bad state parameters");
+    }
+  }
+  for (const auto& row : transitions) {
+    if (row.size() != states.size()) {
+      throw std::invalid_argument("MarkovBandwidthModel: ragged transition row");
+    }
+    double sum = 0.0;
+    for (double p : row) {
+      if (p < 0.0) throw std::invalid_argument("MarkovBandwidthModel: negative prob");
+      sum += p;
+    }
+    if (std::fabs(sum - 1.0) > 1e-6) {
+      throw std::invalid_argument("MarkovBandwidthModel: row does not sum to 1");
+    }
+  }
+}
+
+MarkovBandwidthModel MarkovBandwidthModel::lte_vehicle() {
+  MarkovBandwidthModel model;
+  model.states = {
+      {"excellent", 28.0, 0.15, 25.0, -85.0},
+      {"good", 16.0, 0.20, 30.0, -95.0},
+      {"fair", 9.0, 0.25, 35.0, -104.0},
+      {"poor", 4.0, 0.35, 20.0, -112.0},
+      {"outage", 0.4, 0.50, 6.0, -119.0},
+  };
+  model.transitions = {
+      {0.00, 0.80, 0.15, 0.05, 0.00},
+      {0.25, 0.00, 0.55, 0.15, 0.05},
+      {0.10, 0.45, 0.00, 0.35, 0.10},
+      {0.05, 0.15, 0.55, 0.00, 0.25},
+      {0.00, 0.10, 0.40, 0.50, 0.00},
+  };
+  return model;
+}
+
+MarkovBandwidthModel MarkovBandwidthModel::lte_indoor() {
+  MarkovBandwidthModel model;
+  model.states = {
+      {"excellent", 32.0, 0.10, 60.0, -84.0},
+      {"good", 22.0, 0.15, 45.0, -90.0},
+      {"fair", 12.0, 0.20, 20.0, -98.0},
+  };
+  model.transitions = {
+      {0.00, 0.85, 0.15},
+      {0.60, 0.00, 0.40},
+      {0.30, 0.70, 0.00},
+  };
+  return model;
+}
+
+MarkovBandwidthGenerator::MarkovBandwidthGenerator(MarkovBandwidthModel model,
+                                                   std::uint64_t seed)
+    : model_(std::move(model)), rng_(seed) {
+  model_.validate();
+}
+
+MarkovTraces MarkovBandwidthGenerator::generate(double duration_s, double dt_s,
+                                                std::size_t initial_state) {
+  if (duration_s <= 0.0 || dt_s <= 0.0) {
+    throw std::invalid_argument("MarkovBandwidthGenerator: bad durations");
+  }
+  if (initial_state >= model_.states.size()) {
+    throw std::invalid_argument("MarkovBandwidthGenerator: bad initial state");
+  }
+  MarkovTraces out;
+  std::size_t current = initial_state;
+  double leave_at = rng_.exponential(1.0 / model_.states[current].mean_sojourn_s);
+  double smooth_jitter = 0.0;  // slow AR(1) within-state wobble
+
+  for (double t = 0.0; t <= duration_s + 1e-9; t += dt_s) {
+    while (t >= leave_at) {
+      // Jump: sample the next state from the transition row.
+      const auto& row = model_.transitions[current];
+      double draw = rng_.uniform();
+      std::size_t next = current;
+      for (std::size_t candidate = 0; candidate < row.size(); ++candidate) {
+        if (draw < row[candidate]) {
+          next = candidate;
+          break;
+        }
+        draw -= row[candidate];
+      }
+      current = next;
+      leave_at = t + rng_.exponential(1.0 / model_.states[current].mean_sojourn_s);
+    }
+    const auto& state = model_.states[current];
+    smooth_jitter = 0.9 * smooth_jitter + 0.1 * rng_.normal();
+    const double rate = std::max(
+        0.05, state.mean_mbps * (1.0 + state.jitter_fraction * smooth_jitter));
+    out.throughput_mbps.append(t, rate);
+    out.signal_dbm.append(t, state.signal_dbm + rng_.normal(0.0, 1.0));
+    out.state_sequence.push_back(current);
+  }
+  return out;
+}
+
+SessionTraces with_markov_network(SessionTraces session,
+                                  const MarkovBandwidthModel& model,
+                                  std::uint64_t seed, std::size_t initial_state) {
+  const double duration = session.signal_dbm.end_time();
+  MarkovBandwidthGenerator generator(model, seed);
+  MarkovTraces traces = generator.generate(duration, 0.5, initial_state);
+  session.throughput_mbps = std::move(traces.throughput_mbps);
+  session.signal_dbm = std::move(traces.signal_dbm);
+  return session;
+}
+
+}  // namespace eacs::trace

@@ -1,0 +1,129 @@
+#include "eacs/trace/scenario.h"
+
+#include <stdexcept>
+
+namespace eacs::trace {
+
+ScenarioPhase ScenarioPhase::home(double duration_s) {
+  ScenarioPhase phase;
+  phase.label = "home";
+  phase.duration_s = duration_s;
+  phase.signal = SignalModel::quiet_room();
+  phase.accel = AccelModel::quiet_room();
+  phase.target_vibration = 0.0;
+  return phase;
+}
+
+ScenarioPhase ScenarioPhase::walking(double duration_s, double vibration) {
+  ScenarioPhase phase;
+  phase.label = "walking";
+  phase.duration_s = duration_s;
+  phase.signal = SignalModel::blended(0.5);
+  phase.accel = AccelModel::walking();
+  phase.target_vibration = vibration;
+  return phase;
+}
+
+ScenarioPhase ScenarioPhase::bus(double duration_s, double vibration) {
+  ScenarioPhase phase;
+  phase.label = "bus";
+  phase.duration_s = duration_s;
+  phase.signal = SignalModel::moving_vehicle();
+  phase.accel = AccelModel::moving_vehicle();
+  phase.target_vibration = vibration;
+  return phase;
+}
+
+ScenarioPhase ScenarioPhase::cafe(double duration_s) {
+  ScenarioPhase phase;
+  phase.label = "cafe";
+  phase.duration_s = duration_s;
+  phase.signal = SignalModel::quiet_room();
+  phase.accel = AccelModel::quiet_room();
+  phase.target_vibration = 0.0;
+  return phase;
+}
+
+ScenarioBuilder::ScenarioBuilder(std::uint64_t seed) : seed_(seed) {}
+
+ScenarioBuilder& ScenarioBuilder::add_phase(ScenarioPhase phase) {
+  if (phase.duration_s <= 0.0) {
+    throw std::invalid_argument("ScenarioBuilder: phase duration must be > 0");
+  }
+  phases_.push_back(std::move(phase));
+  return *this;
+}
+
+double ScenarioBuilder::total_duration_s() const noexcept {
+  double total = 0.0;
+  for (const auto& phase : phases_) total += phase.duration_s;
+  return total;
+}
+
+std::vector<PhaseBoundary> ScenarioBuilder::boundaries() const {
+  std::vector<PhaseBoundary> out;
+  double cursor = 0.0;
+  for (const auto& phase : phases_) {
+    out.push_back({phase.label, cursor, cursor + phase.duration_s});
+    cursor += phase.duration_s;
+  }
+  return out;
+}
+
+SessionTraces ScenarioBuilder::build(double margin_s) const {
+  if (phases_.empty()) throw std::logic_error("ScenarioBuilder: no phases");
+
+  SessionTraces session;
+  session.spec.id = 0;
+  session.spec.length_s = total_duration_s();
+  session.spec.seed = seed_;
+
+  constexpr double kSignalDt = 0.5;
+  double offset = 0.0;
+  double last_signal = SignalStrengthGenerator::kFromModelMean;
+  std::uint64_t phase_salt = 0;
+
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const auto& phase = phases_[i];
+    const bool last_phase = i + 1 == phases_.size();
+    const double duration = phase.duration_s + (last_phase ? margin_s : 0.0);
+
+    // Signal: continue from the previous phase's final level.
+    SignalStrengthGenerator signal_gen(phase.signal, seed_ ^ (0x51 + phase_salt));
+    const TimeSeries phase_signal = signal_gen.generate(duration, kSignalDt, last_signal);
+    for (const auto& point : phase_signal.samples()) {
+      // Skip the t=0 sample of non-first phases: it would collide with the
+      // previous phase's final timestamp.
+      if (i > 0 && point.t_s == 0.0) continue;
+      session.signal_dbm.append(offset + point.t_s, point.value);
+    }
+    last_signal = phase_signal.samples().back().value;
+
+    // Accelerometer: per-phase calibration to the target vibration.
+    AccelGenerator accel_gen(phase.accel, seed_ ^ (0xACC + phase_salt));
+    const sensors::AccelTrace phase_accel =
+        phase.target_vibration > 0.0
+            ? accel_gen.generate_calibrated(duration, phase.target_vibration)
+            : accel_gen.generate(duration);
+    for (const auto& sample : phase_accel) {
+      if (i > 0 && sample.t_s == 0.0) continue;
+      sensors::AccelSample shifted = sample;
+      shifted.t_s += offset;
+      session.accel.push_back(shifted);
+    }
+
+    offset += duration;
+    phase_salt += 7;
+  }
+
+  // Throughput from the composite signal (one fading process end to end).
+  ThroughputGenerator throughput_gen(ThroughputModel{}, seed_ ^ 0x7417ULL);
+  session.throughput_mbps = throughput_gen.generate(session.signal_dbm);
+
+  // The session's nominal average vibration (Table V-style annotation).
+  session.spec.avg_vibration = sensors::mean_vibration_level(session.accel);
+  session.spec.on_vehicle = session.spec.avg_vibration >= 4.0;
+  return session;
+}
+
+}  // namespace eacs::trace

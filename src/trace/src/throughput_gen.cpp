@@ -1,0 +1,43 @@
+#include "eacs/trace/throughput_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::trace {
+
+double ThroughputModel::capacity_mbps(double signal_dbm) const noexcept {
+  const double capacity =
+      capacity_at_80dbm_mbps * std::exp2((signal_dbm + 80.0) / halving_db);
+  return std::clamp(capacity, min_mbps, max_mbps);
+}
+
+ThroughputGenerator::ThroughputGenerator(ThroughputModel model, std::uint64_t seed)
+    : model_(model), rng_(seed) {
+  if (model_.capacity_at_80dbm_mbps <= 0.0 || model_.halving_db <= 0.0) {
+    throw std::invalid_argument("ThroughputGenerator: bad capacity parameters");
+  }
+}
+
+TimeSeries ThroughputGenerator::generate(const TimeSeries& signal_dbm) {
+  if (signal_dbm.empty()) throw std::invalid_argument("ThroughputGenerator: empty signal");
+  TimeSeries out;
+  double log_fading = 0.0;
+  double prev_t = signal_dbm.at(0).t_s;
+  for (std::size_t i = 0; i < signal_dbm.size(); ++i) {
+    const TimePoint& p = signal_dbm.at(i);
+    const double dt = i == 0 ? 0.0 : p.t_s - prev_t;
+    prev_t = p.t_s;
+    if (dt > 0.0) {
+      log_fading += -model_.fading_reversion_rate * log_fading * dt +
+                    model_.fading_volatility * std::sqrt(dt) * rng_.normal();
+    }
+    const double capacity = model_.capacity_mbps(p.value);
+    const double throughput =
+        std::clamp(capacity * std::exp(log_fading), model_.min_mbps, model_.max_mbps);
+    out.append(p.t_s, throughput);
+  }
+  return out;
+}
+
+}  // namespace eacs::trace

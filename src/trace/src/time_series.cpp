@@ -1,0 +1,104 @@
+#include "eacs/trace/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs::trace {
+
+TimeSeries::TimeSeries(std::vector<TimePoint> samples) : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].t_s <= samples_[i - 1].t_s) {
+      throw std::invalid_argument("TimeSeries: timestamps must strictly increase");
+    }
+  }
+}
+
+void TimeSeries::append(double t_s, double value) {
+  if (!samples_.empty() && t_s <= samples_.back().t_s) {
+    throw std::invalid_argument("TimeSeries::append: time must advance");
+  }
+  samples_.push_back({t_s, value});
+}
+
+double TimeSeries::start_time() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  return samples_.front().t_s;
+}
+
+double TimeSeries::end_time() const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  return samples_.back().t_s;
+}
+
+double TimeSeries::duration() const { return end_time() - start_time(); }
+
+std::size_t TimeSeries::index_at_or_before(double t_s) const {
+  if (samples_.empty()) throw std::logic_error("TimeSeries: empty");
+  // First sample with t > t_s, then step back.
+  const auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t_s,
+      [](double t, const TimePoint& p) { return t < p.t_s; });
+  if (it == samples_.begin()) return 0;
+  return static_cast<std::size_t>(std::distance(samples_.begin(), it)) - 1;
+}
+
+double TimeSeries::step_at(double t_s) const {
+  return samples_[index_at_or_before(t_s)].value;
+}
+
+double TimeSeries::linear_at(double t_s) const {
+  const std::size_t i = index_at_or_before(t_s);
+  if (t_s <= samples_.front().t_s) return samples_.front().value;
+  if (i + 1 >= samples_.size()) return samples_.back().value;
+  const TimePoint& a = samples_[i];
+  const TimePoint& b = samples_[i + 1];
+  const double frac = (t_s - a.t_s) / (b.t_s - a.t_s);
+  return a.value + frac * (b.value - a.value);
+}
+
+double TimeSeries::integral_over(double t0, double t1) const {
+  if (t1 < t0) throw std::invalid_argument("TimeSeries::integral_over: t1 < t0");
+  if (t1 == t0) return 0.0;
+  // Trapezoidal rule over the interpolated signal: integrate between every
+  // pair of breakpoints intersected by [t0, t1].
+  double total = 0.0;
+  double cursor = t0;
+  double cursor_value = linear_at(t0);
+  for (const TimePoint& p : samples_) {
+    if (p.t_s <= t0) continue;
+    if (p.t_s >= t1) break;
+    total += 0.5 * (cursor_value + p.value) * (p.t_s - cursor);
+    cursor = p.t_s;
+    cursor_value = p.value;
+  }
+  const double end_value = linear_at(t1);
+  total += 0.5 * (cursor_value + end_value) * (t1 - cursor);
+  return total;
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  if (t1 <= t0) return linear_at(t0);
+  return integral_over(t0, t1) / (t1 - t0);
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& p : samples_) out.push_back(p.value);
+  return out;
+}
+
+TimeSeries TimeSeries::resampled(double dt_s) const {
+  if (dt_s <= 0.0) throw std::invalid_argument("TimeSeries::resampled: dt must be > 0");
+  if (samples_.empty()) return {};
+  TimeSeries out;
+  const double t0 = start_time();
+  const double t1 = end_time();
+  for (double t = t0; t <= t1 + 1e-12; t += dt_s) {
+    out.append(t, linear_at(std::min(t, t1)));
+  }
+  return out;
+}
+
+}  // namespace eacs::trace

@@ -1,0 +1,60 @@
+#include "eacs/trace/trace_io.h"
+
+namespace eacs::trace {
+
+eacs::CsvTable time_series_to_csv(const TimeSeries& series) {
+  eacs::CsvTable table({"t_s", "value"});
+  for (const auto& point : series.samples()) {
+    table.add_row({eacs::format_double(point.t_s), eacs::format_double(point.value)});
+  }
+  return table;
+}
+
+TimeSeries time_series_from_csv(const eacs::CsvTable& table) {
+  TimeSeries series;
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    series.append(table.cell_as_double(row, "t_s"), table.cell_as_double(row, "value"));
+  }
+  return series;
+}
+
+eacs::CsvTable accel_to_csv(const sensors::AccelTrace& trace) {
+  eacs::CsvTable table({"t_s", "x", "y", "z"});
+  for (const auto& sample : trace) {
+    table.add_row({eacs::format_double(sample.t_s), eacs::format_double(sample.x),
+                   eacs::format_double(sample.y), eacs::format_double(sample.z)});
+  }
+  return table;
+}
+
+sensors::AccelTrace accel_from_csv(const eacs::CsvTable& table) {
+  sensors::AccelTrace trace;
+  trace.reserve(table.num_rows());
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    sensors::AccelSample sample;
+    sample.t_s = table.cell_as_double(row, "t_s");
+    sample.x = table.cell_as_double(row, "x");
+    sample.y = table.cell_as_double(row, "y");
+    sample.z = table.cell_as_double(row, "z");
+    trace.push_back(sample);
+  }
+  return trace;
+}
+
+void save_time_series(const std::filesystem::path& path, const TimeSeries& series) {
+  eacs::write_csv_file(path, time_series_to_csv(series));
+}
+
+TimeSeries load_time_series(const std::filesystem::path& path) {
+  return time_series_from_csv(eacs::read_csv_file(path));
+}
+
+void save_accel(const std::filesystem::path& path, const sensors::AccelTrace& trace) {
+  eacs::write_csv_file(path, accel_to_csv(trace));
+}
+
+sensors::AccelTrace load_accel(const std::filesystem::path& path) {
+  return accel_from_csv(eacs::read_csv_file(path));
+}
+
+}  // namespace eacs::trace

@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight levelled logging. Off by default in benchmarks; the simulator
+// raises the level when --verbose style flags are set by callers.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace eacs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[LEVEL] message".
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace eacs
+
+#define EACS_LOG(level)                          \
+  if (static_cast<int>(level) < static_cast<int>(::eacs::log_level())) { \
+  } else                                          \
+    ::eacs::detail::LogLine(level)
+
+#define EACS_LOG_DEBUG EACS_LOG(::eacs::LogLevel::kDebug)
+#define EACS_LOG_INFO EACS_LOG(::eacs::LogLevel::kInfo)
+#define EACS_LOG_WARN EACS_LOG(::eacs::LogLevel::kWarn)
+#define EACS_LOG_ERROR EACS_LOG(::eacs::LogLevel::kError)

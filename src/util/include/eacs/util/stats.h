@@ -1,0 +1,90 @@
+#pragma once
+// Descriptive statistics helpers used across the evaluation pipeline.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eacs {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance; returns 0 for spans shorter than 2.
+double variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Root mean square.
+double rms(std::span<const double> xs) noexcept;
+
+/// Harmonic mean of strictly positive samples; non-positive samples are
+/// ignored. Returns 0 if no positive sample exists.
+///
+/// This is the bandwidth estimator primitive used by FESTIVE and by the
+/// paper's online algorithm: the harmonic mean damps the effect of isolated
+/// throughput spikes, which otherwise cause over-optimistic bitrate choices.
+double harmonic_mean(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Returns 0 for empty input.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+/// Minimum / maximum; return 0 for empty input.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Pearson correlation coefficient; 0 if either side is constant or empty.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity sliding window over recent samples, oldest evicted first.
+/// Used by the bandwidth estimators (harmonic mean over the last K segment
+/// throughputs) and by the vibration estimator's RMS window.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double x);
+  void clear() noexcept;
+
+  std::size_t size() const noexcept { return items_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return items_.size() == capacity_; }
+
+  /// Snapshot of the window contents in insertion order (oldest first).
+  std::vector<double> values() const;
+
+  double mean() const noexcept;
+  double harmonic_mean() const noexcept;
+  double rms() const noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest element once full
+  std::vector<double> items_;
+};
+
+}  // namespace eacs

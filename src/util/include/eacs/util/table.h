@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table renderer used by the benchmark harness to print the paper's
+// tables and figure series in a stable, diff-friendly format.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eacs {
+
+/// Column alignment for AsciiTable.
+enum class Align { kLeft, kRight };
+
+/// Simple monospace table with a title, a header row and data rows.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {});
+
+  void set_header(std::vector<std::string> header);
+  void set_alignment(std::vector<Align> alignment);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  /// Formats a ratio as a percentage string, e.g. 0.33 -> "33.0%".
+  static std::string percent(double ratio, int precision = 1);
+
+  /// Renders the table with box-drawing dashes/pipes.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eacs

@@ -1,0 +1,68 @@
+#pragma once
+// Minimal XML document model, writer and parser.
+//
+// Supports the subset needed for MPEG-DASH MPD manifests: elements,
+// attributes, text content, comments and XML declarations. No namespaces
+// resolution (prefixes are kept verbatim in names), no DTD/entities beyond
+// the five predefined ones.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eacs {
+
+/// One XML element with attributes, text and child elements.
+class XmlNode {
+ public:
+  explicit XmlNode(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Attribute access. set_attribute overwrites an existing value.
+  void set_attribute(std::string key, std::string value);
+  std::optional<std::string> attribute(std::string_view key) const;
+  /// Typed helpers; throw std::runtime_error when missing or malformed.
+  std::string required_attribute(std::string_view key) const;
+  double attribute_as_double(std::string_view key) const;
+  long long attribute_as_int(std::string_view key) const;
+  const std::vector<std::pair<std::string, std::string>>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  /// Text content (concatenated across text sections).
+  void set_text(std::string text) { text_ = std::move(text); }
+  const std::string& text() const noexcept { return text_; }
+
+  /// Children.
+  XmlNode& add_child(std::string child_name);
+  const std::vector<std::unique_ptr<XmlNode>>& children() const noexcept {
+    return children_;
+  }
+  /// First child with the given name; nullptr when absent.
+  const XmlNode* find_child(std::string_view child_name) const noexcept;
+  /// All children with the given name.
+  std::vector<const XmlNode*> find_children(std::string_view child_name) const;
+  /// First child with the given name; throws std::runtime_error when absent.
+  const XmlNode& required_child(std::string_view child_name) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::string text_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// Serialises a tree to indented XML with a `<?xml?>` declaration.
+std::string to_xml(const XmlNode& root);
+
+/// Parses an XML document; returns the root element.
+/// Throws std::runtime_error on malformed input.
+XmlNode parse_xml(std::string_view text);
+
+/// Escapes the five predefined entities in text/attribute content.
+std::string xml_escape(std::string_view raw);
+
+}  // namespace eacs

@@ -1,0 +1,202 @@
+#include "eacs/util/csv.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eacs {
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + std::string(name) + "'");
+}
+
+bool CsvTable::has_column(std::string_view name) const noexcept {
+  for (const auto& column : header_) {
+    if (column == name) return true;
+  }
+  return false;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::runtime_error("CsvTable: row width " + std::to_string(row.size()) +
+                             " != header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::string_view col_name) const {
+  return rows_.at(row).at(column_index(col_name));
+}
+
+double CsvTable::cell_as_double(std::size_t row, std::string_view col_name) const {
+  const std::string& text = cell(row, col_name);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || errno == ERANGE) {
+    throw std::runtime_error("CsvTable: cell '" + text + "' is not a double");
+  }
+  return value;
+}
+
+long long CsvTable::cell_as_int(std::size_t row, std::string_view col_name) const {
+  const std::string& text = cell(row, col_name);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error("CsvTable: cell '" + text + "' is not an integer");
+  }
+  return value;
+}
+
+std::vector<double> CsvTable::column_as_double(std::string_view col_name) const {
+  std::vector<double> out;
+  out.reserve(num_rows());
+  for (std::size_t row = 0; row < num_rows(); ++row) {
+    out.push_back(cell_as_double(row, col_name));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto flush_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto flush_row = [&] {
+    flush_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        flush_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // handled with the following \n
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) flush_row();
+        break;
+      default:
+        cell.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (row_has_content || !cell.empty() || !row.empty()) flush_row();
+  return rows;
+}
+
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void append_quoted(std::string& out, std::string_view cell) {
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text) {
+  auto rows = parse_rows(text);
+  if (rows.empty()) throw std::runtime_error("parse_csv: empty input");
+  CsvTable table(std::move(rows.front()));
+  for (std::size_t i = 1; i < rows.size(); ++i) table.add_row(std::move(rows[i]));
+  return table;
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  const auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      if (needs_quoting(row[i])) {
+        append_quoted(out, row[i]);
+      } else {
+        out += row[i];
+      }
+    }
+    out.push_back('\n');
+  };
+  write_row(table.header());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.num_cols());
+    for (std::size_t c = 0; c < table.num_cols(); ++c) row.push_back(table.cell(r, c));
+    write_row(row);
+  }
+  return out;
+}
+
+CsvTable read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path.string());
+  out << to_csv(table);
+  if (!out) throw std::runtime_error("write_csv_file: write failed for " + path.string());
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace eacs

@@ -1,0 +1,160 @@
+#include "eacs/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace eacs {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double accum = 0.0;
+  for (double x : xs) accum += (x - mu) * (x - mu);
+  return accum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double rms(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double accum = 0.0;
+  for (double x : xs) accum += x * x;
+  return std::sqrt(accum / static_cast<double>(xs.size()));
+}
+
+double harmonic_mean(std::span<const double> xs) noexcept {
+  double denom = 0.0;
+  std::size_t positives = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      denom += 1.0 / x;
+      ++positives;
+    }
+  }
+  if (positives == 0) return 0.0;
+  return static_cast<double>(positives) / denom;
+}
+
+double percentile(std::vector<double> xs, double p) noexcept {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(xs.subspan(0, n));
+  const double my = mean(ys.subspan(0, n));
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("SlidingWindow capacity must be > 0");
+  items_.reserve(capacity_);
+}
+
+void SlidingWindow::push(double x) {
+  if (items_.size() < capacity_) {
+    items_.push_back(x);
+    return;
+  }
+  items_[head_] = x;
+  head_ = (head_ + 1) % capacity_;
+}
+
+void SlidingWindow::clear() noexcept {
+  items_.clear();
+  head_ = 0;
+}
+
+std::vector<double> SlidingWindow::values() const {
+  std::vector<double> out;
+  out.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    out.push_back(items_[(head_ + i) % items_.size()]);
+  }
+  return out;
+}
+
+double SlidingWindow::mean() const noexcept { return eacs::mean(items_); }
+
+double SlidingWindow::harmonic_mean() const noexcept { return eacs::harmonic_mean(items_); }
+
+double SlidingWindow::rms() const noexcept { return eacs::rms(items_); }
+
+}  // namespace eacs

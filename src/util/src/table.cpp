@@ -1,0 +1,87 @@
+#include "eacs/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace eacs {
+
+AsciiTable::AsciiTable(std::string title) : title_(std::move(title)) {}
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::set_alignment(std::vector<Align> alignment) {
+  alignment_ = std::move(alignment);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string AsciiTable::percent(double ratio, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision, ratio * 100.0);
+  return buffer;
+}
+
+std::string AsciiTable::render() const {
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size()) : header_.size();
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < cols && c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < cols && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const Align align = c < alignment_.size() ? alignment_[c] : Align::kLeft;
+      const std::size_t pad = widths[c] - cell.size();
+      out << ' ';
+      if (align == Align::kRight) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  rule();
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return out.str();
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace eacs

@@ -1,0 +1,317 @@
+#include "eacs/util/xml.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace eacs {
+
+XmlNode::XmlNode(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("XmlNode: empty element name");
+}
+
+void XmlNode::set_attribute(std::string key, std::string value) {
+  for (auto& [existing_key, existing_value] : attributes_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string> XmlNode::attribute(std::string_view key) const {
+  for (const auto& [existing_key, value] : attributes_) {
+    if (existing_key == key) return value;
+  }
+  return std::nullopt;
+}
+
+std::string XmlNode::required_attribute(std::string_view key) const {
+  auto value = attribute(key);
+  if (!value) {
+    throw std::runtime_error("XmlNode: <" + name_ + "> missing attribute '" +
+                             std::string(key) + "'");
+  }
+  return *value;
+}
+
+double XmlNode::attribute_as_double(std::string_view key) const {
+  const std::string text = required_attribute(key);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || errno == ERANGE) {
+    throw std::runtime_error("XmlNode: attribute '" + std::string(key) +
+                             "' is not a number: " + text);
+  }
+  return value;
+}
+
+long long XmlNode::attribute_as_int(std::string_view key) const {
+  const std::string text = required_attribute(key);
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error("XmlNode: attribute '" + std::string(key) +
+                             "' is not an integer: " + text);
+  }
+  return value;
+}
+
+XmlNode& XmlNode::add_child(std::string child_name) {
+  children_.push_back(std::make_unique<XmlNode>(std::move(child_name)));
+  return *children_.back();
+}
+
+const XmlNode* XmlNode::find_child(std::string_view child_name) const noexcept {
+  for (const auto& child : children_) {
+    if (child->name() == child_name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::find_children(std::string_view child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children_) {
+    if (child->name() == child_name) out.push_back(child.get());
+  }
+  return out;
+}
+
+const XmlNode& XmlNode::required_child(std::string_view child_name) const {
+  const XmlNode* child = find_child(child_name);
+  if (!child) {
+    throw std::runtime_error("XmlNode: <" + name_ + "> missing child <" +
+                             std::string(child_name) + ">");
+  }
+  return *child;
+}
+
+std::string xml_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_node(std::ostringstream& out, const XmlNode& node, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out << indent << '<' << node.name();
+  for (const auto& [key, value] : node.attributes()) {
+    out << ' ' << key << "=\"" << xml_escape(value) << '"';
+  }
+  if (node.children().empty() && node.text().empty()) {
+    out << "/>\n";
+    return;
+  }
+  out << '>';
+  if (!node.text().empty()) out << xml_escape(node.text());
+  if (!node.children().empty()) {
+    out << '\n';
+    for (const auto& child : node.children()) write_node(out, *child, depth + 1);
+    out << indent;
+  }
+  out << "</" << node.name() << ">\n";
+}
+
+/// Cursor-based recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_prolog();
+    XmlNode root = parse_element();
+    skip_misc();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("parse_xml: " + message + " (offset " +
+                             std::to_string(pos_) + ")");
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  bool starts_with(std::string_view prefix) const {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skip_comment() {
+    // assumes starts_with("<!--")
+    const auto end = text_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (starts_with("<?xml")) {
+      const auto end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out.push_back('&');
+      else if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else fail("unknown entity '&" + std::string(entity) + ";'");
+      i = semi;
+    }
+    return out;
+  }
+
+  void parse_attributes(XmlNode& node) {
+    for (;;) {
+      skip_whitespace();
+      if (at_end()) fail("unterminated start tag");
+      if (peek() == '>' || peek() == '/') return;
+      std::string key = parse_name();
+      skip_whitespace();
+      if (at_end() || peek() != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_whitespace();
+      if (at_end() || (peek() != '"' && peek() != '\'')) {
+        fail("expected quoted attribute value");
+      }
+      const char quote = peek();
+      ++pos_;
+      const auto end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) fail("unterminated attribute value");
+      node.set_attribute(std::move(key), unescape(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+  }
+
+  XmlNode parse_element() {
+    if (at_end() || peek() != '<') fail("expected '<'");
+    ++pos_;
+    XmlNode node(parse_name());
+    parse_attributes(node);
+    if (starts_with("/>")) {
+      pos_ += 2;
+      return node;
+    }
+    if (at_end() || peek() != '>') fail("expected '>'");
+    ++pos_;
+
+    std::string text;
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + node.name() + ">");
+      if (starts_with("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node.name()) {
+          fail("mismatched closing tag </" + closing + "> for <" + node.name() + ">");
+        }
+        skip_whitespace();
+        if (at_end() || peek() != '>') fail("expected '>' in closing tag");
+        ++pos_;
+        break;
+      }
+      if (peek() == '<') {
+        XmlNode child = parse_element();
+        // Move the parsed child into the tree.
+        XmlNode& slot = node.add_child(child.name());
+        slot = std::move(child);
+        continue;
+      }
+      const auto next_tag = text_.find('<', pos_);
+      if (next_tag == std::string_view::npos) fail("unterminated text content");
+      text += unescape(text_.substr(pos_, next_tag - pos_));
+      pos_ = next_tag;
+    }
+    // Trim pure-whitespace text (formatting noise).
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      text.clear();
+    } else {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      text = text.substr(first, last - first + 1);
+    }
+    node.set_text(std::move(text));
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_xml(const XmlNode& root) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_node(out, root, 0);
+  return out.str();
+}
+
+XmlNode parse_xml(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace eacs

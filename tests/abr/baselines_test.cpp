@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "eacs/abr/bba.h"
+#include "eacs/abr/bola.h"
+#include "eacs/abr/festive.h"
+#include "eacs/abr/fixed.h"
+#include "eacs/player/player.h"
+#include "../test_helpers.h"
+
+namespace eacs::abr {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+/// Builds an AbrContext against a manifest with a primed estimator.
+struct ContextFixture {
+  media::VideoManifest manifest = make_manifest(60.0, 2.0);
+  net::HarmonicMeanEstimator estimator{20};
+
+  player::AbrContext context(double buffer_s, std::optional<std::size_t> prev,
+                             bool startup = false) {
+    player::AbrContext ctx;
+    ctx.segment_index = 5;
+    ctx.num_segments = manifest.num_segments();
+    ctx.buffer_s = buffer_s;
+    ctx.startup_phase = startup;
+    ctx.prev_level = prev;
+    ctx.manifest = &manifest;
+    ctx.bandwidth = &estimator;
+    return ctx;
+  }
+};
+
+TEST(FixedBitrateTest, DefaultsToHighest) {
+  ContextFixture fixture;
+  FixedBitrate policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(10.0, std::nullopt)), 13U);
+  EXPECT_EQ(policy.name(), "Youtube");
+}
+
+TEST(FixedBitrateTest, ExplicitLevelClamped) {
+  ContextFixture fixture;
+  FixedBitrate mid(7, "Mid");
+  EXPECT_EQ(mid.choose_level(fixture.context(10.0, std::nullopt)), 7U);
+  FixedBitrate big(400, "Big");
+  EXPECT_EQ(big.choose_level(fixture.context(10.0, std::nullopt)), 13U);
+}
+
+TEST(FestiveTest, NoEstimateStartsLowest) {
+  ContextFixture fixture;
+  Festive policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(0.0, std::nullopt, true)), 0U);
+}
+
+TEST(FestiveTest, PicksHighestStrictlyBelowEstimate) {
+  ContextFixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(3.0);
+  Festive policy(false);  // no ramp, the paper's simplified rule
+  // Highest rate strictly below 3.0 is 2.56 (level 9).
+  EXPECT_EQ(policy.choose_level(fixture.context(10.0, std::nullopt)), 9U);
+}
+
+TEST(FestiveTest, GradualRampLimitsUpSteps) {
+  ContextFixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(50.0);
+  Festive policy(true);
+  EXPECT_EQ(policy.choose_level(fixture.context(10.0, 2U)), 3U);
+}
+
+TEST(FestiveTest, DownSwitchIsImmediate) {
+  ContextFixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(0.5);
+  Festive policy(true);
+  // Highest below 0.5 is 0.375 (level 3); drop from 10 directly.
+  EXPECT_EQ(policy.choose_level(fixture.context(10.0, 10U)), 3U);
+}
+
+TEST(FestiveTest, EstimateBelowLadderFallsToLowest) {
+  ContextFixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(0.05);
+  Festive policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(10.0, 5U)), 0U);
+}
+
+TEST(BbaTest, StartupUsesThroughput) {
+  ContextFixture fixture;
+  for (int i = 0; i < 5; ++i) fixture.estimator.observe(2.3);
+  Bba policy(5.0, 30.0);
+  // Startup: highest not above 2.3 = level 8 (2.3 itself).
+  EXPECT_EQ(policy.choose_level(fixture.context(3.0, std::nullopt, true)), 8U);
+}
+
+TEST(BbaTest, SteadyStateMapsBufferLinearly) {
+  ContextFixture fixture;
+  Bba policy(5.0, 30.0);
+  // Reach steady state by showing it a full buffer once.
+  (void)policy.choose_level(fixture.context(30.0, 13U));
+  EXPECT_EQ(policy.choose_level(fixture.context(4.0, 13U)), 0U);    // < reservoir
+  EXPECT_EQ(policy.choose_level(fixture.context(30.0, 13U)), 13U);  // >= cushion
+  const auto mid = policy.choose_level(fixture.context(17.5, 13U));
+  EXPECT_GT(mid, 4U);
+  EXPECT_LT(mid, 10U);
+}
+
+TEST(BbaTest, AggressiveAtFullBuffer) {
+  // The paper's observation: BBA requests the highest bitrate once the
+  // buffer exceeds the upper threshold, whatever the throughput is.
+  ContextFixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(1.0);  // slow link!
+  Bba policy(5.0, 30.0);
+  (void)policy.choose_level(fixture.context(30.0, 0U));
+  EXPECT_EQ(policy.choose_level(fixture.context(30.0, 0U)), 13U);
+}
+
+TEST(BbaTest, ResetReturnsToStartupPhase) {
+  ContextFixture fixture;
+  for (int i = 0; i < 5; ++i) fixture.estimator.observe(1.0);
+  Bba policy(5.0, 30.0);
+  (void)policy.choose_level(fixture.context(30.0, 13U));  // now steady
+  policy.reset();
+  // Back to throughput-driven: buffer 30 would give 13 in steady state, but
+  // startup maps from the 1.0 Mbps estimate instead.
+  EXPECT_LT(policy.choose_level(fixture.context(3.0, std::nullopt, true)), 13U);
+}
+
+TEST(BbaTest, InvalidParamsThrow) {
+  EXPECT_THROW(Bba(0.0, 30.0), std::invalid_argument);
+  EXPECT_THROW(Bba(10.0, 5.0), std::invalid_argument);
+}
+
+TEST(BolaTest, EmptyStateStartsLowest) {
+  ContextFixture fixture;
+  Bola policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(0.0, std::nullopt, true)), 0U);
+}
+
+TEST(BolaTest, BitrateGrowsWithBuffer) {
+  ContextFixture fixture;
+  fixture.estimator.observe(10.0);
+  Bola policy(5.0, 30.0);
+  const auto low = policy.choose_level(fixture.context(2.0, 0U));
+  const auto mid = policy.choose_level(fixture.context(15.0, 0U));
+  const auto high = policy.choose_level(fixture.context(30.0, 0U));
+  EXPECT_LE(low, mid);
+  EXPECT_LE(mid, high);
+  EXPECT_GT(high, low);
+}
+
+TEST(BolaTest, FullBufferReachesTopLevel) {
+  ContextFixture fixture;
+  fixture.estimator.observe(10.0);
+  Bola policy(5.0, 30.0);
+  EXPECT_EQ(policy.choose_level(fixture.context(30.0, 13U)), 13U);
+}
+
+TEST(BolaTest, InvalidGammaThrows) {
+  EXPECT_THROW(Bola(0.0), std::invalid_argument);
+}
+
+TEST(BaselineEnergyOrderingTest, BbaDownloadsMoreThanFestiveOnSlowLink) {
+  // The paper's Fig. 5 narrative: BBA is more aggressive than FESTIVE once
+  // its buffer fills, so it downloads more bytes on the same link.
+  const auto manifest = make_manifest(300.0, 2.0);
+  player::PlayerSimulator simulator(manifest);
+  const auto session = make_session(300.0, 4.0);
+  Festive festive;
+  Bba bba(5.0, 30.0);
+  const auto festive_result = simulator.run(festive, session);
+  const auto bba_result = simulator.run(bba, session);
+  EXPECT_GT(bba_result.total_downloaded_mb(), festive_result.total_downloaded_mb());
+}
+
+}  // namespace
+}  // namespace eacs::abr

@@ -1,0 +1,93 @@
+#include "eacs/abr/learned.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/player/player.h"
+#include "../test_helpers.h"
+
+namespace eacs::abr {
+namespace {
+
+using eacs::testing::make_manifest;
+
+struct Fixture {
+  media::VideoManifest manifest = make_manifest(60.0, 2.0);
+  net::HarmonicMeanEstimator estimator{20};
+
+  player::AbrContext context(double buffer_s = 20.0, double vibration = 0.0,
+                             double signal = -90.0) {
+    player::AbrContext ctx;
+    ctx.segment_index = 5;
+    ctx.num_segments = manifest.num_segments();
+    ctx.buffer_s = buffer_s;
+    ctx.prev_level = 7;
+    ctx.manifest = &manifest;
+    ctx.bandwidth = &estimator;
+    ctx.vibration_level = vibration;
+    ctx.signal_dbm = signal;
+    return ctx;
+  }
+};
+
+TEST(PolicyFeaturesTest, NormalizedIntoUnitRange) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(55.0);  // above cap
+  const auto ctx = const_cast<Fixture&>(fixture).context(45.0, 9.0, -60.0);
+  const auto features = PolicyFeatures::extract(ctx);
+  EXPECT_DOUBLE_EQ(features[0], 1.0);
+  for (double f : features) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(PolicyFeaturesTest, NoPrevLevelIsZeroFeature) {
+  Fixture fixture;
+  auto ctx = fixture.context();
+  ctx.prev_level = std::nullopt;
+  EXPECT_DOUBLE_EQ(PolicyFeatures::extract(ctx)[3], 0.0);
+}
+
+TEST(LinearPolicyTest, WrongWeightCountThrows) {
+  EXPECT_THROW(LinearPolicy(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinearPolicyTest, LargeNegativeBiasPicksLowest) {
+  Fixture fixture;
+  LinearPolicy policy({-50.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(policy.choose_level(fixture.context()), 0U);
+}
+
+TEST(LinearPolicyTest, LargePositiveBiasPicksHighest) {
+  Fixture fixture;
+  LinearPolicy policy({50.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_EQ(policy.choose_level(fixture.context()), 13U);
+}
+
+TEST(LinearPolicyTest, ZeroWeightsPickMiddle) {
+  Fixture fixture;
+  LinearPolicy policy(std::vector<double>(PolicyFeatures::kCount, 0.0));
+  // sigmoid(0) = 0.5 -> round(0.5 * 13) = 7 (banker-free llround -> 7).
+  EXPECT_EQ(policy.choose_level(fixture.context()), 7U);
+}
+
+TEST(LinearPolicyTest, NegativeVibrationWeightReactsToContext) {
+  Fixture fixture;
+  LinearPolicy policy({0.0, 0.0, 0.0, 0.0, -8.0, 0.0});
+  const auto calm = policy.choose_level(fixture.context(20.0, 0.0));
+  const auto shaky = policy.choose_level(fixture.context(20.0, 7.0));
+  EXPECT_LT(shaky, calm);
+}
+
+TEST(LinearPolicyTest, BandwidthWeightTracksEstimate) {
+  Fixture fast_fixture;
+  for (int i = 0; i < 20; ++i) fast_fixture.estimator.observe(20.0);
+  Fixture slow_fixture;
+  for (int i = 0; i < 20; ++i) slow_fixture.estimator.observe(1.0);
+  LinearPolicy policy({-3.0, 8.0, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(policy.choose_level(fast_fixture.context()),
+            policy.choose_level(slow_fixture.context()));
+}
+
+}  // namespace
+}  // namespace eacs::abr

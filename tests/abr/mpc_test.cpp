@@ -1,0 +1,99 @@
+#include "eacs/abr/mpc.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/player/player.h"
+#include "../test_helpers.h"
+
+namespace eacs::abr {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+struct Fixture {
+  media::VideoManifest manifest = make_manifest(120.0, 2.0);
+  net::HarmonicMeanEstimator estimator{20};
+
+  player::AbrContext context(double buffer_s, std::optional<std::size_t> prev) {
+    player::AbrContext ctx;
+    ctx.segment_index = 10;
+    ctx.num_segments = manifest.num_segments();
+    ctx.buffer_s = buffer_s;
+    ctx.prev_level = prev;
+    ctx.manifest = &manifest;
+    ctx.bandwidth = &estimator;
+    return ctx;
+  }
+};
+
+TEST(MpcTest, InvalidConfigThrows) {
+  MpcConfig zero_horizon;
+  zero_horizon.horizon = 0;
+  EXPECT_THROW(Mpc{zero_horizon}, std::invalid_argument);
+  MpcConfig bad_discount;
+  bad_discount.bandwidth_discount = 0.0;
+  EXPECT_THROW(Mpc{bad_discount}, std::invalid_argument);
+}
+
+TEST(MpcTest, NoEstimateStartsLowest) {
+  Fixture fixture;
+  Mpc policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(0.0, std::nullopt)), 0U);
+}
+
+TEST(MpcTest, AbundantBandwidthGoesHigh) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(50.0);
+  Mpc policy;
+  EXPECT_GE(policy.choose_level(fixture.context(20.0, 13U)), 12U);
+}
+
+TEST(MpcTest, ScarceBandwidthStaysLow) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(1.0);
+  Mpc policy;
+  // 1 Mbps (discounted to 0.85): the highest sustainable rate is 0.75 Mbps
+  // (level 5); anything above stalls inside the horizon.
+  EXPECT_LE(policy.choose_level(fixture.context(2.0, std::nullopt)), 5U);
+}
+
+TEST(MpcTest, BufferCushionsEnableHigherRates) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(3.0);
+  Mpc policy;
+  const auto starved = policy.choose_level(fixture.context(1.0, 5U));
+  const auto cushioned = policy.choose_level(fixture.context(28.0, 5U));
+  EXPECT_GE(cushioned, starved);
+}
+
+TEST(MpcTest, SwitchPenaltyDampsOscillation) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(4.0);
+  MpcConfig sticky;
+  sticky.switch_penalty = 10.0;  // extreme: never leave the previous level
+  Mpc policy(sticky);
+  EXPECT_EQ(policy.choose_level(fixture.context(20.0, 7U)), 7U);
+}
+
+TEST(MpcTest, EndToEndRunBeatsFixedLowOnQoeProxy) {
+  const auto manifest = make_manifest(120.0, 2.0);
+  player::PlayerSimulator simulator(manifest);
+  const auto session = make_session(120.0, 15.0);
+  Mpc policy;
+  const auto result = simulator.run(policy, session);
+  EXPECT_DOUBLE_EQ(result.total_rebuffer_s, 0.0);
+  EXPECT_GT(result.mean_bitrate_mbps(), 1.5);
+}
+
+TEST(MpcTest, HorizonTruncatesAtStreamEnd) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(10.0);
+  Mpc policy;
+  auto ctx = fixture.context(20.0, 7U);
+  ctx.segment_index = fixture.manifest.num_segments() - 1;  // last segment
+  EXPECT_NO_THROW(policy.choose_level(ctx));
+}
+
+}  // namespace
+}  // namespace eacs::abr

@@ -1,0 +1,104 @@
+#include "eacs/abr/pid.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/player/player.h"
+#include "../test_helpers.h"
+
+namespace eacs::abr {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+struct Fixture {
+  media::VideoManifest manifest = make_manifest(60.0, 2.0);
+  net::HarmonicMeanEstimator estimator{20};
+
+  player::AbrContext context(double buffer_s) {
+    player::AbrContext ctx;
+    ctx.segment_index = 10;
+    ctx.num_segments = manifest.num_segments();
+    ctx.buffer_s = buffer_s;
+    ctx.prev_level = 7;
+    ctx.manifest = &manifest;
+    ctx.bandwidth = &estimator;
+    return ctx;
+  }
+};
+
+TEST(PidTest, InvalidConfigThrows) {
+  PidConfig bad;
+  bad.setpoint_s = 0.0;
+  EXPECT_THROW(PidController{bad}, std::invalid_argument);
+  PidConfig inverted;
+  inverted.min_factor = 2.0;
+  inverted.max_factor = 1.0;
+  EXPECT_THROW(PidController{inverted}, std::invalid_argument);
+}
+
+TEST(PidTest, NoEstimateStartsLowest) {
+  Fixture fixture;
+  PidController policy;
+  EXPECT_EQ(policy.choose_level(fixture.context(0.0)), 0U);
+  EXPECT_EQ(policy.name(), "PID");
+}
+
+TEST(PidTest, BufferAboveSetpointRaisesRate) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(3.0);
+  PidController policy;
+  const auto starved = policy.choose_level(fixture.context(5.0));
+  policy.reset();
+  const auto cushioned = policy.choose_level(fixture.context(30.0));
+  EXPECT_GT(cushioned, starved);
+}
+
+TEST(PidTest, AtSetpointTracksBandwidth) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(3.0);
+  PidController policy;
+  // Zero error: factor ~1 -> highest rate <= 3.0 is level 10 (3.0).
+  EXPECT_EQ(policy.choose_level(fixture.context(20.0)), 10U);
+}
+
+TEST(PidTest, IntegralWindupIsBounded) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(10.0);
+  PidController policy;
+  // Hammer the controller with a persistently empty buffer, then recover:
+  // the clamped integral must not pin the output at the floor forever.
+  for (int i = 0; i < 200; ++i) (void)policy.choose_level(fixture.context(0.5));
+  std::size_t recovered = 0;
+  for (int i = 0; i < 200; ++i) {
+    recovered = policy.choose_level(fixture.context(30.0));
+  }
+  EXPECT_GE(recovered, 8U);
+}
+
+TEST(PidTest, ResetClearsState) {
+  Fixture fixture;
+  for (int i = 0; i < 20; ++i) fixture.estimator.observe(5.0);
+  PidController policy;
+  for (int i = 0; i < 50; ++i) (void)policy.choose_level(fixture.context(35.0));
+  policy.reset();
+  PidController fresh;
+  EXPECT_EQ(policy.choose_level(fixture.context(20.0)),
+            fresh.choose_level(fixture.context(20.0)));
+}
+
+TEST(PidTest, StabilisesOnConstantNetwork) {
+  player::PlayerSimulator simulator(make_manifest(240.0, 2.0));
+  PidController policy;
+  const auto result = simulator.run(policy, make_session(240.0, 8.0));
+  EXPECT_DOUBLE_EQ(result.total_rebuffer_s, 0.0);
+  // Settles: few switches in the second half.
+  std::size_t late_switches = 0;
+  for (std::size_t i = result.tasks.size() / 2 + 1; i < result.tasks.size(); ++i) {
+    if (result.tasks[i].level != result.tasks[i - 1].level) ++late_switches;
+  }
+  EXPECT_LT(late_switches, result.tasks.size() / 8);
+}
+
+}  // namespace
+}  // namespace eacs::abr

@@ -1,0 +1,104 @@
+#include "eacs/core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/core/optimal.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::core {
+namespace {
+
+Objective make_objective(double alpha = 0.5) {
+  ObjectiveConfig config;
+  config.alpha = alpha;
+  return Objective(qoe::QoeModel{}, power::PowerModel{}, config);
+}
+
+std::vector<TaskEnvironment> random_tasks(std::size_t n, std::size_t m,
+                                          std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  const auto ladder = media::BitrateLadder::evaluation14();
+  std::vector<TaskEnvironment> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskEnvironment env;
+    env.index = i;
+    env.duration_s = 2.0;
+    env.signal_dbm = rng.uniform(-115.0, -85.0);
+    env.vibration = rng.uniform(0.0, 7.0);
+    env.bandwidth_mbps = rng.uniform(2.0, 30.0);
+    for (std::size_t level = 0; level < m; ++level) {
+      env.size_megabits.push_back(ladder.bitrate(level) * 2.0);
+    }
+    tasks.push_back(std::move(env));
+  }
+  return tasks;
+}
+
+TEST(SelectionGraphTest, Fig4Shape) {
+  // N tasks x M bitrates: 2 + N*M nodes; M + (N-1)*M^2 + M edges.
+  const auto objective = make_objective();
+  const auto tasks = random_tasks(3, 4, 1);
+  const auto graph = build_selection_graph(objective, tasks);
+  EXPECT_EQ(graph.nodes.size(), 2U + 3U * 4U);
+  EXPECT_EQ(graph.edges.size(), 4U + 2U * 16U + 4U);
+  EXPECT_TRUE(graph.nodes[graph.source].is_terminal);
+  EXPECT_TRUE(graph.nodes[graph.sink].is_terminal);
+  EXPECT_EQ(graph.nodes[graph.source].label, "S");
+  EXPECT_EQ(graph.nodes[graph.sink].label, "D");
+  // Sink edges carry weight 0 (the paper's construction).
+  for (const auto& edge : graph.edges) {
+    if (edge.to == graph.sink) EXPECT_DOUBLE_EQ(edge.weight, 0.0);
+  }
+}
+
+TEST(SelectionGraphTest, EmptyOrRaggedThrows) {
+  const auto objective = make_objective();
+  EXPECT_THROW(build_selection_graph(objective, {}), std::invalid_argument);
+  auto tasks = random_tasks(2, 4, 2);
+  tasks[1].size_megabits.pop_back();
+  EXPECT_THROW(build_selection_graph(objective, tasks), std::invalid_argument);
+}
+
+TEST(SelectionGraphTest, DotRenderingContainsStructure) {
+  const auto objective = make_objective();
+  const auto tasks = random_tasks(2, 3, 3);
+  const auto dot = build_selection_graph(objective, tasks).to_dot();
+  EXPECT_NE(dot.find("digraph selection"), std::string::npos);
+  EXPECT_NE(dot.find("\"S\""), std::string::npos);
+  EXPECT_NE(dot.find("\"D\""), std::string::npos);
+  EXPECT_NE(dot.find("\"T1R1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"T2R3\""), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+}
+
+TEST(SelectionGraphTest, BellmanFordMatchesBothPlanners) {
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const auto objective = make_objective(seed % 2 == 0 ? 0.5 : 0.3);
+    const auto tasks = random_tasks(12, 14, seed);
+    const auto graph = build_selection_graph(objective, tasks);
+    const auto graph_path = bellman_ford_shortest_path(graph);
+
+    OptimalPlanner planner(objective);
+    const auto dp = planner.plan(tasks, PlannerMethod::kDagDp);
+    const auto dijkstra = planner.plan(tasks, PlannerMethod::kDijkstra);
+
+    EXPECT_NEAR(graph_path.total_cost, dp.total_cost, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(graph_path.total_cost, dijkstra.total_cost, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SelectionGraphTest, PathLevelsAreConsistentWithCost) {
+  const auto objective = make_objective();
+  const auto tasks = random_tasks(8, 6, 21);
+  const auto graph = build_selection_graph(objective, tasks);
+  const auto path = bellman_ford_shortest_path(graph);
+  ASSERT_EQ(path.levels.size(), tasks.size());
+  double recomputed = objective.task_cost(tasks[0], path.levels[0], std::nullopt, 30.0);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    recomputed += objective.task_cost(tasks[i], path.levels[i], path.levels[i - 1], 30.0);
+  }
+  EXPECT_NEAR(recomputed, path.total_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace eacs::core

@@ -1,0 +1,164 @@
+#include "eacs/core/online.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/core/context_monitor.h"
+#include "eacs/player/player.h"
+#include "../test_helpers.h"
+
+namespace eacs::core {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+Objective make_objective(double alpha = 0.5) {
+  ObjectiveConfig config;
+  config.alpha = alpha;
+  return Objective(qoe::QoeModel{}, power::PowerModel{}, config);
+}
+
+TaskEnvironment make_env() {
+  TaskEnvironment env;
+  env.duration_s = 2.0;
+  for (double r : media::BitrateLadder::evaluation14().bitrates()) {
+    env.size_megabits.push_back(r * 2.0);
+  }
+  return env;
+}
+
+TEST(SmoothingRuleTest, StepsUpOneLevel) {
+  const auto env = make_env();
+  EXPECT_EQ(OnlineBitrateSelector::smooth(10, 4, env, 10.0, 30.0), 5U);
+  EXPECT_EQ(OnlineBitrateSelector::smooth(5, 4, env, 10.0, 30.0), 5U);
+}
+
+TEST(SmoothingRuleTest, HoldsWhenReferenceEqualsPrevious) {
+  const auto env = make_env();
+  EXPECT_EQ(OnlineBitrateSelector::smooth(6, 6, env, 10.0, 30.0), 6U);
+}
+
+TEST(SmoothingRuleTest, StepsDownToHighestFeasible) {
+  const auto env = make_env();
+  // Plenty of buffer: the first level below previous is feasible.
+  EXPECT_EQ(OnlineBitrateSelector::smooth(2, 8, env, 10.0, 30.0), 7U);
+}
+
+TEST(SmoothingRuleTest, SkipsInfeasibleLevelsOnTheWayDown) {
+  const auto env = make_env();
+  // 0.5 Mbps bandwidth, 10 s of buffer: feasible levels need
+  // size/bw = 2*rate/0.5 <= 10 -> rate <= 2.5 Mbps -> level <= 8 (2.3).
+  EXPECT_EQ(OnlineBitrateSelector::smooth(2, 13, env, 0.5, 10.0), 8U);
+}
+
+TEST(SmoothingRuleTest, FallsToReferenceWhenNothingFits) {
+  const auto env = make_env();
+  // Nothing between reference and previous fits a tiny buffer.
+  EXPECT_EQ(OnlineBitrateSelector::smooth(2, 13, env, 0.1, 0.5), 2U);
+}
+
+TEST(SmoothingRuleTest, ConsecutiveLowReferencesConvergeToReference) {
+  const auto env = make_env();
+  // Mid-bandwidth: walk down from 13 with repeated reference 2; it must
+  // reach 2 in a bounded number of steps and stay there.
+  std::size_t level = 13;
+  for (int step = 0; step < 20; ++step) {
+    level = OnlineBitrateSelector::smooth(2, level, env, 3.0, 10.0);
+  }
+  EXPECT_EQ(level, 2U);
+}
+
+TEST(SmoothingRuleTest, ConsecutiveHighReferencesRampToReference) {
+  const auto env = make_env();
+  std::size_t level = 0;
+  for (int step = 0; step < 20; ++step) {
+    if (level != 9) {
+      level = OnlineBitrateSelector::smooth(9, level, env, 50.0, 30.0);
+    }
+  }
+  EXPECT_EQ(level, 9U);
+}
+
+TEST(OnlineSelectorTest, StartupLevelBeforeAnyThroughput) {
+  OnlineBitrateSelector policy(make_objective(), {.startup_level = 3});
+  const auto manifest = make_manifest();
+  net::HarmonicMeanEstimator estimator(20);
+  player::AbrContext ctx;
+  ctx.manifest = &manifest;
+  ctx.bandwidth = &estimator;
+  ctx.segment_index = 0;
+  EXPECT_EQ(policy.choose_level(ctx), 3U);
+  EXPECT_EQ(policy.name(), "Ours");
+}
+
+TEST(OnlineSelectorTest, QuietFastConditionsRampUp) {
+  player::PlayerSimulator simulator(make_manifest(120.0, 2.0));
+  OnlineBitrateSelector policy(make_objective(0.3), {.startup_level = 0});
+  const auto session = make_session(120.0, 40.0, -85.0, 0.0);
+  const auto result = simulator.run(policy, session);
+  // With QoE-leaning alpha and perfect conditions, the tail of the session
+  // should be at a high rung.
+  EXPECT_GE(result.tasks.back().level, 9U);
+}
+
+TEST(OnlineSelectorTest, VibrationPullsBitrateDown) {
+  player::PlayerSimulator simulator(make_manifest(180.0, 2.0));
+  const auto quiet = make_session(180.0, 30.0, -90.0, 0.0);
+  const auto shaky = make_session(180.0, 30.0, -90.0, 6.5);
+  OnlineBitrateSelector policy_a(make_objective());
+  OnlineBitrateSelector policy_b(make_objective());
+  const auto quiet_result = simulator.run(policy_a, quiet);
+  const auto shaky_result = simulator.run(policy_b, shaky);
+  EXPECT_LT(shaky_result.mean_bitrate_mbps(), quiet_result.mean_bitrate_mbps());
+  EXPECT_LT(shaky_result.total_downloaded_mb(), quiet_result.total_downloaded_mb());
+}
+
+TEST(OnlineSelectorTest, NoRebufferingOnStableNetwork) {
+  player::PlayerSimulator simulator(make_manifest(120.0, 2.0));
+  OnlineBitrateSelector policy(make_objective());
+  const auto result = simulator.run(policy, make_session(120.0, 10.0));
+  EXPECT_DOUBLE_EQ(result.total_rebuffer_s, 0.0);
+}
+
+TEST(OnlineSelectorTest, SmoothSwitchingBehaviour) {
+  // No single-segment jumps of more than one level upward.
+  player::PlayerSimulator simulator(make_manifest(120.0, 2.0));
+  OnlineBitrateSelector policy(make_objective(0.3));
+  const auto result = simulator.run(policy, make_session(120.0, 30.0));
+  for (std::size_t i = 1; i < result.tasks.size(); ++i) {
+    const long long delta = static_cast<long long>(result.tasks[i].level) -
+                            static_cast<long long>(result.tasks[i - 1].level);
+    EXPECT_LE(delta, 1) << "segment " << i;
+  }
+}
+
+TEST(ContextMonitorTest, SnapshotAggregatesInputs) {
+  ContextMonitor monitor;
+  monitor.observe_signal(-101.0);
+  monitor.observe_throughput(8.0);
+  monitor.observe_throughput(4.0);
+  for (int i = 0; i < 500; ++i) {
+    const double t = i / 50.0;
+    monitor.update_accel({t, 0.0, 0.0,
+                          9.80665 + 4.0 * std::sin(2.0 * 3.14159 * 5.0 * t)});
+  }
+  const auto snap = monitor.snapshot();
+  EXPECT_DOUBLE_EQ(snap.signal_dbm, -101.0);
+  EXPECT_NEAR(snap.bandwidth_mbps, 2.0 / (1.0 / 8.0 + 1.0 / 4.0), 1e-9);
+  EXPECT_GT(snap.vibration, 2.0);
+  EXPECT_TRUE(snap.vibrating_environment);
+}
+
+TEST(ContextMonitorTest, ResetClears) {
+  ContextMonitor monitor;
+  monitor.observe_throughput(8.0);
+  monitor.observe_signal(-111.0);
+  monitor.reset();
+  const auto snap = monitor.snapshot();
+  EXPECT_DOUBLE_EQ(snap.bandwidth_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(snap.signal_dbm, -90.0);
+  EXPECT_FALSE(snap.vibrating_environment);
+}
+
+}  // namespace
+}  // namespace eacs::core

@@ -1,0 +1,77 @@
+// Stress suite: movie-length streams through the full pipeline. These guard
+// algorithmic complexity (the planner is O(N*M^2), the player O(N)) as much
+// as correctness at scale.
+
+#include <gtest/gtest.h>
+
+#include "eacs/core/online.h"
+#include "eacs/core/optimal.h"
+#include "eacs/sim/metrics.h"
+#include "../test_helpers.h"
+
+namespace eacs {
+namespace {
+
+TEST(StressTest, TwoHourMovieThroughPlayerAndPlanner) {
+  // 7200 s = 3600 segments on the 14-rate ladder.
+  constexpr double kMovie = 7200.0;
+  const media::VideoManifest manifest("movie", kMovie, 2.0,
+                                      media::BitrateLadder::evaluation14(),
+                                      media::VbrModel{0.15});
+  ASSERT_EQ(manifest.num_segments(), 3600U);
+  const auto session = eacs::testing::make_session(kMovie, 12.0, -100.0, 5.0);
+
+  core::Objective objective(qoe::QoeModel{}, power::PowerModel{},
+                            core::ObjectiveConfig{});
+  core::OnlineBitrateSelector online(objective, {.startup_level = 3});
+  const player::PlayerSimulator simulator(manifest);
+  const auto playback = simulator.run(online, session);
+  ASSERT_EQ(playback.tasks.size(), 3600U);
+  EXPECT_DOUBLE_EQ(playback.total_rebuffer_s, 0.0);
+
+  const auto metrics = sim::compute_metrics("Ours", 0, playback, manifest,
+                                            qoe::QoeModel{}, power::PowerModel{});
+  EXPECT_GT(metrics.total_energy_j, 0.0);
+  EXPECT_GE(metrics.mean_qoe, 1.0);
+
+  // Oracle planning at movie scale: both planner variants agree.
+  const auto tasks = core::build_task_environments(manifest, session);
+  core::OptimalPlanner planner(objective);
+  const auto dp = planner.plan(tasks, core::PlannerMethod::kDagDp);
+  const auto dijkstra = planner.plan(tasks, core::PlannerMethod::kDijkstra);
+  ASSERT_EQ(dp.levels.size(), 3600U);
+  EXPECT_NEAR(dp.total_cost, dijkstra.total_cost, 1e-5);
+}
+
+TEST(StressTest, ManySmallSegments) {
+  // 0.5 s segments: 4x the task count for the same duration.
+  const media::VideoManifest manifest("fine", 600.0, 0.5,
+                                      media::BitrateLadder::evaluation14());
+  ASSERT_EQ(manifest.num_segments(), 1200U);
+  const auto session = eacs::testing::make_session(600.0, 15.0);
+  core::Objective objective(qoe::QoeModel{}, power::PowerModel{},
+                            core::ObjectiveConfig{});
+  core::OnlineBitrateSelector online(objective, {.startup_level = 3});
+  const player::PlayerSimulator simulator(manifest);
+  const auto playback = simulator.run(online, session);
+  ASSERT_EQ(playback.tasks.size(), 1200U);
+  // Conservation invariant still holds at this granularity.
+  double duration = 0.0;
+  for (const auto& task : playback.tasks) duration += task.duration_s;
+  EXPECT_NEAR(playback.session_end_s,
+              playback.startup_delay_s + duration + playback.total_rebuffer_s, 1e-6);
+}
+
+TEST(StressTest, LongAccelStreamThroughEstimator) {
+  // 2 hours of 50 Hz accelerometer data = 360k samples; the estimator is
+  // O(1) per sample.
+  trace::AccelGenerator generator(trace::AccelModel::moving_vehicle(), 99);
+  const auto trace = generator.generate(7200.0);
+  ASSERT_GT(trace.size(), 350000U);
+  const double level = sensors::mean_vibration_level(trace);
+  EXPECT_GT(level, 0.5);
+  EXPECT_LT(level, 10.0);
+}
+
+}  // namespace
+}  // namespace eacs

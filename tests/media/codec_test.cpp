@@ -1,0 +1,134 @@
+#include "eacs/media/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/media/catalogue.h"
+
+namespace eacs::media {
+namespace {
+
+Frame test_frame(std::size_t w = 128, std::size_t h = 72) {
+  FrameGenerator generator(w, h, test_video("Sintel").profile);
+  return generator.next();
+}
+
+TEST(CodecTest, DownsampleDimensionsAndAveraging) {
+  Frame source(4, 4);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 4; ++x) source.set(x, y, x < 2 ? 0 : 200);
+  }
+  const Frame half = downsample(source, 2, 2);
+  EXPECT_EQ(half.width(), 2U);
+  EXPECT_EQ(half.at(0, 0), 0);
+  EXPECT_EQ(half.at(1, 0), 200);
+  EXPECT_THROW(downsample(source, 0, 2), std::invalid_argument);
+}
+
+TEST(CodecTest, UpsampleInterpolates) {
+  Frame source(2, 1);
+  source.set(0, 0, 0);
+  source.set(1, 0, 200);
+  const Frame wide = upsample(source, 5, 1);
+  EXPECT_EQ(wide.at(0, 0), 0);
+  EXPECT_EQ(wide.at(4, 0), 200);
+  EXPECT_NEAR(wide.at(2, 0), 100, 2);
+  EXPECT_THROW(upsample(source, 5, 0), std::invalid_argument);
+}
+
+TEST(CodecTest, QuantizeStepOneIsIdentity) {
+  const Frame source = test_frame();
+  const Frame q = quantize(source, 1.0);
+  EXPECT_EQ(q.pixels(), source.pixels());
+  EXPECT_THROW(quantize(source, 0.5), std::invalid_argument);
+}
+
+TEST(CodecTest, QuantizeCoarseStepReducesLevels) {
+  const Frame source = test_frame();
+  const Frame q = quantize(source, 32.0);
+  for (std::size_t i = 0; i < q.pixels().size(); ++i) {
+    EXPECT_EQ(q.pixels()[i] % 32, 0) << "pixel " << i;
+  }
+}
+
+TEST(CodecTest, RungPixelsNamedAndDerived) {
+  EXPECT_EQ(rung_pixels({5.8, "1080p"}).height, 1080U);
+  EXPECT_EQ(rung_pixels({0.1, "144p"}).width, 256U);
+  const auto derived = rung_pixels({1.0, ""});  // unnamed evaluation rung
+  EXPECT_GT(derived.height, 144U);
+  EXPECT_LT(derived.height, 1080U);
+}
+
+TEST(CodecTest, PsnrBasics) {
+  const Frame source = test_frame();
+  EXPECT_DOUBLE_EQ(psnr(source, source), 100.0);
+  const Frame degraded = quantize(source, 32.0);
+  const double value = psnr(source, degraded);
+  EXPECT_GT(value, 15.0);
+  EXPECT_LT(value, 45.0);
+  Frame other(4, 4);
+  EXPECT_THROW(psnr(source, other), std::invalid_argument);
+}
+
+TEST(CodecTest, SsimBasics) {
+  const Frame source = test_frame();
+  EXPECT_NEAR(ssim(source, source), 1.0, 1e-12);
+  const Frame degraded = quantize(downsample(source, 32, 18), 16.0);
+  const Frame restored = upsample(degraded, source.width(), source.height());
+  const double value = ssim(source, restored);
+  EXPECT_GT(value, 0.0);
+  EXPECT_LT(value, 0.99);
+  Frame other(4, 4);
+  EXPECT_THROW(ssim(source, other), std::invalid_argument);
+}
+
+TEST(CodecTest, QualityMonotoneAcrossLadder) {
+  // Higher rung => higher PSNR and SSIM against the pristine source. A
+  // 480x270 source with resolution_scale 0.25 plays the role of a
+  // 1080p-class display at laptop cost.
+  const Frame source = test_frame(480, 270);
+  CodecConfig config;
+  config.resolution_scale = 0.25;
+  const auto ladder = BitrateLadder::table2();
+  double prev_psnr = 0.0;
+  double prev_ssim = 0.0;
+  for (std::size_t level = 0; level < ladder.size(); ++level) {
+    const Frame decoded = simulate_encode(source, ladder.rung(level), config);
+    const double p = psnr(source, decoded);
+    const double s = ssim(source, decoded);
+    EXPECT_GE(p, prev_psnr - 0.2) << "level " << level;
+    EXPECT_GE(s, prev_ssim - 0.005) << "level " << level;
+    prev_psnr = p;
+    prev_ssim = s;
+  }
+  // And the top rung is decisively better than the bottom.
+  const double bottom =
+      psnr(source, simulate_encode(source, ladder.rung(0), config));
+  const double top =
+      psnr(source, simulate_encode(source, ladder.rung(ladder.size() - 1), config));
+  EXPECT_GT(top, bottom + 3.0);
+}
+
+TEST(CodecTest, EncodeNeverUpscalesAboveSource) {
+  const Frame tiny = test_frame(64, 36);
+  const Frame decoded = simulate_encode(tiny, {5.8, "1080p"});
+  EXPECT_EQ(decoded.width(), 64U);
+  EXPECT_EQ(decoded.height(), 36U);
+}
+
+TEST(CodecTest, QualitySaturatesLikeQ0) {
+  // The q0 shape: the 480p -> 1080p SSIM gain is much smaller than the
+  // 144p -> 480p gain.
+  const Frame source = test_frame(480, 270);
+  CodecConfig config;
+  config.resolution_scale = 0.25;
+  const auto ladder = BitrateLadder::table2();
+  const double s144 = ssim(source, simulate_encode(source, ladder.rung(0), config));
+  const double s480 = ssim(source, simulate_encode(source, ladder.rung(3), config));
+  const double s1080 = ssim(source, simulate_encode(source, ladder.rung(5), config));
+  // Synthetic textures are harsher on downsampling than natural video, so
+  // the concavity is milder than q0's; require a 1.5x gain ratio.
+  EXPECT_GT(s480 - s144, 1.5 * (s1080 - s480));
+}
+
+}  // namespace
+}  // namespace eacs::media

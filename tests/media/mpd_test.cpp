@@ -1,0 +1,111 @@
+#include "eacs/media/mpd.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacs::media {
+namespace {
+
+TEST(Iso8601Test, FormatAndParse) {
+  EXPECT_EQ(iso8601_duration(198.0), "PT198S");
+  EXPECT_EQ(iso8601_duration(2.5), "PT2.5S");
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT198S"), 198.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT2.5S"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT1H2M3S"), 3723.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT10M"), 600.0);
+}
+
+TEST(Iso8601Test, MalformedThrows) {
+  EXPECT_THROW(parse_iso8601_duration("198S"), std::runtime_error);
+  EXPECT_THROW(parse_iso8601_duration("PT"), std::runtime_error);
+  EXPECT_THROW(parse_iso8601_duration("PT5X"), std::runtime_error);
+  EXPECT_THROW(parse_iso8601_duration("PTS"), std::runtime_error);
+  EXPECT_THROW(iso8601_duration(-1.0), std::invalid_argument);
+}
+
+VideoManifest sample_manifest(double vbr = 0.0) {
+  return VideoManifest("trace1", 198.0, 2.0, BitrateLadder::table2(), VbrModel{vbr});
+}
+
+TEST(MpdTest, SerializesExpectedStructure) {
+  const auto xml = to_mpd_xml(sample_manifest());
+  EXPECT_NE(xml.find("<MPD"), std::string::npos);
+  EXPECT_NE(xml.find("mediaPresentationDuration=\"PT198S\""), std::string::npos);
+  EXPECT_NE(xml.find("<AdaptationSet"), std::string::npos);
+  EXPECT_NE(xml.find("<SegmentTemplate"), std::string::npos);
+  // 6 representations with bandwidth in bits/s.
+  EXPECT_NE(xml.find("bandwidth=\"5800000\""), std::string::npos);
+  EXPECT_NE(xml.find("bandwidth=\"100000\""), std::string::npos);
+  EXPECT_NE(xml.find("width=\"1920\""), std::string::npos);
+  EXPECT_NE(xml.find("height=\"144\""), std::string::npos);
+}
+
+TEST(MpdTest, RoundTripCbr) {
+  const auto original = sample_manifest();
+  const auto parsed = from_mpd_xml(to_mpd_xml(original));
+  EXPECT_EQ(parsed.video_id(), "trace1");
+  EXPECT_DOUBLE_EQ(parsed.total_duration_s(), 198.0);
+  EXPECT_DOUBLE_EQ(parsed.segment_duration_s(), 2.0);
+  ASSERT_EQ(parsed.ladder().size(), original.ladder().size());
+  for (std::size_t level = 0; level < original.ladder().size(); ++level) {
+    EXPECT_NEAR(parsed.ladder().bitrate(level), original.ladder().bitrate(level), 1e-9);
+    EXPECT_EQ(parsed.ladder().rung(level).resolution,
+              original.ladder().rung(level).resolution);
+  }
+  EXPECT_EQ(parsed.num_segments(), original.num_segments());
+}
+
+TEST(MpdTest, RoundTripVbrSizes) {
+  const auto original = sample_manifest(0.2);
+  const auto parsed = from_mpd_xml(to_mpd_xml(original));
+  EXPECT_DOUBLE_EQ(parsed.vbr().amplitude, 0.2);
+  // Segment sizes are deterministic in (video id, index): the parsed
+  // manifest reproduces them exactly.
+  for (std::size_t i = 0; i < original.num_segments(); i += 7) {
+    EXPECT_DOUBLE_EQ(parsed.segment_size_megabits(i, 3),
+                     original.segment_size_megabits(i, 3));
+  }
+}
+
+TEST(MpdTest, RoundTripEvaluationLadder) {
+  const VideoManifest original("eval", 612.0, 2.0, BitrateLadder::evaluation14());
+  const auto parsed = from_mpd_xml(to_mpd_xml(original));
+  EXPECT_EQ(parsed.ladder().size(), 14U);
+  EXPECT_DOUBLE_EQ(parsed.ladder().highest_bitrate(), 5.8);
+}
+
+TEST(MpdTest, ParsesForeignMpdWithoutPrivateAttributes) {
+  const char* foreign = R"(<?xml version="1.0"?>
+<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static"
+     mediaPresentationDuration="PT60S">
+  <Period>
+    <AdaptationSet contentType="video">
+      <SegmentTemplate timescale="1000" duration="4000"/>
+      <Representation id="low" bandwidth="500000"/>
+      <Representation id="high" bandwidth="3000000" width="1280" height="720"/>
+    </AdaptationSet>
+  </Period>
+</MPD>)";
+  const auto manifest = from_mpd_xml(foreign);
+  EXPECT_EQ(manifest.video_id(), "imported-mpd");
+  EXPECT_DOUBLE_EQ(manifest.total_duration_s(), 60.0);
+  EXPECT_DOUBLE_EQ(manifest.segment_duration_s(), 4.0);
+  ASSERT_EQ(manifest.ladder().size(), 2U);
+  EXPECT_DOUBLE_EQ(manifest.ladder().bitrate(0), 0.5);
+  EXPECT_EQ(manifest.ladder().rung(1).resolution, "720p");
+  EXPECT_DOUBLE_EQ(manifest.vbr().amplitude, 0.0);
+}
+
+TEST(MpdTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(from_mpd_xml("<NotMpd/>"), std::runtime_error);
+  EXPECT_THROW(from_mpd_xml("<MPD mediaPresentationDuration=\"PT60S\"/>"),
+               std::runtime_error);  // no Period
+  const char* no_reps = R"(<MPD mediaPresentationDuration="PT60S">
+  <Period><AdaptationSet><SegmentTemplate duration="2000" timescale="1000"/>
+  </AdaptationSet></Period></MPD>)";
+  EXPECT_THROW(from_mpd_xml(no_reps), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eacs::media

@@ -1,0 +1,141 @@
+#include "eacs/media/si_ti.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eacs/media/catalogue.h"
+#include "eacs/media/frames.h"
+
+namespace eacs::media {
+namespace {
+
+TEST(FrameTest, DimensionsAndAccess) {
+  Frame frame(4, 3);
+  EXPECT_EQ(frame.width(), 4U);
+  EXPECT_EQ(frame.height(), 3U);
+  frame.set(2, 1, 200);
+  EXPECT_EQ(frame.at(2, 1), 200);
+  EXPECT_EQ(frame.at(0, 0), 0);
+}
+
+TEST(FrameTest, EmptyDimensionsThrow) {
+  EXPECT_THROW(Frame(0, 4), std::invalid_argument);
+  EXPECT_THROW(Frame(4, 0), std::invalid_argument);
+}
+
+TEST(SiTiTest, FlatFrameHasZeroSi) {
+  Frame frame(16, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) frame.set(x, y, 128);
+  }
+  EXPECT_DOUBLE_EQ(spatial_information(frame), 0.0);
+}
+
+TEST(SiTiTest, EdgeRaisesSi) {
+  Frame frame(16, 16);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) frame.set(x, y, x < 8 ? 0 : 255);
+  }
+  EXPECT_GT(spatial_information(frame), 50.0);
+}
+
+TEST(SiTiTest, IdenticalFramesHaveZeroTi) {
+  FrameGenerator generator(32, 32, {0.5, 0.0, 7});
+  const Frame frame = generator.next();
+  EXPECT_DOUBLE_EQ(temporal_information(frame, frame), 0.0);
+}
+
+TEST(SiTiTest, DimensionMismatchThrows) {
+  Frame a(8, 8);
+  Frame b(8, 9);
+  EXPECT_THROW(temporal_information(a, b), std::invalid_argument);
+  Frame tiny(2, 2);
+  EXPECT_THROW(sobel_magnitude(tiny), std::invalid_argument);
+}
+
+TEST(SiTiTest, AnalyzeEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(analyze_si_ti({}).si, 0.0);
+  FrameGenerator generator(32, 32, {0.5, 0.5, 9});
+  const std::vector<Frame> one = generator.generate(1);
+  const auto result = analyze_si_ti(one);
+  EXPECT_GT(result.si, 0.0);
+  EXPECT_DOUBLE_EQ(result.ti, 0.0);
+}
+
+TEST(FrameGeneratorTest, SpatialDetailKnobRaisesSi) {
+  FrameGenerator low(64, 64, {0.1, 0.2, 42});
+  FrameGenerator high(64, 64, {0.9, 0.2, 42});
+  const auto low_result = analyze_si_ti(low.generate(5));
+  const auto high_result = analyze_si_ti(high.generate(5));
+  EXPECT_GT(high_result.si_mean, low_result.si_mean);
+}
+
+TEST(FrameGeneratorTest, MotionKnobRaisesTi) {
+  FrameGenerator still(64, 64, {0.5, 0.02, 42});
+  FrameGenerator moving(64, 64, {0.5, 0.9, 42});
+  const auto still_result = analyze_si_ti(still.generate(6));
+  const auto moving_result = analyze_si_ti(moving.generate(6));
+  EXPECT_GT(moving_result.ti_mean, 2.0 * still_result.ti_mean);
+}
+
+TEST(FrameGeneratorTest, DeterministicPerSeed) {
+  FrameGenerator a(32, 32, {0.5, 0.5, 11});
+  FrameGenerator b(32, 32, {0.5, 0.5, 11});
+  const Frame fa = a.next();
+  const Frame fb = b.next();
+  EXPECT_EQ(fa.pixels(), fb.pixels());
+}
+
+TEST(FrameGeneratorTest, BadKnobsThrow) {
+  EXPECT_THROW(FrameGenerator(32, 32, {-0.1, 0.5, 1}), std::invalid_argument);
+  EXPECT_THROW(FrameGenerator(32, 32, {0.5, 1.5, 1}), std::invalid_argument);
+}
+
+TEST(CatalogueTest, TenTestVideos) {
+  const auto& videos = test_videos();
+  ASSERT_EQ(videos.size(), 10U);
+  EXPECT_EQ(videos.front().name, "Speech");
+  EXPECT_NO_THROW(test_video("Matrix"));
+  EXPECT_THROW(test_video("Nope"), std::out_of_range);
+}
+
+TEST(CatalogueTest, SessionSpecsMatchTableV) {
+  const auto& sessions = evaluation_sessions();
+  ASSERT_EQ(sessions.size(), 5U);
+  EXPECT_DOUBLE_EQ(sessions[0].length_s, 198.0);
+  EXPECT_DOUBLE_EQ(sessions[1].avg_vibration, 2.46);
+  EXPECT_DOUBLE_EQ(sessions[4].length_s, 612.0);
+  EXPECT_DOUBLE_EQ(sessions[4].data_size_mb, 173.1);
+  // Seeds are distinct and deterministic.
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_NE(sessions[i].seed, sessions[i - 1].seed);
+  }
+}
+
+TEST(CatalogueTest, KnobsOrderedWithTargets) {
+  // Catalogue knobs should be monotone with the Fig. 2(a) targets they
+  // stand in for: higher target SI -> higher spatial_detail knob.
+  const auto& videos = test_videos();
+  for (std::size_t i = 1; i < videos.size(); ++i) {
+    EXPECT_GE(videos[i].profile.spatial_detail, videos[i - 1].profile.spatial_detail);
+    EXPECT_GE(videos[i].target_si, videos[i - 1].target_si);
+  }
+}
+
+TEST(CatalogueTest, MeasuredSiTiOrderingMatchesTargets) {
+  // Smoke version of the Fig. 2(a) bench: generate frames for the lowest- and
+  // highest-complexity catalogue entries and verify the measured P.910 values
+  // preserve the intended ordering.
+  const auto& speech = test_video("Speech");
+  const auto& goodwood = test_video("Goodwood");
+  FrameGenerator speech_gen(64, 64, speech.profile);
+  FrameGenerator goodwood_gen(64, 64, goodwood.profile);
+  const auto speech_result = analyze_si_ti(speech_gen.generate(5));
+  const auto goodwood_result = analyze_si_ti(goodwood_gen.generate(5));
+  EXPECT_GT(goodwood_result.si_mean, speech_result.si_mean);
+  EXPECT_GT(goodwood_result.ti_mean, speech_result.ti_mean);
+}
+
+}  // namespace
+}  // namespace eacs::media

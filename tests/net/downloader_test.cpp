@@ -1,0 +1,165 @@
+#include "eacs/net/downloader.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "eacs/net/bandwidth_estimator.h"
+
+namespace eacs::net {
+namespace {
+
+trace::TimeSeries constant_rate(double mbps, double duration = 100.0) {
+  trace::TimeSeries series;
+  series.append(0.0, mbps);
+  series.append(duration, mbps);
+  return series;
+}
+
+TEST(SegmentDownloaderTest, ConstantRateDuration) {
+  SegmentDownloader downloader(constant_rate(8.0));
+  // 16 megabits at 8 Mbps = 2 s.
+  const auto result = downloader.download(1.0, 16.0);
+  EXPECT_DOUBLE_EQ(result.start_s, 1.0);
+  EXPECT_NEAR(result.end_s, 3.0, 1e-9);
+  EXPECT_NEAR(result.mean_throughput_mbps, 8.0, 1e-9);
+}
+
+TEST(SegmentDownloaderTest, ZeroSizeFinishesInstantly) {
+  SegmentDownloader downloader(constant_rate(8.0));
+  const auto result = downloader.download(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(result.end_s, 5.0);
+}
+
+TEST(SegmentDownloaderTest, NegativeSizeThrows) {
+  SegmentDownloader downloader(constant_rate(8.0));
+  EXPECT_THROW(downloader.download(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(SegmentDownloaderTest, EmptyOrNegativeTraceThrows) {
+  EXPECT_THROW(SegmentDownloader(trace::TimeSeries{}), std::invalid_argument);
+  trace::TimeSeries bad;
+  bad.append(0.0, -1.0);
+  EXPECT_THROW(SegmentDownloader{bad}, std::invalid_argument);
+}
+
+TEST(SegmentDownloaderTest, RampIntegration) {
+  // Throughput ramps 0 -> 10 Mbps over 10 s: integral to time t is t^2/2.
+  trace::TimeSeries ramp;
+  ramp.append(0.0, 0.0);
+  ramp.append(10.0, 10.0);
+  SegmentDownloader downloader(ramp);
+  // 8 megabits done when t^2/2 = 8 -> t = 4.
+  const auto result = downloader.download(0.0, 8.0);
+  EXPECT_NEAR(result.end_s, 4.0, 1e-9);
+}
+
+TEST(SegmentDownloaderTest, PiecewiseTraceCrossesBreakpoints) {
+  trace::TimeSeries series;
+  series.append(0.0, 4.0);
+  series.append(2.0, 4.0);   // 8 megabits by t=2
+  series.append(2.0001, 16.0);
+  series.append(100.0, 16.0);
+  SegmentDownloader downloader(series);
+  // 24 megabits: 8 in the first 2 s, remaining 16 at ~16 Mbps ~ 1 s more.
+  const auto result = downloader.download(0.0, 24.0);
+  EXPECT_NEAR(result.end_s, 3.0, 0.01);
+}
+
+TEST(SegmentDownloaderTest, ExtendsPastTraceEnd) {
+  SegmentDownloader downloader(constant_rate(8.0, 10.0));
+  // Start near the end; most of the transfer runs on the held last value.
+  const auto result = downloader.download(9.0, 80.0);
+  EXPECT_NEAR(result.end_s, 19.0, 1e-6);
+}
+
+TEST(SegmentDownloaderTest, DeadLinkAtTraceEndCapsDuration) {
+  trace::TimeSeries dying;
+  dying.append(0.0, 8.0);
+  dying.append(10.0, 0.0);
+  SegmentDownloader downloader(dying);
+  const auto result = downloader.download(0.0, 1000.0);
+  EXPECT_GT(result.duration_s(), 100.0);  // clearly a stall, not a crash
+}
+
+TEST(SegmentDownloaderTest, LaterStartUsesLaterBandwidth) {
+  trace::TimeSeries series;
+  series.append(0.0, 2.0);
+  series.append(50.0, 2.0);
+  series.append(50.1, 20.0);
+  series.append(200.0, 20.0);
+  SegmentDownloader downloader(series);
+  const auto slow = downloader.download(0.0, 10.0);
+  const auto fast = downloader.download(60.0, 10.0);
+  EXPECT_GT(slow.duration_s(), 4.0);
+  EXPECT_LT(fast.duration_s(), 1.0);
+}
+
+TEST(HarmonicMeanEstimatorTest, MatchesFormula) {
+  HarmonicMeanEstimator estimator(20);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+  estimator.observe(1.0);
+  estimator.observe(2.0);
+  estimator.observe(4.0);
+  EXPECT_NEAR(estimator.estimate(), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+  EXPECT_EQ(estimator.observations(), 3U);
+}
+
+TEST(HarmonicMeanEstimatorTest, WindowLimitsHistory) {
+  HarmonicMeanEstimator estimator(2);
+  estimator.observe(100.0);
+  estimator.observe(1.0);
+  estimator.observe(1.0);  // the 100 falls out
+  EXPECT_NEAR(estimator.estimate(), 1.0, 1e-9);
+}
+
+TEST(HarmonicMeanEstimatorTest, IgnoresNonPositive) {
+  HarmonicMeanEstimator estimator(5);
+  estimator.observe(0.0);
+  estimator.observe(-3.0);
+  EXPECT_EQ(estimator.observations(), 0U);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+}
+
+TEST(HarmonicMeanEstimatorTest, ResetClears) {
+  HarmonicMeanEstimator estimator(5);
+  estimator.observe(4.0);
+  estimator.reset();
+  EXPECT_EQ(estimator.observations(), 0U);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+}
+
+TEST(EmaEstimatorTest, TracksShifts) {
+  EmaEstimator estimator(0.5);
+  estimator.observe(10.0);
+  estimator.observe(20.0);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 15.0);
+  estimator.reset();
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+}
+
+TEST(LastSampleEstimatorTest, ReturnsLatest) {
+  LastSampleEstimator estimator;
+  estimator.observe(5.0);
+  estimator.observe(9.0);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 9.0);
+  EXPECT_EQ(estimator.observations(), 2U);
+  estimator.reset();
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+}
+
+TEST(EstimatorComparisonTest, HarmonicMeanMoreRobustThanLastSample) {
+  HarmonicMeanEstimator harmonic(20);
+  LastSampleEstimator last;
+  for (int i = 0; i < 19; ++i) {
+    harmonic.observe(2.0);
+    last.observe(2.0);
+  }
+  harmonic.observe(50.0);  // spike
+  last.observe(50.0);
+  EXPECT_LT(harmonic.estimate(), 3.0);
+  EXPECT_DOUBLE_EQ(last.estimate(), 50.0);
+}
+
+}  // namespace
+}  // namespace eacs::net

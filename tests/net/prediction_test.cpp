@@ -1,0 +1,136 @@
+#include "eacs/net/prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/trace/session.h"
+#include "eacs/trace/signal_gen.h"
+
+namespace eacs::net {
+namespace {
+
+TEST(HoltLinearTest, InvalidFactorsThrow) {
+  EXPECT_THROW(HoltLinearEstimator(0.0, 0.2), std::invalid_argument);
+  EXPECT_THROW(HoltLinearEstimator(0.4, 1.5), std::invalid_argument);
+}
+
+TEST(HoltLinearTest, ConstantInputConverges) {
+  HoltLinearEstimator estimator;
+  for (int i = 0; i < 100; ++i) estimator.observe(8.0);
+  EXPECT_NEAR(estimator.estimate(), 8.0, 0.01);
+}
+
+TEST(HoltLinearTest, TracksLinearRamp) {
+  // On a steady ramp the trend term lets Holt forecast *ahead* of any
+  // windowed mean.
+  HoltLinearEstimator holt;
+  HarmonicMeanEstimator harmonic(20);
+  double value = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    holt.observe(value);
+    harmonic.observe(value);
+    value += 0.5;
+  }
+  // Next true value is `value`; Holt should be much closer than harmonic.
+  EXPECT_LT(std::fabs(holt.estimate() - value), 2.0);
+  EXPECT_GT(value - harmonic.estimate(), 5.0);
+}
+
+TEST(HoltLinearTest, ForecastNeverNegative) {
+  HoltLinearEstimator estimator;
+  for (double v : {10.0, 5.0, 1.0, 0.3, 0.1}) estimator.observe(v);
+  EXPECT_GE(estimator.estimate(), 0.0);
+}
+
+TEST(HoltLinearTest, ResetClears) {
+  HoltLinearEstimator estimator;
+  estimator.observe(5.0);
+  estimator.reset();
+  EXPECT_EQ(estimator.observations(), 0U);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
+}
+
+TEST(SignalAwareTest, WithoutSignalFallsBackToHistory) {
+  SignalAwareEstimator estimator(trace::ThroughputModel{}, 20, 0.5);
+  for (int i = 0; i < 10; ++i) estimator.observe(6.0);
+  EXPECT_NEAR(estimator.estimate(), 6.0, 0.01);
+}
+
+TEST(SignalAwareTest, SignalDropPullsEstimateDown) {
+  SignalAwareEstimator estimator(trace::ThroughputModel{}, 20, 0.6);
+  // History at -90 dBm conditions.
+  for (int i = 0; i < 20; ++i) {
+    estimator.observe_signal(-90.0);
+    estimator.observe(20.0);
+  }
+  const double before = estimator.estimate();
+  // Radio reports a deep fade before any new throughput sample lands.
+  estimator.observe_signal(-115.0);
+  const double after = estimator.estimate();
+  EXPECT_LT(after, 0.6 * before);
+}
+
+TEST(SignalAwareTest, BiasCalibrationAdaptsToLink) {
+  // A link consistently delivering half the curve-implied capacity should
+  // pull the fused estimate toward the measured level.
+  SignalAwareEstimator estimator(trace::ThroughputModel{}, 20, 1.0);  // pure signal
+  const double implied = trace::ThroughputModel{}.capacity_mbps(-95.0);
+  for (int i = 0; i < 30; ++i) {
+    estimator.observe_signal(-95.0);
+    estimator.observe(implied * 0.5);
+  }
+  EXPECT_NEAR(estimator.estimate(), implied * 0.5, implied * 0.1);
+}
+
+TEST(SignalAwareTest, InvalidWeightThrows) {
+  EXPECT_THROW(SignalAwareEstimator(trace::ThroughputModel{}, 20, 1.5),
+               std::invalid_argument);
+}
+
+TEST(PredictionEvaluatorTest, InvalidSegmentThrows) {
+  EXPECT_THROW(PredictionEvaluator(0.0), std::invalid_argument);
+}
+
+TEST(PredictionEvaluatorTest, PerfectPredictorOnConstantTrace) {
+  trace::TimeSeries constant;
+  for (double t = 0.0; t <= 200.0; t += 1.0) constant.append(t, 10.0);
+  PredictionEvaluator evaluator(2.0);
+  HarmonicMeanEstimator estimator(20);
+  const auto score = evaluator.score("harmonic", estimator, constant);
+  EXPECT_GT(score.samples, 50U);
+  EXPECT_NEAR(score.mae_mbps, 0.0, 1e-9);
+  EXPECT_NEAR(score.mape, 0.0, 1e-9);
+}
+
+TEST(PredictionEvaluatorTest, SignalAwareBeatsHistoryOnVolatileTrace) {
+  // On a vehicle trace whose throughput is driven by the signal, fusing the
+  // signal reading should cut the prediction error vs. pure history.
+  const auto session = trace::build_session(media::evaluation_sessions()[0]);
+  PredictionEvaluator evaluator(2.0);
+  HarmonicMeanEstimator harmonic(20);
+  SignalAwareEstimator fused(trace::ThroughputModel{}, 20, 0.5);
+  const auto harmonic_score =
+      evaluator.score("harmonic", harmonic, session.throughput_mbps);
+  const auto fused_score = evaluator.score("signal-aware", fused,
+                                           session.throughput_mbps,
+                                           &session.signal_dbm);
+  EXPECT_LT(fused_score.mae_mbps, harmonic_score.mae_mbps);
+}
+
+TEST(PredictionEvaluatorTest, AllEstimatorsScoreFiniteOnRealSession) {
+  const auto session = trace::build_session(media::evaluation_sessions()[2]);
+  PredictionEvaluator evaluator(2.0);
+  HarmonicMeanEstimator harmonic(20);
+  EmaEstimator ema(0.25);
+  LastSampleEstimator last;
+  HoltLinearEstimator holt;
+  for (auto* estimator : std::initializer_list<BandwidthEstimator*>{
+           &harmonic, &ema, &last, &holt}) {
+    const auto score = evaluator.score("x", *estimator, session.throughput_mbps);
+    EXPECT_GT(score.samples, 100U);
+    EXPECT_GT(score.mae_mbps, 0.0);
+    EXPECT_LT(score.mape, 1.0);  // under 100% average error
+  }
+}
+
+}  // namespace
+}  // namespace eacs::net

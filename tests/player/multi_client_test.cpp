@@ -1,0 +1,159 @@
+#include "eacs/player/multi_client.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/abr/festive.h"
+#include "eacs/abr/fixed.h"
+#include "../test_helpers.h"
+
+namespace eacs::player {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+trace::TimeSeries constant_capacity(double mbps, double duration = 2000.0) {
+  trace::TimeSeries series;
+  series.append(0.0, mbps);
+  series.append(duration, mbps);
+  return series;
+}
+
+TEST(JainFairnessTest, Extremes) {
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{3.0, 3.0, 3.0}), 1.0);
+  // One client hogging everything among n: J = 1/n.
+  EXPECT_NEAR(jain_fairness(std::vector<double>{6.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  const double mixed = jain_fairness(std::vector<double>{4.0, 2.0});
+  EXPECT_GT(mixed, 0.5);
+  EXPECT_LT(mixed, 1.0);
+}
+
+TEST(MultiClientTest, InvalidInputsThrow) {
+  EXPECT_THROW(MultiClientSimulator(trace::TimeSeries{}), std::invalid_argument);
+  MultiClientConfig config;
+  config.step_s = 0.0;
+  EXPECT_THROW(MultiClientSimulator(constant_capacity(10.0), config),
+               std::invalid_argument);
+  MultiClientSimulator simulator(constant_capacity(10.0));
+  std::vector<ClientSetup> bad = {{nullptr, nullptr, nullptr, 0.0}};
+  EXPECT_THROW(simulator.run(bad), std::invalid_argument);
+}
+
+TEST(MultiClientTest, SingleClientMatchesSinglePlayerApproximately) {
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto session = make_session(60.0, 12.0);
+  abr::FixedBitrate fixed(7, "Mid");
+
+  const PlayerSimulator single(manifest);
+  const auto single_result = single.run(fixed, session);
+
+  MultiClientSimulator multi(constant_capacity(12.0));
+  std::vector<ClientSetup> clients = {{&manifest, &fixed, &session, 0.0}};
+  const auto multi_results = multi.run(clients);
+  ASSERT_EQ(multi_results.size(), 1U);
+  const auto& multi_result = multi_results[0];
+
+  ASSERT_EQ(multi_result.tasks.size(), single_result.tasks.size());
+  EXPECT_NEAR(multi_result.mean_bitrate_mbps(), single_result.mean_bitrate_mbps(),
+              1e-9);
+  EXPECT_NEAR(multi_result.total_rebuffer_s, single_result.total_rebuffer_s, 0.5);
+  EXPECT_NEAR(multi_result.tasks.back().download_end_s,
+              single_result.tasks.back().download_end_s, 2.0);
+}
+
+TEST(MultiClientTest, EqualClientsShareFairly) {
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto session = make_session(60.0, 24.0);
+  abr::Festive a;
+  abr::Festive b;
+  abr::Festive c;
+  MultiClientSimulator simulator(constant_capacity(24.0));
+  std::vector<ClientSetup> clients = {{&manifest, &a, &session, 0.0},
+                                      {&manifest, &b, &session, 0.0},
+                                      {&manifest, &c, &session, 0.0}};
+  const auto results = simulator.run(clients);
+  ASSERT_EQ(results.size(), 3U);
+  std::vector<double> bitrates;
+  for (const auto& result : results) bitrates.push_back(result.mean_bitrate_mbps());
+  EXPECT_GT(jain_fairness(bitrates), 0.95);
+  // Shared 24 Mbps across 3 clients: each sees roughly 8; FESTIVE should
+  // settle clearly below the solo rate.
+  for (double bitrate : bitrates) {
+    EXPECT_LT(bitrate, 7.0);
+    EXPECT_GT(bitrate, 1.0);
+  }
+}
+
+TEST(MultiClientTest, MoreClientsMeanLowerBitrates) {
+  // Long video so FESTIVE's one-level-per-segment ramp-up is amortised and
+  // the steady-state difference dominates: solo ~5.8 Mbps on a 20 Mbps
+  // link, four-way sharing ~5 Mbps each -> FESTIVE settles at 4.3.
+  const auto manifest = make_manifest(240.0, 2.0);
+  const auto session = make_session(240.0, 20.0);
+  MultiClientSimulator simulator(constant_capacity(20.0));
+
+  abr::Festive solo_policy;
+  std::vector<ClientSetup> solo = {{&manifest, &solo_policy, &session, 0.0}};
+  const auto solo_results = simulator.run(solo);
+
+  abr::Festive p1;
+  abr::Festive p2;
+  abr::Festive p3;
+  abr::Festive p4;
+  std::vector<ClientSetup> four = {{&manifest, &p1, &session, 0.0},
+                                   {&manifest, &p2, &session, 0.0},
+                                   {&manifest, &p3, &session, 0.0},
+                                   {&manifest, &p4, &session, 0.0}};
+  const auto four_results = simulator.run(four);
+
+  double four_mean = 0.0;
+  for (const auto& result : four_results) four_mean += result.mean_bitrate_mbps();
+  four_mean /= 4.0;
+  EXPECT_LT(four_mean, 0.85 * solo_results[0].mean_bitrate_mbps());
+}
+
+TEST(MultiClientTest, LateJoinerStartsLater) {
+  const auto manifest = make_manifest(40.0, 2.0);
+  const auto session = make_session(40.0, 20.0);
+  abr::FixedBitrate early(3, "Early");
+  abr::FixedBitrate late(3, "Late");
+  MultiClientSimulator simulator(constant_capacity(20.0));
+  std::vector<ClientSetup> clients = {{&manifest, &early, &session, 0.0},
+                                      {&manifest, &late, &session, 30.0}};
+  const auto results = simulator.run(clients);
+  EXPECT_LT(results[0].tasks.front().download_start_s, 1.0);
+  EXPECT_GE(results[1].tasks.front().download_start_s, 30.0);
+  EXPECT_GT(results[1].startup_delay_s, results[0].startup_delay_s + 25.0);
+}
+
+TEST(MultiClientTest, TightLinkCausesStallsForGreedyClients) {
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto session = make_session(60.0, 6.0);
+  abr::FixedBitrate a;  // 5.8 Mbps each over a 6 Mbps shared link
+  abr::FixedBitrate b;
+  MultiClientSimulator simulator(constant_capacity(6.0));
+  std::vector<ClientSetup> clients = {{&manifest, &a, &session, 0.0},
+                                      {&manifest, &b, &session, 0.0}};
+  const auto results = simulator.run(clients);
+  EXPECT_GT(results[0].total_rebuffer_s + results[1].total_rebuffer_s, 10.0);
+}
+
+TEST(MultiClientTest, EveryClientDownloadsEverySegment) {
+  const auto manifest = make_manifest(30.0, 2.0);
+  const auto session = make_session(30.0, 15.0);
+  abr::Festive p1;
+  abr::Festive p2;
+  MultiClientSimulator simulator(constant_capacity(15.0));
+  std::vector<ClientSetup> clients = {{&manifest, &p1, &session, 0.0},
+                                      {&manifest, &p2, &session, 0.0}};
+  for (const auto& result : simulator.run(clients)) {
+    ASSERT_EQ(result.tasks.size(), manifest.num_segments());
+    for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+      EXPECT_EQ(result.tasks[i].segment_index, i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eacs::player

@@ -1,0 +1,65 @@
+#include "eacs/power/battery.h"
+
+#include <gtest/gtest.h>
+
+namespace eacs::power {
+namespace {
+
+TEST(BatteryTest, InvalidConfigThrows) {
+  BatteryConfig bad;
+  bad.capacity_mah = 0.0;
+  EXPECT_THROW(Battery{bad}, std::invalid_argument);
+  BatteryConfig bad_eff;
+  bad_eff.conversion_efficiency = 1.5;
+  EXPECT_THROW(Battery{bad_eff}, std::invalid_argument);
+}
+
+TEST(BatteryTest, UsableEnergyMatchesPack) {
+  BatteryConfig ideal;
+  ideal.capacity_mah = 1000.0;
+  ideal.nominal_voltage = 3.6;
+  ideal.usable_fraction = 1.0;
+  ideal.conversion_efficiency = 1.0;
+  // 1000 mAh * 3.6 V = 3.6 Wh = 12960 J.
+  EXPECT_NEAR(Battery{ideal}.usable_energy_j(), 12960.0, 1e-9);
+}
+
+TEST(BatteryTest, Nexus5xDefaultsPlausible) {
+  const Battery battery;
+  // ~2700 mAh * 3.85 V ~ 37.4 kJ, derated by usable*efficiency ~ 0.855.
+  EXPECT_NEAR(battery.usable_energy_j(), 31988.0, 100.0);
+  // ~2 W video playback -> roughly 4.4 hours.
+  EXPECT_NEAR(battery.hours_at(2.0), 4.44, 0.1);
+}
+
+TEST(BatteryTest, DrainFraction) {
+  const Battery battery;
+  EXPECT_DOUBLE_EQ(battery.drain_fraction(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(battery.drain_fraction(-5.0), 0.0);
+  EXPECT_NEAR(battery.drain_fraction(battery.usable_energy_j()), 1.0, 1e-12);
+  EXPECT_GT(battery.drain_fraction(2.0 * battery.usable_energy_j()), 1.9);
+}
+
+TEST(BatteryTest, VideoMinutesScalesInverselyWithPower) {
+  const Battery battery;
+  // Session A: 600 J over 300 s (2 W); session B: 900 J over 300 s (3 W).
+  const double minutes_a = battery.video_minutes(600.0, 300.0);
+  const double minutes_b = battery.video_minutes(900.0, 300.0);
+  EXPECT_NEAR(minutes_a / minutes_b, 1.5, 1e-9);
+  EXPECT_THROW(battery.video_minutes(600.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(battery.video_minutes(0.0, 300.0), 0.0);
+}
+
+TEST(BatteryTest, PaperScaleSanity) {
+  // Trace 3 (449 s): Youtube ~1363 J, Ours ~977 J. On a Nexus 5X pack that
+  // is the difference between ~2.9 and ~4.1 hours of continuous streaming.
+  const Battery battery;
+  const double youtube_minutes = battery.video_minutes(1363.0, 449.0);
+  const double ours_minutes = battery.video_minutes(977.0, 449.0);
+  EXPECT_NEAR(youtube_minutes / 60.0, 2.9, 0.3);
+  EXPECT_NEAR(ours_minutes / 60.0, 4.1, 0.4);
+  EXPECT_GT(ours_minutes - youtube_minutes, 60.0);  // over an hour more video
+}
+
+}  // namespace
+}  // namespace eacs::power

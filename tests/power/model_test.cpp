@@ -1,0 +1,134 @@
+#include "eacs/power/model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacs::power {
+namespace {
+
+TEST(PowerModelTest, Fig1aEndpointsReproduced) {
+  // Fig. 1(a): downloading 100 MB costs ~49 J at -90 dBm and ~193 J at
+  // -115 dBm.
+  const PowerModel model;
+  EXPECT_NEAR(model.download_energy(100.0, -90.0), 49.0, 1.0);
+  EXPECT_NEAR(model.download_energy(100.0, -115.0), 193.0, 6.0);
+}
+
+TEST(PowerModelTest, EnergyPerMbMonotoneInWeakness) {
+  const PowerModel model;
+  double prev = 0.0;
+  for (double s : {-90.0, -95.0, -100.0, -105.0, -110.0, -115.0}) {
+    const double e = model.energy_per_mb(s);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(PowerModelTest, EnergyPerMbClamped) {
+  const PowerModel model;
+  EXPECT_DOUBLE_EQ(model.energy_per_mb(-40.0), model.params().e_min_j_per_mb);
+  EXPECT_DOUBLE_EQ(model.energy_per_mb(-160.0), model.params().e_max_j_per_mb);
+}
+
+TEST(PowerModelTest, DownloadEnergyLinearInSize) {
+  const PowerModel model;
+  const double one = model.download_energy(1.0, -100.0);
+  EXPECT_NEAR(model.download_energy(10.0, -100.0), 10.0 * one, 1e-9);
+  EXPECT_DOUBLE_EQ(model.download_energy(0.0, -100.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.download_energy(-5.0, -100.0), 0.0);
+}
+
+TEST(PowerModelTest, DownloadPowerConsistentWithPerByteEnergy) {
+  // e(s) [J/MB] * rate [MB/s] must equal power [W]; moving X MB at that rate
+  // then costs the same energy either way.
+  const PowerModel model;
+  const double s = -95.0;
+  const double throughput = 16.0;  // Mbps -> 2 MB/s
+  const double watts = model.download_power(s, throughput);
+  const double seconds = 50.0;
+  const double mb_moved = throughput / 8.0 * seconds;
+  EXPECT_NEAR(watts * seconds, model.download_energy(mb_moved, s), 1e-9);
+  EXPECT_DOUBLE_EQ(model.download_power(s, 0.0), 0.0);
+}
+
+TEST(PowerModelTest, PlaybackPowerGrowsWithBitrate) {
+  const PowerModel model;
+  EXPECT_GT(model.playback_power(5.8), model.playback_power(0.1));
+  // But the screen/base dominates: the spread over the ladder is small.
+  EXPECT_LT(model.playback_power(5.8) - model.playback_power(0.1), 0.1);
+  EXPECT_DOUBLE_EQ(model.playback_power(-1.0), model.playback_power(0.0));
+}
+
+TEST(PowerModelTest, TaskEnergyComposition) {
+  const PowerModel model;
+  TaskEnergyInput input;
+  input.size_mb = 2.0;
+  input.bitrate_mbps = 3.0;
+  input.signal_dbm = -90.0;
+  input.play_s = 2.0;
+  input.rebuffer_s = 0.0;
+  const double expected =
+      model.download_energy(2.0, -90.0) + model.playback_power(3.0) * 2.0;
+  EXPECT_DOUBLE_EQ(model.task_energy(input), expected);
+}
+
+TEST(PowerModelTest, RebufferingAddsPauseEnergy) {
+  const PowerModel model;
+  TaskEnergyInput stalled;
+  stalled.size_mb = 2.0;
+  stalled.bitrate_mbps = 3.0;
+  stalled.signal_dbm = -90.0;
+  stalled.play_s = 2.0;
+  stalled.rebuffer_s = 1.5;
+  TaskEnergyInput clean = stalled;
+  clean.rebuffer_s = 0.0;
+  EXPECT_NEAR(model.task_energy(stalled) - model.task_energy(clean),
+              model.pause_power() * 1.5, 1e-9);
+}
+
+TEST(PowerModelTest, TailEnergyExtension) {
+  PowerModelParams params;
+  params.tail_energy_j = 0.8;
+  const PowerModel model(params);
+  TaskEnergyInput input;
+  input.size_mb = 1.0;
+  input.signal_dbm = -90.0;
+  input.play_s = 2.0;
+  input.download_bursts = 3;
+  PowerModelParams no_tail = params;
+  no_tail.tail_energy_j = 0.0;
+  EXPECT_NEAR(model.task_energy(input) - PowerModel(no_tail).task_energy(input),
+              3 * 0.8, 1e-9);
+}
+
+TEST(PowerModelTest, WholeSessionEnergyInTableVIRange) {
+  // A 300 s clip at -90 dBm lands in Table VI's 597..708 J window and the
+  // spread across the ladder is ~110 J.
+  const PowerModel model;
+  const auto energy_for = [&](double bitrate) {
+    TaskEnergyInput input;
+    input.size_mb = bitrate * 300.0 / 8.0;
+    input.bitrate_mbps = bitrate;
+    input.signal_dbm = -90.0;
+    input.play_s = 300.0;
+    return model.task_energy(input);
+  };
+  const double lowest = energy_for(0.1);
+  const double highest = energy_for(5.8);
+  EXPECT_NEAR(lowest, 597.0, 25.0);
+  EXPECT_NEAR(highest, 708.0, 25.0);
+  EXPECT_GT(highest, lowest + 80.0);
+}
+
+TEST(PowerModelTest, InvalidParamsThrow) {
+  PowerModelParams params;
+  params.e_ref_j_per_mb = 0.0;
+  EXPECT_THROW(PowerModel{params}, std::invalid_argument);
+  PowerModelParams negative_tail;
+  negative_tail.tail_energy_j = -1.0;
+  EXPECT_THROW(PowerModel{negative_tail}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacs::power

@@ -1,0 +1,87 @@
+// Property suite: the trace-driven downloader is the exact inverse of the
+// throughput trace's time-integral.
+
+#include <gtest/gtest.h>
+
+#include "eacs/net/downloader.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::net {
+namespace {
+
+trace::TimeSeries random_trace(std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  trace::TimeSeries series;
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    series.append(t, rng.uniform(0.5, 30.0));
+    t += rng.uniform(0.2, 2.0);
+  }
+  return series;
+}
+
+class DownloaderProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DownloaderProperties, IntegralInverseDuality) {
+  // integral_over(start, end) == size for every completed download.
+  const auto series = random_trace(GetParam());
+  const SegmentDownloader downloader(series);
+  eacs::Rng rng(GetParam() ^ 0xD0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double start = rng.uniform(0.0, series.end_time() * 0.6);
+    const double size = rng.uniform(0.1, 40.0);
+    const auto result = downloader.download(start, size);
+    EXPECT_GT(result.end_s, start);
+    EXPECT_NEAR(series.integral_over(start, result.end_s), size, 1e-6)
+        << "start " << start << " size " << size;
+  }
+}
+
+TEST_P(DownloaderProperties, MonotoneInSize) {
+  const auto series = random_trace(GetParam());
+  const SegmentDownloader downloader(series);
+  eacs::Rng rng(GetParam() ^ 0xD1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double start = rng.uniform(0.0, series.end_time() * 0.5);
+    const double small = rng.uniform(0.1, 10.0);
+    const double large = small + rng.uniform(0.1, 10.0);
+    EXPECT_LT(downloader.download(start, small).end_s,
+              downloader.download(start, large).end_s);
+  }
+}
+
+TEST_P(DownloaderProperties, ChainingIsAdditive) {
+  // Downloading s1 then s2 (starting where s1 ended) lands exactly where a
+  // single s1+s2 download lands.
+  const auto series = random_trace(GetParam());
+  const SegmentDownloader downloader(series);
+  eacs::Rng rng(GetParam() ^ 0xD2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double start = rng.uniform(0.0, series.end_time() * 0.4);
+    const double s1 = rng.uniform(0.1, 15.0);
+    const double s2 = rng.uniform(0.1, 15.0);
+    const auto first = downloader.download(start, s1);
+    const auto second = downloader.download(first.end_s, s2);
+    const auto combined = downloader.download(start, s1 + s2);
+    EXPECT_NEAR(second.end_s, combined.end_s, 1e-6);
+  }
+}
+
+TEST_P(DownloaderProperties, LaterStartNeverFinishesEarlier) {
+  const auto series = random_trace(GetParam());
+  const SegmentDownloader downloader(series);
+  eacs::Rng rng(GetParam() ^ 0xD3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double start = rng.uniform(0.0, series.end_time() * 0.5);
+    const double delta = rng.uniform(0.1, 20.0);
+    const double size = rng.uniform(0.5, 20.0);
+    EXPECT_LE(downloader.download(start, size).end_s,
+              downloader.download(start + delta, size).end_s + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DownloaderProperties,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+}  // namespace
+}  // namespace eacs::net

@@ -1,0 +1,117 @@
+// Property suite: monotonicity and bounds of the QoE and power models, plus
+// MPD round-trip losslessness, over randomized parameter draws.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eacs/media/mpd.h"
+#include "eacs/power/model.h"
+#include "eacs/qoe/model.h"
+#include "eacs/util/rng.h"
+
+namespace eacs {
+namespace {
+
+class ModelProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperties, QoeBoundsAndMonotonicity) {
+  eacs::Rng rng(GetParam());
+  const qoe::QoeModel model;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double r = rng.uniform(0.01, 8.0);
+    const double v = rng.uniform(0.0, 8.0);
+    const double q = model.perceived_quality(r, v);
+    EXPECT_GE(q, 1.0);
+    EXPECT_LE(q, 5.0);
+    // More vibration never improves perceived quality.
+    EXPECT_LE(model.perceived_quality(r, v + 1.0), q + 1e-12);
+    // Original quality is non-decreasing in bitrate.
+    EXPECT_GE(model.original_quality(r + 0.5), model.original_quality(r) - 1e-12);
+    // Impairment is non-negative and grows with both arguments.
+    const double impairment = model.vibration_impairment(v, r);
+    EXPECT_GE(impairment, 0.0);
+    EXPECT_GE(model.vibration_impairment(v + 0.5, r), impairment - 1e-12);
+    EXPECT_GE(model.vibration_impairment(v, r + 0.5), impairment - 1e-12);
+  }
+}
+
+TEST_P(ModelProperties, SegmentQoeNeverExceedsOriginalQuality) {
+  eacs::Rng rng(GetParam() ^ 0xA);
+  const qoe::QoeModel model;
+  for (int trial = 0; trial < 200; ++trial) {
+    qoe::SegmentContext ctx;
+    ctx.bitrate_mbps = rng.uniform(0.05, 6.0);
+    ctx.vibration = rng.uniform(0.0, 7.0);
+    ctx.prev_bitrate_mbps = rng.uniform(0.0, 6.0);
+    ctx.rebuffer_s = rng.uniform(0.0, 4.0);
+    EXPECT_LE(model.segment_qoe(ctx), model.original_quality(ctx.bitrate_mbps) + 1e-12);
+  }
+}
+
+TEST_P(ModelProperties, PowerMonotonicity) {
+  eacs::Rng rng(GetParam() ^ 0xB);
+  const power::PowerModel model;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double s = rng.uniform(-118.0, -80.0);
+    const double mb = rng.uniform(0.0, 50.0);
+    // Weaker signal never cheapens a transfer.
+    EXPECT_GE(model.download_energy(mb, s - 2.0), model.download_energy(mb, s) - 1e-9);
+    // More data never costs less.
+    EXPECT_GE(model.download_energy(mb + 1.0, s), model.download_energy(mb, s));
+    // Task energy is additive in its parts.
+    power::TaskEnergyInput input;
+    input.size_mb = mb;
+    input.signal_dbm = s;
+    input.bitrate_mbps = rng.uniform(0.1, 5.8);
+    input.play_s = rng.uniform(0.5, 4.0);
+    input.rebuffer_s = rng.uniform(0.0, 2.0);
+    const double expected = model.download_energy(mb, s) +
+                            model.playback_power(input.bitrate_mbps) * input.play_s +
+                            model.pause_power() * input.rebuffer_s;
+    EXPECT_NEAR(model.task_energy(input), expected, 1e-9);
+  }
+}
+
+TEST_P(ModelProperties, MpdRoundTripIsLossless) {
+  eacs::Rng rng(GetParam() ^ 0xC);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random ladder (3-10 rungs), random durations, random VBR.
+    std::vector<media::BitrateRung> rungs;
+    double rate = rng.uniform(0.05, 0.3);
+    const auto rung_count = static_cast<std::size_t>(rng.uniform_int(3, 10));
+    for (std::size_t i = 0; i < rung_count; ++i) {
+      rungs.push_back({rate, ""});
+      rate *= rng.uniform(1.3, 2.2);
+    }
+    const media::VideoManifest original(
+        "prop" + std::to_string(trial), rng.uniform(30.0, 600.0),
+        rng.uniform(1.0, 6.0), media::BitrateLadder(rungs),
+        media::VbrModel{rng.uniform(0.0, 0.3)});
+    const auto parsed = media::from_mpd_xml(media::to_mpd_xml(original));
+    ASSERT_EQ(parsed.num_segments(), original.num_segments());
+    ASSERT_EQ(parsed.ladder().size(), original.ladder().size());
+    // MPD carries bandwidth as integer bits/s and durations on an integer
+    // (microsecond) timescale, so round-trips are exact only up to that
+    // quantisation. The last segment's duration is total - (N-1)*segdur, so
+    // it additionally absorbs N times the per-segment rounding: its
+    // tolerance scales with the segment count.
+    const double duration_slack =
+        static_cast<double>(original.num_segments()) * 1e-6;  // seconds
+    for (std::size_t i = 0; i < original.num_segments();
+         i += std::max<std::size_t>(1, original.num_segments() / 7)) {
+      for (std::size_t level = 0; level < original.ladder().size(); ++level) {
+        const double want = original.segment_size_megabits(i, level);
+        const double slack =
+            want * 1e-4 + original.ladder().bitrate(level) * duration_slack + 1e-6;
+        EXPECT_NEAR(parsed.segment_size_megabits(i, level), want, slack);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperties,
+                         ::testing::Values(31, 32, 33, 34));
+
+}  // namespace
+}  // namespace eacs

@@ -1,0 +1,121 @@
+// Property suite: parser robustness. The CSV and XML parsers consume
+// user-supplied files (trace imports, foreign MPDs); feeding them random
+// garbage and random mutations of valid documents must either parse or
+// throw — never crash, hang, or corrupt state.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "eacs/media/mpd.h"
+#include "eacs/util/csv.h"
+#include "eacs/util/rng.h"
+#include "eacs/util/xml.h"
+
+namespace eacs {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_length) {
+  const auto length = static_cast<std::size_t>(rng.uniform_int(0, max_length));
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng.uniform_int(1, 127)));
+  }
+  return out;
+}
+
+std::string mutate(Rng& rng, std::string text) {
+  const auto mutations = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  for (std::size_t m = 0; m < mutations && !text.empty(); ++m) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(text.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // flip a character
+        text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a span
+        text.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 5)));
+        break;
+      default:  // duplicate a span
+        text.insert(pos, text.substr(pos, 3));
+        break;
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, CsvSurvivesGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::string input = random_bytes(rng, 200);
+    try {
+      const auto table = parse_csv(input);
+      // If it parsed, basic invariants hold.
+      EXPECT_GE(table.num_cols(), 1U);
+    } catch (const std::runtime_error&) {
+      // Rejecting is fine.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, XmlSurvivesGarbage) {
+  Rng rng(GetParam() ^ 0x1);
+  for (int i = 0; i < 300; ++i) {
+    const std::string input = random_bytes(rng, 200);
+    try {
+      const auto root = parse_xml(input);
+      EXPECT_FALSE(root.name().empty());
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedMpdEitherParsesOrThrows) {
+  Rng rng(GetParam() ^ 0x2);
+  const media::VideoManifest manifest("fuzz", 60.0, 2.0,
+                                      media::BitrateLadder::table2());
+  const std::string valid = media::to_mpd_xml(manifest);
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = mutate(rng, valid);
+    try {
+      const auto parsed = media::from_mpd_xml(input);
+      // A successfully parsed mutant is still a coherent manifest.
+      EXPECT_GE(parsed.ladder().size(), 1U);
+      EXPECT_GT(parsed.total_duration_s(), 0.0);
+      EXPECT_GT(parsed.segment_duration_s(), 0.0);
+    } catch (const std::exception&) {
+      // invalid_argument/runtime_error both acceptable rejections.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedCsvTraceEitherParsesOrThrows) {
+  Rng rng(GetParam() ^ 0x3);
+  std::string valid = "t_s,value\n";
+  for (int i = 0; i < 20; ++i) {
+    valid += std::to_string(i * 0.5) + "," + std::to_string(-90.0 - i) + "\n";
+  }
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = mutate(rng, valid);
+    try {
+      const auto table = parse_csv(input);
+      if (table.has_column("t_s") && table.has_column("value")) {
+        for (std::size_t row = 0; row < table.num_rows(); ++row) {
+          try {
+            (void)table.cell_as_double(row, "value");
+          } catch (const std::runtime_error&) {
+          }
+        }
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(91, 92, 93));
+
+}  // namespace
+}  // namespace eacs

@@ -1,0 +1,135 @@
+// Property suite: optimality and consistency of the planners, parameterized
+// over random task environments.
+
+#include <gtest/gtest.h>
+
+#include "eacs/core/optimal.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::core {
+namespace {
+
+Objective make_objective(double alpha) {
+  ObjectiveConfig config;
+  config.alpha = alpha;
+  return Objective(qoe::QoeModel{}, power::PowerModel{}, config);
+}
+
+std::vector<TaskEnvironment> random_tasks(std::size_t n, std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  const auto ladder = media::BitrateLadder::evaluation14();
+  std::vector<TaskEnvironment> tasks;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskEnvironment env;
+    env.index = i;
+    env.duration_s = 2.0;
+    env.signal_dbm = rng.uniform(-118.0, -82.0);
+    env.vibration = rng.uniform(0.0, 7.5);
+    env.bandwidth_mbps = rng.uniform(0.5, 40.0);
+    for (std::size_t level = 0; level < ladder.size(); ++level) {
+      env.size_megabits.push_back(ladder.bitrate(level) * 2.0);
+    }
+    tasks.push_back(std::move(env));
+  }
+  return tasks;
+}
+
+double plan_cost(const Objective& objective, const std::vector<TaskEnvironment>& tasks,
+                 const std::vector<std::size_t>& levels) {
+  double cost = objective.task_cost(tasks[0], levels[0], std::nullopt, 30.0);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    cost += objective.task_cost(tasks[i], levels[i], levels[i - 1], 30.0);
+  }
+  return cost;
+}
+
+struct Params {
+  std::uint64_t seed;
+  double alpha;
+};
+
+class PlannerProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PlannerProperties, PlanBeatsEveryConstantLevelPlan) {
+  const auto [seed, alpha] = GetParam();
+  const Objective objective = make_objective(alpha);
+  const auto tasks = random_tasks(25, seed);
+  OptimalPlanner planner(objective);
+  const auto plan = planner.plan(tasks);
+  const double optimal_cost = plan_cost(objective, tasks, plan.levels);
+  for (std::size_t level = 0; level < 14; ++level) {
+    const std::vector<std::size_t> constant(tasks.size(), level);
+    EXPECT_LE(optimal_cost, plan_cost(objective, tasks, constant) + 1e-9)
+        << "constant level " << level;
+  }
+}
+
+TEST_P(PlannerProperties, PlanBeatsRandomPlans) {
+  const auto [seed, alpha] = GetParam();
+  const Objective objective = make_objective(alpha);
+  const auto tasks = random_tasks(25, seed);
+  OptimalPlanner planner(objective);
+  const auto plan = planner.plan(tasks);
+  const double optimal_cost = plan_cost(objective, tasks, plan.levels);
+  eacs::Rng rng(seed ^ 0xFEED);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> random_levels(tasks.size());
+    for (auto& level : random_levels) {
+      level = static_cast<std::size_t>(rng.uniform_int(0, 13));
+    }
+    EXPECT_LE(optimal_cost, plan_cost(objective, tasks, random_levels) + 1e-9);
+  }
+}
+
+TEST_P(PlannerProperties, DijkstraAgreesWithDp) {
+  const auto [seed, alpha] = GetParam();
+  const Objective objective = make_objective(alpha);
+  const auto tasks = random_tasks(30, seed);
+  OptimalPlanner planner(objective);
+  const auto dp = planner.plan(tasks, PlannerMethod::kDagDp);
+  const auto dijkstra = planner.plan(tasks, PlannerMethod::kDijkstra);
+  EXPECT_NEAR(dp.total_cost, dijkstra.total_cost, 1e-6);
+  EXPECT_NEAR(plan_cost(objective, tasks, dijkstra.levels), dp.total_cost, 1e-6);
+}
+
+TEST_P(PlannerProperties, ReportedCostMatchesRecomputation) {
+  const auto [seed, alpha] = GetParam();
+  const Objective objective = make_objective(alpha);
+  const auto tasks = random_tasks(20, seed);
+  OptimalPlanner planner(objective);
+  const auto plan = planner.plan(tasks);
+  EXPECT_NEAR(plan.total_cost, plan_cost(objective, tasks, plan.levels), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphas, PlannerProperties,
+    ::testing::Values(Params{1, 0.5}, Params{2, 0.5}, Params{3, 0.5},
+                      Params{4, 0.2}, Params{5, 0.2}, Params{6, 0.8},
+                      Params{7, 0.8}, Params{8, 0.0}, Params{9, 1.0}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_alpha" +
+             std::to_string(static_cast<int>(info.param.alpha * 100));
+    });
+
+class ReferenceMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReferenceMonotonicity, ReferenceLevelNonIncreasingInAlpha) {
+  // The weighted-sum argmin walks down the energy/QoE Pareto front as the
+  // energy weight grows.
+  const auto tasks = random_tasks(10, GetParam());
+  for (const auto& env : tasks) {
+    std::size_t prev_level = 13;
+    for (double alpha = 0.0; alpha <= 1.0 + 1e-9; alpha += 0.1) {
+      const Objective objective = make_objective(std::min(alpha, 1.0));
+      const std::size_t level = objective.reference_level(env, 30.0);
+      EXPECT_LE(level, prev_level) << "alpha " << alpha;
+      prev_level = level;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceMonotonicity,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace eacs::core

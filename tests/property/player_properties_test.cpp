@@ -1,0 +1,172 @@
+// Property suite: player-simulator invariants over randomized sessions and
+// every policy family. Parameterized over (seed, policy kind).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "eacs/abr/bba.h"
+#include "eacs/abr/bola.h"
+#include "eacs/abr/festive.h"
+#include "eacs/abr/fixed.h"
+#include "eacs/abr/mpc.h"
+#include "eacs/core/horizon.h"
+#include "eacs/core/online.h"
+#include "eacs/player/player.h"
+#include "eacs/trace/session.h"
+#include "eacs/trace/signal_gen.h"
+#include "eacs/trace/throughput_gen.h"
+#include "eacs/trace/accel_gen.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::player {
+namespace {
+
+enum class PolicyKind { kFixedTop, kFixedBottom, kFestive, kBba, kBola, kMpc,
+                        kOurs, kHorizon };
+
+const char* kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedTop: return "FixedTop";
+    case PolicyKind::kFixedBottom: return "FixedBottom";
+    case PolicyKind::kFestive: return "Festive";
+    case PolicyKind::kBba: return "Bba";
+    case PolicyKind::kBola: return "Bola";
+    case PolicyKind::kMpc: return "Mpc";
+    case PolicyKind::kOurs: return "Ours";
+    case PolicyKind::kHorizon: return "Horizon";
+  }
+  return "?";
+}
+
+std::unique_ptr<AbrPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedTop: return std::make_unique<abr::FixedBitrate>();
+    case PolicyKind::kFixedBottom:
+      return std::make_unique<abr::FixedBitrate>(0, "Bottom");
+    case PolicyKind::kFestive: return std::make_unique<abr::Festive>();
+    case PolicyKind::kBba: return std::make_unique<abr::Bba>(5.0, 30.0);
+    case PolicyKind::kBola: return std::make_unique<abr::Bola>(5.0, 30.0);
+    case PolicyKind::kMpc: return std::make_unique<abr::Mpc>();
+    case PolicyKind::kOurs: {
+      core::Objective objective(qoe::QoeModel{}, power::PowerModel{},
+                                core::ObjectiveConfig{});
+      return std::make_unique<core::OnlineBitrateSelector>(
+          objective, core::OnlineOptions{.startup_level = 2});
+    }
+    case PolicyKind::kHorizon: {
+      core::Objective objective(qoe::QoeModel{}, power::PowerModel{},
+                                core::ObjectiveConfig{});
+      return std::make_unique<core::RollingHorizonSelector>(
+          objective, core::HorizonOptions{.horizon = 4, .startup_level = 2});
+    }
+  }
+  return nullptr;
+}
+
+/// Random session: arbitrary blend severity, random duration.
+trace::SessionTraces random_session(std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  trace::SessionTraces session;
+  session.spec.id = static_cast<int>(seed % 100);
+  session.spec.length_s = rng.uniform(60.0, 240.0);
+  const double severity = rng.uniform(0.0, 1.0);
+  const double margin = session.spec.length_s + 300.0;  // generous slack
+
+  trace::SignalStrengthGenerator signal_gen(trace::SignalModel::blended(severity),
+                                            seed ^ 0x51);
+  session.signal_dbm = signal_gen.generate(margin);
+  trace::ThroughputGenerator throughput_gen(trace::ThroughputModel{}, seed ^ 0x7417);
+  session.throughput_mbps = throughput_gen.generate(session.signal_dbm);
+  trace::AccelGenerator accel_gen(trace::AccelModel::moving_vehicle(), seed ^ 0xACC);
+  session.accel =
+      accel_gen.generate_calibrated(margin, rng.uniform(0.5, 7.0));
+  return session;
+}
+
+struct Params {
+  std::uint64_t seed;
+  PolicyKind kind;
+};
+
+class PlayerInvariants : public ::testing::TestWithParam<Params> {};
+
+TEST_P(PlayerInvariants, HoldOverRandomSessions) {
+  const auto [seed, kind] = GetParam();
+  const auto session = random_session(seed);
+  const media::VideoManifest manifest("prop", session.spec.length_s, 2.0,
+                                      media::BitrateLadder::evaluation14(),
+                                      media::VbrModel{0.15});
+  const PlayerSimulator simulator(manifest);
+  auto policy = make_policy(kind);
+  const auto result = simulator.run(*policy, session);
+
+  // 1. Every segment downloaded exactly once, in order.
+  ASSERT_EQ(result.tasks.size(), manifest.num_segments());
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    EXPECT_EQ(result.tasks[i].segment_index, i);
+  }
+
+  // 2. Download windows are ordered and non-overlapping.
+  for (std::size_t i = 1; i < result.tasks.size(); ++i) {
+    EXPECT_GE(result.tasks[i].download_start_s,
+              result.tasks[i - 1].download_end_s - 1e-9);
+  }
+
+  // 3. Wall-clock conservation: playback starts at startup_delay, plays the
+  //    whole video, pausing only for the recorded stalls.
+  double video_duration = 0.0;
+  for (const auto& task : result.tasks) video_duration += task.duration_s;
+  EXPECT_NEAR(result.session_end_s,
+              result.startup_delay_s + video_duration + result.total_rebuffer_s,
+              1e-6);
+
+  // 4. Per-task sanity: sizes/durations positive, stalls non-negative,
+  //    recorded throughput consistent with the download window.
+  double total_mb = 0.0;
+  std::size_t switches = 0;
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    const auto& task = result.tasks[i];
+    EXPECT_GT(task.size_mb, 0.0);
+    EXPECT_GT(task.duration_s, 0.0);
+    EXPECT_GE(task.rebuffer_s, 0.0);
+    EXPECT_GT(task.throughput_mbps, 0.0);
+    EXPECT_LE(task.buffer_before_s,
+              simulator.config().buffer_threshold_s + 1e-6);
+    EXPECT_NEAR(task.size_mb,
+                manifest.segment_size_megabits(i, task.level) / 8.0, 1e-9);
+    total_mb += task.size_mb;
+    if (i > 0 && task.level != result.tasks[i - 1].level) ++switches;
+  }
+  EXPECT_NEAR(result.total_downloaded_mb(), total_mb, 1e-9);
+  EXPECT_EQ(result.switch_count, switches);
+
+  // 5. Rebuffer bookkeeping matches the per-task records.
+  double stall_sum = 0.0;
+  for (const auto& task : result.tasks) stall_sum += task.rebuffer_s;
+  EXPECT_NEAR(result.total_rebuffer_s, stall_sum, 1e-9);
+}
+
+std::vector<Params> all_params() {
+  std::vector<Params> params;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    for (PolicyKind kind :
+         {PolicyKind::kFixedTop, PolicyKind::kFixedBottom, PolicyKind::kFestive,
+          PolicyKind::kBba, PolicyKind::kBola, PolicyKind::kMpc, PolicyKind::kOurs,
+          PolicyKind::kHorizon}) {
+      params.push_back({seed, kind});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAndSeeds, PlayerInvariants,
+                         ::testing::ValuesIn(all_params()),
+                         [](const ::testing::TestParamInfo<Params>& info) {
+                           return std::string(kind_name(info.param.kind)) + "_seed" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace eacs::player

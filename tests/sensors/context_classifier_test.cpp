@@ -1,0 +1,101 @@
+#include "eacs/sensors/context_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eacs/trace/accel_gen.h"
+
+namespace eacs::sensors {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+AccelTrace synthetic(double amplitude, double freq_hz, double duration_s = 20.0) {
+  AccelTrace trace;
+  const double dt = 1.0 / 50.0;
+  for (double t = 0.0; t < duration_s; t += dt) {
+    trace.push_back(
+        {t, 0.0, 0.0, kGravity + amplitude * std::sin(2.0 * kPi * freq_hz * t)});
+  }
+  return trace;
+}
+
+TEST(GoertzelTest, DetectsPureTone) {
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(std::sin(2.0 * kPi * 5.0 * i / 50.0));
+  }
+  const double at_tone = goertzel_power(samples, 5.0, 50.0);
+  const double off_tone = goertzel_power(samples, 12.0, 50.0);
+  EXPECT_GT(at_tone, 50.0 * off_tone);
+}
+
+TEST(GoertzelTest, EmptyAndInvalidInputs) {
+  EXPECT_DOUBLE_EQ(goertzel_power({}, 5.0, 50.0), 0.0);
+  std::vector<double> samples(10, 1.0);
+  EXPECT_THROW(goertzel_power(samples, 30.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(goertzel_power(samples, -1.0, 50.0), std::invalid_argument);
+}
+
+TEST(MotionFeaturesTest, QuietWindowNearZeroRms) {
+  const auto trace = synthetic(0.0, 1.0);
+  const auto features = compute_motion_features(trace);
+  EXPECT_LT(features.rms, 0.05);
+}
+
+TEST(MotionFeaturesTest, DominantFrequencyFound) {
+  const auto trace = synthetic(2.0, 5.0);
+  const auto features = compute_motion_features(trace);
+  EXPECT_NEAR(features.dominant_hz, 5.0, 0.3);
+  EXPECT_GT(features.rms, 1.0);
+}
+
+TEST(MotionFeaturesTest, EmptyWindow) {
+  const auto features = compute_motion_features({});
+  EXPECT_DOUBLE_EQ(features.rms, 0.0);
+  EXPECT_DOUBLE_EQ(features.dominant_hz, 0.0);
+}
+
+TEST(ClassifierTest, StaticWindow) {
+  trace::AccelGenerator generator(trace::AccelModel::quiet_room(), 3);
+  const auto trace = generator.generate(20.0);
+  EXPECT_EQ(classify_window(trace), Context::kStatic);
+}
+
+TEST(ClassifierTest, WalkingWindow) {
+  trace::AccelGenerator generator(trace::AccelModel::walking(), 5);
+  const auto trace = generator.generate(20.0);
+  EXPECT_EQ(classify_window(trace), Context::kWalking);
+}
+
+TEST(ClassifierTest, VehicleWindow) {
+  trace::AccelGenerator generator(trace::AccelModel::moving_vehicle(), 7);
+  const auto trace = generator.generate_calibrated(30.0, 6.0);
+  EXPECT_EQ(classify_window(trace), Context::kVehicle);
+}
+
+TEST(ClassifierTest, VehicleRobustAcrossSeeds) {
+  for (std::uint64_t seed = 11; seed < 16; ++seed) {
+    trace::AccelGenerator generator(trace::AccelModel::moving_vehicle(), seed);
+    const auto trace = generator.generate_calibrated(30.0, 5.5);
+    EXPECT_EQ(classify_window(trace), Context::kVehicle) << "seed " << seed;
+  }
+}
+
+TEST(ClassifierTest, WalkingRobustAcrossSeeds) {
+  for (std::uint64_t seed = 21; seed < 26; ++seed) {
+    trace::AccelGenerator generator(trace::AccelModel::walking(), seed);
+    const auto trace = generator.generate(20.0);
+    EXPECT_EQ(classify_window(trace), Context::kWalking) << "seed " << seed;
+  }
+}
+
+TEST(ClassifierTest, ToStringLabels) {
+  EXPECT_STREQ(to_string(Context::kStatic), "static");
+  EXPECT_STREQ(to_string(Context::kWalking), "walking");
+  EXPECT_STREQ(to_string(Context::kVehicle), "vehicle");
+}
+
+}  // namespace
+}  // namespace eacs::sensors

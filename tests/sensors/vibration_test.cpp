@@ -1,0 +1,125 @@
+#include "eacs/sensors/vibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eacs/sensors/accel.h"
+
+namespace eacs::sensors {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+AccelTrace constant_gravity_trace(double duration_s, double rate_hz = 50.0) {
+  AccelTrace trace;
+  const double dt = 1.0 / rate_hz;
+  for (double t = 0.0; t < duration_s; t += dt) {
+    trace.push_back({t, 0.0, 0.0, kGravity});
+  }
+  return trace;
+}
+
+AccelTrace vibrating_trace(double amplitude, double freq_hz, double duration_s,
+                           double rate_hz = 50.0) {
+  AccelTrace trace;
+  const double dt = 1.0 / rate_hz;
+  for (double t = 0.0; t < duration_s; t += dt) {
+    trace.push_back(
+        {t, 0.0, 0.0, kGravity + amplitude * std::sin(2.0 * kPi * freq_hz * t)});
+  }
+  return trace;
+}
+
+TEST(AccelSampleTest, Magnitude) {
+  AccelSample sample{0.0, 3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(sample.magnitude(), 5.0);
+}
+
+TEST(VibrationEstimatorTest, QuietGravityIsNearZero) {
+  const auto trace = constant_gravity_trace(20.0);
+  EXPECT_NEAR(vibration_level(trace), 0.0, 1e-6);
+}
+
+TEST(VibrationEstimatorTest, SinusoidGivesRmsLevel) {
+  // 5 Hz sine of amplitude A on top of gravity: gravity is removed by the
+  // high-pass, the AC RMS is A/sqrt(2).
+  const double amplitude = 4.0;
+  const auto trace = vibrating_trace(amplitude, 5.0, 30.0);
+  const double level = vibration_level(trace);
+  EXPECT_NEAR(level, amplitude / std::sqrt(2.0), 0.25);
+}
+
+TEST(VibrationEstimatorTest, LevelGrowsWithAmplitude) {
+  const double small = vibration_level(vibrating_trace(1.0, 5.0, 30.0));
+  const double large = vibration_level(vibrating_trace(6.0, 5.0, 30.0));
+  EXPECT_GT(large, 4.0 * small);
+}
+
+TEST(VibrationEstimatorTest, WindowForgetsOldVibration) {
+  // 30 s of heavy vibration followed by 30 s of stillness: the 6 s trailing
+  // window must come back near zero.
+  AccelTrace trace = vibrating_trace(5.0, 5.0, 30.0);
+  const double dt = 1.0 / 50.0;
+  for (double t = 30.0; t < 60.0; t += dt) {
+    trace.push_back({t, 0.0, 0.0, kGravity});
+  }
+  EXPECT_LT(vibration_level(trace), 0.3);
+}
+
+TEST(VibrationEstimatorTest, StreamingMatchesBatch) {
+  const auto trace = vibrating_trace(3.0, 4.0, 25.0);
+  VibrationEstimator estimator;
+  for (const auto& sample : trace) estimator.update(sample);
+  EXPECT_DOUBLE_EQ(estimator.level(), vibration_level(trace));
+  EXPECT_EQ(estimator.samples_seen(), trace.size());
+}
+
+TEST(VibrationEstimatorTest, ResetClears) {
+  VibrationEstimator estimator;
+  estimator.update({0.0, 0.0, 0.0, 15.0});
+  estimator.reset();
+  EXPECT_DOUBLE_EQ(estimator.level(), 0.0);
+  EXPECT_EQ(estimator.samples_seen(), 0U);
+}
+
+TEST(VibrationEstimatorTest, ConfigWindowSamples) {
+  VibrationConfig config;
+  config.window_s = 6.0;
+  config.sample_rate_hz = 50.0;
+  EXPECT_EQ(config.window_samples(), 300U);
+  config.window_s = 0.001;
+  EXPECT_EQ(config.window_samples(), 1U);
+}
+
+TEST(VibrationEstimatorTest, InvalidConfigThrows) {
+  VibrationConfig config;
+  config.window_s = -1.0;
+  EXPECT_THROW(VibrationEstimator{config}, std::invalid_argument);
+}
+
+TEST(MeanVibrationTest, StationarySignalMeanNearFinal) {
+  const auto trace = vibrating_trace(4.0, 5.0, 60.0);
+  const double mean_level = mean_vibration_level(trace);
+  const double final_level = vibration_level(trace);
+  EXPECT_NEAR(mean_level, final_level, 0.3);
+}
+
+TEST(MeanVibrationTest, ShortTraceFallsBack) {
+  const auto trace = vibrating_trace(4.0, 5.0, 2.0);  // shorter than the window
+  EXPECT_GT(mean_vibration_level(trace), 0.0);
+}
+
+TEST(VibrationEstimatorTest, HandlesXyVibrationToo) {
+  // Vibration on the x axis changes |a| and must register (less efficiently
+  // than z because gravity dominates the magnitude direction).
+  AccelTrace trace;
+  const double dt = 1.0 / 50.0;
+  for (double t = 0.0; t < 30.0; t += dt) {
+    trace.push_back({t, 6.0 * std::sin(2.0 * kPi * 5.0 * t), 0.0, kGravity});
+  }
+  EXPECT_GT(vibration_level(trace), 0.5);
+}
+
+}  // namespace
+}  // namespace eacs::sensors

@@ -1,0 +1,40 @@
+#include "eacs/sim/robustness.h"
+
+#include <gtest/gtest.h>
+
+namespace eacs::sim {
+namespace {
+
+TEST(RobustnessTest, ZeroRunsThrows) {
+  EXPECT_THROW(run_robustness_study({}, 0), std::invalid_argument);
+}
+
+TEST(RobustnessTest, DeterministicInBaseSeed) {
+  const auto a = run_robustness_study({}, 2, 99);
+  const auto b = run_robustness_study({}, 2, 99);
+  EXPECT_DOUBLE_EQ(a.per_algorithm.at("Ours").energy_saving.mean(),
+                   b.per_algorithm.at("Ours").energy_saving.mean());
+}
+
+TEST(RobustnessTest, HeadlineOrderingHoldsAcrossSeeds) {
+  // 3 independent trace ensembles keep the test quick; the bench runs 10.
+  const auto result = run_robustness_study({}, 3, 2026);
+  EXPECT_EQ(result.runs, 3U);
+  const auto& ours = result.per_algorithm.at("Ours");
+  const auto& festive = result.per_algorithm.at("FESTIVE");
+  const auto& bba = result.per_algorithm.at("BBA");
+
+  // Ours saves far more than the throughput baselines in *every* run (the
+  // min of Ours' distribution beats the max of theirs).
+  EXPECT_GT(ours.energy_saving.min(), festive.energy_saving.max());
+  EXPECT_GT(ours.energy_saving.min(), bba.energy_saving.max());
+  // The extra-energy savings land in the paper's ballpark in every run.
+  EXPECT_GT(ours.extra_energy_saving.min(), 0.60);
+  // QoE degradation stays small in every run.
+  EXPECT_LT(ours.qoe_degradation.max(), 0.10);
+  // Low run-to-run variance: the conclusion is not seed luck.
+  EXPECT_LT(ours.energy_saving.stddev(), 0.05);
+}
+
+}  // namespace
+}  // namespace eacs::sim

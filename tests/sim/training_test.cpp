@@ -1,0 +1,96 @@
+#include "eacs/sim/training.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.h"
+
+namespace eacs::sim {
+namespace {
+
+std::vector<trace::SessionTraces> training_sessions() {
+  // Two short contrasting sessions keep the test fast.
+  auto quiet = eacs::testing::make_session(80.0, 25.0, -88.0, 0.5);
+  quiet.spec.id = 1;
+  quiet.spec.length_s = 80.0;
+  auto shaky = eacs::testing::make_session(80.0, 8.0, -106.0, 6.5);
+  shaky.spec.id = 2;
+  shaky.spec.length_s = 80.0;
+  return {quiet, shaky};
+}
+
+TEST(CemTrainerTest, InvalidInputsThrow) {
+  EXPECT_THROW(CemTrainer({}, {}, 0.5), std::invalid_argument);
+  auto episodes = CemTrainer::make_episodes(training_sessions());
+  EXPECT_THROW(CemTrainer(std::move(episodes), {}, 1.5), std::invalid_argument);
+}
+
+TEST(CemTrainerTest, EpisodesCarryYoutubeNormalisers) {
+  const auto episodes = CemTrainer::make_episodes(training_sessions());
+  ASSERT_EQ(episodes.size(), 2U);
+  for (const auto& episode : episodes) {
+    EXPECT_GT(episode.youtube_energy_j, 0.0);
+    EXPECT_GT(episode.youtube_qoe, 1.0);
+    EXPECT_EQ(episode.manifest.ladder().size(), 14U);
+  }
+}
+
+TEST(CemTrainerTest, BadConfigThrows) {
+  CemTrainer trainer(CemTrainer::make_episodes(training_sessions()));
+  CemConfig config;
+  config.elites = 0;
+  EXPECT_THROW(trainer.train(config), std::invalid_argument);
+  config.elites = 100;
+  config.population = 10;
+  EXPECT_THROW(trainer.train(config), std::invalid_argument);
+}
+
+TEST(CemTrainerTest, TrainingImprovesReward) {
+  CemTrainer trainer(CemTrainer::make_episodes(training_sessions()));
+  // Baseline: untrained (zero) weights.
+  const double untrained =
+      trainer.evaluate(std::vector<double>(abr::PolicyFeatures::kCount, 0.0));
+  CemConfig config;
+  config.population = 16;
+  config.elites = 4;
+  config.iterations = 6;
+  const auto result = trainer.train(config);
+  EXPECT_EQ(result.reward_history.size(), 6U);
+  EXPECT_GT(result.final_reward, untrained);
+  // Rewards are non-degrading across iterations (best-of-population with a
+  // narrowing distribution can dip slightly; require overall improvement).
+  EXPECT_GE(result.reward_history.back(), result.reward_history.front() - 0.02);
+}
+
+TEST(CemTrainerTest, DeterministicPerSeed) {
+  CemTrainer trainer(CemTrainer::make_episodes(training_sessions()));
+  CemConfig config;
+  config.population = 8;
+  config.elites = 2;
+  config.iterations = 2;
+  config.seed = 77;
+  const auto a = trainer.train(config);
+  const auto b = trainer.train(config);
+  ASSERT_EQ(a.weights.size(), b.weights.size());
+  for (std::size_t i = 0; i < a.weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i]);
+  }
+}
+
+TEST(CemTrainerTest, TrainedPolicyBeatsExtremesOnReward) {
+  CemTrainer trainer(CemTrainer::make_episodes(training_sessions()));
+  CemConfig config;
+  config.population = 16;
+  config.elites = 4;
+  config.iterations = 6;
+  const auto result = trainer.train(config);
+  // Always-lowest and always-highest correspond to extreme biases.
+  std::vector<double> always_low(abr::PolicyFeatures::kCount, 0.0);
+  always_low[0] = -50.0;
+  std::vector<double> always_high(abr::PolicyFeatures::kCount, 0.0);
+  always_high[0] = 50.0;
+  EXPECT_GT(result.final_reward, trainer.evaluate(always_low));
+  EXPECT_GT(result.final_reward, trainer.evaluate(always_high));
+}
+
+}  // namespace
+}  // namespace eacs::sim

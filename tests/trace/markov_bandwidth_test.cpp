@@ -1,0 +1,107 @@
+#include "eacs/trace/markov_bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eacs/util/stats.h"
+
+namespace eacs::trace {
+namespace {
+
+TEST(MarkovModelTest, PresetsValidate) {
+  EXPECT_NO_THROW(MarkovBandwidthModel::lte_vehicle().validate());
+  EXPECT_NO_THROW(MarkovBandwidthModel::lte_indoor().validate());
+}
+
+TEST(MarkovModelTest, BadModelsRejected) {
+  MarkovBandwidthModel empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  auto bad_row = MarkovBandwidthModel::lte_indoor();
+  bad_row.transitions[0] = {0.5, 0.4, 0.2};  // sums to 1.1
+  EXPECT_THROW(bad_row.validate(), std::invalid_argument);
+
+  auto ragged = MarkovBandwidthModel::lte_indoor();
+  ragged.transitions[1] = {1.0};
+  EXPECT_THROW(ragged.validate(), std::invalid_argument);
+
+  auto bad_state = MarkovBandwidthModel::lte_indoor();
+  bad_state.states[0].mean_sojourn_s = 0.0;
+  EXPECT_THROW(MarkovBandwidthGenerator(bad_state, 1), std::invalid_argument);
+}
+
+TEST(MarkovGeneratorTest, DeterministicPerSeed) {
+  MarkovBandwidthGenerator a(MarkovBandwidthModel::lte_vehicle(), 7);
+  MarkovBandwidthGenerator b(MarkovBandwidthModel::lte_vehicle(), 7);
+  const auto ta = a.generate(300.0);
+  const auto tb = b.generate(300.0);
+  ASSERT_EQ(ta.throughput_mbps.size(), tb.throughput_mbps.size());
+  EXPECT_DOUBLE_EQ(ta.throughput_mbps.at(100).value, tb.throughput_mbps.at(100).value);
+  EXPECT_EQ(ta.state_sequence, tb.state_sequence);
+}
+
+TEST(MarkovGeneratorTest, VisitsMultipleStates) {
+  MarkovBandwidthGenerator generator(MarkovBandwidthModel::lte_vehicle(), 11);
+  const auto traces = generator.generate(1200.0, 0.5, 2);
+  std::set<std::size_t> visited(traces.state_sequence.begin(),
+                                traces.state_sequence.end());
+  EXPECT_GE(visited.size(), 4U);  // a long vehicle ride sees most states
+}
+
+TEST(MarkovGeneratorTest, RatesTrackStateMeans) {
+  const auto model = MarkovBandwidthModel::lte_vehicle();
+  MarkovBandwidthGenerator generator(model, 13);
+  const auto traces = generator.generate(2400.0, 0.5, 1);
+  // Within each visited state, the mean rate is near the state mean.
+  for (std::size_t state = 0; state < model.states.size(); ++state) {
+    std::vector<double> rates;
+    for (std::size_t i = 0; i < traces.state_sequence.size(); ++i) {
+      if (traces.state_sequence[i] == state) {
+        rates.push_back(traces.throughput_mbps.at(i).value);
+      }
+    }
+    if (rates.size() < 50) continue;
+    EXPECT_NEAR(mean(rates) / model.states[state].mean_mbps, 1.0, 0.25)
+        << model.states[state].name;
+  }
+}
+
+TEST(MarkovGeneratorTest, SignalAlignedWithStates) {
+  const auto model = MarkovBandwidthModel::lte_vehicle();
+  MarkovBandwidthGenerator generator(model, 17);
+  const auto traces = generator.generate(600.0, 0.5, 0);
+  for (std::size_t i = 0; i < traces.state_sequence.size(); i += 37) {
+    const auto& state = model.states[traces.state_sequence[i]];
+    EXPECT_NEAR(traces.signal_dbm.at(i).value, state.signal_dbm, 5.0);
+  }
+}
+
+TEST(MarkovGeneratorTest, IndoorStrongerThanVehicle) {
+  MarkovBandwidthGenerator indoor(MarkovBandwidthModel::lte_indoor(), 19);
+  MarkovBandwidthGenerator vehicle(MarkovBandwidthModel::lte_vehicle(), 19);
+  const auto indoor_traces = indoor.generate(1200.0, 0.5, 0);
+  const auto vehicle_traces = vehicle.generate(1200.0, 0.5, 2);
+  EXPECT_GT(mean(indoor_traces.throughput_mbps.values()),
+            mean(vehicle_traces.throughput_mbps.values()) + 5.0);
+}
+
+TEST(MarkovGeneratorTest, InvalidArgsThrow) {
+  MarkovBandwidthGenerator generator(MarkovBandwidthModel::lte_indoor(), 1);
+  EXPECT_THROW(generator.generate(0.0), std::invalid_argument);
+  EXPECT_THROW(generator.generate(10.0, 0.5, 99), std::invalid_argument);
+}
+
+TEST(MarkovGeneratorTest, WithMarkovNetworkSwapsTracesOnly) {
+  const auto original = build_session(media::evaluation_sessions()[0]);
+  const auto swapped = with_markov_network(
+      original, MarkovBandwidthModel::lte_vehicle(), 23, 2);
+  // Accelerometer context untouched; network traces replaced and aligned.
+  ASSERT_EQ(swapped.accel.size(), original.accel.size());
+  EXPECT_DOUBLE_EQ(swapped.accel[500].z, original.accel[500].z);
+  EXPECT_EQ(swapped.throughput_mbps.size(), swapped.signal_dbm.size());
+  EXPECT_GE(swapped.signal_dbm.end_time(), original.spec.length_s);
+}
+
+}  // namespace
+}  // namespace eacs::trace

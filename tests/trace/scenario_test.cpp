@@ -1,0 +1,106 @@
+#include "eacs/trace/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "eacs/sensors/context_classifier.h"
+#include "eacs/sensors/vibration.h"
+#include "eacs/util/stats.h"
+
+namespace eacs::trace {
+namespace {
+
+ScenarioBuilder commute_builder() {
+  ScenarioBuilder builder(1234);
+  builder.add_phase(ScenarioPhase::home(60.0))
+      .add_phase(ScenarioPhase::walking(40.0))
+      .add_phase(ScenarioPhase::bus(120.0))
+      .add_phase(ScenarioPhase::cafe(60.0));
+  return builder;
+}
+
+TEST(ScenarioBuilderTest, TotalDurationAndBoundaries) {
+  const auto builder = commute_builder();
+  EXPECT_DOUBLE_EQ(builder.total_duration_s(), 280.0);
+  const auto bounds = builder.boundaries();
+  ASSERT_EQ(bounds.size(), 4U);
+  EXPECT_EQ(bounds[2].label, "bus");
+  EXPECT_DOUBLE_EQ(bounds[2].start_s, 100.0);
+  EXPECT_DOUBLE_EQ(bounds[2].end_s, 220.0);
+}
+
+TEST(ScenarioBuilderTest, NoPhasesThrows) {
+  ScenarioBuilder builder;
+  EXPECT_THROW(builder.build(), std::logic_error);
+  EXPECT_THROW(builder.add_phase(ScenarioPhase::home(0.0)), std::invalid_argument);
+}
+
+TEST(ScenarioBuilderTest, TracesAreContinuousAndCoverDuration) {
+  const auto session = commute_builder().build(100.0);
+  EXPECT_GE(session.signal_dbm.end_time(), 280.0 + 99.0);
+  EXPECT_GE(session.accel.back().t_s, 280.0 + 99.0);
+  ASSERT_EQ(session.throughput_mbps.size(), session.signal_dbm.size());
+  // Timestamps strictly increase across phase boundaries (TimeSeries
+  // enforces this; the accel trace we check manually).
+  for (std::size_t i = 1; i < session.accel.size(); ++i) {
+    ASSERT_GT(session.accel[i].t_s, session.accel[i - 1].t_s);
+  }
+}
+
+TEST(ScenarioBuilderTest, SignalContinuousAcrossPhaseBoundary) {
+  const auto session = commute_builder().build();
+  // At the home->walking boundary (t = 60) the signal must not jump by the
+  // full difference of the phase means (~10 dB): continuity caps the step
+  // near the OU per-step scale.
+  const double before = session.signal_dbm.linear_at(59.5);
+  const double after = session.signal_dbm.linear_at(60.5);
+  EXPECT_LT(std::abs(after - before), 6.0);
+}
+
+TEST(ScenarioBuilderTest, PhasesHaveDistinctVibration) {
+  const auto session = commute_builder().build();
+  sensors::VibrationEstimator estimator;
+  double home_level = 0.0;
+  double bus_level = 0.0;
+  for (const auto& sample : session.accel) {
+    const double level = estimator.update(sample);
+    if (sample.t_s > 50.0 && sample.t_s <= 60.0) home_level = level;
+    if (sample.t_s > 200.0 && sample.t_s <= 220.0) bus_level = level;
+  }
+  EXPECT_LT(home_level, 0.5);
+  EXPECT_GT(bus_level, 4.0);
+}
+
+TEST(ScenarioBuilderTest, ClassifierTracksPhases) {
+  const auto session = commute_builder().build();
+  const auto window_of = [&](double t0, double t1) {
+    sensors::AccelTrace window;
+    for (const auto& sample : session.accel) {
+      if (sample.t_s >= t0 && sample.t_s < t1) window.push_back(sample);
+    }
+    return window;
+  };
+  EXPECT_EQ(sensors::classify_window(window_of(20.0, 50.0)),
+            sensors::Context::kStatic);
+  EXPECT_EQ(sensors::classify_window(window_of(70.0, 95.0)),
+            sensors::Context::kWalking);
+  EXPECT_EQ(sensors::classify_window(window_of(140.0, 200.0)),
+            sensors::Context::kVehicle);
+}
+
+TEST(ScenarioBuilderTest, DeterministicPerSeed) {
+  const auto a = ScenarioBuilder(9).add_phase(ScenarioPhase::bus(60.0)).build();
+  const auto b = ScenarioBuilder(9).add_phase(ScenarioPhase::bus(60.0)).build();
+  ASSERT_EQ(a.accel.size(), b.accel.size());
+  EXPECT_DOUBLE_EQ(a.accel[500].z, b.accel[500].z);
+  EXPECT_DOUBLE_EQ(a.signal_dbm.at(40).value, b.signal_dbm.at(40).value);
+}
+
+TEST(ScenarioBuilderTest, BusSignalWeakerThanHome) {
+  const auto session = commute_builder().build();
+  const double home_mean = session.signal_dbm.mean_over(10.0, 55.0);
+  const double bus_mean = session.signal_dbm.mean_over(150.0, 215.0);
+  EXPECT_LT(bus_mean, home_mean - 5.0);
+}
+
+}  // namespace
+}  // namespace eacs::trace

@@ -1,0 +1,107 @@
+#include "eacs/trace/session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "eacs/trace/trace_io.h"
+#include "eacs/util/stats.h"
+
+namespace eacs::trace {
+namespace {
+
+TEST(SessionTest, BuildsAllFiveSessions) {
+  const auto sessions = build_all_sessions();
+  ASSERT_EQ(sessions.size(), 5U);
+  for (const auto& session : sessions) {
+    EXPECT_FALSE(session.signal_dbm.empty());
+    EXPECT_FALSE(session.throughput_mbps.empty());
+    EXPECT_FALSE(session.accel.empty());
+  }
+}
+
+TEST(SessionTest, TracesCoverVideoPlusMargin) {
+  SessionBuildOptions options;
+  options.margin_s = 100.0;
+  const auto session = build_session(media::evaluation_sessions()[0], options);
+  const double needed = session.spec.length_s + 99.0;
+  EXPECT_GE(session.signal_dbm.end_time(), needed);
+  EXPECT_GE(session.throughput_mbps.end_time(), needed);
+  EXPECT_GE(session.accel.back().t_s, needed);
+}
+
+TEST(SessionTest, VibrationCalibratedToTableV) {
+  for (const auto& spec : media::evaluation_sessions()) {
+    const auto session = build_session(spec);
+    const double measured = sensors::mean_vibration_level(session.accel);
+    EXPECT_NEAR(measured / spec.avg_vibration, 1.0, 0.05)
+        << "session " << spec.id << " target " << spec.avg_vibration;
+  }
+}
+
+TEST(SessionTest, HighVibrationSessionsHaveWeakerSignal) {
+  const auto& specs = media::evaluation_sessions();
+  const auto rough = build_session(specs[0]);   // avg vibration 6.83
+  const auto smooth = build_session(specs[1]);  // avg vibration 2.46
+  EXPECT_LT(eacs::mean(rough.signal_dbm.values()),
+            eacs::mean(smooth.signal_dbm.values()) - 4.0);
+}
+
+TEST(SessionTest, DeterministicPerSpecSeed) {
+  const auto a = build_session(media::evaluation_sessions()[2]);
+  const auto b = build_session(media::evaluation_sessions()[2]);
+  ASSERT_EQ(a.signal_dbm.size(), b.signal_dbm.size());
+  EXPECT_DOUBLE_EQ(a.signal_dbm.at(10).value, b.signal_dbm.at(10).value);
+  ASSERT_EQ(a.accel.size(), b.accel.size());
+  EXPECT_DOUBLE_EQ(a.accel[100].z, b.accel[100].z);
+}
+
+TEST(TraceIoTest, TimeSeriesRoundTrip) {
+  TimeSeries series({{0.0, 1.5}, {0.5, 2.25}, {1.0, -3.125}});
+  const auto table = time_series_to_csv(series);
+  const auto loaded = time_series_from_csv(table);
+  ASSERT_EQ(loaded.size(), series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.at(i).t_s, series.at(i).t_s);
+    EXPECT_DOUBLE_EQ(loaded.at(i).value, series.at(i).value);
+  }
+}
+
+TEST(TraceIoTest, AccelRoundTrip) {
+  sensors::AccelTrace trace = {{0.0, 0.1, -0.2, 9.8}, {0.02, 0.3, 0.0, 9.9}};
+  const auto loaded = accel_from_csv(accel_to_csv(trace));
+  ASSERT_EQ(loaded.size(), 2U);
+  EXPECT_DOUBLE_EQ(loaded[1].x, 0.3);
+  EXPECT_DOUBLE_EQ(loaded[0].z, 9.8);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto ts_path = dir / "eacs_ts_test.csv";
+  const auto accel_path = dir / "eacs_accel_test.csv";
+
+  TimeSeries series({{0.0, -90.0}, {0.5, -91.5}});
+  save_time_series(ts_path, series);
+  const auto ts_loaded = load_time_series(ts_path);
+  EXPECT_DOUBLE_EQ(ts_loaded.at(1).value, -91.5);
+
+  sensors::AccelTrace accel = {{0.0, 0.0, 0.0, 9.81}};
+  save_accel(accel_path, accel);
+  const auto accel_loaded = load_accel(accel_path);
+  EXPECT_DOUBLE_EQ(accel_loaded[0].z, 9.81);
+
+  std::filesystem::remove(ts_path);
+  std::filesystem::remove(accel_path);
+}
+
+TEST(TraceIoTest, SessionTracesSurviveCsvRoundTrip) {
+  // End-to-end substitution check: synthetic traces persisted and reloaded
+  // behave identically, proving real recordings can be dropped in.
+  const auto session = build_session(media::evaluation_sessions()[0]);
+  const auto throughput = time_series_from_csv(time_series_to_csv(session.throughput_mbps));
+  EXPECT_DOUBLE_EQ(throughput.mean_over(0.0, 100.0),
+                   session.throughput_mbps.mean_over(0.0, 100.0));
+}
+
+}  // namespace
+}  // namespace eacs::trace

@@ -1,0 +1,94 @@
+#include "eacs/trace/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacs::trace {
+namespace {
+
+TimeSeries ramp() {
+  // value = t over [0, 10]
+  TimeSeries series;
+  for (int i = 0; i <= 10; ++i) series.append(i, i);
+  return series;
+}
+
+TEST(TimeSeriesTest, AppendEnforcesMonotonicTime) {
+  TimeSeries series;
+  series.append(0.0, 1.0);
+  series.append(1.0, 2.0);
+  EXPECT_THROW(series.append(1.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(series.append(0.5, 3.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ConstructorValidates) {
+  EXPECT_THROW(TimeSeries({{1.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeries({{0.0, 0.0}, {1.0, 1.0}}));
+}
+
+TEST(TimeSeriesTest, StepAt) {
+  TimeSeries series({{0.0, 10.0}, {2.0, 20.0}, {4.0, 30.0}});
+  EXPECT_DOUBLE_EQ(series.step_at(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.step_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.step_at(1.99), 10.0);
+  EXPECT_DOUBLE_EQ(series.step_at(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(series.step_at(100.0), 30.0);
+}
+
+TEST(TimeSeriesTest, LinearAt) {
+  TimeSeries series({{0.0, 0.0}, {2.0, 10.0}});
+  EXPECT_DOUBLE_EQ(series.linear_at(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(-5.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(series.linear_at(99.0), 10.0);  // clamped
+}
+
+TEST(TimeSeriesTest, EmptyLookupsThrow) {
+  TimeSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_THROW(series.step_at(0.0), std::logic_error);
+  EXPECT_THROW(series.start_time(), std::logic_error);
+}
+
+TEST(TimeSeriesTest, IntegralOfRamp) {
+  const auto series = ramp();
+  // integral of t over [0, 10] = 50.
+  EXPECT_NEAR(series.integral_over(0.0, 10.0), 50.0, 1e-9);
+  // integral over [2, 4] = (4^2 - 2^2)/2 = 6.
+  EXPECT_NEAR(series.integral_over(2.0, 4.0), 6.0, 1e-9);
+  // off-breakpoint bounds
+  EXPECT_NEAR(series.integral_over(2.5, 3.5), 3.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegralDegenerateAndInvalid) {
+  const auto series = ramp();
+  EXPECT_DOUBLE_EQ(series.integral_over(3.0, 3.0), 0.0);
+  EXPECT_THROW(series.integral_over(4.0, 3.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, IntegralBeyondEndExtendsLastValue) {
+  TimeSeries series({{0.0, 2.0}, {1.0, 2.0}});
+  EXPECT_NEAR(series.integral_over(0.0, 5.0), 10.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, MeanOver) {
+  const auto series = ramp();
+  EXPECT_NEAR(series.mean_over(0.0, 10.0), 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(series.mean_over(3.0, 3.0), 3.0);
+}
+
+TEST(TimeSeriesTest, Resampled) {
+  TimeSeries series({{0.0, 0.0}, {4.0, 8.0}});
+  const auto resampled = series.resampled(1.0);
+  ASSERT_EQ(resampled.size(), 5U);
+  EXPECT_DOUBLE_EQ(resampled.at(2).value, 4.0);
+  EXPECT_THROW(series.resampled(0.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ValuesInOrder) {
+  TimeSeries series({{0.0, 3.0}, {1.0, 1.0}, {2.0, 2.0}});
+  EXPECT_EQ(series.values(), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+}  // namespace
+}  // namespace eacs::trace

@@ -1,0 +1,106 @@
+#include "eacs/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace eacs {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  const auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(table.num_rows(), 2U);
+  EXPECT_EQ(table.num_cols(), 3U);
+  EXPECT_EQ(table.cell(0, "a"), "1");
+  EXPECT_EQ(table.cell(1, "c"), "6");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  const auto table = parse_csv("name,note\nx,\"hello, world\"\ny,\"a \"\"quoted\"\" bit\"\n");
+  EXPECT_EQ(table.cell(0, "note"), "hello, world");
+  EXPECT_EQ(table.cell(1, "note"), "a \"quoted\" bit");
+}
+
+TEST(CsvTest, ParseCrlfAndMissingTrailingNewline) {
+  const auto table = parse_csv("a,b\r\n1,2\r\n3,4");
+  EXPECT_EQ(table.num_rows(), 2U);
+  EXPECT_EQ(table.cell(1, "b"), "4");
+}
+
+TEST(CsvTest, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+TEST(CsvTest, EmptyInputThrows) {
+  EXPECT_THROW(parse_csv(""), std::runtime_error);
+}
+
+TEST(CsvTest, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"oops\n"), std::runtime_error);
+}
+
+TEST(CsvTest, MissingColumnThrows) {
+  const auto table = parse_csv("a\n1\n");
+  EXPECT_THROW(table.column_index("nope"), std::out_of_range);
+  EXPECT_FALSE(table.has_column("nope"));
+  EXPECT_TRUE(table.has_column("a"));
+}
+
+TEST(CsvTest, NumericConversions) {
+  const auto table = parse_csv("d,i\n3.25,42\n");
+  EXPECT_DOUBLE_EQ(table.cell_as_double(0, "d"), 3.25);
+  EXPECT_EQ(table.cell_as_int(0, "i"), 42);
+}
+
+TEST(CsvTest, BadNumericCellThrows) {
+  const auto table = parse_csv("d\nnot_a_number\n");
+  EXPECT_THROW(table.cell_as_double(0, "d"), std::runtime_error);
+  EXPECT_THROW(table.cell_as_int(0, "d"), std::runtime_error);
+}
+
+TEST(CsvTest, ColumnAsDouble) {
+  const auto table = parse_csv("x\n1\n2\n3\n");
+  EXPECT_EQ(table.column_as_double("x"), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvTable table({"k", "v"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote", "has \"q\""});
+  table.add_row({"newline", "two\nlines"});
+  const auto reparsed = parse_csv(to_csv(table));
+  EXPECT_EQ(reparsed.cell(0, "v"), "with,comma");
+  EXPECT_EQ(reparsed.cell(1, "v"), "has \"q\"");
+  EXPECT_EQ(reparsed.cell(2, "v"), "two\nlines");
+}
+
+TEST(CsvTest, AddRowWidthMismatchThrows) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), std::runtime_error);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "eacs_csv_test.csv";
+  CsvTable table({"t", "v"});
+  table.add_row({"0.5", "12.25"});
+  write_csv_file(path, table);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.num_rows(), 1U);
+  EXPECT_DOUBLE_EQ(loaded.cell_as_double(0, "v"), 12.25);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(CsvTest, FormatDoubleRoundTrips) {
+  const double value = 0.1 + 0.2;
+  const auto text = format_double(value);
+  EXPECT_DOUBLE_EQ(std::stod(text), value);
+}
+
+}  // namespace
+}  // namespace eacs

@@ -1,0 +1,156 @@
+#include "eacs/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "eacs/util/rng.h"
+
+namespace eacs {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(StatsTest, Rms) {
+  const std::vector<double> xs = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rms(xs), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, HarmonicMeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(StatsTest, HarmonicMeanIgnoresNonPositive) {
+  const std::vector<double> xs = {0.0, -5.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(harmonic_mean(std::vector<double>{0.0, -1.0}), 0.0);
+}
+
+TEST(StatsTest, HarmonicMeanDampsSpikes) {
+  // One 100 Mbps spike among 1 Mbps samples barely moves the harmonic mean —
+  // the property FESTIVE and the paper's online algorithm rely on.
+  const std::vector<double> spiky = {1.0, 1.0, 1.0, 1.0, 100.0};
+  EXPECT_LT(harmonic_mean(spiky), 1.3);
+  EXPECT_GT(mean(spiky), 20.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonConstantInputIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  Rng rng(71);
+  std::vector<double> xs;
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(stats.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(stats.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(stats.max(), max_of(xs));
+  EXPECT_EQ(stats.count(), xs.size());
+}
+
+TEST(RunningStatsTest, MergeEqualsSingleStream) {
+  Rng rng(73);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.add(x);
+    (i < 700 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1U);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1U);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(SlidingWindowTest, EvictsOldestFirst) {
+  SlidingWindow window(3);
+  window.push(1.0);
+  window.push(2.0);
+  window.push(3.0);
+  window.push(4.0);  // evicts 1.0
+  const auto values = window.values();
+  EXPECT_EQ(values, (std::vector<double>{2.0, 3.0, 4.0}));
+  EXPECT_TRUE(window.full());
+}
+
+TEST(SlidingWindowTest, StatsOverWindowOnly) {
+  SlidingWindow window(2);
+  window.push(10.0);
+  window.push(2.0);
+  window.push(4.0);  // window = {2, 4}
+  EXPECT_DOUBLE_EQ(window.mean(), 3.0);
+  EXPECT_NEAR(window.harmonic_mean(), 2.0 / (0.5 + 0.25), 1e-12);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow window(2);
+  window.push(1.0);
+  window.clear();
+  EXPECT_EQ(window.size(), 0U);
+  EXPECT_DOUBLE_EQ(window.mean(), 0.0);
+}
+
+TEST(SlidingWindowTest, ZeroCapacityThrows) {
+  EXPECT_THROW(SlidingWindow(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacs

@@ -1,0 +1,56 @@
+#include "eacs/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacs {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table("Demo");
+  table.set_header({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("Demo"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+}
+
+TEST(AsciiTableTest, RightAlignment) {
+  AsciiTable table;
+  table.set_header({"n"});
+  table.set_alignment({Align::kRight});
+  table.add_row({"7"});
+  table.add_row({"123"});
+  const auto text = table.render();
+  // "7" padded to width 3, right-aligned: "|   7 |"
+  EXPECT_NE(text.find("|   7 |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, RowWidthMismatchThrows) {
+  AsciiTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(AsciiTableTest, NumFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(3.0, 0), "3");
+}
+
+TEST(AsciiTableTest, PercentFormatting) {
+  EXPECT_EQ(AsciiTable::percent(0.33, 1), "33.0%");
+  EXPECT_EQ(AsciiTable::percent(0.0773, 2), "7.73%");
+}
+
+TEST(AsciiTableTest, NoHeaderTable) {
+  AsciiTable table;
+  table.add_row({"a", "b"});
+  const auto text = table.render();
+  EXPECT_NE(text.find("| a | b |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eacs

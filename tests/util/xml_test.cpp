@@ -1,0 +1,121 @@
+#include "eacs/util/xml.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace eacs {
+namespace {
+
+TEST(XmlNodeTest, AttributesSetAndOverwrite) {
+  XmlNode node("a");
+  node.set_attribute("k", "1");
+  node.set_attribute("k", "2");
+  EXPECT_EQ(node.attribute("k").value(), "2");
+  EXPECT_FALSE(node.attribute("missing").has_value());
+  EXPECT_THROW(node.required_attribute("missing"), std::runtime_error);
+}
+
+TEST(XmlNodeTest, TypedAttributes) {
+  XmlNode node("a");
+  node.set_attribute("d", "2.5");
+  node.set_attribute("i", "42");
+  node.set_attribute("junk", "xyz");
+  EXPECT_DOUBLE_EQ(node.attribute_as_double("d"), 2.5);
+  EXPECT_EQ(node.attribute_as_int("i"), 42);
+  EXPECT_THROW(node.attribute_as_double("junk"), std::runtime_error);
+  EXPECT_THROW(node.attribute_as_int("d"), std::runtime_error);
+}
+
+TEST(XmlNodeTest, ChildNavigation) {
+  XmlNode root("root");
+  root.add_child("a");
+  root.add_child("b");
+  root.add_child("a");
+  EXPECT_NE(root.find_child("a"), nullptr);
+  EXPECT_EQ(root.find_child("zzz"), nullptr);
+  EXPECT_EQ(root.find_children("a").size(), 2U);
+  EXPECT_NO_THROW(root.required_child("b"));
+  EXPECT_THROW(root.required_child("zzz"), std::runtime_error);
+}
+
+TEST(XmlNodeTest, EmptyNameThrows) {
+  EXPECT_THROW(XmlNode(""), std::invalid_argument);
+}
+
+TEST(XmlTest, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+}
+
+TEST(XmlTest, SerializeBasicTree) {
+  XmlNode root("MPD");
+  root.set_attribute("type", "static");
+  auto& period = root.add_child("Period");
+  period.set_attribute("id", "0");
+  const auto text = to_xml(root);
+  EXPECT_NE(text.find("<?xml"), std::string::npos);
+  EXPECT_NE(text.find("<MPD type=\"static\">"), std::string::npos);
+  EXPECT_NE(text.find("<Period id=\"0\"/>"), std::string::npos);
+}
+
+TEST(XmlTest, ParseBasicDocument) {
+  const auto root = parse_xml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- comment -->\n"
+      "<root a=\"1\" b='two'>\n"
+      "  <child>text &amp; more</child>\n"
+      "  <empty/>\n"
+      "</root>\n");
+  EXPECT_EQ(root.name(), "root");
+  EXPECT_EQ(root.attribute("a").value(), "1");
+  EXPECT_EQ(root.attribute("b").value(), "two");
+  EXPECT_EQ(root.required_child("child").text(), "text & more");
+  EXPECT_NE(root.find_child("empty"), nullptr);
+}
+
+TEST(XmlTest, RoundTripPreservesStructure) {
+  XmlNode root("a");
+  root.set_attribute("x", "1 < 2");
+  auto& b = root.add_child("b");
+  b.set_text("hello & goodbye");
+  b.set_attribute("q", "\"quoted\"");
+  root.add_child("c");
+  const auto reparsed = parse_xml(to_xml(root));
+  EXPECT_EQ(reparsed.attribute("x").value(), "1 < 2");
+  EXPECT_EQ(reparsed.required_child("b").text(), "hello & goodbye");
+  EXPECT_EQ(reparsed.required_child("b").attribute("q").value(), "\"quoted\"");
+  EXPECT_NE(reparsed.find_child("c"), nullptr);
+}
+
+TEST(XmlTest, NestedChildrenRoundTrip) {
+  XmlNode root("l0");
+  root.add_child("l1").add_child("l2").set_attribute("deep", "yes");
+  const auto reparsed = parse_xml(to_xml(root));
+  EXPECT_EQ(reparsed.required_child("l1").required_child("l2").attribute("deep").value(),
+            "yes");
+}
+
+TEST(XmlTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_xml(""), std::runtime_error);
+  EXPECT_THROW(parse_xml("<a>"), std::runtime_error);               // unterminated
+  EXPECT_THROW(parse_xml("<a></b>"), std::runtime_error);           // mismatch
+  EXPECT_THROW(parse_xml("<a x=1/>"), std::runtime_error);          // unquoted attr
+  EXPECT_THROW(parse_xml("<a>&unknown;</a>"), std::runtime_error);  // bad entity
+  EXPECT_THROW(parse_xml("<a/><b/>"), std::runtime_error);          // two roots
+  EXPECT_THROW(parse_xml("<!-- only a comment -->"), std::runtime_error);
+}
+
+TEST(XmlTest, ColonAndDashInNames) {
+  const auto root = parse_xml("<ns:tag eacs:attr=\"v\" data-x=\"y\"/>");
+  EXPECT_EQ(root.name(), "ns:tag");
+  EXPECT_EQ(root.attribute("eacs:attr").value(), "v");
+  EXPECT_EQ(root.attribute("data-x").value(), "y");
+}
+
+TEST(XmlTest, WhitespaceOnlyTextDropped) {
+  const auto root = parse_xml("<a>\n  <b/>\n</a>");
+  EXPECT_TRUE(root.text().empty());
+}
+
+}  // namespace
+}  // namespace eacs
