@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "eacs::eacs_util" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_util )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_util "${_IMPORT_PREFIX}/lib/libeacs_util.a" )
+
+# Import target "eacs::eacs_media" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_media APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_media PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_media.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_media )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_media "${_IMPORT_PREFIX}/lib/libeacs_media.a" )
+
+# Import target "eacs::eacs_sensors" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_sensors APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_sensors PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_sensors.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_sensors )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_sensors "${_IMPORT_PREFIX}/lib/libeacs_sensors.a" )
+
+# Import target "eacs::eacs_trace" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_trace )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_trace "${_IMPORT_PREFIX}/lib/libeacs_trace.a" )
+
+# Import target "eacs::eacs_qoe" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_qoe APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_qoe PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_qoe.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_qoe )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_qoe "${_IMPORT_PREFIX}/lib/libeacs_qoe.a" )
+
+# Import target "eacs::eacs_power" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_power APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_power PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_power.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_power )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_power "${_IMPORT_PREFIX}/lib/libeacs_power.a" )
+
+# Import target "eacs::eacs_net" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_net )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_net "${_IMPORT_PREFIX}/lib/libeacs_net.a" )
+
+# Import target "eacs::eacs_player" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_player APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_player PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_player.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_player )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_player "${_IMPORT_PREFIX}/lib/libeacs_player.a" )
+
+# Import target "eacs::eacs_abr" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_abr APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_abr PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_abr.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_abr )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_abr "${_IMPORT_PREFIX}/lib/libeacs_abr.a" )
+
+# Import target "eacs::eacs_core" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_core )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_core "${_IMPORT_PREFIX}/lib/libeacs_core.a" )
+
+# Import target "eacs::eacs_sim" for configuration "RelWithDebInfo"
+set_property(TARGET eacs::eacs_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(eacs::eacs_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libeacs_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets eacs::eacs_sim )
+list(APPEND _cmake_import_check_files_for_eacs::eacs_sim "${_IMPORT_PREFIX}/lib/libeacs_sim.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

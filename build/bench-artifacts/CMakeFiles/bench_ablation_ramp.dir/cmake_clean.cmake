@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ramp"
+  "../bench/bench_ablation_ramp.pdb"
+  "CMakeFiles/bench_ablation_ramp.dir/bench_ablation_ramp.cpp.o"
+  "CMakeFiles/bench_ablation_ramp.dir/bench_ablation_ramp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ramp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

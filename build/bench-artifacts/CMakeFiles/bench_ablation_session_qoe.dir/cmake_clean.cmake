@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_session_qoe"
+  "../bench/bench_ablation_session_qoe.pdb"
+  "CMakeFiles/bench_ablation_session_qoe.dir/bench_ablation_session_qoe.cpp.o"
+  "CMakeFiles/bench_ablation_session_qoe.dir/bench_ablation_session_qoe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_session_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_baselines"
+  "../bench/bench_ext_baselines.pdb"
+  "CMakeFiles/bench_ext_baselines.dir/bench_ext_baselines.cpp.o"
+  "CMakeFiles/bench_ext_baselines.dir/bench_ext_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

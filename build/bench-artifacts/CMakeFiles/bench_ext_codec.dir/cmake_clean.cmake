@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_codec"
+  "../bench/bench_ext_codec.pdb"
+  "CMakeFiles/bench_ext_codec.dir/bench_ext_codec.cpp.o"
+  "CMakeFiles/bench_ext_codec.dir/bench_ext_codec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

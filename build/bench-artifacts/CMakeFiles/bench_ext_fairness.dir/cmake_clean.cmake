@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_fairness"
+  "../bench/bench_ext_fairness.pdb"
+  "CMakeFiles/bench_ext_fairness.dir/bench_ext_fairness.cpp.o"
+  "CMakeFiles/bench_ext_fairness.dir/bench_ext_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_learned"
+  "../bench/bench_ext_learned.pdb"
+  "CMakeFiles/bench_ext_learned.dir/bench_ext_learned.cpp.o"
+  "CMakeFiles/bench_ext_learned.dir/bench_ext_learned.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_learned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_prediction"
+  "../bench/bench_ext_prediction.pdb"
+  "CMakeFiles/bench_ext_prediction.dir/bench_ext_prediction.cpp.o"
+  "CMakeFiles/bench_ext_prediction.dir/bench_ext_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_tail_energy.cpp" "bench-artifacts/CMakeFiles/bench_ext_tail_energy.dir/bench_ext_tail_energy.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_ext_tail_energy.dir/bench_ext_tail_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/eacs_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eacs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/eacs_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/eacs_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eacs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eacs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1a_energy_vs_signal"
+  "../bench/bench_fig1a_energy_vs_signal.pdb"
+  "CMakeFiles/bench_fig1a_energy_vs_signal.dir/bench_fig1a_energy_vs_signal.cpp.o"
+  "CMakeFiles/bench_fig1a_energy_vs_signal.dir/bench_fig1a_energy_vs_signal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_energy_vs_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

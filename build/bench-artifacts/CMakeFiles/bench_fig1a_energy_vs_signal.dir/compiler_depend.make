@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1a_energy_vs_signal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1a_energy_vs_signal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1b_qoe_energy_vs_bitrate"
+  "../bench/bench_fig1b_qoe_energy_vs_bitrate.pdb"
+  "CMakeFiles/bench_fig1b_qoe_energy_vs_bitrate.dir/bench_fig1b_qoe_energy_vs_bitrate.cpp.o"
+  "CMakeFiles/bench_fig1b_qoe_energy_vs_bitrate.dir/bench_fig1b_qoe_energy_vs_bitrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_qoe_energy_vs_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

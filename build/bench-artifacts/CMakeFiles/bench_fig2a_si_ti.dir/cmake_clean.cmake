@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2a_si_ti"
+  "../bench/bench_fig2a_si_ti.pdb"
+  "CMakeFiles/bench_fig2a_si_ti.dir/bench_fig2a_si_ti.cpp.o"
+  "CMakeFiles/bench_fig2a_si_ti.dir/bench_fig2a_si_ti.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_si_ti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

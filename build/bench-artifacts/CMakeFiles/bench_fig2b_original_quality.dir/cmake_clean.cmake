@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_original_quality"
+  "../bench/bench_fig2b_original_quality.pdb"
+  "CMakeFiles/bench_fig2b_original_quality.dir/bench_fig2b_original_quality.cpp.o"
+  "CMakeFiles/bench_fig2b_original_quality.dir/bench_fig2b_original_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_original_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2c_impairment_surface"
+  "../bench/bench_fig2c_impairment_surface.pdb"
+  "CMakeFiles/bench_fig2c_impairment_surface.dir/bench_fig2c_impairment_surface.cpp.o"
+  "CMakeFiles/bench_fig2c_impairment_surface.dir/bench_fig2c_impairment_surface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_impairment_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_qoe"
+  "../bench/bench_fig6_qoe.pdb"
+  "CMakeFiles/bench_fig6_qoe.dir/bench_fig6_qoe.cpp.o"
+  "CMakeFiles/bench_fig6_qoe.dir/bench_fig6_qoe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_qoe_fit"
+  "../bench/bench_table3_qoe_fit.pdb"
+  "CMakeFiles/bench_table3_qoe_fit.dir/bench_table3_qoe_fit.cpp.o"
+  "CMakeFiles/bench_table3_qoe_fit.dir/bench_table3_qoe_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_qoe_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

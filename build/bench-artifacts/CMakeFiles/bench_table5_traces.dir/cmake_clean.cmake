@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_traces"
+  "../bench/bench_table5_traces.pdb"
+  "CMakeFiles/bench_table5_traces.dir/bench_table5_traces.cpp.o"
+  "CMakeFiles/bench_table5_traces.dir/bench_table5_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_power_validation"
+  "../bench/bench_table6_power_validation.pdb"
+  "CMakeFiles/bench_table6_power_validation.dir/bench_table6_power_validation.cpp.o"
+  "CMakeFiles/bench_table6_power_validation.dir/bench_table6_power_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_power_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

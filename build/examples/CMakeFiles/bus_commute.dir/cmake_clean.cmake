@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_commute.dir/bus_commute.cpp.o"
+  "CMakeFiles/bus_commute.dir/bus_commute.cpp.o.d"
+  "bus_commute"
+  "bus_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_validation.dir/power_validation.cpp.o"
+  "CMakeFiles/power_validation.dir/power_validation.cpp.o.d"
+  "power_validation"
+  "power_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

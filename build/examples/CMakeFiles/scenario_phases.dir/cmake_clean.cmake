@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_phases.dir/scenario_phases.cpp.o"
+  "CMakeFiles/scenario_phases.dir/scenario_phases.cpp.o.d"
+  "scenario_phases"
+  "scenario_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subjective_study.dir/subjective_study.cpp.o"
+  "CMakeFiles/subjective_study.dir/subjective_study.cpp.o.d"
+  "subjective_study"
+  "subjective_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subjective_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

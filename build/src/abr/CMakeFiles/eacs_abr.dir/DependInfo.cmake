@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/src/bba.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/bba.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/bba.cpp.o.d"
+  "/root/repo/src/abr/src/bola.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/bola.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/bola.cpp.o.d"
+  "/root/repo/src/abr/src/festive.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/festive.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/festive.cpp.o.d"
+  "/root/repo/src/abr/src/fixed.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/fixed.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/fixed.cpp.o.d"
+  "/root/repo/src/abr/src/learned.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/learned.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/learned.cpp.o.d"
+  "/root/repo/src/abr/src/mpc.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/mpc.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/mpc.cpp.o.d"
+  "/root/repo/src/abr/src/pid.cpp" "src/abr/CMakeFiles/eacs_abr.dir/src/pid.cpp.o" "gcc" "src/abr/CMakeFiles/eacs_abr.dir/src/pid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/player/CMakeFiles/eacs_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_abr.dir/src/bba.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/bba.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/bola.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/bola.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/festive.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/festive.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/fixed.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/fixed.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/learned.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/learned.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/mpc.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/mpc.cpp.o.d"
+  "CMakeFiles/eacs_abr.dir/src/pid.cpp.o"
+  "CMakeFiles/eacs_abr.dir/src/pid.cpp.o.d"
+  "libeacs_abr.a"
+  "libeacs_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

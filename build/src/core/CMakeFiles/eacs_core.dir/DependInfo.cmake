@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/context_monitor.cpp" "src/core/CMakeFiles/eacs_core.dir/src/context_monitor.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/context_monitor.cpp.o.d"
+  "/root/repo/src/core/src/graph.cpp" "src/core/CMakeFiles/eacs_core.dir/src/graph.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/graph.cpp.o.d"
+  "/root/repo/src/core/src/horizon.cpp" "src/core/CMakeFiles/eacs_core.dir/src/horizon.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/horizon.cpp.o.d"
+  "/root/repo/src/core/src/objective.cpp" "src/core/CMakeFiles/eacs_core.dir/src/objective.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/objective.cpp.o.d"
+  "/root/repo/src/core/src/online.cpp" "src/core/CMakeFiles/eacs_core.dir/src/online.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/online.cpp.o.d"
+  "/root/repo/src/core/src/optimal.cpp" "src/core/CMakeFiles/eacs_core.dir/src/optimal.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/optimal.cpp.o.d"
+  "/root/repo/src/core/src/pareto.cpp" "src/core/CMakeFiles/eacs_core.dir/src/pareto.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/pareto.cpp.o.d"
+  "/root/repo/src/core/src/prefetch.cpp" "src/core/CMakeFiles/eacs_core.dir/src/prefetch.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/prefetch.cpp.o.d"
+  "/root/repo/src/core/src/task_builder.cpp" "src/core/CMakeFiles/eacs_core.dir/src/task_builder.cpp.o" "gcc" "src/core/CMakeFiles/eacs_core.dir/src/task_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qoe/CMakeFiles/eacs_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eacs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/eacs_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/eacs_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_core.dir/src/context_monitor.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/context_monitor.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/graph.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/graph.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/horizon.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/horizon.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/objective.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/objective.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/online.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/online.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/optimal.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/optimal.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/pareto.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/pareto.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/prefetch.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/prefetch.cpp.o.d"
+  "CMakeFiles/eacs_core.dir/src/task_builder.cpp.o"
+  "CMakeFiles/eacs_core.dir/src/task_builder.cpp.o.d"
+  "libeacs_core.a"
+  "libeacs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/src/bitrate_ladder.cpp" "src/media/CMakeFiles/eacs_media.dir/src/bitrate_ladder.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/bitrate_ladder.cpp.o.d"
+  "/root/repo/src/media/src/catalogue.cpp" "src/media/CMakeFiles/eacs_media.dir/src/catalogue.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/catalogue.cpp.o.d"
+  "/root/repo/src/media/src/codec.cpp" "src/media/CMakeFiles/eacs_media.dir/src/codec.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/codec.cpp.o.d"
+  "/root/repo/src/media/src/frames.cpp" "src/media/CMakeFiles/eacs_media.dir/src/frames.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/frames.cpp.o.d"
+  "/root/repo/src/media/src/manifest.cpp" "src/media/CMakeFiles/eacs_media.dir/src/manifest.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/manifest.cpp.o.d"
+  "/root/repo/src/media/src/mpd.cpp" "src/media/CMakeFiles/eacs_media.dir/src/mpd.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/mpd.cpp.o.d"
+  "/root/repo/src/media/src/si_ti.cpp" "src/media/CMakeFiles/eacs_media.dir/src/si_ti.cpp.o" "gcc" "src/media/CMakeFiles/eacs_media.dir/src/si_ti.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

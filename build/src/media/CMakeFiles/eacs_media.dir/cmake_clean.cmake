@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_media.dir/src/bitrate_ladder.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/bitrate_ladder.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/catalogue.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/catalogue.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/codec.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/codec.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/frames.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/frames.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/manifest.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/manifest.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/mpd.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/mpd.cpp.o.d"
+  "CMakeFiles/eacs_media.dir/src/si_ti.cpp.o"
+  "CMakeFiles/eacs_media.dir/src/si_ti.cpp.o.d"
+  "libeacs_media.a"
+  "libeacs_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/src/bandwidth_estimator.cpp" "src/net/CMakeFiles/eacs_net.dir/src/bandwidth_estimator.cpp.o" "gcc" "src/net/CMakeFiles/eacs_net.dir/src/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/net/src/downloader.cpp" "src/net/CMakeFiles/eacs_net.dir/src/downloader.cpp.o" "gcc" "src/net/CMakeFiles/eacs_net.dir/src/downloader.cpp.o.d"
+  "/root/repo/src/net/src/prediction.cpp" "src/net/CMakeFiles/eacs_net.dir/src/prediction.cpp.o" "gcc" "src/net/CMakeFiles/eacs_net.dir/src/prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

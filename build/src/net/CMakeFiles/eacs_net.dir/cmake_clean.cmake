@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_net.dir/src/bandwidth_estimator.cpp.o"
+  "CMakeFiles/eacs_net.dir/src/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/eacs_net.dir/src/downloader.cpp.o"
+  "CMakeFiles/eacs_net.dir/src/downloader.cpp.o.d"
+  "CMakeFiles/eacs_net.dir/src/prediction.cpp.o"
+  "CMakeFiles/eacs_net.dir/src/prediction.cpp.o.d"
+  "libeacs_net.a"
+  "libeacs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_player.dir/src/multi_client.cpp.o"
+  "CMakeFiles/eacs_player.dir/src/multi_client.cpp.o.d"
+  "CMakeFiles/eacs_player.dir/src/player.cpp.o"
+  "CMakeFiles/eacs_player.dir/src/player.cpp.o.d"
+  "libeacs_player.a"
+  "libeacs_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

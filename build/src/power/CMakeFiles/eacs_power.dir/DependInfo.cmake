@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/src/battery.cpp" "src/power/CMakeFiles/eacs_power.dir/src/battery.cpp.o" "gcc" "src/power/CMakeFiles/eacs_power.dir/src/battery.cpp.o.d"
+  "/root/repo/src/power/src/model.cpp" "src/power/CMakeFiles/eacs_power.dir/src/model.cpp.o" "gcc" "src/power/CMakeFiles/eacs_power.dir/src/model.cpp.o.d"
+  "/root/repo/src/power/src/monsoon.cpp" "src/power/CMakeFiles/eacs_power.dir/src/monsoon.cpp.o" "gcc" "src/power/CMakeFiles/eacs_power.dir/src/monsoon.cpp.o.d"
+  "/root/repo/src/power/src/rrc.cpp" "src/power/CMakeFiles/eacs_power.dir/src/rrc.cpp.o" "gcc" "src/power/CMakeFiles/eacs_power.dir/src/rrc.cpp.o.d"
+  "/root/repo/src/power/src/validation.cpp" "src/power/CMakeFiles/eacs_power.dir/src/validation.cpp.o" "gcc" "src/power/CMakeFiles/eacs_power.dir/src/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_power.dir/src/battery.cpp.o"
+  "CMakeFiles/eacs_power.dir/src/battery.cpp.o.d"
+  "CMakeFiles/eacs_power.dir/src/model.cpp.o"
+  "CMakeFiles/eacs_power.dir/src/model.cpp.o.d"
+  "CMakeFiles/eacs_power.dir/src/monsoon.cpp.o"
+  "CMakeFiles/eacs_power.dir/src/monsoon.cpp.o.d"
+  "CMakeFiles/eacs_power.dir/src/rrc.cpp.o"
+  "CMakeFiles/eacs_power.dir/src/rrc.cpp.o.d"
+  "CMakeFiles/eacs_power.dir/src/validation.cpp.o"
+  "CMakeFiles/eacs_power.dir/src/validation.cpp.o.d"
+  "libeacs_power.a"
+  "libeacs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qoe/src/model.cpp" "src/qoe/CMakeFiles/eacs_qoe.dir/src/model.cpp.o" "gcc" "src/qoe/CMakeFiles/eacs_qoe.dir/src/model.cpp.o.d"
+  "/root/repo/src/qoe/src/session_qoe.cpp" "src/qoe/CMakeFiles/eacs_qoe.dir/src/session_qoe.cpp.o" "gcc" "src/qoe/CMakeFiles/eacs_qoe.dir/src/session_qoe.cpp.o.d"
+  "/root/repo/src/qoe/src/subjective_study.cpp" "src/qoe/CMakeFiles/eacs_qoe.dir/src/subjective_study.cpp.o" "gcc" "src/qoe/CMakeFiles/eacs_qoe.dir/src/subjective_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/player/CMakeFiles/eacs_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eacs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/eacs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

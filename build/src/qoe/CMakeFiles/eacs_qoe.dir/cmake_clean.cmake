@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_qoe.dir/src/model.cpp.o"
+  "CMakeFiles/eacs_qoe.dir/src/model.cpp.o.d"
+  "CMakeFiles/eacs_qoe.dir/src/session_qoe.cpp.o"
+  "CMakeFiles/eacs_qoe.dir/src/session_qoe.cpp.o.d"
+  "CMakeFiles/eacs_qoe.dir/src/subjective_study.cpp.o"
+  "CMakeFiles/eacs_qoe.dir/src/subjective_study.cpp.o.d"
+  "libeacs_qoe.a"
+  "libeacs_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeacs_qoe.a"
+)

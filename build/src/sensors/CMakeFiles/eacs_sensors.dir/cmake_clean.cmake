@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_sensors.dir/src/context_classifier.cpp.o"
+  "CMakeFiles/eacs_sensors.dir/src/context_classifier.cpp.o.d"
+  "CMakeFiles/eacs_sensors.dir/src/vibration.cpp.o"
+  "CMakeFiles/eacs_sensors.dir/src/vibration.cpp.o.d"
+  "libeacs_sensors.a"
+  "libeacs_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_sim.dir/src/evaluation.cpp.o"
+  "CMakeFiles/eacs_sim.dir/src/evaluation.cpp.o.d"
+  "CMakeFiles/eacs_sim.dir/src/metrics.cpp.o"
+  "CMakeFiles/eacs_sim.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/eacs_sim.dir/src/report.cpp.o"
+  "CMakeFiles/eacs_sim.dir/src/report.cpp.o.d"
+  "CMakeFiles/eacs_sim.dir/src/robustness.cpp.o"
+  "CMakeFiles/eacs_sim.dir/src/robustness.cpp.o.d"
+  "CMakeFiles/eacs_sim.dir/src/training.cpp.o"
+  "CMakeFiles/eacs_sim.dir/src/training.cpp.o.d"
+  "libeacs_sim.a"
+  "libeacs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

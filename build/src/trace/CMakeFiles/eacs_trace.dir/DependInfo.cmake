@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/src/accel_gen.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/accel_gen.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/accel_gen.cpp.o.d"
+  "/root/repo/src/trace/src/markov_bandwidth.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/markov_bandwidth.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/markov_bandwidth.cpp.o.d"
+  "/root/repo/src/trace/src/scenario.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/scenario.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/scenario.cpp.o.d"
+  "/root/repo/src/trace/src/session.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/session.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/session.cpp.o.d"
+  "/root/repo/src/trace/src/signal_gen.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/signal_gen.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/signal_gen.cpp.o.d"
+  "/root/repo/src/trace/src/throughput_gen.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/throughput_gen.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/throughput_gen.cpp.o.d"
+  "/root/repo/src/trace/src/time_series.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/time_series.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/time_series.cpp.o.d"
+  "/root/repo/src/trace/src/trace_io.cpp" "src/trace/CMakeFiles/eacs_trace.dir/src/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/eacs_trace.dir/src/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eacs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/eacs_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/eacs_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_trace.dir/src/accel_gen.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/accel_gen.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/markov_bandwidth.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/markov_bandwidth.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/scenario.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/scenario.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/session.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/session.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/signal_gen.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/signal_gen.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/throughput_gen.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/throughput_gen.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/time_series.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/time_series.cpp.o.d"
+  "CMakeFiles/eacs_trace.dir/src/trace_io.cpp.o"
+  "CMakeFiles/eacs_trace.dir/src/trace_io.cpp.o.d"
+  "libeacs_trace.a"
+  "libeacs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

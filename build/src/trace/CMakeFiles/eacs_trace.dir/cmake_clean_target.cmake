@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeacs_trace.a"
+)

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eacs_util.dir/src/csv.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/csv.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/filters.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/filters.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/least_squares.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/least_squares.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/logging.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/logging.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/rng.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/rng.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/stats.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/stats.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/table.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/table.cpp.o.d"
+  "CMakeFiles/eacs_util.dir/src/xml.cpp.o"
+  "CMakeFiles/eacs_util.dir/src/xml.cpp.o.d"
+  "libeacs_util.a"
+  "libeacs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eacs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

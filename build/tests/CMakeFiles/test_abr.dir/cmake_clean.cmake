@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr.dir/abr/baselines_test.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/baselines_test.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/learned_test.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/learned_test.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/mpc_test.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/mpc_test.cpp.o.d"
+  "CMakeFiles/test_abr.dir/abr/pid_test.cpp.o"
+  "CMakeFiles/test_abr.dir/abr/pid_test.cpp.o.d"
+  "test_abr"
+  "test_abr.pdb"
+  "test_abr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/graph_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/graph_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/horizon_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/horizon_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/objective_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/objective_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/online_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/online_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimal_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimal_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pareto_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pareto_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/prefetch_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/prefetch_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_media.dir/media/bitrate_ladder_test.cpp.o"
+  "CMakeFiles/test_media.dir/media/bitrate_ladder_test.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/codec_test.cpp.o"
+  "CMakeFiles/test_media.dir/media/codec_test.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/manifest_test.cpp.o"
+  "CMakeFiles/test_media.dir/media/manifest_test.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/mpd_test.cpp.o"
+  "CMakeFiles/test_media.dir/media/mpd_test.cpp.o.d"
+  "CMakeFiles/test_media.dir/media/si_ti_test.cpp.o"
+  "CMakeFiles/test_media.dir/media/si_ti_test.cpp.o.d"
+  "test_media"
+  "test_media.pdb"
+  "test_media[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_player.dir/player/multi_client_test.cpp.o"
+  "CMakeFiles/test_player.dir/player/multi_client_test.cpp.o.d"
+  "CMakeFiles/test_player.dir/player/player_test.cpp.o"
+  "CMakeFiles/test_player.dir/player/player_test.cpp.o.d"
+  "test_player"
+  "test_player.pdb"
+  "test_player[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

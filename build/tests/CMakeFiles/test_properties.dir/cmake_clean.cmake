@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/property/downloader_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/downloader_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/model_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/model_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/multi_client_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/multi_client_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/parser_fuzz_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/parser_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/planner_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/planner_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/property/player_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/property/player_properties_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qoe.dir/qoe/model_test.cpp.o"
+  "CMakeFiles/test_qoe.dir/qoe/model_test.cpp.o.d"
+  "CMakeFiles/test_qoe.dir/qoe/session_qoe_test.cpp.o"
+  "CMakeFiles/test_qoe.dir/qoe/session_qoe_test.cpp.o.d"
+  "CMakeFiles/test_qoe.dir/qoe/subjective_study_test.cpp.o"
+  "CMakeFiles/test_qoe.dir/qoe/subjective_study_test.cpp.o.d"
+  "test_qoe"
+  "test_qoe.pdb"
+  "test_qoe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensors.dir/sensors/context_classifier_test.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/context_classifier_test.cpp.o.d"
+  "CMakeFiles/test_sensors.dir/sensors/vibration_test.cpp.o"
+  "CMakeFiles/test_sensors.dir/sensors/vibration_test.cpp.o.d"
+  "test_sensors"
+  "test_sensors.pdb"
+  "test_sensors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
