@@ -1,0 +1,68 @@
+// Extension: fault tolerance of the Section V algorithms.
+//
+// Sweeps link-outage density x per-request failure probability over the
+// Table V sessions, replaying every algorithm through the seeded fault
+// injector and the player's retry machinery, and reports how QoE, energy,
+// rebuffering and wasted download energy respond. The (0, 0) grid corner is
+// the fault-free baseline every delta is measured against; the whole table
+// is deterministic in the study seed.
+
+#include "bench_common.h"
+#include "eacs/sim/fault_study.h"
+
+namespace {
+
+using namespace eacs;
+
+void print_reproduction() {
+  bench::banner("Extension: fault tolerance",
+                "Outage density x failure rate sweep over the Table V sessions");
+
+  sim::FaultStudyConfig config;
+  const auto result = sim::run_fault_study(config);
+
+  AsciiTable table("QoE / energy / resilience vs. fault intensity");
+  table.set_header({"algorithm", "outages/min", "fail prob", "QoE", "QoE d",
+                    "rebuffer s", "wasted J", "retries", "abandoned"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight});
+  for (const auto& cell : result.cells) {
+    table.add_row({cell.algorithm, AsciiTable::num(cell.outage_rate_per_min, 1),
+                   AsciiTable::num(cell.failure_prob, 2),
+                   AsciiTable::num(cell.mean_qoe, 3),
+                   AsciiTable::num(cell.qoe_delta, 3),
+                   AsciiTable::num(cell.rebuffer_s, 1),
+                   AsciiTable::num(cell.wasted_energy_j, 1),
+                   std::to_string(cell.retries),
+                   std::to_string(cell.abandoned_segments)});
+  }
+  table.print();
+
+  const double worst_rate = config.outage_rates_per_min.back();
+  const double worst_prob = config.failure_probs.back();
+  const auto& ours = result.cell("Ours", worst_rate, worst_prob);
+  const auto& youtube = result.cell("Youtube", worst_rate, worst_prob);
+  std::printf(
+      "\nHarshest cell (%.1f outages/min, p_fail=%.2f): Ours loses %.3f QoE and "
+      "wastes %.1f J on aborted transfers; fixed-rate YouTube wastes %.1f J.\n",
+      worst_rate, worst_prob, -ours.qoe_delta, ours.wasted_energy_j,
+      youtube.wasted_energy_j);
+}
+
+void BM_FaultStudyCell(benchmark::State& state) {
+  sim::FaultStudyConfig config;
+  config.outage_rates_per_min = {1.5};
+  config.failure_probs = {0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fault_study(config));
+  }
+}
+BENCHMARK(BM_FaultStudyCell)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

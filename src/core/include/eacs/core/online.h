@@ -33,15 +33,25 @@ struct OnlineOptions {
 };
 
 /// Algorithm 1 as a player policy.
+///
+/// Replan-on-failure: when the player reports a failed/aborted download
+/// (fault-injected runs), the selector enters a short cooldown during which
+/// it suppresses ramp-ups and caps the choice one rung below the previous
+/// segment — the online analogue of replanning around a dead link. The hook
+/// is never invoked on fault-free runs, so their decisions are unchanged.
 class OnlineBitrateSelector final : public player::AbrPolicy {
  public:
   using Options = OnlineOptions;
+
+  /// Segments of conservative behaviour after a reported failure.
+  static constexpr std::size_t kFailureCooldownSegments = 2;
 
   explicit OnlineBitrateSelector(Objective objective, Options options = {});
 
   std::string name() const override { return options_.display_name; }
   std::size_t choose_level(const player::AbrContext& context) override;
-  void reset() override {}
+  void on_download_failure(const player::DownloadFailure& failure) override;
+  void reset() override { failure_cooldown_ = 0; }
 
   const Objective& objective() const noexcept { return objective_; }
 
@@ -56,6 +66,7 @@ class OnlineBitrateSelector final : public player::AbrPolicy {
 
   Objective objective_;
   Options options_;
+  std::size_t failure_cooldown_ = 0;  ///< segments left of post-failure caution
 };
 
 }  // namespace eacs::core

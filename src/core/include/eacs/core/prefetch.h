@@ -81,7 +81,7 @@ class PrefetchScheduler {
   std::vector<std::size_t> levels_;
   const trace::TimeSeries& signal_;
   net::SegmentDownloader downloader_;
-  const power::PowerModel& power_;
+  power::PowerModel power_;  // by value: callers may pass a temporary
   PrefetchConfig config_;
 };
 

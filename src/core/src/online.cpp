@@ -43,6 +43,12 @@ std::size_t OnlineBitrateSelector::smooth(std::size_t reference, std::size_t pre
   return previous;
 }
 
+void OnlineBitrateSelector::on_download_failure(
+    const player::DownloadFailure& failure) {
+  (void)failure;
+  failure_cooldown_ = kFailureCooldownSegments;
+}
+
 std::size_t OnlineBitrateSelector::choose_level(const player::AbrContext& context) {
   const auto& ladder = context.manifest->ladder();
   if (context.bandwidth->observations() == 0) {
@@ -52,11 +58,24 @@ std::size_t OnlineBitrateSelector::choose_level(const player::AbrContext& contex
 
   const TaskEnvironment env = environment_from(context);
   const std::size_t reference = objective_.reference_level(env, context.buffer_s);
-  if (!options_.smoothing || !context.prev_level.has_value()) return reference;
+  std::size_t chosen = reference;
+  if (options_.smoothing && context.prev_level.has_value()) {
+    chosen = ladder.clamp_level(static_cast<long long>(
+        smooth(reference, *context.prev_level, env, env.bandwidth_mbps,
+               context.buffer_s)));
+  }
 
-  return ladder.clamp_level(static_cast<long long>(
-      smooth(reference, *context.prev_level, env, env.bandwidth_mbps,
-             context.buffer_s)));
+  // Replan-on-failure: while cooling down after a reported download failure,
+  // never ramp up — cap one rung below the previous segment (or at it, when
+  // already at the bottom). Fault-free runs never enter this branch.
+  if (failure_cooldown_ > 0) {
+    --failure_cooldown_;
+    const std::size_t floor_level = ladder.lowest_level();
+    std::size_t cap = context.prev_level.value_or(floor_level);
+    if (cap > floor_level) --cap;
+    chosen = std::min(chosen, cap);
+  }
+  return chosen;
 }
 
 }  // namespace eacs::core

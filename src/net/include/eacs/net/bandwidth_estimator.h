@@ -15,15 +15,28 @@
 
 namespace eacs::net {
 
+/// Floor at which failed / stalled downloads are recorded (Mbps). Dropping
+/// zero-throughput observations would mean an outage never lowers the
+/// estimate; a literal zero would pin the harmonic mean at zero forever.
+inline constexpr double kFailureFloorMbps = 0.01;
+
 /// Streaming bandwidth estimator interface.
 class BandwidthEstimator {
  public:
   virtual ~BandwidthEstimator() = default;
 
-  /// Records the measured throughput of one completed segment download.
+  /// Records the measured throughput of one segment download. Non-positive
+  /// values (a failed or fully stalled download) are recorded as
+  /// kFailureFloorMbps so estimators react to dead links.
   virtual void observe(double throughput_mbps) = 0;
 
-  /// Current estimate in Mbps; 0 before any observation.
+  /// Current estimate in Mbps.
+  ///
+  /// Returns 0 before the estimator is primed (no observations yet). Callers
+  /// MUST treat 0 as "no estimate", not as a measured dead link: the player
+  /// policies fall back to a startup rung (see OnlineBitrateSelector) or a
+  /// conservative lowest-level choice when this returns 0. A measured outage
+  /// is reported as a small positive value (>= kFailureFloorMbps) instead.
   virtual double estimate() const = 0;
 
   /// Number of observations consumed.
@@ -53,6 +66,9 @@ class EmaEstimator final : public BandwidthEstimator {
   explicit EmaEstimator(double alpha = 0.25);
 
   void observe(double throughput_mbps) override;
+  /// 0.0 until the first observe() primes the filter — per the base-class
+  /// contract. Check observations() to distinguish "unprimed" from a genuine
+  /// near-zero estimate (which is floored at kFailureFloorMbps anyway).
   double estimate() const override;
   std::size_t observations() const override { return seen_; }
   void reset() override;

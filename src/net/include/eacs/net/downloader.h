@@ -26,6 +26,9 @@ class SegmentDownloader {
  public:
   /// The trace must be non-empty. Beyond its end the last sample's value is
   /// held (the session generators append enough margin that this is rare).
+  /// Duplicate (zero-width) breakpoints — step discontinuities, e.g. outage
+  /// edges injected by net::FaultInjector or repeated timestamps in recorded
+  /// CSV traces — are tolerated.
   explicit SegmentDownloader(const trace::TimeSeries& throughput_mbps);
 
   /// Computes the completion of a `size_megabits` transfer starting at

@@ -1,14 +1,25 @@
 #include "eacs/net/bandwidth_estimator.h"
 
+#include <algorithm>
+
 namespace eacs::net {
+namespace {
+
+// Non-positive observations (failed, aborted or fully stalled downloads)
+// carry real information — the link is dead — but a zero would blow up the
+// harmonic mean. Record them at the floor instead so the estimate collapses
+// towards (but never to) zero and recovers once the link returns.
+double floored(double throughput_mbps) noexcept {
+  return throughput_mbps > 0.0 ? throughput_mbps : kFailureFloorMbps;
+}
+
+}  // namespace
 
 HarmonicMeanEstimator::HarmonicMeanEstimator(std::size_t window) : window_(window) {}
 
 void HarmonicMeanEstimator::observe(double throughput_mbps) {
-  if (throughput_mbps > 0.0) {
-    window_.push(throughput_mbps);
-    ++seen_;
-  }
+  window_.push(floored(throughput_mbps));
+  ++seen_;
 }
 
 double HarmonicMeanEstimator::estimate() const { return window_.harmonic_mean(); }
@@ -21,10 +32,8 @@ void HarmonicMeanEstimator::reset() {
 EmaEstimator::EmaEstimator(double alpha) : filter_(alpha) {}
 
 void EmaEstimator::observe(double throughput_mbps) {
-  if (throughput_mbps > 0.0) {
-    filter_.update(throughput_mbps);
-    ++seen_;
-  }
+  filter_.update(floored(throughput_mbps));
+  ++seen_;
 }
 
 double EmaEstimator::estimate() const { return filter_.primed() ? filter_.value() : 0.0; }
@@ -35,10 +44,8 @@ void EmaEstimator::reset() {
 }
 
 void LastSampleEstimator::observe(double throughput_mbps) {
-  if (throughput_mbps > 0.0) {
-    last_ = throughput_mbps;
-    ++seen_;
-  }
+  last_ = floored(throughput_mbps);
+  ++seen_;
 }
 
 void LastSampleEstimator::reset() {

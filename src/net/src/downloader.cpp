@@ -61,6 +61,12 @@ DownloadResult SegmentDownloader::download(double start_s, double size_megabits)
   for (const auto& point : throughput_.samples()) {
     if (point.t_s <= start_s) continue;
     const double dt = point.t_s - cursor;
+    if (dt <= 0.0) {
+      // Zero-width breakpoint (duplicate timestamp): a step discontinuity.
+      // No bytes move in zero time; adopt the post-step rate and continue.
+      cursor_value = point.value;
+      continue;
+    }
     const double chunk = 0.5 * (cursor_value + point.value) * dt;
     if (chunk >= remaining && chunk > 0.0) {
       const double slope = (point.value - cursor_value) / dt;

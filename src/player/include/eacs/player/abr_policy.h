@@ -28,6 +28,16 @@ struct AbrContext {
   double signal_dbm = -90.0;       ///< current signal-strength reading
 };
 
+/// Details of one failed or aborted download attempt. Only produced on
+/// fault-injected runs (PlayerSimulator::run with a net::FaultInjector);
+/// the fault-free player never fails a download.
+struct DownloadFailure {
+  std::size_t segment_index = 0;
+  std::size_t attempt = 0;      ///< 0-based attempt number that failed
+  double now_s = 0.0;           ///< wall clock when the failure manifested
+  bool during_outage = false;   ///< the link was inside an outage window
+};
+
 /// Bitrate-adaptation policy.
 class AbrPolicy {
  public:
@@ -39,6 +49,13 @@ class AbrPolicy {
   /// Picks the ladder level for the segment described by `context`.
   /// Must return a valid level for the manifest's ladder.
   virtual std::size_t choose_level(const AbrContext& context) = 0;
+
+  /// Notification that a download attempt failed or was aborted (fault-
+  /// injected runs only). Policies may use this to replan — e.g. suppress
+  /// ramp-ups for a few segments. Default: ignore.
+  virtual void on_download_failure(const DownloadFailure& failure) {
+    (void)failure;
+  }
 
   /// Clears any internal state before a fresh run.
   virtual void reset() {}

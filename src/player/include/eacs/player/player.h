@@ -7,18 +7,66 @@
 // empties mid-download, and downloading pauses whenever the buffer reaches
 // the paper's 30 s threshold. The ABR policy under test is consulted before
 // every segment request with the estimator state a real client would have.
+//
+// A second run() overload replays the session through a net::FaultInjector.
+// On that path the player runs a resilience state machine per segment:
+// per-attempt deadlines, bounded retries with exponential backoff and
+// deterministic jitter, mid-download abandonment when a transfer outpaces
+// the buffer drain, and degradation to the lowest rung while the link is
+// failing. Aborted attempts are accounted as wasted bytes / wasted wall
+// time, which eacs::sim prices as wasted download energy.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "eacs/media/manifest.h"
 #include "eacs/net/bandwidth_estimator.h"
 #include "eacs/net/downloader.h"
+#include "eacs/net/fault_injector.h"
 #include "eacs/player/abr_policy.h"
 #include "eacs/sensors/vibration.h"
 #include "eacs/trace/session.h"
 
 namespace eacs::player {
+
+/// Retry / abandonment behaviour for fault-injected runs. Only consulted by
+/// the run() overload taking a FaultInjector — the fault-free path never
+/// times out, retries or abandons, so these defaults cannot perturb it.
+struct ResilienceConfig {
+  /// Aborted attempts allowed per segment before the rescue fetch. The
+  /// rescue fetch (attempt max_retries) drops to the lowest rung and keeps
+  /// the connection open until the transfer completes, so a session always
+  /// terminates with bounded retries.
+  std::size_t max_retries = 4;
+
+  /// An attempt whose completion (or failure) would land later than this is
+  /// aborted at the deadline — the timeout that turns outages and stuck
+  /// transfers into observable failures.
+  double attempt_deadline_s = 15.0;
+
+  // Exponential backoff between retries: wait
+  //   min(backoff_base_s * backoff_factor^attempt, backoff_max_s)
+  // scaled by a deterministic jitter in [1, 1 + backoff_jitter).
+  double backoff_base_s = 0.25;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 4.0;
+  double backoff_jitter = 0.25;
+
+  /// Retries at or beyond this count request the lowest rung (graceful
+  /// degradation while the link is failing); earlier retries step one rung
+  /// down per attempt.
+  std::size_t degrade_after = 2;
+
+  /// Mid-download abandonment: if (while playing) a healthy transfer is
+  /// projected to outlast `abandon_factor * buffer`, probe for
+  /// `abandon_probe_s`, abort, and re-request one rung lower. At most once
+  /// per segment.
+  bool abandon_enabled = true;
+  double abandon_factor = 2.0;
+  double abandon_probe_s = 1.0;
+  double abandon_min_buffer_s = 4.0;  ///< never abandon with this much buffer
+};
 
 /// Player buffer configuration (paper: B = 30 s threshold).
 struct PlayerConfig {
@@ -26,7 +74,14 @@ struct PlayerConfig {
   double startup_buffer_s = 4.0;     ///< playback begins once buffered
   std::size_t bandwidth_window = 20; ///< harmonic-mean estimator depth
   sensors::VibrationConfig vibration;  ///< vibration estimator settings
+  ResilienceConfig resilience;       ///< fault-injected runs only
 };
+
+/// Deterministic backoff before retry `attempt` of `segment_index` (seconds).
+/// Exposed for the property tests: monotone non-decreasing in `attempt` up to
+/// the jittered cap, and a pure function of its arguments.
+double retry_backoff_s(const ResilienceConfig& config, std::uint64_t fault_seed,
+                       std::size_t segment_index, std::size_t attempt);
 
 /// Per-segment ("task") record of a completed run. This is the unit the
 /// energy/QoE accounting in eacs::sim consumes.
@@ -36,7 +91,7 @@ struct TaskRecord {
   double bitrate_mbps = 0.0;
   double size_mb = 0.0;
   double duration_s = 0.0;          ///< media duration of the segment
-  double download_start_s = 0.0;
+  double download_start_s = 0.0;    ///< start of the successful attempt
   double download_end_s = 0.0;
   double throughput_mbps = 0.0;     ///< measured size/time for this download
   double signal_dbm = -90.0;        ///< mean signal during the download
@@ -44,6 +99,14 @@ struct TaskRecord {
   double buffer_before_s = 0.0;     ///< buffer level when the request was made
   double rebuffer_s = 0.0;          ///< stall time waiting for this segment
   bool startup = false;             ///< downloaded before playback began
+
+  // Resilience accounting (all zero on fault-free runs).
+  std::size_t retries = 0;          ///< aborted attempts before success
+  bool abandoned = false;           ///< a mid-download abandonment occurred
+  double wasted_mb = 0.0;           ///< bytes moved by aborted attempts
+  double wasted_download_s = 0.0;   ///< wall time spent in aborted attempts
+  double wasted_signal_dbm = -90.0; ///< byte-weighted mean signal over waste
+  double backoff_s = 0.0;           ///< wall time spent backing off
 };
 
 /// Whole-session outcome.
@@ -55,7 +118,14 @@ struct PlaybackResult {
   std::size_t switch_count = 0;     ///< level changes between consecutive tasks
   double session_end_s = 0.0;       ///< wall clock when playback finished
 
-  /// Total downloaded data in MB.
+  // Resilience totals (all zero on fault-free runs).
+  std::size_t total_retries = 0;
+  std::size_t abandoned_segments = 0;
+  double total_wasted_mb = 0.0;
+  double total_backoff_s = 0.0;
+
+  /// Total downloaded data in MB (successful attempts only; wasted bytes are
+  /// tracked in total_wasted_mb).
   double total_downloaded_mb() const noexcept;
   /// Mean selected bitrate weighted by segment duration.
   double mean_bitrate_mbps() const noexcept;
@@ -72,6 +142,12 @@ class PlayerSimulator {
 
   /// Replays the session with the given policy. The policy is reset() first.
   PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session) const;
+
+  /// Replays the session through a fault injector, engaging the resilience
+  /// state machine. An inactive injector (FaultSpec{}) is a strict no-op:
+  /// the result is bit-identical to the fault-free overload.
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
+                     const net::FaultInjector& faults) const;
 
  private:
   media::VideoManifest manifest_;

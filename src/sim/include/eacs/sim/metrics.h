@@ -24,7 +24,7 @@ struct SessionMetrics {
   std::string algorithm;
   int session_id = 0;
 
-  double total_energy_j = 0.0;
+  double total_energy_j = 0.0;    ///< includes wasted_energy_j on fault runs
   double base_energy_j = 0.0;
   double extra_energy_j = 0.0;
 
@@ -36,6 +36,12 @@ struct SessionMetrics {
   std::size_t rebuffer_events = 0;
   std::size_t switch_count = 0;
   double startup_delay_s = 0.0;
+
+  // Resilience accounting (all zero on fault-free runs).
+  double wasted_energy_j = 0.0;   ///< radio energy of aborted transfers
+  double wasted_mb = 0.0;
+  std::size_t retries = 0;
+  std::size_t abandoned_segments = 0;
 };
 
 /// Computes all metrics for one run.
@@ -45,9 +51,16 @@ SessionMetrics compute_metrics(const std::string& algorithm, int session_id,
                                const qoe::QoeModel& qoe_model,
                                const power::PowerModel& power_model);
 
-/// Whole-session energy from the task records (sum of per-task energies).
+/// Whole-session energy from the task records (sum of per-task energies,
+/// plus the wasted radio energy of aborted transfers on fault runs).
 double session_energy_j(const player::PlaybackResult& result,
                         const power::PowerModel& power_model);
+
+/// Radio energy spent on aborted download attempts — bytes that moved but
+/// were thrown away (the paper's per-byte e(signal) pricing applied to the
+/// wasted bytes). Zero on fault-free runs.
+double session_wasted_energy_j(const player::PlaybackResult& result,
+                               const power::PowerModel& power_model);
 
 /// Base energy: the same session with every segment at the lowest rung and
 /// no stalls, priced under each task's recorded signal conditions.

@@ -1,0 +1,146 @@
+#include "eacs/sim/fault_study.h"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "eacs/abr/bba.h"
+#include "eacs/abr/festive.h"
+#include "eacs/abr/fixed.h"
+#include "eacs/core/online.h"
+#include "eacs/core/optimal.h"
+#include "eacs/net/fault_injector.h"
+
+namespace eacs::sim {
+namespace {
+
+std::uint64_t cell_seed(std::uint64_t base, std::size_t grid_index, int session_id) {
+  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (grid_index + 1));
+  x ^= 0x94D049BB133111EBULL * (static_cast<std::uint64_t>(session_id) + 1);
+  return x;
+}
+
+}  // namespace
+
+const FaultCell& FaultStudyResult::cell(const std::string& algorithm,
+                                        double outage_rate_per_min,
+                                        double failure_prob) const {
+  for (const auto& c : cells) {
+    if (c.algorithm == algorithm &&
+        std::fabs(c.outage_rate_per_min - outage_rate_per_min) < 1e-12 &&
+        std::fabs(c.failure_prob - failure_prob) < 1e-12) {
+      return c;
+    }
+  }
+  throw std::out_of_range("FaultStudyResult: no cell for " + algorithm);
+}
+
+FaultStudyResult run_fault_study(const FaultStudyConfig& config) {
+  if (config.outage_rates_per_min.empty() || config.failure_probs.empty()) {
+    throw std::invalid_argument("run_fault_study: empty sweep axes");
+  }
+
+  const Evaluation evaluation(config.evaluation);
+  const qoe::QoeModel qoe_model(config.evaluation.qoe);
+  const power::PowerModel power_model(config.evaluation.power);
+
+  core::ObjectiveConfig objective_config;
+  objective_config.alpha = config.evaluation.alpha;
+  objective_config.buffer_threshold_s = config.evaluation.player.buffer_threshold_s;
+  objective_config.context_aware = config.evaluation.context_aware;
+  const core::Objective objective(qoe_model, power_model, objective_config);
+
+  // Sessions, manifests, simulators and optimal plans are built once and
+  // shared across the whole grid.
+  const auto sessions = trace::build_all_sessions(config.evaluation.session_options);
+  std::vector<media::VideoManifest> manifests;
+  std::vector<player::PlayerSimulator> simulators;
+  std::vector<core::OptimalPlan> plans;
+  manifests.reserve(sessions.size());
+  simulators.reserve(sessions.size());
+  plans.reserve(sessions.size());
+  for (const auto& session : sessions) {
+    manifests.push_back(evaluation.manifest_for(session.spec));
+    simulators.emplace_back(manifests.back(), config.evaluation.player);
+    core::OptimalPlanner planner(objective);
+    plans.push_back(planner.plan(core::build_task_environments(manifests.back(), session)));
+  }
+
+  // Per-session fresh policy instances (the planner output is shared).
+  const auto run_policies = [&](std::size_t s, const net::FaultInjector* faults,
+                                std::map<std::string, FaultCell>& accumulate) {
+    const auto& session = sessions[s];
+    abr::FixedBitrate youtube;
+    abr::Festive festive;
+    abr::Bba bba(5.0, config.evaluation.player.buffer_threshold_s);
+    core::OnlineBitrateSelector ours(
+        objective, {.startup_level = config.evaluation.online_startup_level});
+    core::PlannedPolicy optimal(plans[s]);
+
+    const std::vector<player::AbrPolicy*> policies = {&youtube, &festive, &bba,
+                                                      &ours, &optimal};
+    for (player::AbrPolicy* policy : policies) {
+      const auto playback = faults != nullptr
+                                ? simulators[s].run(*policy, session, *faults)
+                                : simulators[s].run(*policy, session);
+      const SessionMetrics metrics =
+          compute_metrics(policy->name(), session.spec.id, playback, manifests[s],
+                          qoe_model, power_model);
+
+      FaultCell& cell = accumulate[policy->name()];
+      cell.algorithm = policy->name();
+      cell.mean_qoe += metrics.mean_qoe / static_cast<double>(sessions.size());
+      cell.total_energy_j += metrics.total_energy_j;
+      cell.wasted_energy_j += metrics.wasted_energy_j;
+      cell.rebuffer_s += metrics.rebuffer_s;
+      cell.retries += metrics.retries;
+      cell.abandoned_segments += metrics.abandoned_segments;
+    }
+  };
+
+  // Fault-free baseline per algorithm: the reference every cell's deltas
+  // are taken against.
+  std::map<std::string, FaultCell> baseline;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    run_policies(s, nullptr, baseline);
+  }
+
+  FaultStudyResult result;
+  std::size_t grid_index = 0;
+  for (const double outage_rate : config.outage_rates_per_min) {
+    for (const double failure_prob : config.failure_probs) {
+      std::map<std::string, FaultCell> per_algorithm;
+
+      for (std::size_t s = 0; s < sessions.size(); ++s) {
+        const auto& session = sessions[s];
+
+        net::FaultSpec spec;
+        spec.outage_rate_per_min = outage_rate;
+        spec.outage_mean_s = config.outage_mean_s;
+        spec.failure_prob = failure_prob;
+        if (failure_prob > 0.0) {
+          spec.signal_failure_per_db = config.signal_failure_per_db;
+          spec.signal_threshold_dbm = config.signal_threshold_dbm;
+        }
+        spec.seed = cell_seed(config.seed, grid_index, session.spec.id);
+        const net::FaultInjector faults(session.throughput_mbps, spec,
+                                        &session.signal_dbm);
+        run_policies(s, &faults, per_algorithm);
+      }
+
+      for (auto& [name, cell] : per_algorithm) {
+        cell.outage_rate_per_min = outage_rate;
+        cell.failure_prob = failure_prob;
+        const FaultCell& base = baseline.at(name);
+        cell.qoe_delta = cell.mean_qoe - base.mean_qoe;
+        cell.energy_delta_j = cell.total_energy_j - base.total_energy_j;
+        cell.rebuffer_delta_s = cell.rebuffer_s - base.rebuffer_s;
+        result.cells.push_back(cell);
+      }
+      ++grid_index;
+    }
+  }
+  return result;
+}
+
+}  // namespace eacs::sim

@@ -14,6 +14,18 @@ double session_energy_j(const player::PlaybackResult& result,
     input.rebuffer_s = task.rebuffer_s;
     total += power_model.task_energy(input);
   }
+  // Aborted transfers drain the battery too (zero on fault-free runs).
+  return total + session_wasted_energy_j(result, power_model);
+}
+
+double session_wasted_energy_j(const player::PlaybackResult& result,
+                               const power::PowerModel& power_model) {
+  double total = 0.0;
+  for (const auto& task : result.tasks) {
+    if (task.wasted_mb > 0.0) {
+      total += power_model.download_energy(task.wasted_mb, task.wasted_signal_dbm);
+    }
+  }
   return total;
 }
 
@@ -95,6 +107,10 @@ SessionMetrics compute_metrics(const std::string& algorithm, int session_id,
   metrics.rebuffer_events = result.rebuffer_events;
   metrics.switch_count = result.switch_count;
   metrics.startup_delay_s = result.startup_delay_s;
+  metrics.wasted_energy_j = session_wasted_energy_j(result, power_model);
+  metrics.wasted_mb = result.total_wasted_mb;
+  metrics.retries = result.total_retries;
+  metrics.abandoned_segments = result.abandoned_segments;
   return metrics;
 }
 

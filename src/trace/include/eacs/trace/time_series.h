@@ -16,15 +16,19 @@ struct TimePoint {
 };
 
 /// Monotonic time series with step and linear interpolation lookups.
+///
+/// Timestamps must be non-decreasing. Duplicate (zero-width) timestamps are
+/// allowed and represent a step discontinuity: at exactly the shared time the
+/// *last* duplicate's value wins, which is how outage edges and real CSV
+/// recordings with repeated timestamps are modelled.
 class TimeSeries {
  public:
   TimeSeries() = default;
 
-  /// Builds from samples; throws std::invalid_argument if timestamps are not
-  /// strictly increasing.
+  /// Builds from samples; throws std::invalid_argument if timestamps decrease.
   explicit TimeSeries(std::vector<TimePoint> samples);
 
-  /// Appends a sample; throws if `t_s` does not advance time.
+  /// Appends a sample; throws if `t_s` moves backwards in time.
   void append(double t_s, double value);
 
   bool empty() const noexcept { return samples_.empty(); }

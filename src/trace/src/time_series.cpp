@@ -8,15 +8,15 @@ namespace eacs::trace {
 
 TimeSeries::TimeSeries(std::vector<TimePoint> samples) : samples_(std::move(samples)) {
   for (std::size_t i = 1; i < samples_.size(); ++i) {
-    if (samples_[i].t_s <= samples_[i - 1].t_s) {
-      throw std::invalid_argument("TimeSeries: timestamps must strictly increase");
+    if (samples_[i].t_s < samples_[i - 1].t_s) {
+      throw std::invalid_argument("TimeSeries: timestamps must not decrease");
     }
   }
 }
 
 void TimeSeries::append(double t_s, double value) {
-  if (!samples_.empty() && t_s <= samples_.back().t_s) {
-    throw std::invalid_argument("TimeSeries::append: time must advance");
+  if (!samples_.empty() && t_s < samples_.back().t_s) {
+    throw std::invalid_argument("TimeSeries::append: time must not go backwards");
   }
   samples_.push_back({t_s, value});
 }
@@ -49,10 +49,14 @@ double TimeSeries::step_at(double t_s) const {
 
 double TimeSeries::linear_at(double t_s) const {
   const std::size_t i = index_at_or_before(t_s);
-  if (t_s <= samples_.front().t_s) return samples_.front().value;
+  if (t_s < samples_.front().t_s) return samples_.front().value;
   if (i + 1 >= samples_.size()) return samples_.back().value;
   const TimePoint& a = samples_[i];
   const TimePoint& b = samples_[i + 1];
+  // Zero-width breakpoints (duplicate timestamps) are step discontinuities;
+  // index_at_or_before already resolved to the last duplicate, so `a` holds
+  // the value that applies at exactly `t_s`.
+  if (b.t_s <= a.t_s) return b.value;
   const double frac = (t_s - a.t_s) / (b.t_s - a.t_s);
   return a.value + frac * (b.value - a.value);
 }
@@ -67,7 +71,10 @@ double TimeSeries::integral_over(double t0, double t1) const {
   double cursor_value = linear_at(t0);
   for (const TimePoint& p : samples_) {
     if (p.t_s <= t0) continue;
-    if (p.t_s >= t1) break;
+    // Strictly-greater: breakpoints exactly at t1 (including zero-width step
+    // duplicates) must still update cursor_value, or a step at t1 would leak
+    // the post-step value into the closing trapezoid.
+    if (p.t_s > t1) break;
     total += 0.5 * (cursor_value + p.value) * (p.t_s - cursor);
     cursor = p.t_s;
     cursor_value = p.value;

@@ -82,6 +82,38 @@ TEST(SegmentDownloaderTest, DeadLinkAtTraceEndCapsDuration) {
   EXPECT_GT(result.duration_s(), 100.0);  // clearly a stall, not a crash
 }
 
+TEST(SegmentDownloaderTest, DuplicateTimestampStepDoesNotDivideByZero) {
+  // Regression: a zero-width breakpoint (duplicate timestamp, dt == 0) used
+  // to divide by zero inside the breakpoint walk. It must instead act as a
+  // clean step discontinuity.
+  trace::TimeSeries series;
+  series.append(0.0, 4.0);
+  series.append(2.0, 4.0);    // 8 megabits by t=2
+  series.append(2.0, 16.0);   // instantaneous step, not a ramp
+  series.append(100.0, 16.0);
+  SegmentDownloader downloader(series);
+  // 24 megabits: 8 in the first 2 s at 4 Mbps, remaining 16 at 16 Mbps = 1 s.
+  const auto result = downloader.download(0.0, 24.0);
+  EXPECT_NEAR(result.end_s, 3.0, 1e-9);
+  EXPECT_NEAR(result.mean_throughput_mbps, 8.0, 1e-9);
+}
+
+TEST(SegmentDownloaderTest, ZeroWidthOutageWindowHaltsTransfer) {
+  // An outage written as zero-width steps (rate -> 0 at t=2, back at t=6):
+  // nothing moves inside the window.
+  trace::TimeSeries series;
+  series.append(0.0, 8.0);
+  series.append(2.0, 8.0);
+  series.append(2.0, 0.0);
+  series.append(6.0, 0.0);
+  series.append(6.0, 8.0);
+  series.append(100.0, 8.0);
+  SegmentDownloader downloader(series);
+  // 32 megabits: 16 by t=2, outage until t=6, remaining 16 by t=8.
+  const auto result = downloader.download(0.0, 32.0);
+  EXPECT_NEAR(result.end_s, 8.0, 1e-9);
+}
+
 TEST(SegmentDownloaderTest, LaterStartUsesLaterBandwidth) {
   trace::TimeSeries series;
   series.append(0.0, 2.0);
@@ -113,10 +145,32 @@ TEST(HarmonicMeanEstimatorTest, WindowLimitsHistory) {
   EXPECT_NEAR(estimator.estimate(), 1.0, 1e-9);
 }
 
-TEST(HarmonicMeanEstimatorTest, IgnoresNonPositive) {
+TEST(HarmonicMeanEstimatorTest, FloorsNonPositiveObservations) {
+  // Failed transfers (zero throughput) must not vanish from the history —
+  // they are recorded at the failure floor so the estimate collapses instead
+  // of staying optimistic.
   HarmonicMeanEstimator estimator(5);
   estimator.observe(0.0);
   estimator.observe(-3.0);
+  EXPECT_EQ(estimator.observations(), 2U);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), kFailureFloorMbps);
+
+  estimator.observe(10.0);
+  EXPECT_LT(estimator.estimate(), 0.1);  // harmonic mean stays pessimistic
+}
+
+TEST(EmaEstimatorTest, FloorsNonPositiveObservations) {
+  EmaEstimator estimator(0.5);
+  estimator.observe(8.0);
+  estimator.observe(0.0);
+  EXPECT_EQ(estimator.observations(), 2U);
+  EXPECT_NEAR(estimator.estimate(), 0.5 * 8.0 + 0.5 * kFailureFloorMbps, 1e-12);
+}
+
+TEST(EmaEstimatorTest, UnprimedEstimateIsZero) {
+  // Documented contract: 0.0 means "no estimate yet"; callers fall back to
+  // their startup rung.
+  EmaEstimator estimator(0.5);
   EXPECT_EQ(estimator.observations(), 0U);
   EXPECT_DOUBLE_EQ(estimator.estimate(), 0.0);
 }

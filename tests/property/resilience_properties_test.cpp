@@ -1,0 +1,159 @@
+// Property suite for the fault-injection + retry machinery: determinism in
+// (config, seed), bounded retries, monotone backoff, and guaranteed
+// termination even under a total outage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eacs/abr/fixed.h"
+#include "eacs/net/fault_injector.h"
+#include "eacs/player/player.h"
+#include "eacs/util/rng.h"
+#include "../test_helpers.h"
+
+namespace eacs::player {
+namespace {
+
+using eacs::testing::make_manifest;
+using eacs::testing::make_session;
+
+net::FaultSpec random_spec(std::uint64_t seed) {
+  eacs::Rng rng(seed);
+  net::FaultSpec spec;
+  spec.outage_rate_per_min = rng.uniform(0.2, 2.0);
+  spec.outage_mean_s = rng.uniform(2.0, 10.0);
+  spec.failure_prob = rng.uniform(0.0, 0.4);
+  spec.stall_prob = rng.uniform(0.0, 0.15);
+  spec.seed = seed;
+  return spec;
+}
+
+class ResilienceProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResilienceProperties, IdenticalConfigAndSeedReproduceEverything) {
+  const auto session = make_session(40.0, 10.0);
+  const auto spec = random_spec(GetParam());
+
+  // Same (trace, spec): identical outage schedules, bit-for-bit.
+  const net::FaultInjector a(session.throughput_mbps, spec, &session.signal_dbm);
+  const net::FaultInjector b(session.throughput_mbps, spec, &session.signal_dbm);
+  ASSERT_EQ(a.outage_schedule().size(), b.outage_schedule().size());
+  for (std::size_t i = 0; i < a.outage_schedule().size(); ++i) {
+    EXPECT_EQ(a.outage_schedule()[i].start_s, b.outage_schedule()[i].start_s);
+    EXPECT_EQ(a.outage_schedule()[i].end_s, b.outage_schedule()[i].end_s);
+  }
+
+  // Same (player, policy, session, injector): identical playback, bit-for-bit.
+  const PlayerSimulator simulator(make_manifest(40.0, 2.0));
+  abr::FixedBitrate policy_a(6, "Fixed6");
+  abr::FixedBitrate policy_b(6, "Fixed6");
+  const auto x = simulator.run(policy_a, session, a);
+  const auto y = simulator.run(policy_b, session, b);
+
+  ASSERT_EQ(x.tasks.size(), y.tasks.size());
+  for (std::size_t i = 0; i < x.tasks.size(); ++i) {
+    EXPECT_EQ(x.tasks[i].level, y.tasks[i].level);
+    EXPECT_EQ(x.tasks[i].download_end_s, y.tasks[i].download_end_s);
+    EXPECT_EQ(x.tasks[i].retries, y.tasks[i].retries);
+    EXPECT_EQ(x.tasks[i].wasted_mb, y.tasks[i].wasted_mb);
+    EXPECT_EQ(x.tasks[i].backoff_s, y.tasks[i].backoff_s);
+    EXPECT_EQ(x.tasks[i].rebuffer_s, y.tasks[i].rebuffer_s);
+  }
+  EXPECT_EQ(x.session_end_s, y.session_end_s);
+  EXPECT_EQ(x.total_rebuffer_s, y.total_rebuffer_s);
+  EXPECT_EQ(x.total_wasted_mb, y.total_wasted_mb);
+  EXPECT_EQ(x.total_backoff_s, y.total_backoff_s);
+}
+
+TEST_P(ResilienceProperties, RetriesAreBoundedByMaxRetries) {
+  const auto session = make_session(40.0, 8.0);
+  const auto spec = random_spec(GetParam() ^ 0xBEEF);
+  const net::FaultInjector faults(session.throughput_mbps, spec, &session.signal_dbm);
+
+  const PlayerSimulator simulator(make_manifest(40.0, 2.0));
+  abr::FixedBitrate policy(9, "Fixed9");
+  const auto result = simulator.run(policy, session, faults);
+
+  const auto& res = simulator.config().resilience;
+  ASSERT_EQ(result.tasks.size(), simulator.manifest().num_segments());
+  std::size_t sum = 0;
+  for (const auto& task : result.tasks) {
+    EXPECT_LE(task.retries, res.max_retries);
+    sum += task.retries;
+  }
+  EXPECT_EQ(sum, result.total_retries);
+}
+
+TEST_P(ResilienceProperties, BackoffIsMonotoneAndBounded) {
+  ResilienceConfig config;
+  config.backoff_jitter = 0.0;
+  // Without jitter the schedule is exactly min(base * factor^a, max),
+  // non-decreasing in the attempt number.
+  double prev = 0.0;
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    const double wait = retry_backoff_s(config, GetParam(), 3, attempt);
+    EXPECT_GE(wait, prev);
+    EXPECT_NEAR(wait,
+                std::min(config.backoff_base_s *
+                             std::pow(config.backoff_factor,
+                                      static_cast<double>(attempt)),
+                         config.backoff_max_s),
+                1e-12);
+    prev = wait;
+  }
+
+  // With jitter every wait stays within [base, base * (1 + jitter)] of its
+  // attempt's deterministic base, and is itself deterministic in the seed.
+  config.backoff_jitter = 0.25;
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    const double base = std::min(
+        config.backoff_base_s *
+            std::pow(config.backoff_factor, static_cast<double>(attempt)),
+        config.backoff_max_s);
+    const double wait = retry_backoff_s(config, GetParam(), 3, attempt);
+    EXPECT_GE(wait, base);
+    EXPECT_LE(wait, base * (1.0 + config.backoff_jitter));
+    EXPECT_EQ(wait, retry_backoff_s(config, GetParam(), 3, attempt));
+  }
+}
+
+TEST_P(ResilienceProperties, TotalOutageStillTerminatesWithFiniteAccounting) {
+  // The entire session (trace + margin) sits inside one outage window: every
+  // regular attempt times out and even the rescue fetch crawls on a dead
+  // link. The session must still terminate with finite accounting.
+  const auto session = make_session(8.0, 10.0, -90.0, 0.0, 60.0);
+  net::FaultSpec spec;
+  spec.outages = {{0.0, 1e6}};
+  spec.seed = GetParam();
+  const net::FaultInjector faults(session.throughput_mbps, spec);
+
+  const PlayerSimulator simulator(make_manifest(8.0, 2.0));
+  abr::FixedBitrate policy(4, "Fixed4");
+  const auto result = simulator.run(policy, session, faults);
+
+  const auto& res = simulator.config().resilience;
+  ASSERT_EQ(result.tasks.size(), simulator.manifest().num_segments());
+  // The first segment starts inside the dead window: it must burn all its
+  // retries and fall back to the lowest-rung rescue fetch. (The rescue drags
+  // the wall clock to the window's far edge, so later segments may see a
+  // healthy link again — the property is termination, not uniform misery.)
+  EXPECT_EQ(result.tasks.front().retries, res.max_retries);
+  EXPECT_EQ(result.tasks.front().level,
+            simulator.manifest().ladder().lowest_level());
+  for (const auto& task : result.tasks) {
+    EXPECT_LE(task.retries, res.max_retries);
+  }
+  EXPECT_TRUE(std::isfinite(result.session_end_s));
+  EXPECT_TRUE(std::isfinite(result.total_rebuffer_s));
+  EXPECT_GE(result.total_rebuffer_s, 0.0);
+  EXPECT_TRUE(std::isfinite(result.total_backoff_s));
+  EXPECT_GE(result.total_retries, res.max_retries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceProperties,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 17ULL, 99ULL,
+                                           0xFA01'7EC7ULL));
+
+}  // namespace
+}  // namespace eacs::player

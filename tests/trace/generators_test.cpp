@@ -35,7 +35,10 @@ TEST(SignalGeneratorTest, ValuesClamped) {
   SignalModel model = SignalModel::moving_vehicle();
   model.volatility = 20.0;  // extreme volatility to hit the clamps
   SignalStrengthGenerator generator(model, 11);
-  for (const auto& point : generator.generate(300.0).samples()) {
+  // Bind the series: samples() returns a reference into it, and a range-for
+  // over generate(...).samples() would iterate a destroyed temporary.
+  const auto series = generator.generate(300.0);
+  for (const auto& point : series.samples()) {
     EXPECT_GE(point.value, model.min_dbm);
     EXPECT_LE(point.value, model.max_dbm);
   }

@@ -14,17 +14,42 @@ TimeSeries ramp() {
   return series;
 }
 
-TEST(TimeSeriesTest, AppendEnforcesMonotonicTime) {
+TEST(TimeSeriesTest, AppendRejectsDecreasingTime) {
   TimeSeries series;
   series.append(0.0, 1.0);
   series.append(1.0, 2.0);
-  EXPECT_THROW(series.append(1.0, 3.0), std::invalid_argument);
+  // Duplicate timestamps model step discontinuities and are allowed; only
+  // going backwards in time is an error.
+  EXPECT_NO_THROW(series.append(1.0, 3.0));
   EXPECT_THROW(series.append(0.5, 3.0), std::invalid_argument);
 }
 
 TEST(TimeSeriesTest, ConstructorValidates) {
-  EXPECT_THROW(TimeSeries({{1.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TimeSeries({{1.0, 0.0}, {0.5, 1.0}}), std::invalid_argument);
+  EXPECT_NO_THROW(TimeSeries({{1.0, 0.0}, {1.0, 1.0}}));
   EXPECT_NO_THROW(TimeSeries({{0.0, 0.0}, {1.0, 1.0}}));
+}
+
+TEST(TimeSeriesTest, DuplicateTimestampIsStepDiscontinuity) {
+  // A zero-width breakpoint: the value jumps from 10 to 0 at t=2 and back to
+  // 10 at t=4. The last duplicate wins at the step instant.
+  TimeSeries series({{0.0, 10.0}, {2.0, 10.0}, {2.0, 0.0}, {4.0, 0.0}, {4.0, 10.0}});
+  EXPECT_DOUBLE_EQ(series.step_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.step_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.step_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.step_at(4.0), 10.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(4.0), 10.0);
+  // Integral: 10 over [0,2], 0 over [2,4].
+  EXPECT_NEAR(series.integral_over(0.0, 4.0), 20.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, StepAtFirstTimestampResolvesToLastDuplicate) {
+  TimeSeries series({{0.0, 5.0}, {0.0, 7.0}, {1.0, 7.0}});
+  EXPECT_DOUBLE_EQ(series.step_at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(series.linear_at(-1.0), 5.0);  // clamped to front sample
 }
 
 TEST(TimeSeriesTest, StepAt) {
