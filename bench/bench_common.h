@@ -5,30 +5,190 @@
 // prints the reproduced rows/series as ASCII tables (with the paper's
 // reported values alongside where the paper quotes numbers), then hands over
 // to google-benchmark for the timing cases the binary registers.
+//
+// Machine-readable output: pass `--json <path>` to any bench and it writes a
+// JSON document with the experiment id, the headline metrics the bench
+// recorded via record_metric(), and every google-benchmark timing run
+// (captured by wrapping the console reporter). This is the format the
+// committed BENCH_*.json baselines use; see README "Benchmark JSON output".
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "eacs/util/table.h"
 
 namespace eacs::bench {
+namespace detail {
 
-/// Prints the experiment banner.
+/// Mutable bench-wide state behind the JSON output (single-threaded main).
+struct JsonState {
+  std::string experiment;
+  std::string description;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  struct Timing {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time_ms = 0.0;
+    double cpu_time_ms = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Timing> timings;
+
+  static JsonState& instance() {
+    static JsonState state;
+    return state;
+  }
+};
+
+inline std::string json_escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  // JSON has no inf/nan literals; null is the conventional stand-in.
+  const std::string text = buf;
+  if (text.find("inf") != std::string::npos ||
+      text.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return text;
+}
+
+/// Console reporter that additionally captures each run for the JSON file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      JsonState::Timing timing;
+      timing.name = run.benchmark_name();
+      timing.iterations = static_cast<std::int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      timing.real_time_ms = 1e3 * run.real_accumulated_time / iters;
+      timing.cpu_time_ms = 1e3 * run.cpu_accumulated_time / iters;
+      for (const auto& [name, counter] : run.counters) {
+        timing.counters.emplace_back(name, counter.value);
+      }
+      JsonState::instance().timings.push_back(std::move(timing));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+inline void write_json(const std::string& path) {
+  const JsonState& state = JsonState::instance();
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open JSON output: " + path);
+
+  out << "{\n";
+  out << "  \"experiment\": \"" << json_escaped(state.experiment) << "\",\n";
+  out << "  \"description\": \"" << json_escaped(state.description) << "\",\n";
+  out << "  \"metrics\": {";
+  for (std::size_t i = 0; i < state.metrics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escaped(state.metrics[i].first)
+        << "\": " << json_number(state.metrics[i].second);
+  }
+  out << (state.metrics.empty() ? "" : "\n  ") << "},\n";
+  out << "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < state.timings.size(); ++i) {
+    const auto& t = state.timings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escaped(t.name) << "\", "
+        << "\"iterations\": " << t.iterations << ", "
+        << "\"real_time_ms\": " << json_number(t.real_time_ms) << ", "
+        << "\"cpu_time_ms\": " << json_number(t.cpu_time_ms);
+    for (const auto& [name, value] : t.counters) {
+      out << ", \"" << json_escaped(name) << "\": " << json_number(value);
+    }
+    out << "}";
+  }
+  out << (state.timings.empty() ? "" : "\n  ") << "]\n";
+  out << "}\n";
+  if (!out.good()) throw std::runtime_error("failed writing JSON: " + path);
+}
+
+}  // namespace detail
+
+/// Prints the experiment banner (and names the experiment in JSON output).
 inline void banner(const char* experiment_id, const char* description) {
+  detail::JsonState::instance().experiment = experiment_id;
+  detail::JsonState::instance().description = description;
   std::printf("==============================================================\n");
   std::printf("Reproduction: %s\n", experiment_id);
   std::printf("%s\n", description);
   std::printf("==============================================================\n\n");
 }
 
-/// Standard main() tail: run the registered timing benchmarks.
+/// Records one headline metric (e.g. an energy-saving percentage) for the
+/// `--json` output. Later records with the same name overwrite the value.
+inline void record_metric(const std::string& name, double value) {
+  auto& metrics = detail::JsonState::instance().metrics;
+  for (auto& [existing, existing_value] : metrics) {
+    if (existing == name) {
+      existing_value = value;
+      return;
+    }
+  }
+  metrics.emplace_back(name, value);
+}
+
+/// Standard main() tail: strip `--json <path>`, run the registered timing
+/// benchmarks, and write the JSON document when requested.
 inline int run_benchmarks(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path\n");
+        return 1;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
   std::printf("\n-- timing benchmarks --\n");
-  benchmark::RunSpecifiedBenchmarks();
+  detail::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    detail::write_json(json_path);
+    std::printf("JSON results written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

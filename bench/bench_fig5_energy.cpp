@@ -57,8 +57,17 @@ void print_reproduction() {
                      paper.first,
                      AsciiTable::percent(result.mean_extra_energy_saving(algo), 1),
                      paper.second});
+    bench::record_metric(std::string("energy_saving_") + algo,
+                         result.mean_energy_saving(algo));
+    bench::record_metric(std::string("extra_energy_saving_") + algo,
+                         result.mean_extra_energy_saving(algo));
   }
   savings.print();
+  for (const auto& algo : algorithms) {
+    double energy = 0.0;
+    for (const auto& row : result.rows_for(algo)) energy += row.total_energy_j;
+    bench::record_metric("total_energy_j_" + algo, energy);
+  }
 
   // What the joules mean for a user: continuous streaming hours on the
   // paper's handset (Nexus 5X, 2700 mAh).

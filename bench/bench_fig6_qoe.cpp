@@ -40,6 +40,7 @@ void print_reproduction() {
   averages.set_alignment({Align::kLeft, Align::kRight});
   for (const auto& algo : algorithms) {
     averages.add_row({algo, AsciiTable::num(result.mean_qoe(algo), 2)});
+    bench::record_metric("mean_qoe_" + algo, result.mean_qoe(algo));
   }
   averages.print();
 
@@ -51,6 +52,8 @@ void print_reproduction() {
   for (const auto& [algo, paper] : expectations) {
     degradation.add_row({algo, AsciiTable::percent(result.mean_qoe_degradation(algo), 1),
                          paper});
+    bench::record_metric(std::string("qoe_degradation_") + algo,
+                         result.mean_qoe_degradation(algo));
   }
   degradation.print();
 

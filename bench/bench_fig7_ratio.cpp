@@ -21,6 +21,8 @@ void print_reproduction() {
     table.add_row({algo, AsciiTable::percent(result.mean_energy_saving(algo), 1),
                    AsciiTable::percent(result.mean_qoe_degradation(algo), 1),
                    AsciiTable::num(result.saving_degradation_ratio(algo), 1)});
+    bench::record_metric(std::string("saving_degradation_ratio_") + algo,
+                         result.saving_degradation_ratio(algo));
   }
   table.print();
 

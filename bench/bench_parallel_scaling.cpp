@@ -1,0 +1,243 @@
+// Parallel-scaling study: wall-clock speedup of every sim sweep as a
+// function of ExecutionPolicy::jobs, plus a bit-identity check that the
+// parallel results match the serial ones (the engine's core guarantee —
+// see DESIGN.md, "Parallel execution model").
+//
+//   sweeps: Section V evaluation (run_evaluation, full Table V),
+//           fault study (outage x failure grid), robustness ensemble,
+//           CEM training rollouts.
+//
+// `--json <path>` additionally emits per-sweep wall times and speedups as
+// headline metrics (this is how BENCH_baseline.json is produced).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "eacs/sim/evaluation.h"
+#include "eacs/sim/fault_study.h"
+#include "eacs/sim/robustness.h"
+#include "eacs/sim/training.h"
+
+namespace {
+
+using namespace eacs;
+
+const std::vector<std::size_t> kJobCounts = {1, 2, 4, 8};
+
+sim::EvaluationConfig evaluation_config(std::size_t jobs) {
+  sim::EvaluationConfig config;
+  config.exec.jobs = jobs;
+  return config;
+}
+
+sim::FaultStudyConfig fault_config(std::size_t jobs) {
+  sim::FaultStudyConfig config;
+  // A 2x2 grid keeps the sweep representative but bench-sized.
+  config.outage_rates_per_min = {0.0, 1.0};
+  config.failure_probs = {0.0, 0.1};
+  config.evaluation.exec.jobs = jobs;
+  return config;
+}
+
+const std::vector<sim::TrainingEpisode>& training_episodes() {
+  static const std::vector<sim::TrainingEpisode> episodes = [] {
+    auto sessions = trace::build_all_sessions();
+    sessions.resize(2);  // two sessions keep a rollout bench-sized
+    return sim::CemTrainer::make_episodes(std::move(sessions));
+  }();
+  return episodes;
+}
+
+sim::CemConfig cem_config(std::size_t jobs) {
+  sim::CemConfig config;
+  config.population = 16;
+  config.elites = 4;
+  config.iterations = 2;
+  config.exec.jobs = jobs;
+  return config;
+}
+
+bool rows_identical(const sim::EvaluationResult& a, const sim::EvaluationResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].algorithm != b.rows[i].algorithm ||
+        a.rows[i].session_id != b.rows[i].session_id ||
+        std::memcmp(&a.rows[i].total_energy_j, &b.rows[i].total_energy_j,
+                    sizeof(double)) != 0 ||
+        std::memcmp(&a.rows[i].mean_qoe, &b.rows[i].mean_qoe, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs fn once and returns its wall-clock duration in milliseconds.
+double time_once_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct SweepTimings {
+  std::string name;
+  std::vector<double> wall_ms;  // one entry per kJobCounts
+  bool identical = true;        // parallel results bit-match serial
+};
+
+void print_reproduction() {
+  bench::banner("Parallel scaling",
+                "Wall-clock speedup of the sim sweeps vs. ExecutionPolicy jobs");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  std::vector<SweepTimings> sweeps;
+
+  {
+    SweepTimings t{"evaluation", {}, true};
+    sim::EvaluationResult serial;
+    for (const std::size_t jobs : kJobCounts) {
+      sim::EvaluationResult result;
+      t.wall_ms.push_back(time_once_ms(
+          [&] { result = sim::Evaluation(evaluation_config(jobs)).run(); }));
+      if (jobs == 1) serial = result;
+      else if (!rows_identical(serial, result)) t.identical = false;
+    }
+    sweeps.push_back(std::move(t));
+  }
+
+  {
+    SweepTimings t{"fault_study", {}, true};
+    sim::FaultStudyResult serial;
+    for (const std::size_t jobs : kJobCounts) {
+      sim::FaultStudyResult result;
+      t.wall_ms.push_back(
+          time_once_ms([&] { result = sim::run_fault_study(fault_config(jobs)); }));
+      if (jobs == 1) {
+        serial = result;
+      } else {
+        for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+          if (std::memcmp(&serial.cells[i].mean_qoe, &result.cells[i].mean_qoe,
+                          sizeof(double)) != 0) {
+            t.identical = false;
+          }
+        }
+      }
+    }
+    sweeps.push_back(std::move(t));
+  }
+
+  {
+    SweepTimings t{"robustness", {}, true};
+    sim::RobustnessResult serial;
+    for (const std::size_t jobs : kJobCounts) {
+      sim::RobustnessResult result;
+      t.wall_ms.push_back(time_once_ms([&] {
+        result = sim::run_robustness_study({}, 4, 0xB0B5'7D1EULL,
+                                           sim::ExecutionPolicy{jobs});
+      }));
+      if (jobs == 1) {
+        serial = result;
+      } else {
+        for (const auto& [algo, dist] : serial.per_algorithm) {
+          const auto& other = result.per_algorithm.at(algo);
+          if (dist.energy_saving.mean() != other.energy_saving.mean() ||
+              dist.mean_qoe.mean() != other.mean_qoe.mean()) {
+            t.identical = false;
+          }
+        }
+      }
+    }
+    sweeps.push_back(std::move(t));
+  }
+
+  {
+    SweepTimings t{"cem_training", {}, true};
+    const sim::CemTrainer trainer(training_episodes());
+    sim::TrainingResult serial;
+    for (const std::size_t jobs : kJobCounts) {
+      sim::TrainingResult result;
+      t.wall_ms.push_back(
+          time_once_ms([&] { result = trainer.train(cem_config(jobs)); }));
+      if (jobs == 1) {
+        serial = result;
+      } else if (std::memcmp(serial.weights.data(), result.weights.data(),
+                             serial.weights.size() * sizeof(double)) != 0) {
+        t.identical = false;
+      }
+    }
+    sweeps.push_back(std::move(t));
+  }
+
+  AsciiTable table("Wall clock per sweep (ms) and speedup vs. jobs=1");
+  table.set_header({"sweep", "jobs=1", "jobs=2", "jobs=4", "jobs=8",
+                    "speedup@8", "bit-identical"});
+  table.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& sweep : sweeps) {
+    const double speedup = sweep.wall_ms.back() > 0.0
+                               ? sweep.wall_ms.front() / sweep.wall_ms.back()
+                               : 0.0;
+    table.add_row({sweep.name, AsciiTable::num(sweep.wall_ms[0], 1),
+                   AsciiTable::num(sweep.wall_ms[1], 1),
+                   AsciiTable::num(sweep.wall_ms[2], 1),
+                   AsciiTable::num(sweep.wall_ms[3], 1),
+                   AsciiTable::num(speedup, 2), sweep.identical ? "yes" : "NO"});
+    for (std::size_t j = 0; j < kJobCounts.size(); ++j) {
+      bench::record_metric(
+          sweep.name + "_ms_jobs" + std::to_string(kJobCounts[j]), sweep.wall_ms[j]);
+    }
+    bench::record_metric(sweep.name + "_speedup_jobs8", speedup);
+    bench::record_metric(sweep.name + "_bit_identical", sweep.identical ? 1.0 : 0.0);
+  }
+  table.print();
+}
+
+void BM_EvaluationSweep(benchmark::State& state) {
+  const auto config = evaluation_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::Evaluation(config).run());
+  }
+}
+BENCHMARK(BM_EvaluationSweep)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_FaultStudySweep(benchmark::State& state) {
+  const auto config = fault_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fault_study(config));
+  }
+}
+BENCHMARK(BM_FaultStudySweep)
+    ->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_CemTrainSweep(benchmark::State& state) {
+  const sim::CemTrainer trainer(training_episodes());
+  const auto config = cem_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.train(config));
+  }
+}
+BENCHMARK(BM_CemTrainSweep)
+    ->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

@@ -2,7 +2,7 @@
 //
 //   ./examples/sim_cli [--trace N] [--algo NAME] [--alpha X]
 //                      [--segment S] [--buffer B] [--no-context]
-//                      [--mpd out.mpd] [--all]
+//                      [--mpd out.mpd] [--all] [--sweep] [--jobs N]
 //
 //   --trace N      Table V session id (1..5; default 1)
 //   --algo NAME    youtube | festive | bba | bola | mpc | ours | ours-rh |
@@ -13,7 +13,11 @@
 //   --no-context   disable the vibration term (energy-aware only)
 //   --mpd FILE     also write the session's DASH MPD manifest to FILE
 //   --csv FILE     also write the per-run metrics as CSV
-//   --all          run every algorithm and print the comparison table
+//   --all          run every algorithm on --trace and print the comparison
+//   --sweep        run the full Section V evaluation (all traces, all
+//                  algorithms) and print the headline summary
+//   --jobs N       worker threads for --sweep / --all (0 = all hardware
+//                  threads; results are bit-identical at any value)
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +37,7 @@
 #include "eacs/sim/evaluation.h"
 #include "eacs/sim/report.h"
 #include "eacs/util/table.h"
+#include "eacs/util/thread_pool.h"
 
 namespace {
 
@@ -46,6 +51,8 @@ struct CliOptions {
   double buffer_s = 30.0;
   bool context_aware = true;
   bool run_all = false;
+  bool sweep = false;
+  std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
 };
@@ -54,7 +61,8 @@ struct CliOptions {
   std::fprintf(stderr, "sim_cli: %s\n", message);
   std::fprintf(stderr,
                "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
-               "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n");
+               "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
+               "               [--sweep] [--jobs N]\n");
   std::exit(2);
 }
 
@@ -75,6 +83,12 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--mpd") options.mpd_path = next_value();
     else if (arg == "--csv") options.csv_path = next_value();
     else if (arg == "--all") options.run_all = true;
+    else if (arg == "--sweep") options.sweep = true;
+    else if (arg == "--jobs") {
+      const int jobs = std::atoi(next_value());
+      if (jobs < 0) usage_error("--jobs must be >= 0");
+      options.jobs = static_cast<std::size_t>(jobs);
+    }
     else usage_error(("unknown argument " + arg).c_str());
   }
   if (options.trace_id < 1 || options.trace_id > 5) {
@@ -111,8 +125,44 @@ std::unique_ptr<player::AbrPolicy> make_policy(const std::string& name,
 
 }  // namespace
 
+/// --sweep: the full Section V evaluation over all Table V sessions, fanned
+/// out over options.jobs workers.
+int run_sweep(const CliOptions& options) {
+  sim::EvaluationConfig config;
+  config.alpha = options.alpha;
+  config.segment_duration_s = options.segment_s;
+  config.player.buffer_threshold_s = options.buffer_s;
+  config.context_aware = options.context_aware;
+  config.exec.jobs = options.jobs;
+  std::printf("Section V evaluation: 5 sessions x 5 algorithms, jobs=%zu\n",
+              config.exec.resolved_jobs());
+
+  const sim::Evaluation evaluation(config);
+  const auto result = evaluation.run();
+
+  eacs::AsciiTable table("Headline summary vs. Youtube");
+  table.set_header({"algorithm", "mean QoE", "energy saving", "extra saving",
+                    "QoE degradation", "ratio"});
+  table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight});
+  for (const auto& algo : result.algorithms()) {
+    table.add_row({algo, eacs::AsciiTable::num(result.mean_qoe(algo), 2),
+                   eacs::AsciiTable::percent(result.mean_energy_saving(algo), 1),
+                   eacs::AsciiTable::percent(result.mean_extra_energy_saving(algo), 1),
+                   eacs::AsciiTable::percent(result.mean_qoe_degradation(algo), 1),
+                   eacs::AsciiTable::num(result.saving_degradation_ratio(algo), 1)});
+  }
+  table.print();
+  if (!options.csv_path.empty()) {
+    sim::write_evaluation_csv(options.csv_path, result);
+    std::printf("Metrics CSV written to %s\n", options.csv_path.c_str());
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const CliOptions options = parse_cli(argc, argv);
+  if (options.sweep) return run_sweep(options);
 
   const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
   std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,
@@ -152,13 +202,18 @@ int main(int argc, char** argv) {
   table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight, eacs::Align::kRight,
                        eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight,
                        eacs::Align::kRight, eacs::Align::kRight});
+  // Each policy run is a pure unit of work (fresh policy instance, const
+  // simulator), so --jobs fans them out without changing any number.
   sim::EvaluationResult collected;
-  for (const auto& name : names) {
-    auto policy = make_policy(name, objective, manifest, session);
-    const auto playback = simulator.run(*policy, session);
-    const auto metrics = sim::compute_metrics(policy->name(), spec.id, playback,
-                                              manifest, qoe_model, power_model);
-    collected.rows.push_back(metrics);
+  collected.rows = eacs::util::parallel_map(
+      sim::ExecutionPolicy{options.jobs}.resolved_jobs(),
+      names.size(), [&](std::size_t i) {
+        auto policy = make_policy(names[i], objective, manifest, session);
+        const auto playback = simulator.run(*policy, session);
+        return sim::compute_metrics(policy->name(), spec.id, playback, manifest,
+                                    qoe_model, power_model);
+      });
+  for (const auto& metrics : collected.rows) {
     table.add_row({metrics.algorithm, eacs::AsciiTable::num(metrics.total_energy_j, 1),
                    eacs::AsciiTable::num(metrics.extra_energy_j, 1),
                    eacs::AsciiTable::num(metrics.mean_qoe, 2),

@@ -12,6 +12,7 @@
 
 #include "eacs/core/objective.h"
 #include "eacs/player/player.h"
+#include "eacs/sim/execution.h"
 #include "eacs/sim/metrics.h"
 #include "eacs/trace/session.h"
 
@@ -30,6 +31,8 @@ struct EvaluationConfig {
   power::PowerModelParams power;
   trace::SessionBuildOptions session_options;
   std::size_t online_startup_level = 3;  ///< "Ours" startup rung
+  /// Worker threads for the session fan-out; bit-identical at any value.
+  ExecutionPolicy exec;
 };
 
 /// One complete evaluation outcome.

@@ -1,0 +1,33 @@
+#pragma once
+// Execution policy for the sim sweeps.
+//
+// Every sweep in eacs::sim (Section V evaluation, fault study, robustness
+// ensemble, CEM training) is a fan-out over pure units of work — each unit's
+// inputs (traces, seeds, configs) are a function of its index only. The
+// ExecutionPolicy says how many worker threads may run those units; it never
+// changes what they compute. Results are bit-identical at any `jobs` value,
+// and jobs == 1 is exactly the historical serial loop (no pool is created).
+// See DESIGN.md, "Parallel execution model", for the seeding contract.
+
+#include <cstddef>
+#include <thread>
+
+namespace eacs::sim {
+
+/// Worker-thread budget for a sweep. jobs == 1 (default) is the serial
+/// path; jobs == 0 means "all hardware threads".
+struct ExecutionPolicy {
+  std::size_t jobs = 1;
+
+  /// Policy using every hardware thread.
+  static ExecutionPolicy hardware() noexcept { return {0}; }
+
+  /// `jobs`, with 0 resolved to std::thread::hardware_concurrency().
+  std::size_t resolved_jobs() const noexcept {
+    if (jobs != 0) return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+};
+
+}  // namespace eacs::sim

@@ -34,9 +34,14 @@ struct RobustnessResult {
 
 /// Runs `runs` independent evaluations, each over freshly seeded Table V
 /// sessions (seed = spec.seed XOR mix(run)), and aggregates the headline
-/// metrics. Deterministic in (config, base_seed).
+/// metrics. Deterministic in (config, base_seed) at any `exec.jobs`: the
+/// per-run salts are pre-drawn serially and the distributions are reduced
+/// in run order. When `exec` allows more than one job the runs themselves
+/// are the parallel unit and each run's inner evaluation is forced serial
+/// (no nested fan-out).
 RobustnessResult run_robustness_study(const EvaluationConfig& config = {},
                                       std::size_t runs = 10,
-                                      std::uint64_t base_seed = 0xB0B5'7D1EULL);
+                                      std::uint64_t base_seed = 0xB0B5'7D1EULL,
+                                      ExecutionPolicy exec = {});
 
 }  // namespace eacs::sim

@@ -18,6 +18,7 @@
 #include "eacs/abr/learned.h"
 #include "eacs/media/manifest.h"
 #include "eacs/player/player.h"
+#include "eacs/sim/execution.h"
 #include "eacs/trace/session.h"
 
 namespace eacs::sim {
@@ -38,6 +39,9 @@ struct CemConfig {
   double initial_sigma = 1.5;
   double min_sigma = 0.05;
   std::uint64_t seed = 0x7EA4ULL;
+  /// Worker threads for the population rollouts; bit-identical at any value
+  /// (candidates are sampled serially, scored in parallel, refit serially).
+  ExecutionPolicy exec;
 };
 
 /// Outcome of a training run.

@@ -8,6 +8,7 @@
 #include "eacs/abr/fixed.h"
 #include "eacs/core/online.h"
 #include "eacs/core/optimal.h"
+#include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 
@@ -133,7 +134,11 @@ EvaluationResult Evaluation::run(
   objective_config.context_aware = config_.context_aware;
   const core::Objective objective(qoe_model, power_model, objective_config);
 
-  for (const auto& session : sessions) {
+  // One unit of work per session: everything a unit touches (manifest,
+  // simulator, policies, optimal plan) is built inside it from the session
+  // alone, so units are pure in their index and can run on any worker.
+  const auto run_session = [&](std::size_t s) {
+    const auto& session = sessions[s];
     const media::VideoManifest manifest = manifest_for(session.spec);
     const player::PlayerSimulator simulator(manifest, config_.player);
 
@@ -152,11 +157,20 @@ EvaluationResult Evaluation::run(
     abr::Bola bola(5.0, config_.player.buffer_threshold_s);
     if (config_.include_bola) policies.push_back(&bola);
 
+    std::vector<SessionMetrics> rows;
+    rows.reserve(policies.size());
     for (player::AbrPolicy* policy : policies) {
       const auto playback = simulator.run(*policy, session);
-      result.rows.push_back(compute_metrics(policy->name(), session.spec.id, playback,
-                                            manifest, qoe_model, power_model));
+      rows.push_back(compute_metrics(policy->name(), session.spec.id, playback,
+                                     manifest, qoe_model, power_model));
     }
+    return rows;
+  };
+
+  const auto per_session = util::parallel_map(config_.exec.resolved_jobs(),
+                                              sessions.size(), run_session);
+  for (const auto& rows : per_session) {
+    result.rows.insert(result.rows.end(), rows.begin(), rows.end());
   }
   return result;
 }

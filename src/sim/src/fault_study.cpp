@@ -10,6 +10,7 @@
 #include "eacs/core/online.h"
 #include "eacs/core/optimal.h"
 #include "eacs/net/fault_injector.h"
+#include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 namespace {
@@ -66,9 +67,10 @@ FaultStudyResult run_fault_study(const FaultStudyConfig& config) {
     plans.push_back(planner.plan(core::build_task_environments(manifests.back(), session)));
   }
 
-  // Per-session fresh policy instances (the planner output is shared).
-  const auto run_policies = [&](std::size_t s, const net::FaultInjector* faults,
-                                std::map<std::string, FaultCell>& accumulate) {
+  // One unit of work: replay every policy over one session (optionally
+  // through a fault injector) and return the metrics in policy order. Fresh
+  // policy instances per unit (the planner output is shared, read-only).
+  const auto run_policies = [&](std::size_t s, const net::FaultInjector* faults) {
     const auto& session = sessions[s];
     abr::FixedBitrate youtube;
     abr::Festive festive;
@@ -79,39 +81,58 @@ FaultStudyResult run_fault_study(const FaultStudyConfig& config) {
 
     const std::vector<player::AbrPolicy*> policies = {&youtube, &festive, &bba,
                                                       &ours, &optimal};
+    std::vector<SessionMetrics> metrics;
+    metrics.reserve(policies.size());
     for (player::AbrPolicy* policy : policies) {
       const auto playback = faults != nullptr
                                 ? simulators[s].run(*policy, session, *faults)
                                 : simulators[s].run(*policy, session);
-      const SessionMetrics metrics =
-          compute_metrics(policy->name(), session.spec.id, playback, manifests[s],
-                          qoe_model, power_model);
+      metrics.push_back(compute_metrics(policy->name(), session.spec.id, playback,
+                                        manifests[s], qoe_model, power_model));
+    }
+    return metrics;
+  };
 
-      FaultCell& cell = accumulate[policy->name()];
-      cell.algorithm = policy->name();
-      cell.mean_qoe += metrics.mean_qoe / static_cast<double>(sessions.size());
-      cell.total_energy_j += metrics.total_energy_j;
-      cell.wasted_energy_j += metrics.wasted_energy_j;
-      cell.rebuffer_s += metrics.rebuffer_s;
-      cell.retries += metrics.retries;
-      cell.abandoned_segments += metrics.abandoned_segments;
+  // Serial reduction: the accumulation order (sessions outer, policies
+  // inner) is fixed regardless of how the units above were scheduled, so
+  // the floating-point sums are bit-identical at any job count.
+  const auto accumulate = [&](std::map<std::string, FaultCell>& cells,
+                              const std::vector<SessionMetrics>& metrics) {
+    for (const auto& m : metrics) {
+      FaultCell& cell = cells[m.algorithm];
+      cell.algorithm = m.algorithm;
+      cell.mean_qoe += m.mean_qoe / static_cast<double>(sessions.size());
+      cell.total_energy_j += m.total_energy_j;
+      cell.wasted_energy_j += m.wasted_energy_j;
+      cell.rebuffer_s += m.rebuffer_s;
+      cell.retries += m.retries;
+      cell.abandoned_segments += m.abandoned_segments;
     }
   };
 
+  const std::size_t jobs = config.evaluation.exec.resolved_jobs();
+  const std::size_t n_sessions = sessions.size();
+  const std::size_t n_cells =
+      config.outage_rates_per_min.size() * config.failure_probs.size();
+
   // Fault-free baseline per algorithm: the reference every cell's deltas
   // are taken against.
+  const auto baseline_metrics = util::parallel_map(
+      jobs, n_sessions, [&](std::size_t s) { return run_policies(s, nullptr); });
   std::map<std::string, FaultCell> baseline;
-  for (std::size_t s = 0; s < sessions.size(); ++s) {
-    run_policies(s, nullptr, baseline);
-  }
+  for (const auto& metrics : baseline_metrics) accumulate(baseline, metrics);
 
-  FaultStudyResult result;
-  std::size_t grid_index = 0;
-  for (const double outage_rate : config.outage_rates_per_min) {
-    for (const double failure_prob : config.failure_probs) {
-      std::map<std::string, FaultCell> per_algorithm;
-
-      for (std::size_t s = 0; s < sessions.size(); ++s) {
+  // The grid, flattened to (grid cell, session) units. Each unit's fault
+  // seed is a pure function of (config.seed, grid index, session id), so
+  // the whole table is reproducible at any job count.
+  const auto cell_metrics =
+      util::parallel_map(jobs, n_cells * n_sessions, [&](std::size_t item) {
+        const std::size_t grid_index = item / n_sessions;
+        const std::size_t s = item % n_sessions;
+        const double outage_rate =
+            config.outage_rates_per_min[grid_index / config.failure_probs.size()];
+        const double failure_prob =
+            config.failure_probs[grid_index % config.failure_probs.size()];
         const auto& session = sessions[s];
 
         net::FaultSpec spec;
@@ -125,7 +146,16 @@ FaultStudyResult run_fault_study(const FaultStudyConfig& config) {
         spec.seed = cell_seed(config.seed, grid_index, session.spec.id);
         const net::FaultInjector faults(session.throughput_mbps, spec,
                                         &session.signal_dbm);
-        run_policies(s, &faults, per_algorithm);
+        return run_policies(s, &faults);
+      });
+
+  FaultStudyResult result;
+  std::size_t grid_index = 0;
+  for (const double outage_rate : config.outage_rates_per_min) {
+    for (const double failure_prob : config.failure_probs) {
+      std::map<std::string, FaultCell> per_algorithm;
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        accumulate(per_algorithm, cell_metrics[grid_index * n_sessions + s]);
       }
 
       for (auto& [name, cell] : per_algorithm) {

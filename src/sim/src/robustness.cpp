@@ -3,27 +3,42 @@
 #include <stdexcept>
 
 #include "eacs/util/rng.h"
+#include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 
 RobustnessResult run_robustness_study(const EvaluationConfig& config,
-                                      std::size_t runs, std::uint64_t base_seed) {
+                                      std::size_t runs, std::uint64_t base_seed,
+                                      ExecutionPolicy exec) {
   if (runs == 0) throw std::invalid_argument("run_robustness_study: runs must be > 0");
+
+  // The salts are drawn serially up front so the seed stream is identical
+  // to the historical per-iteration draws, whatever the job count.
+  eacs::Rng seed_stream(base_seed);
+  std::vector<std::uint64_t> run_salts(runs);
+  for (auto& salt : run_salts) salt = seed_stream.next_u64();
+
+  // Runs are the parallel unit; force each run's inner evaluation serial so
+  // the fan-out is single-level.
+  const std::size_t jobs = exec.resolved_jobs();
+  EvaluationConfig run_config = config;
+  if (jobs > 1) run_config.exec = ExecutionPolicy{1};
+  const Evaluation evaluation(run_config);
+
+  const auto evals =
+      util::parallel_map(jobs, runs, [&](std::size_t run) {
+        // Fresh trace realisations with the same Table V targets.
+        std::vector<trace::SessionTraces> sessions;
+        for (media::SessionSpec spec : media::evaluation_sessions()) {
+          spec.seed ^= run_salts[run];
+          sessions.push_back(trace::build_session(spec, config.session_options));
+        }
+        return evaluation.run(sessions);
+      });
 
   RobustnessResult result;
   result.runs = runs;
-  const Evaluation evaluation(config);
-  eacs::Rng seed_stream(base_seed);
-
-  for (std::size_t run = 0; run < runs; ++run) {
-    const std::uint64_t run_salt = seed_stream.next_u64();
-    // Fresh trace realisations with the same Table V targets.
-    std::vector<trace::SessionTraces> sessions;
-    for (media::SessionSpec spec : media::evaluation_sessions()) {
-      spec.seed ^= run_salt;
-      sessions.push_back(trace::build_session(spec, config.session_options));
-    }
-    const EvaluationResult eval = evaluation.run(sessions);
+  for (const EvaluationResult& eval : evals) {
     for (const auto& algo : {"FESTIVE", "BBA", "Ours", "Optimal"}) {
       auto& dist = result.per_algorithm[algo];
       dist.energy_saving.add(eval.mean_energy_saving(algo));

@@ -7,6 +7,7 @@
 #include "eacs/abr/fixed.h"
 #include "eacs/sim/metrics.h"
 #include "eacs/util/rng.h"
+#include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 
@@ -69,13 +70,20 @@ TrainingResult CemTrainer::train(const CemConfig& config) const {
   std::vector<std::pair<double, std::vector<double>>> scored(config.population);
 
   for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    // Sample the whole population serially (one shared RNG stream, same
+    // draw order as the historical loop), then score the candidates in
+    // parallel — evaluate() is pure, so scored[p] depends only on p.
     for (std::size_t p = 0; p < config.population; ++p) {
       std::vector<double> candidate(abr::PolicyFeatures::kCount);
       for (std::size_t i = 0; i < candidate.size(); ++i) {
         candidate[i] = rng.normal(mean[i], sigma[i]);
       }
-      scored[p] = {evaluate(candidate), std::move(candidate)};
+      scored[p] = {0.0, std::move(candidate)};
     }
+    util::parallel_for(config.exec.resolved_jobs(), config.population,
+                       [&](std::size_t p) {
+                         scored[p].first = evaluate(scored[p].second);
+                       });
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
     result.reward_history.push_back(scored.front().first);

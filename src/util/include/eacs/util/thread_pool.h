@@ -1,0 +1,73 @@
+#pragma once
+// Fixed-size worker pool with deterministic parallel-for/map helpers.
+//
+// The pool exists to make embarrassingly parallel sweeps (evaluation
+// sessions, fault-study cells, robustness runs, CEM rollouts) fast without
+// changing their results. The contract (see DESIGN.md, "Parallel execution
+// model"): parallel_for(jobs, n, fn) calls fn(i) exactly once for every
+// index i in [0, n); fn must be a pure function of its index that writes
+// only state owned by that index; the caller reduces in index order
+// afterwards. Under that contract the output is bit-identical at any
+// worker count. jobs <= 1 runs the plain serial loop on the calling thread
+// — no pool, no locks, exactly the pre-parallel code path.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace eacs::util {
+
+/// Fixed worker-count thread pool. Tasks are run in submission order by
+/// whichever worker is free; wait() blocks until the queue drains and
+/// rethrows the first exception any task threw.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers. Pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept;
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished; rethrows the first
+  /// exception captured from a task (later exceptions are dropped).
+  void wait();
+
+  /// Runs fn(i) for every i in [0, n) across the workers and blocks until
+  /// done. Indices are handed out dynamically (work stealing via a shared
+  /// counter); remaining indices are skipped after the first exception,
+  /// which wait() rethrows.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Calls fn(i) for i in [0, n). jobs <= 1 (or n <= 1) is the serial loop on
+/// the calling thread; otherwise a transient pool of min(jobs, n) workers
+/// runs the indices and the call blocks until all finish. Exceptions from fn
+/// propagate to the caller on both paths.
+void parallel_for(std::size_t jobs, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, n) into a vector ordered by index — the deterministic
+/// fan-out primitive: out[i] depends only on i, never on scheduling. The
+/// result type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
+  parallel_for(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace eacs::util

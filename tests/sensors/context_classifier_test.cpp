@@ -91,6 +91,40 @@ TEST(ClassifierTest, WalkingRobustAcrossSeeds) {
   }
 }
 
+// Table V anchors: the five evaluation sessions' average vibration levels
+// (6.83, 2.46, 6.61, 6.41, 5.23 m/s^2). The on_vehicle threshold in the
+// evaluation pipeline is 4.0 m/s^2, so sessions 1/3/4/5 must classify as
+// vehicle and session 2 (the smooth ride) must not.
+TEST(ClassifierTest, TableVVehicleSessionsClassifyAsVehicle) {
+  const double vehicle_vibrations[] = {6.83, 6.61, 6.41, 5.23};
+  for (const double vibration : vehicle_vibrations) {
+    trace::AccelGenerator generator(trace::AccelModel::moving_vehicle(), 31);
+    const auto trace = generator.generate_calibrated(30.0, vibration);
+    EXPECT_EQ(classify_window(trace), Context::kVehicle)
+        << "vibration " << vibration;
+  }
+}
+
+TEST(ClassifierTest, TableVSmoothSessionIsNotVehicle) {
+  // Session 2 averages 2.46 m/s^2 — below the 4.0 on_vehicle threshold. At
+  // walking-level energy with a walking spectrum it must classify as walking,
+  // never vehicle.
+  trace::AccelGenerator generator(trace::AccelModel::walking(), 37);
+  const auto trace = generator.generate_calibrated(30.0, 2.46);
+  EXPECT_NE(classify_window(trace), Context::kVehicle);
+}
+
+TEST(ClassifierTest, CalibratedVibrationNearTarget) {
+  // generate_calibrated must actually hit the requested RMS, otherwise the
+  // Table V anchors above test the wrong stimulus.
+  for (const double target : {2.46, 5.23, 6.83}) {
+    trace::AccelGenerator generator(trace::AccelModel::moving_vehicle(), 41);
+    const auto trace = generator.generate_calibrated(30.0, target);
+    const auto features = compute_motion_features(trace);
+    EXPECT_NEAR(features.rms, target, 0.15 * target) << "target " << target;
+  }
+}
+
 TEST(ClassifierTest, ToStringLabels) {
   EXPECT_STREQ(to_string(Context::kStatic), "static");
   EXPECT_STREQ(to_string(Context::kWalking), "walking");

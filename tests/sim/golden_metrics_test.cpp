@@ -1,0 +1,139 @@
+// Golden-metrics regression harness: pins the headline Section V numbers
+// (the bench_fig5 / bench_fig6 / bench_fig7 paths) against a committed
+// snapshot. The full default evaluation is deterministic, so any refactor
+// that silently shifts a result — a reordered reduction, a changed seed
+// derivation, an altered model constant — fails here instead of drifting
+// unnoticed. The tolerances are deliberately tight (0.1% relative): they
+// absorb libm/compiler variation across toolchains, nothing more. If a
+// change is *supposed* to move these numbers, update the snapshot in the
+// same commit and say why.
+//
+// Snapshot provenance: bench_fig5_energy/bench_fig6_qoe/bench_fig7_ratio
+// `--json` output at the commit that introduced this file (also recorded in
+// EXPERIMENTS.md and BENCH_baseline.json).
+
+#include <gtest/gtest.h>
+
+#include "eacs/sim/evaluation.h"
+
+namespace eacs::sim {
+namespace {
+
+/// Relative tolerance for pinned doubles.
+constexpr double kRelTol = 1e-3;
+
+#define EXPECT_PINNED(actual, golden) \
+  EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol) << #actual
+
+const EvaluationResult& full_evaluation() {
+  static const EvaluationResult result = [] {
+    const Evaluation evaluation;  // paper defaults, all Table V sessions
+    return evaluation.run();
+  }();
+  return result;
+}
+
+struct GoldenRow {
+  const char* algorithm;
+  double energy_saving;        // Fig. 5(b), whole-phone, vs. Youtube
+  double extra_energy_saving;  // Fig. 5(b), extra-energy basis
+  double mean_qoe;             // Fig. 6(b)
+  double qoe_degradation;      // Fig. 6(c), vs. Youtube
+  double ratio;                // Fig. 7
+};
+
+// The committed snapshot.
+constexpr GoldenRow kGolden[] = {
+    {"FESTIVE", 0.015460169448958182, 0.050593890123362018, 3.970132213150992,
+     0.0082639538764928792, 1.8707957086903888},
+    {"BBA", 0.0089849855194563451, 0.026745607698386943, 3.9922821168541383,
+     0.0027492673786637446, 3.2681381189716849},
+    {"Ours", 0.23821368781535507, 0.77772303463236958, 3.9249237969918553,
+     0.019029881440468487, 12.51787556115697},
+    {"Optimal", 0.23515961809025399, 0.76447372719296891, 3.9453943504310613,
+     0.01405095379326513, 16.736203217960202},
+};
+
+constexpr double kGoldenYoutubeQoe = 4.0033765828835781;
+
+// Per-algorithm total energy summed over the five sessions (J).
+struct GoldenEnergy {
+  const char* algorithm;
+  double total_energy_j;
+};
+constexpr GoldenEnergy kGoldenEnergy[] = {
+    {"Youtube", 6024.6733668840498}, {"FESTIVE", 5941.6077948288048},
+    {"BBA", 5979.2153094815967},     {"Ours", 4586.6869601110811},
+    {"Optimal", 4607.024928011836},
+};
+
+double total_energy(const EvaluationResult& result, const std::string& algo) {
+  double energy = 0.0;
+  for (const auto& row : result.rows_for(algo)) energy += row.total_energy_j;
+  return energy;
+}
+
+TEST(GoldenMetrics, HeadlineNumbersMatchSnapshot) {
+  const auto& result = full_evaluation();
+  EXPECT_PINNED(result.mean_qoe("Youtube"), kGoldenYoutubeQoe);
+  for (const auto& golden : kGolden) {
+    SCOPED_TRACE(golden.algorithm);
+    EXPECT_PINNED(result.mean_energy_saving(golden.algorithm), golden.energy_saving);
+    EXPECT_PINNED(result.mean_extra_energy_saving(golden.algorithm),
+                  golden.extra_energy_saving);
+    EXPECT_PINNED(result.mean_qoe(golden.algorithm), golden.mean_qoe);
+    EXPECT_PINNED(result.mean_qoe_degradation(golden.algorithm),
+                  golden.qoe_degradation);
+    EXPECT_PINNED(result.saving_degradation_ratio(golden.algorithm), golden.ratio);
+  }
+}
+
+TEST(GoldenMetrics, TotalEnergyMatchesSnapshot) {
+  const auto& result = full_evaluation();
+  for (const auto& golden : kGoldenEnergy) {
+    SCOPED_TRACE(golden.algorithm);
+    EXPECT_PINNED(total_energy(result, golden.algorithm), golden.total_energy_j);
+  }
+}
+
+TEST(GoldenMetrics, EnergyOrderingMatchesPaper) {
+  // The paper-shape ordering: YouTube > BBA ~ FESTIVE > Ours ~ Optimal.
+  const auto& result = full_evaluation();
+  const double youtube = total_energy(result, "Youtube");
+  const double bba = total_energy(result, "BBA");
+  const double festive = total_energy(result, "FESTIVE");
+  const double ours = total_energy(result, "Ours");
+  const double optimal = total_energy(result, "Optimal");
+
+  EXPECT_GT(youtube, bba);
+  EXPECT_GT(youtube, festive);
+  // BBA and FESTIVE are near-equal throughput-driven baselines (within 2%).
+  EXPECT_NEAR(bba / festive, 1.0, 0.02);
+  EXPECT_GT(festive, ours);
+  EXPECT_GT(bba, ours);
+  // Ours tracks the offline optimal closely (within 2%); the planner's
+  // oracle model is not the simulator, so either may edge out the other.
+  EXPECT_NEAR(ours / optimal, 1.0, 0.02);
+  EXPECT_GT(festive, optimal);
+}
+
+TEST(GoldenMetrics, SavingsOrderingMatchesPaper) {
+  // Fig. 5(b)/Fig. 7 shape: Ours and Optimal save an order of magnitude
+  // more than the throughput baselines, at single-digit QoE degradation.
+  const auto& result = full_evaluation();
+  const double ours = result.mean_energy_saving("Ours");
+  EXPECT_GT(ours, 5.0 * result.mean_energy_saving("FESTIVE"));
+  EXPECT_GT(ours, 5.0 * result.mean_energy_saving("BBA"));
+  EXPECT_GT(result.mean_extra_energy_saving("Ours"), 0.7);    // paper: 77%
+  EXPECT_GT(result.mean_extra_energy_saving("Optimal"), 0.7); // paper: 80%
+  for (const auto& algo : {"FESTIVE", "BBA", "Ours", "Optimal"}) {
+    EXPECT_LT(result.mean_qoe_degradation(algo), 0.05) << algo;
+  }
+  EXPECT_GT(result.saving_degradation_ratio("Ours"),
+            3.0 * result.saving_degradation_ratio("FESTIVE"));
+  EXPECT_GT(result.saving_degradation_ratio("Ours"),
+            3.0 * result.saving_degradation_ratio("BBA"));
+}
+
+}  // namespace
+}  // namespace eacs::sim

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace eacs {
 namespace {
 
@@ -48,6 +52,36 @@ TEST_F(LoggingTest, LogMessageRespectsLevelDirectly) {
   // Only checks it does not crash / deadlock with mixed direct calls.
   log_message(LogLevel::kDebug, "dropped");
   log_message(LogLevel::kError, "emitted");
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingFromPoolWorkersIsSafe) {
+  // Pool workers log concurrently during parallel sweeps; this stress test
+  // exists to run under TSan. Interleaved emits, level flips and macro use
+  // from 8 threads must be race-free.
+  set_log_level(LogLevel::kError);  // keep stderr quiet for most iterations
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &start] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kIterations; ++i) {
+        log_message(LogLevel::kDebug, "dropped message");
+        EACS_LOG_DEBUG << "thread " << t << " iteration " << i;
+        if (i % 50 == 0) {
+          // Exercise the level store concurrently with readers.
+          set_log_level(t % 2 == 0 ? LogLevel::kError : LogLevel::kOff);
+        }
+        if (i == kIterations - 1) {
+          log_message(LogLevel::kError, "final message (may be dropped)");
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
 }
 
 }  // namespace

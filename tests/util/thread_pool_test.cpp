@@ -1,0 +1,141 @@
+#include "eacs/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eacs::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4U);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1U);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, MemberParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool survives an exception and keeps working.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 42) throw std::invalid_argument("42");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(FreeParallelForTest, SerialWhenJobsIsOne) {
+  // jobs<=1 must run inline on the calling thread, in index order.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for(1, 8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  const std::vector<std::size_t> expected = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(FreeParallelForTest, SingleItemRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  parallel_for(8, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0U);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(FreeParallelForTest, ZeroItemsIsANoOp) {
+  parallel_for(4, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(FreeParallelForTest, CoversAllIndicesAtManyJobCounts) {
+  for (const std::size_t jobs : {1U, 2U, 3U, 8U, 16U}) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(jobs, visits.size(), [&](std::size_t i) { ++visits[i]; });
+    long long total = 0;
+    for (auto& v : visits) total += v.load();
+    EXPECT_EQ(total, 257) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelMapTest, PreservesIndexOrder) {
+  for (const std::size_t jobs : {1U, 2U, 8U}) {
+    const auto squares =
+        parallel_map(jobs, 100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100U) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+      EXPECT_EQ(squares[i], i * i) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelMapTest, WorksWithNonTrivialValueTypes) {
+  const auto words = parallel_map(
+      4, 10, [](std::size_t i) { return std::string(i, 'x'); });
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(words[i].size(), i);
+  }
+}
+
+TEST(ParallelMapTest, ExceptionPropagates) {
+  EXPECT_THROW(parallel_map(4, 16,
+                            [](std::size_t i) -> int {
+                              if (i == 7) throw std::runtime_error("seven");
+                              return 0;
+                            }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace eacs::util
