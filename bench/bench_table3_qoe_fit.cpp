@@ -44,8 +44,8 @@ void print_reproduction() {
   AsciiTable surface("Surface recovery at the paper's anchors");
   surface.set_header({"(v, r)", "truth", "fitted"});
   surface.set_alignment({Align::kLeft, Align::kRight, Align::kRight});
-  for (const auto [v, r] : {std::pair{2.0, 1.5}, std::pair{6.0, 1.5},
-                            std::pair{2.0, 5.8}, std::pair{6.0, 5.8}}) {
+  for (const auto& [v, r] : {std::pair{2.0, 1.5}, std::pair{6.0, 1.5},
+                             std::pair{2.0, 5.8}, std::pair{6.0, 5.8}}) {
     surface.add_row({"(" + AsciiTable::num(v, 0) + ", " + AsciiTable::num(r, 1) + ")",
                      AsciiTable::num(truth_model.vibration_impairment(v, r), 3),
                      AsciiTable::num(fitted_model.vibration_impairment(v, r), 3)});

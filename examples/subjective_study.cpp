@@ -69,8 +69,8 @@ int main() {
   AsciiTable surface("\nFitted impairment surface at the paper's spot checks");
   surface.set_header({"(v, r)", "truth I(v,r)", "fitted I(v,r)"});
   surface.set_alignment({Align::kLeft, Align::kRight, Align::kRight});
-  for (const auto [v, r] : {std::pair{2.0, 1.5}, std::pair{6.0, 1.5},
-                            std::pair{2.0, 5.8}, std::pair{6.0, 5.8}}) {
+  for (const auto& [v, r] : {std::pair{2.0, 1.5}, std::pair{6.0, 1.5},
+                             std::pair{2.0, 5.8}, std::pair{6.0, 5.8}}) {
     surface.add_row({"(" + AsciiTable::num(v, 0) + ", " + AsciiTable::num(r, 1) + ")",
                      AsciiTable::num(truth_model.vibration_impairment(v, r), 3),
                      AsciiTable::num(fitted_model.vibration_impairment(v, r), 3)});

@@ -2,22 +2,71 @@
 // their measured statistics next to the paper's reported values, and saves
 // every trace as CSV so it can be inspected or replaced with real recordings.
 //
-//   ./examples/trace_explorer [output-dir]
+//   ./examples/trace_explorer [output-dir] [--timeline <path>]
+//
+// With --timeline, one playback session (FESTIVE over Table V session 1) is
+// replayed through the SessionEngine with a SessionTimeline observer attached
+// and the full per-event log is written to <path> as CSV.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <string>
 
+#include "eacs/abr/festive.h"
+#include "eacs/media/manifest.h"
+#include "eacs/player/player.h"
+#include "eacs/player/session_engine.h"
 #include "eacs/sensors/vibration.h"
 #include "eacs/trace/session.h"
 #include "eacs/trace/trace_io.h"
 #include "eacs/util/stats.h"
 #include "eacs/util/table.h"
 
+namespace {
+
+// Replays FESTIVE over `session` with a SessionTimeline attached and dumps
+// the per-event CSV log to `path`.
+void dump_timeline(const eacs::trace::SessionTraces& session,
+                   const std::string& path) {
+  using namespace eacs;
+  const media::VideoManifest manifest("trace-explorer", session.spec.length_s,
+                                      2.0, media::BitrateLadder::evaluation14());
+  const player::PlayerSimulator simulator(manifest);
+  abr::Festive policy;
+  player::SessionTimeline timeline;
+  const auto result = simulator.run(policy, session, &timeline);
+  timeline.write_csv(path);
+  std::printf(
+      "\nTimeline: FESTIVE on session %d -> %zu events "
+      "(%zu requests, %zu stalls) written to %s\n",
+      session.spec.id, timeline.events().size(),
+      timeline.count(player::SessionEventType::kRequestIssued),
+      timeline.count(player::SessionEventType::kStall), path.c_str());
+  std::printf("          mean bitrate %.2f Mbps, rebuffer %.1f s over %zu tasks\n",
+              result.mean_bitrate_mbps(), result.total_rebuffer_s,
+              result.tasks.size());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace eacs;
 
-  const std::filesystem::path out_dir =
-      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() / "eacs_traces";
+  std::string timeline_path;
+  std::filesystem::path out_dir =
+      std::filesystem::temp_directory_path() / "eacs_traces";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--timeline") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--timeline requires a path argument\n");
+        return 1;
+      }
+      timeline_path = argv[++i];
+    } else {
+      out_dir = argv[i];
+    }
+  }
   std::filesystem::create_directories(out_dir);
 
   std::printf("Synthesising the five Table V sessions (deterministic seeds)...\n\n");
@@ -54,5 +103,7 @@ int main(int argc, char** argv) {
       trace::load_time_series(out_dir / "trace1_signal_dbm.csv");
   std::printf("%zu samples, mean %.1f dBm. OK.\n", reloaded.size(),
               mean(reloaded.values()));
+
+  if (!timeline_path.empty()) dump_timeline(sessions.front(), timeline_path);
   return 0;
 }

@@ -12,6 +12,10 @@
 //
 // Integration is discrete-time (default 50 ms steps) with sub-step download
 // completions resolved exactly; per-task timings are accurate to the step.
+//
+// The simulator is a thin configuration of the unified player::SessionEngine
+// running a SharedLinkModel (session_engine.h); pass a SessionObserver to
+// receive the per-event log of a run.
 
 #include <cstddef>
 #include <span>
@@ -20,6 +24,7 @@
 #include "eacs/media/manifest.h"
 #include "eacs/player/abr_policy.h"
 #include "eacs/player/player.h"
+#include "eacs/player/session_engine.h"
 #include "eacs/trace/session.h"
 #include "eacs/trace/time_series.h"
 
@@ -32,15 +37,10 @@ struct MultiClientConfig {
   double max_session_s = 7200.0;  ///< hard stop (defensive)
 };
 
-/// One participating client.
-struct ClientSetup {
-  const media::VideoManifest* manifest = nullptr;  ///< stream to play
-  AbrPolicy* policy = nullptr;                     ///< adaptation algorithm
-  const trace::SessionTraces* context = nullptr;   ///< signal/accel context
-                                                   ///< (throughput ignored;
-                                                   ///< the shared link rules)
-  double join_time_s = 0.0;                        ///< when the client starts
-};
+/// One participating client. Alias of the engine's client descriptor: the
+/// `context` supplies signal/accel traces (throughput ignored; the shared
+/// link rules) and `join_time_s` staggers the client's start.
+using ClientSetup = SessionClient;
 
 /// Simulates K clients over one bottleneck.
 class MultiClientSimulator {
@@ -49,9 +49,12 @@ class MultiClientSimulator {
   MultiClientSimulator(trace::TimeSeries shared_capacity_mbps,
                        MultiClientConfig config = {});
 
+  const MultiClientConfig& config() const noexcept { return config_; }
+
   /// Runs all clients to completion; result[i] corresponds to clients[i].
   /// Throws std::invalid_argument on null manifest/policy pointers.
-  std::vector<PlaybackResult> run(std::span<const ClientSetup> clients) const;
+  std::vector<PlaybackResult> run(std::span<const ClientSetup> clients,
+                                  SessionObserver* observer = nullptr) const;
 
  private:
   trace::TimeSeries capacity_;

@@ -15,6 +15,11 @@
 // the buffer drain, and degradation to the lowest rung while the link is
 // failing. Aborted attempts are accounted as wasted bytes / wasted wall
 // time, which eacs::sim prices as wasted download energy.
+//
+// Both overloads are thin configurations of the unified player::SessionEngine
+// (session_engine.h): the fault-free path runs a SoloLinkModel, the
+// fault-injected path a FaultLinkModel. Pass a SessionObserver (e.g.
+// SessionTimeline) to receive the structured per-event log of a run.
 
 #include <cstddef>
 #include <cstdint>
@@ -29,6 +34,8 @@
 #include "eacs/trace/session.h"
 
 namespace eacs::player {
+
+class SessionObserver;  // session_engine.h
 
 /// Retry / abandonment behaviour for fault-injected runs. Only consulted by
 /// the run() overload taking a FaultInjector — the fault-free path never
@@ -141,13 +148,17 @@ class PlayerSimulator {
   const PlayerConfig& config() const noexcept { return config_; }
 
   /// Replays the session with the given policy. The policy is reset() first.
-  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session) const;
+  /// An optional observer receives the engine's per-event log (read-only:
+  /// attaching one never changes the result).
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
+                     SessionObserver* observer = nullptr) const;
 
   /// Replays the session through a fault injector, engaging the resilience
   /// state machine. An inactive injector (FaultSpec{}) is a strict no-op:
   /// the result is bit-identical to the fault-free overload.
   PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
-                     const net::FaultInjector& faults) const;
+                     const net::FaultInjector& faults,
+                     SessionObserver* observer = nullptr) const;
 
  private:
   media::VideoManifest manifest_;

@@ -1,0 +1,283 @@
+#pragma once
+// The unified playback session engine.
+//
+// One event-driven core replaces the three playback loops the repo used to
+// carry (fault-free PlayerSimulator::run, the fault-injected resilience
+// overload, and MultiClientSimulator's stepped shared-link loop). The engine
+// owns the single implementation of buffer drain / stall accounting, startup
+// transitions, the buffer-threshold throttle and the per-segment resilience
+// state machine; what varies between scenarios is factored into a LinkModel:
+//
+//  * SoloLinkModel    — trace-driven dedicated link; every attempt completes
+//                       (the fault-free player semantics);
+//  * FaultLinkModel   — wraps net::FaultInjector; attempts can fail, stall or
+//                       time out, engaging ResilienceConfig's state machine
+//                       (deadlines, bounded retries, backoff, degradation,
+//                       abandonment, rescue fetch);
+//  * SharedLinkModel  — processor-sharing bottleneck: concurrent downloads
+//                       split the capacity equally; integrated on a fixed
+//                       step grid with sub-step completions resolved exactly.
+//
+// Every state transition is surfaced to SessionObserver hooks as a typed
+// SessionEvent; SessionTimeline is the bundled observer that records the full
+// per-event log and serialises it as CSV or JSON (used by
+// `trace_explorer --timeline` and the event-ordering tests).
+//
+// Determinism: the engine adds no randomness of its own — all draws live in
+// net::FaultInjector / retry_backoff_s and are pure functions of their seeds,
+// so engine runs inherit the repo-wide bit-reproducibility contract
+// (DESIGN.md §6). Observers are strictly read-only: attaching one can never
+// perturb a result.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eacs/net/downloader.h"
+#include "eacs/net/fault_injector.h"
+#include "eacs/player/abr_policy.h"
+#include "eacs/player/player.h"
+#include "eacs/sensors/vibration.h"
+#include "eacs/trace/session.h"
+#include "eacs/trace/time_series.h"
+
+namespace eacs::player {
+
+/// Sentinel for SessionEvent fields that do not apply to an event.
+inline constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Everything the engine can report. Analytic links (solo, fault) emit
+/// request/complete/failure/drain events with exact timestamps; the stepped
+/// shared link additionally emits per-step kDownloadProgress and timestamps
+/// intra-step events at the step boundary.
+enum class SessionEventType {
+  kSessionStart,      ///< engine run begins (client = kNoIndex)
+  kClientJoin,        ///< client becomes eligible to download
+  kThrottleWait,      ///< buffer above threshold; value = idle seconds
+  kRequestIssued,     ///< policy consulted, download starts; level is set
+  kDownloadProgress,  ///< stepped links: value = megabits moved this step
+  kDownloadComplete,  ///< segment landed; value = measured throughput (Mbps)
+  kAttemptDeadline,   ///< attempt aborted at the deadline (fault links only)
+  kAttemptFailure,    ///< attempt died mid-flight (fault links only)
+  kAttemptAbandoned,  ///< mid-download abandonment (fault links only)
+  kBackoffExpiry,     ///< retry backoff elapsed; value = waited seconds
+  kBufferDrain,       ///< playback drained the buffer; value = seconds played
+  kStall,             ///< buffer hit empty; value = stall seconds
+  kStartup,           ///< playback began for this client
+  kFaultTransition,   ///< outage boundary crossed; value = 1 enter, 0 leave
+  kSessionEnd,        ///< engine run finished (client = kNoIndex)
+};
+
+/// Stable lower-case identifier (used in timeline CSV/JSON and tests).
+const char* to_string(SessionEventType type) noexcept;
+
+/// One engine event. Fields that do not apply hold kNoIndex / 0.0.
+struct SessionEvent {
+  SessionEventType type = SessionEventType::kSessionStart;
+  double t_s = 0.0;                 ///< wall-clock time of the event
+  std::size_t client = kNoIndex;    ///< client index within the run
+  std::size_t segment = kNoIndex;   ///< segment the event concerns
+  std::size_t attempt = kNoIndex;   ///< attempt number (fault links)
+  std::size_t level = kNoIndex;     ///< ladder level in play
+  double buffer_s = 0.0;            ///< client buffer after the event
+  double value = 0.0;               ///< type-specific payload (see enum docs)
+};
+
+/// Read-only hook invoked on every engine event, in emission order.
+/// Observers must not mutate engine inputs; attaching one never changes a
+/// PlaybackResult.
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+  virtual void on_event(const SessionEvent& event) = 0;
+};
+
+/// Bundled observer: records the complete event log and serialises it.
+class SessionTimeline final : public SessionObserver {
+ public:
+  void on_event(const SessionEvent& event) override;
+
+  const std::vector<SessionEvent>& events() const noexcept { return events_; }
+  std::size_t count(SessionEventType type) const noexcept;
+  void clear() { events_.clear(); }
+
+  /// CSV: header + one row per event (t_s,client,event,segment,attempt,
+  /// level,buffer_s,value); kNoIndex prints as -1, doubles as %.17g.
+  void write_csv(std::ostream& out) const;
+  void write_csv(const std::string& path) const;
+
+  /// JSON: {"events": [{...}, ...]} with the same fields as the CSV.
+  void write_json(std::ostream& out) const;
+  void write_json(const std::string& path) const;
+
+ private:
+  std::vector<SessionEvent> events_;
+};
+
+/// Streams accelerometer samples into a vibration estimator in lockstep with
+/// the engine clock — the one vibration-seeding helper shared by every link
+/// mode (previously duplicated between player.cpp and multi_client.cpp).
+class VibrationClock {
+ public:
+  /// `trace` is unowned and must outlive the clock.
+  VibrationClock(const sensors::AccelTrace& trace, sensors::VibrationConfig config)
+      : trace_(&trace), estimator_(config) {}
+
+  /// Consumes all samples with timestamp <= t_s and returns the level.
+  double advance_to(double t_s) {
+    while (cursor_ < trace_->size() && (*trace_)[cursor_].t_s <= t_s) {
+      estimator_.update((*trace_)[cursor_]);
+      ++cursor_;
+    }
+    return estimator_.level();
+  }
+
+  /// Current level without consuming further samples.
+  double level() const noexcept { return estimator_.level(); }
+
+ private:
+  const sensors::AccelTrace* trace_;
+  sensors::VibrationEstimator estimator_;
+  std::size_t cursor_ = 0;
+};
+
+/// How the engine reaches the network. Two resolution modes:
+///
+///  * analytic (stepped() == false): the link resolves one attempt in closed
+///    form via attempt()/rescue(); unreliable() decides whether the engine
+///    engages the resilience state machine around those attempts;
+///  * stepped (stepped() == true): completion times depend on who else is
+///    downloading, so the engine integrates on SessionEngineConfig::step_s
+///    steps and queries capacity_at() each step.
+///
+/// Methods that do not belong to the model's mode throw std::logic_error.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  virtual bool stepped() const noexcept { return false; }
+  virtual bool unreliable() const noexcept { return false; }
+
+  // --- analytic links -----------------------------------------------------
+  /// Outcome of attempt `attempt` of `segment` started at `start_s`.
+  virtual net::AttemptOutcome attempt(std::size_t segment, std::size_t attempt,
+                                      double start_s, double size_megabits) const;
+  /// Rescue fetch: a held-open transfer that always completes.
+  virtual net::DownloadResult rescue(double start_s, double size_megabits) const;
+  /// Megabits the link moves over [t0, t1] (waste accounting for aborts).
+  virtual double megabits_over(double t0, double t1) const;
+  /// True if `t_s` is inside a link outage.
+  virtual bool in_outage(double /*t_s*/) const noexcept { return false; }
+  /// Seed for the deterministic retry-backoff jitter.
+  virtual std::uint64_t fault_seed() const noexcept { return 0; }
+  /// Sorted outage schedule for kFaultTransition events (may be null).
+  virtual const std::vector<net::OutageWindow>* outage_schedule() const noexcept {
+    return nullptr;
+  }
+
+  // --- stepped links ------------------------------------------------------
+  /// Instantaneous shared capacity at `t_s` (Mbps).
+  virtual double capacity_at(double t_s) const;
+};
+
+/// Dedicated trace-driven link: every attempt completes, nothing times out.
+class SoloLinkModel final : public LinkModel {
+ public:
+  /// The trace must be non-empty (SegmentDownloader validates).
+  explicit SoloLinkModel(const trace::TimeSeries& throughput_mbps)
+      : downloader_(throughput_mbps) {}
+
+  net::AttemptOutcome attempt(std::size_t segment, std::size_t attempt,
+                              double start_s, double size_megabits) const override;
+  net::DownloadResult rescue(double start_s, double size_megabits) const override;
+
+  const net::SegmentDownloader& downloader() const noexcept { return downloader_; }
+
+ private:
+  net::SegmentDownloader downloader_;
+};
+
+/// Fault-injected link: wraps a net::FaultInjector (unowned, must outlive the
+/// model). unreliable() mirrors injector.active(), so a disabled spec behaves
+/// exactly like a solo link over the same trace.
+class FaultLinkModel final : public LinkModel {
+ public:
+  explicit FaultLinkModel(const net::FaultInjector& faults) : faults_(&faults) {}
+
+  bool unreliable() const noexcept override { return faults_->active(); }
+  net::AttemptOutcome attempt(std::size_t segment, std::size_t attempt,
+                              double start_s, double size_megabits) const override;
+  net::DownloadResult rescue(double start_s, double size_megabits) const override;
+  double megabits_over(double t0, double t1) const override;
+  bool in_outage(double t_s) const noexcept override;
+  std::uint64_t fault_seed() const noexcept override;
+  const std::vector<net::OutageWindow>* outage_schedule() const noexcept override;
+
+ private:
+  const net::FaultInjector* faults_;
+};
+
+/// Processor-sharing bottleneck: the engine divides capacity_at(t) equally
+/// among clients with an in-flight download. The capacity trace is unowned
+/// and must outlive the model.
+class SharedLinkModel final : public LinkModel {
+ public:
+  /// Throws std::invalid_argument on an empty capacity trace.
+  explicit SharedLinkModel(const trace::TimeSeries& capacity_mbps);
+
+  bool stepped() const noexcept override { return true; }
+  double capacity_at(double t_s) const override;
+
+ private:
+  const trace::TimeSeries* capacity_;
+};
+
+/// One participating client. `context` supplies signal/accel traces (and, on
+/// analytic links, nothing else — the LinkModel owns throughput).
+struct SessionClient {
+  const media::VideoManifest* manifest = nullptr;  ///< stream to play
+  AbrPolicy* policy = nullptr;                     ///< adaptation algorithm
+  const trace::SessionTraces* context = nullptr;   ///< signal/accel context
+  double join_time_s = 0.0;  ///< stepped links only: when the client starts
+};
+
+/// Engine knobs. `player` applies to every client; the step/stop values are
+/// consulted only for stepped links.
+struct SessionEngineConfig {
+  PlayerConfig player;
+  double step_s = 0.05;           ///< stepped-link integration step
+  double max_session_s = 7200.0;  ///< stepped-link hard stop (defensive)
+};
+
+/// The unified session engine. Stateless across runs: one instance can be
+/// reused for any number of runs, links and observers.
+class SessionEngine {
+ public:
+  /// Throws std::invalid_argument on non-positive buffer/step parameters or
+  /// startup buffer above the threshold (same contract as PlayerSimulator).
+  explicit SessionEngine(SessionEngineConfig config);
+
+  const SessionEngineConfig& config() const noexcept { return config_; }
+
+  /// Runs every client to completion against `link`; result[i] corresponds
+  /// to clients[i]. Analytic links require exactly one client (join_time_s
+  /// ignored); stepped links accept any number. Policies are reset() first.
+  /// Throws std::invalid_argument on null client fields.
+  std::vector<PlaybackResult> run(std::span<const SessionClient> clients,
+                                  const LinkModel& link,
+                                  SessionObserver* observer = nullptr) const;
+
+ private:
+  PlaybackResult run_analytic(const SessionClient& client, const LinkModel& link,
+                              SessionObserver* observer) const;
+  std::vector<PlaybackResult> run_stepped(std::span<const SessionClient> clients,
+                                          const LinkModel& link,
+                                          SessionObserver* observer) const;
+
+  SessionEngineConfig config_;
+};
+
+}  // namespace eacs::player

@@ -1,53 +1,9 @@
 #include "eacs/player/multi_client.h"
 
-#include <algorithm>
 #include <stdexcept>
-
-#include "eacs/net/bandwidth_estimator.h"
-#include "eacs/sensors/vibration.h"
+#include <utility>
 
 namespace eacs::player {
-namespace {
-
-constexpr double kStallEpsilon = 1e-9;
-
-/// Per-client simulation state.
-struct ClientState {
-  const ClientSetup* setup = nullptr;
-  net::HarmonicMeanEstimator bandwidth{20};
-  sensors::VibrationEstimator vibration;
-  std::size_t accel_cursor = 0;
-
-  std::size_t next_segment = 0;
-  double buffer_s = 0.0;
-  bool playing = false;
-  bool finished_downloading = false;
-  double playback_finish_s = 0.0;  ///< last download end + remaining buffer
-  std::optional<std::size_t> prev_level;
-
-  // In-flight download.
-  bool downloading = false;
-  std::size_t level = 0;
-  double remaining_megabits = 0.0;
-  double download_start_s = 0.0;
-  double size_megabits = 0.0;
-  double buffer_at_request = 0.0;
-  bool startup_at_request = true;
-  double stall_s = 0.0;  // stall accumulated while waiting for this segment
-
-  PlaybackResult result;
-
-  double vibration_level_at(double t_s) {
-    const auto& accel = setup->context->accel;
-    while (accel_cursor < accel.size() && accel[accel_cursor].t_s <= t_s) {
-      vibration.update(accel[accel_cursor]);
-      ++accel_cursor;
-    }
-    return vibration.level();
-  }
-};
-
-}  // namespace
 
 double jain_fairness(std::span<const double> xs) {
   if (xs.empty()) return 1.0;
@@ -73,155 +29,11 @@ MultiClientSimulator::MultiClientSimulator(trace::TimeSeries shared_capacity_mbp
 }
 
 std::vector<PlaybackResult> MultiClientSimulator::run(
-    std::span<const ClientSetup> clients) const {
-  std::vector<ClientState> states(clients.size());
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    if (clients[i].manifest == nullptr || clients[i].policy == nullptr ||
-        clients[i].context == nullptr) {
-      throw std::invalid_argument("MultiClientSimulator: null client fields");
-    }
-    states[i].setup = &clients[i];
-    clients[i].policy->reset();
-  }
-
-  const auto request_next = [&](ClientState& state, double now) {
-    const auto& manifest = *state.setup->manifest;
-    AbrContext context;
-    context.segment_index = state.next_segment;
-    context.num_segments = manifest.num_segments();
-    context.now_s = now;
-    context.buffer_s = state.buffer_s;
-    context.startup_phase = !state.playing;
-    context.prev_level = state.prev_level;
-    context.manifest = &manifest;
-    context.bandwidth = &state.bandwidth;
-    context.vibration_level = state.vibration_level_at(now);
-    context.signal_dbm = state.setup->context->signal_dbm.linear_at(now);
-
-    state.level = manifest.ladder().clamp_level(
-        static_cast<long long>(state.setup->policy->choose_level(context)));
-    state.size_megabits = manifest.segment_size_megabits(state.next_segment, state.level);
-    state.remaining_megabits = state.size_megabits;
-    state.download_start_s = now;
-    state.buffer_at_request = state.buffer_s;
-    state.startup_at_request = context.startup_phase;
-    state.stall_s = 0.0;
-    state.downloading = true;
-  };
-
-  const auto complete_download = [&](ClientState& state, double end_s) {
-    const auto& manifest = *state.setup->manifest;
-    state.downloading = false;
-    state.buffer_s += manifest.segment_duration(state.next_segment);
-
-    TaskRecord task;
-    task.segment_index = state.next_segment;
-    task.level = state.level;
-    task.bitrate_mbps = manifest.ladder().bitrate(state.level);
-    task.size_mb = state.size_megabits / 8.0;
-    task.duration_s = manifest.segment_duration(state.next_segment);
-    task.download_start_s = state.download_start_s;
-    task.download_end_s = end_s;
-    const double elapsed = std::max(1e-9, end_s - state.download_start_s);
-    task.throughput_mbps = state.size_megabits / elapsed;
-    task.signal_dbm = state.setup->context->signal_dbm.mean_over(
-        state.download_start_s, std::max(end_s, state.download_start_s + 1e-6));
-    task.vibration = state.vibration.level();
-    task.buffer_before_s = state.buffer_at_request;
-    task.rebuffer_s = state.stall_s;
-    task.startup = state.startup_at_request;
-
-    if (state.stall_s > kStallEpsilon) {
-      state.result.total_rebuffer_s += state.stall_s;
-      ++state.result.rebuffer_events;
-    }
-    if (state.prev_level.has_value() && *state.prev_level != state.level) {
-      ++state.result.switch_count;
-    }
-    state.prev_level = state.level;
-    state.bandwidth.observe(task.throughput_mbps);
-    state.result.tasks.push_back(task);
-
-    ++state.next_segment;
-    if (state.next_segment >= manifest.num_segments()) {
-      state.finished_downloading = true;
-      // Nothing left to wait for: playback ends once the buffer drains.
-      state.playback_finish_s = end_s + state.buffer_s;
-    }
-    if (!state.playing && state.buffer_s >= config_.player.startup_buffer_s) {
-      state.playing = true;
-      state.result.startup_delay_s = end_s;
-    }
-  };
-
-  const double dt = config_.step_s;
-  double now = 0.0;
-  for (; now < config_.max_session_s; now += dt) {
-    // 1. Activate clients: start a download if joined, not finished, not
-    //    already downloading, and the buffer is at/below the threshold.
-    for (auto& state : states) {
-      if (state.finished_downloading || state.downloading) continue;
-      if (now < state.setup->join_time_s) continue;
-      if (state.playing && state.buffer_s > config_.player.buffer_threshold_s) {
-        continue;  // throttled; the buffer drains below
-      }
-      request_next(state, now);
-    }
-
-    // 2. Share the link among active downloads.
-    std::size_t active = 0;
-    for (const auto& state : states) {
-      if (state.downloading) ++active;
-    }
-    const double capacity = std::max(0.0, capacity_.linear_at(now));
-    const double share = active > 0 ? capacity / static_cast<double>(active) : 0.0;
-
-    // 3. Advance downloads (sub-step completion resolved exactly) and
-    //    playback.
-    for (auto& state : states) {
-      double play_time = dt;  // playback advances the full step by default
-      if (state.downloading && share > 0.0) {
-        const double deliverable = share * dt;
-        if (state.remaining_megabits <= deliverable) {
-          const double finish = now + state.remaining_megabits / share;
-          state.remaining_megabits = 0.0;
-          complete_download(state, finish);
-        } else {
-          state.remaining_megabits -= deliverable;
-        }
-      }
-      // Playback drain & stalls.
-      if (state.playing) {
-        if (state.buffer_s >= play_time) {
-          state.buffer_s -= play_time;
-        } else {
-          const double stall = play_time - state.buffer_s;
-          state.buffer_s = 0.0;
-          if (state.downloading) state.stall_s += stall;
-        }
-      }
-    }
-
-    // 4. Termination: every client finished downloading.
-    bool all_done = true;
-    for (const auto& state : states) {
-      if (!state.finished_downloading) {
-        all_done = false;
-        break;
-      }
-    }
-    if (all_done) break;
-  }
-
-  std::vector<PlaybackResult> results;
-  results.reserve(states.size());
-  for (auto& state : states) {
-    if (!state.playing) state.result.startup_delay_s = now;
-    state.result.session_end_s =
-        state.finished_downloading ? state.playback_finish_s : now + state.buffer_s;
-    results.push_back(std::move(state.result));
-  }
-  return results;
+    std::span<const ClientSetup> clients, SessionObserver* observer) const {
+  const SharedLinkModel link(capacity_);
+  const SessionEngine engine(
+      SessionEngineConfig{config_.player, config_.step_s, config_.max_session_s});
+  return engine.run(clients, link, observer);
 }
 
 }  // namespace eacs::player

@@ -3,37 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "eacs/player/session_engine.h"
 #include "eacs/util/rng.h"
 
 namespace eacs::player {
-namespace {
-
-/// Streams accelerometer samples into a vibration estimator in lockstep with
-/// the player's wall clock.
-class VibrationClock {
- public:
-  VibrationClock(const sensors::AccelTrace& trace, sensors::VibrationConfig config)
-      : trace_(trace), estimator_(config) {}
-
-  /// Consumes all samples with timestamp <= t_s and returns the level.
-  double advance_to(double t_s) {
-    while (cursor_ < trace_.size() && trace_[cursor_].t_s <= t_s) {
-      estimator_.update(trace_[cursor_]);
-      ++cursor_;
-    }
-    return estimator_.level();
-  }
-
- private:
-  const sensors::AccelTrace& trace_;
-  sensors::VibrationEstimator estimator_;
-  std::size_t cursor_ = 0;
-};
-
-constexpr double kStallEpsilon = 1e-9;
-
-}  // namespace
 
 double PlaybackResult::total_downloaded_mb() const noexcept {
   double total = 0.0;
@@ -63,104 +38,14 @@ PlayerSimulator::PlayerSimulator(media::VideoManifest manifest, PlayerConfig con
 }
 
 PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
-                                    const trace::SessionTraces& session) const {
-  policy.reset();
-  const net::SegmentDownloader downloader(session.throughput_mbps);
-  net::HarmonicMeanEstimator bandwidth(config_.bandwidth_window);
-  VibrationClock vibration(session.accel, config_.vibration);
-
-  PlaybackResult result;
-  result.tasks.reserve(manifest_.num_segments());
-
-  double now = 0.0;
-  double buffer = 0.0;   // seconds of media buffered ahead of the play head
-  bool playing = false;
-  std::optional<std::size_t> prev_level;
-
-  for (std::size_t i = 0; i < manifest_.num_segments(); ++i) {
-    // Buffer throttle: above the threshold the player idles; playback keeps
-    // draining the buffer during the idle period.
-    if (playing && buffer > config_.buffer_threshold_s) {
-      const double wait = buffer - config_.buffer_threshold_s;
-      now += wait;
-      buffer = config_.buffer_threshold_s;
-    }
-
-    const double vibration_level = vibration.advance_to(now);
-
-    AbrContext context;
-    context.segment_index = i;
-    context.num_segments = manifest_.num_segments();
-    context.now_s = now;
-    context.buffer_s = buffer;
-    context.startup_phase = !playing;
-    context.prev_level = prev_level;
-    context.manifest = &manifest_;
-    context.bandwidth = &bandwidth;
-    context.vibration_level = vibration_level;
-    context.signal_dbm = session.signal_dbm.linear_at(now);
-
-    const std::size_t level =
-        manifest_.ladder().clamp_level(static_cast<long long>(policy.choose_level(context)));
-
-    const double size_megabits = manifest_.segment_size_megabits(i, level);
-    const auto download = downloader.download(now, size_megabits);
-    const double download_time = download.duration_s();
-
-    // Playback during the download.
-    double stall = 0.0;
-    if (playing) {
-      if (buffer >= download_time) {
-        buffer -= download_time;
-      } else {
-        stall = download_time - buffer;
-        buffer = 0.0;
-      }
-    }
-    now = download.end_s;
-    buffer += manifest_.segment_duration(i);
-
-    TaskRecord task;
-    task.segment_index = i;
-    task.level = level;
-    task.bitrate_mbps = manifest_.ladder().bitrate(level);
-    task.size_mb = size_megabits / 8.0;
-    task.duration_s = manifest_.segment_duration(i);
-    task.download_start_s = download.start_s;
-    task.download_end_s = download.end_s;
-    task.throughput_mbps = download.mean_throughput_mbps;
-    task.signal_dbm = download_time > 0.0
-                          ? session.signal_dbm.mean_over(download.start_s, download.end_s)
-                          : session.signal_dbm.linear_at(download.start_s);
-    task.vibration = vibration_level;
-    task.buffer_before_s = context.buffer_s;
-    task.rebuffer_s = stall;
-    task.startup = context.startup_phase;
-
-    if (stall > kStallEpsilon) {
-      result.total_rebuffer_s += stall;
-      ++result.rebuffer_events;
-    }
-    if (prev_level.has_value() && *prev_level != level) ++result.switch_count;
-    prev_level = level;
-
-    bandwidth.observe(download.mean_throughput_mbps);
-    result.tasks.push_back(task);
-
-    // Startup transition: playback begins once enough media is buffered.
-    if (!playing && buffer >= config_.startup_buffer_s) {
-      playing = true;
-      result.startup_delay_s = now;
-    }
-  }
-
-  // Short video that never reached the startup buffer: playback begins when
-  // everything is downloaded.
-  if (!playing) result.startup_delay_s = now;
-
-  // The remaining buffer plays out after the last download.
-  result.session_end_s = now + buffer;
-  return result;
+                                    const trace::SessionTraces& session,
+                                    SessionObserver* observer) const {
+  const SoloLinkModel link(session.throughput_mbps);
+  const SessionClient client{&manifest_, &policy, &session, 0.0};
+  const SessionEngine engine(SessionEngineConfig{config_, 0.05, 7200.0});
+  auto results = engine.run(std::span<const SessionClient>(&client, 1), link,
+                            observer);
+  return std::move(results.front());
 }
 
 double retry_backoff_s(const ResilienceConfig& config, std::uint64_t fault_seed,
@@ -179,205 +64,18 @@ double retry_backoff_s(const ResilienceConfig& config, std::uint64_t fault_seed,
 
 PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
                                     const trace::SessionTraces& session,
-                                    const net::FaultInjector& faults) const {
+                                    const net::FaultInjector& faults,
+                                    SessionObserver* observer) const {
   // A disabled spec is a strict no-op pass-through: delegate to the plain
-  // loop so results stay bit-identical to the fault-free overload.
-  if (!faults.active()) return run(policy, session);
+  // solo link so results stay bit-identical to the fault-free overload.
+  if (!faults.active()) return run(policy, session, observer);
 
-  policy.reset();
-  const ResilienceConfig& res = config_.resilience;
-  const net::SegmentDownloader& downloader = faults.downloader();
-  net::HarmonicMeanEstimator bandwidth(config_.bandwidth_window);
-  VibrationClock vibration(session.accel, config_.vibration);
-  const std::size_t lowest = manifest_.ladder().lowest_level();
-
-  PlaybackResult result;
-  result.tasks.reserve(manifest_.num_segments());
-
-  double now = 0.0;
-  double buffer = 0.0;   // seconds of media buffered ahead of the play head
-  bool playing = false;
-  std::optional<std::size_t> prev_level;
-
-  for (std::size_t i = 0; i < manifest_.num_segments(); ++i) {
-    if (playing && buffer > config_.buffer_threshold_s) {
-      const double wait = buffer - config_.buffer_threshold_s;
-      now += wait;
-      buffer = config_.buffer_threshold_s;
-    }
-
-    const double vibration_level = vibration.advance_to(now);
-
-    AbrContext context;
-    context.segment_index = i;
-    context.num_segments = manifest_.num_segments();
-    context.now_s = now;
-    context.buffer_s = buffer;
-    context.startup_phase = !playing;
-    context.prev_level = prev_level;
-    context.manifest = &manifest_;
-    context.bandwidth = &bandwidth;
-    context.vibration_level = vibration_level;
-    context.signal_dbm = session.signal_dbm.linear_at(now);
-
-    const std::size_t requested =
-        manifest_.ladder().clamp_level(static_cast<long long>(policy.choose_level(context)));
-
-    TaskRecord task;
-    task.segment_index = i;
-    task.duration_s = manifest_.segment_duration(i);
-    task.vibration = vibration_level;
-    task.buffer_before_s = context.buffer_s;
-    task.startup = context.startup_phase;
-
-    // --- Per-segment resilience state machine ---------------------------
-    double stall_total = 0.0;
-    const auto drain = [&](double dt) {
-      // Playback during `dt` of wall time (no-op before startup).
-      if (!playing || dt <= 0.0) return;
-      if (buffer >= dt) {
-        buffer -= dt;
-      } else {
-        stall_total += dt - buffer;
-        buffer = 0.0;
-      }
-    };
-
-    double wasted_megabits = 0.0;
-    double wasted_signal_weight = 0.0;  // sum of (megabits * mean signal)
-    double wasted_time = 0.0;
-    double backoff_total = 0.0;
-    bool abandoned = false;
-    std::size_t attempt = 0;
-    std::size_t level = requested;
-    net::DownloadResult success;
-
-    // Abort the in-flight attempt at `abort_at`, having moved `moved`
-    // megabits: account the waste, feed the estimator the (near-zero)
-    // observed throughput, and advance the clock.
-    const auto account_abort = [&](double abort_at, double moved) {
-      const double elapsed = abort_at - now;
-      wasted_megabits += moved;
-      if (moved > 0.0) {
-        wasted_signal_weight += moved * session.signal_dbm.mean_over(now, abort_at);
-      }
-      wasted_time += elapsed;
-      bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
-      drain(elapsed);
-      now = abort_at;
-    };
-
-    for (;;) {
-      // Rung for this attempt: the policy's choice first, then one rung down
-      // per retry, then the lowest rung while the link keeps failing.
-      if (attempt == 0) {
-        level = requested;
-      } else if (attempt >= res.degrade_after) {
-        level = lowest;
-      } else {
-        level = requested > attempt ? std::max(lowest, requested - attempt) : lowest;
-      }
-      const double size_megabits = manifest_.segment_size_megabits(i, level);
-
-      if (attempt >= res.max_retries) {
-        // Rescue fetch: lowest-rung request held open until it completes
-        // (no per-request faults; outages still slow it via the effective
-        // trace). Guarantees bounded retries and session termination.
-        success = downloader.download(now, size_megabits);
-        break;
-      }
-
-      const auto outcome = faults.attempt(i, attempt, now, size_megabits);
-      const double deadline = now + res.attempt_deadline_s;
-      const double resolves_at =
-          outcome.failed ? outcome.fail_at_s : outcome.result.end_s;
-
-      if (resolves_at > deadline) {
-        // Timeout: an outage, a stuck transfer, or a failure that would
-        // manifest past the deadline. Abort at the deadline.
-        const double moved =
-            outcome.stalled
-                ? std::min(size_megabits,
-                           outcome.result.mean_throughput_mbps * res.attempt_deadline_s)
-                : std::min(size_megabits, faults.megabits_over(now, deadline));
-        policy.on_download_failure({i, attempt, deadline, faults.in_outage(deadline)});
-        account_abort(deadline, moved);
-      } else if (outcome.failed) {
-        policy.on_download_failure(
-            {i, attempt, outcome.fail_at_s, faults.in_outage(outcome.fail_at_s)});
-        account_abort(outcome.fail_at_s, size_megabits * outcome.fail_fraction);
-      } else if (res.abandon_enabled && !abandoned && playing && level > lowest &&
-                 buffer < res.abandon_min_buffer_s &&
-                 outcome.result.duration_s() > res.abandon_factor * buffer &&
-                 now + res.abandon_probe_s < outcome.result.end_s) {
-        // The transfer outpaces the buffer drain: probe briefly, abandon,
-        // and immediately re-request one rung lower (no backoff).
-        const double probe_end = now + res.abandon_probe_s;
-        const double moved =
-            std::min(size_megabits, faults.megabits_over(now, probe_end));
-        account_abort(probe_end, moved);
-        abandoned = true;
-        ++attempt;
-        continue;
-      } else {
-        success = outcome.result;
-        break;
-      }
-
-      const double wait = retry_backoff_s(res, faults.spec().seed, i, attempt);
-      drain(wait);
-      now += wait;
-      backoff_total += wait;
-      ++attempt;
-    }
-    // --------------------------------------------------------------------
-
-    const double download_time = success.duration_s();
-    drain(download_time);
-    now = success.end_s;
-    buffer += manifest_.segment_duration(i);
-
-    task.level = level;
-    task.bitrate_mbps = manifest_.ladder().bitrate(level);
-    task.size_mb = success.size_megabits / 8.0;
-    task.download_start_s = success.start_s;
-    task.download_end_s = success.end_s;
-    task.throughput_mbps = success.mean_throughput_mbps;
-    task.signal_dbm = download_time > 0.0
-                          ? session.signal_dbm.mean_over(success.start_s, success.end_s)
-                          : session.signal_dbm.linear_at(success.start_s);
-    task.rebuffer_s = stall_total;
-    task.retries = attempt;
-    task.abandoned = abandoned;
-    task.wasted_mb = wasted_megabits / 8.0;
-    task.wasted_download_s = wasted_time;
-    task.wasted_signal_dbm =
-        wasted_megabits > 0.0 ? wasted_signal_weight / wasted_megabits : -90.0;
-    task.backoff_s = backoff_total;
-
-    if (stall_total > kStallEpsilon) {
-      result.total_rebuffer_s += stall_total;
-      ++result.rebuffer_events;
-    }
-    if (prev_level.has_value() && *prev_level != level) ++result.switch_count;
-    prev_level = level;
-
-    bandwidth.observe(success.mean_throughput_mbps);
-    result.total_retries += attempt;
-    if (abandoned) ++result.abandoned_segments;
-    result.total_wasted_mb += task.wasted_mb;
-    result.total_backoff_s += backoff_total;
-    result.tasks.push_back(task);
-
-    if (!playing && buffer >= config_.startup_buffer_s) {
-      playing = true;
-      result.startup_delay_s = now;
-    }
-  }
-
-  if (!playing) result.startup_delay_s = now;
-  result.session_end_s = now + buffer;
-  return result;
+  const FaultLinkModel link(faults);
+  const SessionClient client{&manifest_, &policy, &session, 0.0};
+  const SessionEngine engine(SessionEngineConfig{config_, 0.05, 7200.0});
+  auto results = engine.run(std::span<const SessionClient>(&client, 1), link,
+                            observer);
+  return std::move(results.front());
 }
 
 }  // namespace eacs::player

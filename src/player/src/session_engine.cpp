@@ -1,0 +1,748 @@
+#include "eacs/player/session_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace eacs::player {
+namespace {
+
+constexpr double kStallEpsilon = 1e-9;
+
+/// The single buffer-drain / stall implementation in src/player: plays `dt`
+/// seconds of wall time out of `buffer_s` and returns the stall incurred
+/// (0 before startup). Every link mode routes its playback through here.
+double drain_buffer(bool playing, double& buffer_s, double dt) {
+  if (!playing || dt <= 0.0) return 0.0;
+  if (buffer_s >= dt) {
+    buffer_s -= dt;
+    return 0.0;
+  }
+  const double stall = dt - buffer_s;
+  buffer_s = 0.0;
+  return stall;
+}
+
+void emit_event(SessionObserver* observer, SessionEventType type, double t_s,
+                std::size_t client, std::size_t segment = kNoIndex,
+                std::size_t attempt = kNoIndex, std::size_t level = kNoIndex,
+                double buffer_s = 0.0, double value = 0.0) {
+  if (observer == nullptr) return;
+  SessionEvent event;
+  event.type = type;
+  event.t_s = t_s;
+  event.client = client;
+  event.segment = segment;
+  event.attempt = attempt;
+  event.level = level;
+  event.buffer_s = buffer_s;
+  event.value = value;
+  observer->on_event(event);
+}
+
+/// Emits kFaultTransition events as the engine clock crosses outage
+/// boundaries. Pure observer plumbing: touches no simulation state.
+class OutageTransitionEmitter {
+ public:
+  OutageTransitionEmitter(const std::vector<net::OutageWindow>* schedule,
+                          SessionObserver* observer, std::size_t client)
+      : schedule_(schedule), observer_(observer), client_(client) {}
+
+  /// Reports every boundary up to `to` not yet reported.
+  void advance_to(double to) {
+    if (schedule_ == nullptr || observer_ == nullptr) return;
+    while (index_ < schedule_->size()) {
+      const auto& window = (*schedule_)[index_];
+      if (!inside_) {
+        if (window.start_s > to) break;
+        emit_event(observer_, SessionEventType::kFaultTransition, window.start_s,
+                   client_, kNoIndex, kNoIndex, kNoIndex, 0.0, 1.0);
+        inside_ = true;
+      } else {
+        if (window.end_s > to) break;
+        emit_event(observer_, SessionEventType::kFaultTransition, window.end_s,
+                   client_, kNoIndex, kNoIndex, kNoIndex, 0.0, 0.0);
+        inside_ = false;
+        ++index_;
+      }
+    }
+  }
+
+ private:
+  const std::vector<net::OutageWindow>* schedule_;
+  SessionObserver* observer_;
+  std::size_t client_;
+  std::size_t index_ = 0;
+  bool inside_ = false;
+};
+
+long long signed_index(std::size_t value) {
+  return value == kNoIndex ? -1 : static_cast<long long>(value);
+}
+
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* to_string(SessionEventType type) noexcept {
+  switch (type) {
+    case SessionEventType::kSessionStart: return "session_start";
+    case SessionEventType::kClientJoin: return "client_join";
+    case SessionEventType::kThrottleWait: return "throttle_wait";
+    case SessionEventType::kRequestIssued: return "request_issued";
+    case SessionEventType::kDownloadProgress: return "download_progress";
+    case SessionEventType::kDownloadComplete: return "download_complete";
+    case SessionEventType::kAttemptDeadline: return "attempt_deadline";
+    case SessionEventType::kAttemptFailure: return "attempt_failure";
+    case SessionEventType::kAttemptAbandoned: return "attempt_abandoned";
+    case SessionEventType::kBackoffExpiry: return "backoff_expiry";
+    case SessionEventType::kBufferDrain: return "buffer_drain";
+    case SessionEventType::kStall: return "stall";
+    case SessionEventType::kStartup: return "startup";
+    case SessionEventType::kFaultTransition: return "fault_transition";
+    case SessionEventType::kSessionEnd: return "session_end";
+  }
+  return "unknown";
+}
+
+// --- SessionTimeline --------------------------------------------------------
+
+void SessionTimeline::on_event(const SessionEvent& event) {
+  events_.push_back(event);
+}
+
+std::size_t SessionTimeline::count(SessionEventType type) const noexcept {
+  std::size_t total = 0;
+  for (const auto& event : events_) {
+    if (event.type == type) ++total;
+  }
+  return total;
+}
+
+void SessionTimeline::write_csv(std::ostream& out) const {
+  out << "t_s,client,event,segment,attempt,level,buffer_s,value\n";
+  for (const auto& event : events_) {
+    out << format_double(event.t_s) << ',' << signed_index(event.client) << ','
+        << to_string(event.type) << ',' << signed_index(event.segment) << ','
+        << signed_index(event.attempt) << ',' << signed_index(event.level) << ','
+        << format_double(event.buffer_s) << ',' << format_double(event.value)
+        << '\n';
+  }
+}
+
+void SessionTimeline::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SessionTimeline: cannot open " + path);
+  write_csv(out);
+  if (!out.good()) throw std::runtime_error("SessionTimeline: failed writing " + path);
+}
+
+void SessionTimeline::write_json(std::ostream& out) const {
+  out << "{\"events\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& event = events_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"t_s\": " << format_double(event.t_s)
+        << ", \"client\": " << signed_index(event.client) << ", \"event\": \""
+        << to_string(event.type) << "\", \"segment\": "
+        << signed_index(event.segment) << ", \"attempt\": "
+        << signed_index(event.attempt) << ", \"level\": "
+        << signed_index(event.level) << ", \"buffer_s\": "
+        << format_double(event.buffer_s) << ", \"value\": "
+        << format_double(event.value) << "}";
+  }
+  out << (events_.empty() ? "" : "\n") << "]}\n";
+}
+
+void SessionTimeline::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SessionTimeline: cannot open " + path);
+  write_json(out);
+  if (!out.good()) throw std::runtime_error("SessionTimeline: failed writing " + path);
+}
+
+// --- LinkModel hierarchy ----------------------------------------------------
+
+net::AttemptOutcome LinkModel::attempt(std::size_t, std::size_t, double,
+                                       double) const {
+  throw std::logic_error("LinkModel: attempt() unsupported on this link");
+}
+
+net::DownloadResult LinkModel::rescue(double, double) const {
+  throw std::logic_error("LinkModel: rescue() unsupported on this link");
+}
+
+double LinkModel::megabits_over(double, double) const {
+  throw std::logic_error("LinkModel: megabits_over() unsupported on this link");
+}
+
+double LinkModel::capacity_at(double) const {
+  throw std::logic_error("LinkModel: capacity_at() unsupported on this link");
+}
+
+net::AttemptOutcome SoloLinkModel::attempt(std::size_t, std::size_t,
+                                           double start_s,
+                                           double size_megabits) const {
+  net::AttemptOutcome outcome;
+  outcome.result = downloader_.download(start_s, size_megabits);
+  return outcome;
+}
+
+net::DownloadResult SoloLinkModel::rescue(double start_s,
+                                          double size_megabits) const {
+  return downloader_.download(start_s, size_megabits);
+}
+
+net::AttemptOutcome FaultLinkModel::attempt(std::size_t segment,
+                                            std::size_t attempt, double start_s,
+                                            double size_megabits) const {
+  return faults_->attempt(segment, attempt, start_s, size_megabits);
+}
+
+net::DownloadResult FaultLinkModel::rescue(double start_s,
+                                           double size_megabits) const {
+  return faults_->downloader().download(start_s, size_megabits);
+}
+
+double FaultLinkModel::megabits_over(double t0, double t1) const {
+  return faults_->megabits_over(t0, t1);
+}
+
+bool FaultLinkModel::in_outage(double t_s) const noexcept {
+  return faults_->in_outage(t_s);
+}
+
+std::uint64_t FaultLinkModel::fault_seed() const noexcept {
+  return faults_->spec().seed;
+}
+
+const std::vector<net::OutageWindow>* FaultLinkModel::outage_schedule()
+    const noexcept {
+  return &faults_->outage_schedule();
+}
+
+SharedLinkModel::SharedLinkModel(const trace::TimeSeries& capacity_mbps)
+    : capacity_(&capacity_mbps) {
+  if (capacity_->empty()) {
+    throw std::invalid_argument("SharedLinkModel: empty capacity trace");
+  }
+}
+
+double SharedLinkModel::capacity_at(double t_s) const {
+  return capacity_->linear_at(t_s);
+}
+
+// --- SessionEngine ----------------------------------------------------------
+
+SessionEngine::SessionEngine(SessionEngineConfig config) : config_(config) {
+  if (config_.player.buffer_threshold_s <= 0.0 ||
+      config_.player.startup_buffer_s <= 0.0) {
+    throw std::invalid_argument("SessionEngine: buffer parameters must be > 0");
+  }
+  if (config_.player.startup_buffer_s > config_.player.buffer_threshold_s) {
+    throw std::invalid_argument(
+        "SessionEngine: startup buffer cannot exceed the buffer threshold");
+  }
+  if (config_.step_s <= 0.0) {
+    throw std::invalid_argument("SessionEngine: step must be > 0");
+  }
+}
+
+std::vector<PlaybackResult> SessionEngine::run(
+    std::span<const SessionClient> clients, const LinkModel& link,
+    SessionObserver* observer) const {
+  for (const auto& client : clients) {
+    if (client.manifest == nullptr || client.policy == nullptr ||
+        client.context == nullptr) {
+      throw std::invalid_argument("SessionEngine: null client fields");
+    }
+  }
+  if (link.stepped()) return run_stepped(clients, link, observer);
+  if (clients.size() != 1) {
+    throw std::invalid_argument(
+        "SessionEngine: analytic links take exactly one client");
+  }
+  std::vector<PlaybackResult> results;
+  results.push_back(run_analytic(clients[0], link, observer));
+  return results;
+}
+
+// Analytic links: segments resolve sequentially in closed form. With a
+// reliable link every attempt completes (the fault-free player semantics);
+// an unreliable link engages the per-segment resilience state machine
+// (deadlines, bounded retries with backoff, degradation, abandonment and the
+// terminal rescue fetch).
+PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
+                                           const LinkModel& link,
+                                           SessionObserver* observer) const {
+  AbrPolicy& policy = *client.policy;
+  const media::VideoManifest& manifest = *client.manifest;
+  const trace::SessionTraces& session = *client.context;
+
+  policy.reset();
+  const PlayerConfig& config = config_.player;
+  const ResilienceConfig& res = config.resilience;
+  const bool unreliable = link.unreliable();
+  net::HarmonicMeanEstimator bandwidth(config.bandwidth_window);
+  VibrationClock vibration(session.accel, config.vibration);
+  const std::size_t lowest = manifest.ladder().lowest_level();
+
+  PlaybackResult result;
+  result.tasks.reserve(manifest.num_segments());
+
+  double now = 0.0;
+  double buffer = 0.0;  // seconds of media buffered ahead of the play head
+  bool playing = false;
+  std::optional<std::size_t> prev_level;
+
+  OutageTransitionEmitter outages(unreliable ? link.outage_schedule() : nullptr,
+                                  observer, 0);
+
+  emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
+  emit_event(observer, SessionEventType::kClientJoin, 0.0, 0);
+
+  for (std::size_t i = 0; i < manifest.num_segments(); ++i) {
+    // Buffer throttle: above the threshold the player idles; playback keeps
+    // draining the buffer during the idle period.
+    if (playing && buffer > config.buffer_threshold_s) {
+      const double wait = buffer - config.buffer_threshold_s;
+      outages.advance_to(now + wait);
+      now += wait;
+      buffer = config.buffer_threshold_s;
+      emit_event(observer, SessionEventType::kThrottleWait, now, 0, i, kNoIndex,
+                 kNoIndex, buffer, wait);
+    }
+
+    const double vibration_level = vibration.advance_to(now);
+
+    AbrContext context;
+    context.segment_index = i;
+    context.num_segments = manifest.num_segments();
+    context.now_s = now;
+    context.buffer_s = buffer;
+    context.startup_phase = !playing;
+    context.prev_level = prev_level;
+    context.manifest = &manifest;
+    context.bandwidth = &bandwidth;
+    context.vibration_level = vibration_level;
+    context.signal_dbm = session.signal_dbm.linear_at(now);
+
+    const std::size_t requested = manifest.ladder().clamp_level(
+        static_cast<long long>(policy.choose_level(context)));
+
+    TaskRecord task;
+    task.segment_index = i;
+    task.duration_s = manifest.segment_duration(i);
+    task.vibration = vibration_level;
+    task.buffer_before_s = context.buffer_s;
+    task.startup = context.startup_phase;
+
+    // Playback during wall time spent on this segment (downloads, backoffs,
+    // aborted attempts) runs through the engine's single drain path.
+    double stall_total = 0.0;
+    const auto drain = [&](double dt) {
+      const bool was_playing = playing;
+      const double stall = drain_buffer(playing, buffer, dt);
+      stall_total += stall;
+      if (observer != nullptr && was_playing && dt > 0.0) {
+        emit_event(observer, SessionEventType::kBufferDrain, now, 0, i, kNoIndex,
+                   kNoIndex, buffer, dt);
+        if (stall > 0.0) {
+          emit_event(observer, SessionEventType::kStall, now, 0, i, kNoIndex,
+                     kNoIndex, buffer, stall);
+        }
+      }
+    };
+
+    double wasted_megabits = 0.0;
+    double wasted_signal_weight = 0.0;  // sum of (megabits * mean signal)
+    double wasted_time = 0.0;
+    double backoff_total = 0.0;
+    bool abandoned = false;
+    std::size_t attempt = 0;
+    std::size_t level = requested;
+    net::DownloadResult success;
+
+    if (!unreliable) {
+      const double size_megabits = manifest.segment_size_megabits(i, requested);
+      emit_event(observer, SessionEventType::kRequestIssued, now, 0, i, 0,
+                 requested, buffer, size_megabits);
+      success = link.attempt(i, 0, now, size_megabits).result;
+    } else {
+      // --- Per-segment resilience state machine -------------------------
+      // Abort the in-flight attempt at `abort_at`, having moved `moved`
+      // megabits: account the waste, feed the estimator the (near-zero)
+      // observed throughput, and advance the clock.
+      const auto account_abort = [&](double abort_at, double moved) {
+        const double elapsed = abort_at - now;
+        wasted_megabits += moved;
+        if (moved > 0.0) {
+          wasted_signal_weight += moved * session.signal_dbm.mean_over(now, abort_at);
+        }
+        wasted_time += elapsed;
+        bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
+        drain(elapsed);
+        now = abort_at;
+      };
+
+      for (;;) {
+        // Rung for this attempt: the policy's choice first, then one rung
+        // down per retry, then the lowest rung while the link keeps failing.
+        if (attempt == 0) {
+          level = requested;
+        } else if (attempt >= res.degrade_after) {
+          level = lowest;
+        } else {
+          level = requested > attempt ? std::max(lowest, requested - attempt) : lowest;
+        }
+        const double size_megabits = manifest.segment_size_megabits(i, level);
+        emit_event(observer, SessionEventType::kRequestIssued, now, 0, i,
+                   attempt, level, buffer, size_megabits);
+
+        if (attempt >= res.max_retries) {
+          // Rescue fetch: lowest-rung request held open until it completes
+          // (no per-request faults; outages still slow it via the effective
+          // trace). Guarantees bounded retries and session termination.
+          success = link.rescue(now, size_megabits);
+          break;
+        }
+
+        const auto outcome = link.attempt(i, attempt, now, size_megabits);
+        const double deadline = now + res.attempt_deadline_s;
+        const double resolves_at =
+            outcome.failed ? outcome.fail_at_s : outcome.result.end_s;
+
+        if (resolves_at > deadline) {
+          // Timeout: an outage, a stuck transfer, or a failure that would
+          // manifest past the deadline. Abort at the deadline.
+          const double moved =
+              outcome.stalled
+                  ? std::min(size_megabits,
+                             outcome.result.mean_throughput_mbps * res.attempt_deadline_s)
+                  : std::min(size_megabits, link.megabits_over(now, deadline));
+          outages.advance_to(deadline);
+          emit_event(observer, SessionEventType::kAttemptDeadline, deadline, 0,
+                     i, attempt, level, buffer, moved);
+          policy.on_download_failure({i, attempt, deadline, link.in_outage(deadline)});
+          account_abort(deadline, moved);
+        } else if (outcome.failed) {
+          outages.advance_to(outcome.fail_at_s);
+          emit_event(observer, SessionEventType::kAttemptFailure,
+                     outcome.fail_at_s, 0, i, attempt, level, buffer,
+                     size_megabits * outcome.fail_fraction);
+          policy.on_download_failure(
+              {i, attempt, outcome.fail_at_s, link.in_outage(outcome.fail_at_s)});
+          account_abort(outcome.fail_at_s, size_megabits * outcome.fail_fraction);
+        } else if (res.abandon_enabled && !abandoned && playing && level > lowest &&
+                   buffer < res.abandon_min_buffer_s &&
+                   outcome.result.duration_s() > res.abandon_factor * buffer &&
+                   now + res.abandon_probe_s < outcome.result.end_s) {
+          // The transfer outpaces the buffer drain: probe briefly, abandon,
+          // and immediately re-request one rung lower (no backoff).
+          const double probe_end = now + res.abandon_probe_s;
+          const double moved =
+              std::min(size_megabits, link.megabits_over(now, probe_end));
+          outages.advance_to(probe_end);
+          emit_event(observer, SessionEventType::kAttemptAbandoned, probe_end,
+                     0, i, attempt, level, buffer, moved);
+          account_abort(probe_end, moved);
+          abandoned = true;
+          ++attempt;
+          continue;
+        } else {
+          success = outcome.result;
+          break;
+        }
+
+        const double wait = retry_backoff_s(res, link.fault_seed(), i, attempt);
+        outages.advance_to(now + wait);
+        drain(wait);
+        now += wait;
+        backoff_total += wait;
+        emit_event(observer, SessionEventType::kBackoffExpiry, now, 0, i,
+                   attempt, level, buffer, wait);
+        ++attempt;
+      }
+      // ------------------------------------------------------------------
+    }
+
+    const double download_time = success.duration_s();
+    outages.advance_to(success.end_s);
+    drain(download_time);
+    now = success.end_s;
+    buffer += manifest.segment_duration(i);
+
+    task.level = level;
+    task.bitrate_mbps = manifest.ladder().bitrate(level);
+    task.size_mb = success.size_megabits / 8.0;
+    task.download_start_s = success.start_s;
+    task.download_end_s = success.end_s;
+    task.throughput_mbps = success.mean_throughput_mbps;
+    task.signal_dbm = download_time > 0.0
+                          ? session.signal_dbm.mean_over(success.start_s, success.end_s)
+                          : session.signal_dbm.linear_at(success.start_s);
+    task.rebuffer_s = stall_total;
+    task.retries = attempt;
+    task.abandoned = abandoned;
+    task.wasted_mb = wasted_megabits / 8.0;
+    task.wasted_download_s = wasted_time;
+    task.wasted_signal_dbm =
+        wasted_megabits > 0.0 ? wasted_signal_weight / wasted_megabits : -90.0;
+    task.backoff_s = backoff_total;
+
+    if (stall_total > kStallEpsilon) {
+      result.total_rebuffer_s += stall_total;
+      ++result.rebuffer_events;
+    }
+    if (prev_level.has_value() && *prev_level != level) ++result.switch_count;
+    prev_level = level;
+
+    bandwidth.observe(success.mean_throughput_mbps);
+    result.total_retries += attempt;
+    if (abandoned) ++result.abandoned_segments;
+    result.total_wasted_mb += task.wasted_mb;
+    result.total_backoff_s += backoff_total;
+    result.tasks.push_back(task);
+
+    emit_event(observer, SessionEventType::kDownloadComplete, now, 0, i,
+               attempt, level, buffer, success.mean_throughput_mbps);
+
+    // Startup transition: playback begins once enough media is buffered.
+    if (!playing && buffer >= config.startup_buffer_s) {
+      playing = true;
+      result.startup_delay_s = now;
+      emit_event(observer, SessionEventType::kStartup, now, 0, i, kNoIndex,
+                 kNoIndex, buffer);
+    }
+  }
+
+  // Short video that never reached the startup buffer: playback begins when
+  // everything is downloaded.
+  if (!playing) result.startup_delay_s = now;
+
+  // The remaining buffer plays out after the last download.
+  result.session_end_s = now + buffer;
+  outages.advance_to(result.session_end_s);
+  emit_event(observer, SessionEventType::kSessionEnd, result.session_end_s,
+             kNoIndex);
+  return result;
+}
+
+namespace {
+
+/// Per-client state for the stepped (shared-link) mode.
+struct SteppedClientState {
+  const SessionClient* setup = nullptr;
+  net::HarmonicMeanEstimator bandwidth;
+  VibrationClock vibration;
+
+  std::size_t next_segment = 0;
+  double buffer_s = 0.0;
+  bool playing = false;
+  bool joined = false;
+  bool finished_downloading = false;
+  double playback_finish_s = 0.0;  ///< last download end + remaining buffer
+  std::optional<std::size_t> prev_level;
+
+  // In-flight download.
+  bool downloading = false;
+  std::size_t level = 0;
+  double remaining_megabits = 0.0;
+  double download_start_s = 0.0;
+  double size_megabits = 0.0;
+  double buffer_at_request = 0.0;
+  bool startup_at_request = true;
+  double stall_s = 0.0;  // stall accumulated while waiting for this segment
+
+  PlaybackResult result;
+
+  SteppedClientState(const SessionClient& client, const PlayerConfig& config)
+      : setup(&client),
+        bandwidth(config.bandwidth_window),
+        vibration(client.context->accel, config.vibration) {}
+};
+
+}  // namespace
+
+// Stepped links: completion times depend on who else is downloading, so the
+// engine integrates on a fixed grid (sub-step completions resolved exactly)
+// and splits capacity equally among the in-flight clients.
+std::vector<PlaybackResult> SessionEngine::run_stepped(
+    std::span<const SessionClient> clients, const LinkModel& link,
+    SessionObserver* observer) const {
+  const PlayerConfig& player_config = config_.player;
+  std::vector<SteppedClientState> states;
+  states.reserve(clients.size());
+  for (const auto& client : clients) {
+    states.emplace_back(client, player_config);
+    client.policy->reset();
+  }
+
+  emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
+
+  const auto request_next = [&](SteppedClientState& state, std::size_t index,
+                                double now) {
+    const auto& manifest = *state.setup->manifest;
+    AbrContext context;
+    context.segment_index = state.next_segment;
+    context.num_segments = manifest.num_segments();
+    context.now_s = now;
+    context.buffer_s = state.buffer_s;
+    context.startup_phase = !state.playing;
+    context.prev_level = state.prev_level;
+    context.manifest = &manifest;
+    context.bandwidth = &state.bandwidth;
+    context.vibration_level = state.vibration.advance_to(now);
+    context.signal_dbm = state.setup->context->signal_dbm.linear_at(now);
+
+    state.level = manifest.ladder().clamp_level(
+        static_cast<long long>(state.setup->policy->choose_level(context)));
+    state.size_megabits =
+        manifest.segment_size_megabits(state.next_segment, state.level);
+    state.remaining_megabits = state.size_megabits;
+    state.download_start_s = now;
+    state.buffer_at_request = state.buffer_s;
+    state.startup_at_request = context.startup_phase;
+    state.stall_s = 0.0;
+    state.downloading = true;
+    emit_event(observer, SessionEventType::kRequestIssued, now, index,
+               state.next_segment, 0, state.level, state.buffer_s,
+               state.size_megabits);
+  };
+
+  const auto complete_download = [&](SteppedClientState& state,
+                                     std::size_t index, double end_s) {
+    const auto& manifest = *state.setup->manifest;
+    state.downloading = false;
+    state.buffer_s += manifest.segment_duration(state.next_segment);
+
+    TaskRecord task;
+    task.segment_index = state.next_segment;
+    task.level = state.level;
+    task.bitrate_mbps = manifest.ladder().bitrate(state.level);
+    task.size_mb = state.size_megabits / 8.0;
+    task.duration_s = manifest.segment_duration(state.next_segment);
+    task.download_start_s = state.download_start_s;
+    task.download_end_s = end_s;
+    const double elapsed = std::max(1e-9, end_s - state.download_start_s);
+    task.throughput_mbps = state.size_megabits / elapsed;
+    task.signal_dbm = state.setup->context->signal_dbm.mean_over(
+        state.download_start_s, std::max(end_s, state.download_start_s + 1e-6));
+    task.vibration = state.vibration.level();
+    task.buffer_before_s = state.buffer_at_request;
+    task.rebuffer_s = state.stall_s;
+    task.startup = state.startup_at_request;
+
+    if (state.stall_s > kStallEpsilon) {
+      state.result.total_rebuffer_s += state.stall_s;
+      ++state.result.rebuffer_events;
+    }
+    if (state.prev_level.has_value() && *state.prev_level != state.level) {
+      ++state.result.switch_count;
+    }
+    state.prev_level = state.level;
+    state.bandwidth.observe(task.throughput_mbps);
+    state.result.tasks.push_back(task);
+    emit_event(observer, SessionEventType::kDownloadComplete, end_s, index,
+               state.next_segment, 0, state.level, state.buffer_s,
+               task.throughput_mbps);
+
+    ++state.next_segment;
+    if (state.next_segment >= manifest.num_segments()) {
+      state.finished_downloading = true;
+      // Nothing left to wait for: playback ends once the buffer drains.
+      state.playback_finish_s = end_s + state.buffer_s;
+    }
+    if (!state.playing && state.buffer_s >= player_config.startup_buffer_s) {
+      state.playing = true;
+      state.result.startup_delay_s = end_s;
+      emit_event(observer, SessionEventType::kStartup, end_s, index,
+                 task.segment_index, kNoIndex, kNoIndex, state.buffer_s);
+    }
+  };
+
+  const double dt = config_.step_s;
+  double now = 0.0;
+  for (; now < config_.max_session_s; now += dt) {
+    // 1. Activate clients: start a download if joined, not finished, not
+    //    already downloading, and the buffer is at/below the threshold.
+    for (std::size_t c = 0; c < states.size(); ++c) {
+      auto& state = states[c];
+      if (state.finished_downloading || state.downloading) continue;
+      if (now < state.setup->join_time_s) continue;
+      if (!state.joined) {
+        state.joined = true;
+        emit_event(observer, SessionEventType::kClientJoin, now, c);
+      }
+      if (state.playing && state.buffer_s > player_config.buffer_threshold_s) {
+        continue;  // throttled; the buffer drains below
+      }
+      request_next(state, c, now);
+    }
+
+    // 2. Share the link among active downloads.
+    std::size_t active = 0;
+    for (const auto& state : states) {
+      if (state.downloading) ++active;
+    }
+    const double capacity = std::max(0.0, link.capacity_at(now));
+    const double share = active > 0 ? capacity / static_cast<double>(active) : 0.0;
+
+    // 3. Advance downloads (sub-step completion resolved exactly) and
+    //    playback.
+    for (std::size_t c = 0; c < states.size(); ++c) {
+      auto& state = states[c];
+      const double play_time = dt;  // playback advances the full step
+      if (state.downloading && share > 0.0) {
+        const double deliverable = share * dt;
+        if (state.remaining_megabits <= deliverable) {
+          const double finish = now + state.remaining_megabits / share;
+          state.remaining_megabits = 0.0;
+          complete_download(state, c, finish);
+        } else {
+          state.remaining_megabits -= deliverable;
+          emit_event(observer, SessionEventType::kDownloadProgress, now, c,
+                     state.next_segment, 0, state.level, state.buffer_s,
+                     deliverable);
+        }
+      }
+      // Playback drain & stalls (the engine's single drain path). Stall time
+      // is attributed to a segment only while one is actually in flight.
+      const double stall = drain_buffer(state.playing, state.buffer_s, play_time);
+      if (stall > 0.0) {
+        if (state.downloading) state.stall_s += stall;
+        emit_event(observer, SessionEventType::kStall, now, c,
+                   state.next_segment, kNoIndex, kNoIndex, state.buffer_s, stall);
+      }
+    }
+
+    // 4. Termination: every client finished downloading.
+    bool all_done = true;
+    for (const auto& state : states) {
+      if (!state.finished_downloading) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+  }
+
+  std::vector<PlaybackResult> results;
+  results.reserve(states.size());
+  for (auto& state : states) {
+    if (!state.playing) state.result.startup_delay_s = now;
+    state.result.session_end_s =
+        state.finished_downloading ? state.playback_finish_s : now + state.buffer_s;
+    results.push_back(std::move(state.result));
+  }
+  emit_event(observer, SessionEventType::kSessionEnd, now, kNoIndex);
+  return results;
+}
+
+}  // namespace eacs::player

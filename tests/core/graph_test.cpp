@@ -47,7 +47,9 @@ TEST(SelectionGraphTest, Fig4Shape) {
   EXPECT_EQ(graph.nodes[graph.sink].label, "D");
   // Sink edges carry weight 0 (the paper's construction).
   for (const auto& edge : graph.edges) {
-    if (edge.to == graph.sink) EXPECT_DOUBLE_EQ(edge.weight, 0.0);
+    if (edge.to == graph.sink) {
+      EXPECT_DOUBLE_EQ(edge.weight, 0.0);
+    }
   }
 }
 

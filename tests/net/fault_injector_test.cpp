@@ -144,7 +144,9 @@ TEST(FaultInjectorTest, ScheduleIsSortedAndDisjoint) {
   const auto& schedule = injector.outage_schedule();
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     EXPECT_LT(schedule[i].start_s, schedule[i].end_s);
-    if (i > 0) EXPECT_GT(schedule[i].start_s, schedule[i - 1].end_s);
+    if (i > 0) {
+      EXPECT_GT(schedule[i].start_s, schedule[i - 1].end_s);
+    }
   }
 }
 

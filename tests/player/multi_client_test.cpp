@@ -60,6 +60,12 @@ TEST(MultiClientTest, SingleClientMatchesSinglePlayerApproximately) {
   EXPECT_NEAR(multi_result.total_rebuffer_s, single_result.total_rebuffer_s, 0.5);
   EXPECT_NEAR(multi_result.tasks.back().download_end_s,
               single_result.tasks.back().download_end_s, 2.0);
+  // Same ladder decisions => byte-identical downloads, and the stepped
+  // integration may only shift timings by the step granularity.
+  EXPECT_DOUBLE_EQ(multi_result.total_downloaded_mb(),
+                   single_result.total_downloaded_mb());
+  EXPECT_NEAR(multi_result.startup_delay_s, single_result.startup_delay_s, 0.5);
+  EXPECT_NEAR(multi_result.session_end_s, single_result.session_end_s, 2.0);
 }
 
 TEST(MultiClientTest, EqualClientsShareFairly) {
@@ -137,6 +143,70 @@ TEST(MultiClientTest, TightLinkCausesStallsForGreedyClients) {
                                       {&manifest, &b, &session, 0.0}};
   const auto results = simulator.run(clients);
   EXPECT_GT(results[0].total_rebuffer_s + results[1].total_rebuffer_s, 10.0);
+}
+
+TEST(MultiClientTest, StaggeredJoinersNeverDownloadBeforeTheirJoinTime) {
+  const auto manifest = make_manifest(40.0, 2.0);
+  const auto session = make_session(40.0, 30.0);
+  abr::FixedBitrate p1(3, "A");
+  abr::FixedBitrate p2(3, "B");
+  abr::FixedBitrate p3(3, "C");
+  MultiClientSimulator simulator(constant_capacity(30.0));
+  const std::vector<double> joins = {0.0, 7.5, 21.0};
+  std::vector<ClientSetup> clients = {{&manifest, &p1, &session, joins[0]},
+                                      {&manifest, &p2, &session, joins[1]},
+                                      {&manifest, &p3, &session, joins[2]}};
+  const auto results = simulator.run(clients);
+  ASSERT_EQ(results.size(), 3U);
+  const double step = simulator.config().step_s;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    ASSERT_EQ(results[c].tasks.size(), manifest.num_segments());
+    // First request lands on the first integration step at/after the join.
+    EXPECT_GE(results[c].tasks.front().download_start_s, joins[c]);
+    EXPECT_LT(results[c].tasks.front().download_start_s, joins[c] + 2.0 * step);
+    // Startup order follows join order.
+    if (c > 0) {
+      EXPECT_GT(results[c].startup_delay_s, results[c - 1].startup_delay_s);
+    }
+  }
+}
+
+TEST(MultiClientTest, MaxSessionHardStopTruncatesTheRun) {
+  const auto manifest = make_manifest(120.0, 2.0);
+  const auto session = make_session(120.0, 0.5);
+  abr::FixedBitrate greedy(13, "Top");  // far more than the link can carry
+  MultiClientConfig config;
+  config.max_session_s = 30.0;
+  MultiClientSimulator simulator(constant_capacity(0.5), config);
+  std::vector<ClientSetup> clients = {{&manifest, &greedy, &session, 0.0}};
+  const auto results = simulator.run(clients);
+  ASSERT_EQ(results.size(), 1U);
+  // The run stops at the hard stop with the video unfinished: no task can
+  // end after the stop, and the session ends at stop + residual buffer.
+  EXPECT_LT(results[0].tasks.size(), manifest.num_segments());
+  for (const auto& task : results[0].tasks) {
+    EXPECT_LE(task.download_end_s, config.max_session_s + config.step_s);
+  }
+  EXPECT_GE(results[0].session_end_s, config.max_session_s);
+  EXPECT_LT(results[0].session_end_s,
+            config.max_session_s + config.step_s + manifest.num_segments() * 2.0);
+}
+
+TEST(MultiClientTest, MaxSessionHardStopPinsStartupForSilentClients) {
+  // A client that never accumulates the startup buffer before the hard stop
+  // reports the stop time as its startup delay (nothing ever played).
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto session = make_session(60.0, 0.1);
+  abr::FixedBitrate greedy(13, "Top");
+  MultiClientConfig config;
+  config.max_session_s = 5.0;
+  MultiClientSimulator simulator(constant_capacity(0.1), config);
+  std::vector<ClientSetup> clients = {{&manifest, &greedy, &session, 0.0}};
+  const auto results = simulator.run(clients);
+  ASSERT_EQ(results.size(), 1U);
+  EXPECT_TRUE(results[0].tasks.empty());
+  EXPECT_GE(results[0].startup_delay_s, config.max_session_s);
+  EXPECT_EQ(results[0].total_rebuffer_s, 0.0);
 }
 
 TEST(MultiClientTest, EveryClientDownloadsEverySegment) {

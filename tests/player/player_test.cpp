@@ -127,7 +127,9 @@ TEST(PlayerSimulatorTest, ThroughputDropMidSessionCausesStall) {
   EXPECT_GT(result.total_rebuffer_s, 0.0);
   // Stalls only appear after the throughput collapse.
   for (const auto& task : result.tasks) {
-    if (task.rebuffer_s > 0.0) EXPECT_GT(task.download_start_s, 25.0);
+    if (task.rebuffer_s > 0.0) {
+      EXPECT_GT(task.download_start_s, 25.0);
+    }
   }
 }
 

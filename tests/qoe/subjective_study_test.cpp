@@ -100,8 +100,8 @@ TEST(QoeFitTest, RecoversGroundTruthFromNoisyPanel) {
 
   const QoeModel truth_model{truth};
   const QoeModel fitted_model{fit.params};
-  for (const auto [v, r] : {std::pair{6.0, 5.8}, std::pair{6.0, 3.0},
-                            std::pair{4.0, 5.8}}) {
+  for (const auto& [v, r] : {std::pair{6.0, 5.8}, std::pair{6.0, 3.0},
+                             std::pair{4.0, 5.8}}) {
     const double want = truth_model.vibration_impairment(v, r);
     const double got = fitted_model.vibration_impairment(v, r);
     EXPECT_GT(got, 0.4 * want) << "I(" << v << ", " << r << ")";

@@ -117,8 +117,12 @@ TEST(EvaluationTest, RatioFavoursContextAwareness) {
   const double ours = result.saving_degradation_ratio("Ours");
   const double festive = result.saving_degradation_ratio("FESTIVE");
   const double bba = result.saving_degradation_ratio("BBA");
-  if (festive > 0.0) EXPECT_GT(ours, festive);
-  if (bba > 0.0) EXPECT_GT(ours, bba);
+  if (festive > 0.0) {
+    EXPECT_GT(ours, festive);
+  }
+  if (bba > 0.0) {
+    EXPECT_GT(ours, bba);
+  }
 }
 
 TEST(EvaluationTest, ContextAwareAblationSavesEnergyOnShakySession) {
