@@ -5,6 +5,7 @@
 // a phone).
 
 #include "bench_common.h"
+#include "eacs/core/cost_stats.h"
 #include "eacs/core/online.h"
 #include "eacs/core/optimal.h"
 #include "eacs/util/rng.h"
@@ -47,12 +48,31 @@ void print_reproduction() {
               std::size_t{300});
 }
 
+// Edges in the Fig. 4 layered graph: M first-layer edges plus M^2 between
+// each adjacent pair of the remaining N-1 layers (sink edges are weightless).
+double edges_per_plan(std::int64_t n, std::int64_t m) {
+  return static_cast<double>(m + (n - 1) * m * m);
+}
+
 void BM_PlannerDagDp(benchmark::State& state) {
   const auto tasks = make_tasks(static_cast<std::size_t>(state.range(0)),
                                 static_cast<std::size_t>(state.range(1)), 42);
   core::OptimalPlanner planner(make_objective());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDagDp));
+  core::CostStats stats;
+  std::uint64_t plans = 0;
+  {
+    core::CostStatsScope scope(stats);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDagDp));
+      ++plans;
+    }
+  }
+  if (plans > 0) {
+    const double per_plan =
+        static_cast<double>(stats.model_evals()) / static_cast<double>(plans);
+    state.counters["model_evals_per_plan"] = per_plan;
+    state.counters["evals_per_edge"] =
+        per_plan / edges_per_plan(state.range(0), state.range(1));
   }
   state.SetComplexityN(state.range(0));
 }
@@ -67,8 +87,21 @@ void BM_PlannerDijkstra(benchmark::State& state) {
   const auto tasks = make_tasks(static_cast<std::size_t>(state.range(0)),
                                 static_cast<std::size_t>(state.range(1)), 42);
   core::OptimalPlanner planner(make_objective());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDijkstra));
+  core::CostStats stats;
+  std::uint64_t plans = 0;
+  {
+    core::CostStatsScope scope(stats);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(planner.plan(tasks, core::PlannerMethod::kDijkstra));
+      ++plans;
+    }
+  }
+  if (plans > 0) {
+    const double per_plan =
+        static_cast<double>(stats.model_evals()) / static_cast<double>(plans);
+    state.counters["model_evals_per_plan"] = per_plan;
+    state.counters["evals_per_edge"] =
+        per_plan / edges_per_plan(state.range(0), state.range(1));
   }
 }
 BENCHMARK(BM_PlannerDijkstra)

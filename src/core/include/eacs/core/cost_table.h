@@ -1,0 +1,104 @@
+#pragma once
+// Precomputed per-task cost tables — the planner hot path.
+//
+// Objective::task_cost prices one Fig. 4 edge with ~6 fresh model calls
+// (two pow/exp-heavy QoE evaluations, two power evaluations and the
+// normaliser lookups). The planners evaluate O(N*M^2) edges per plan, yet
+// per task only O(M) quantities actually vary: the per-level energy, the
+// original quality, the vibration impairment and the rebuffer estimate.
+// A TaskCostTable precomputes those once per TaskEnvironment into flat
+// contiguous (SoA) arrays, so an edge weight (j, j') reduces to a handful of
+// adds/compares on cached doubles: O(N*M) model evaluations per plan instead
+// of O(N*M^2).
+//
+// Bit-identity contract: the table replays the *exact* floating-point
+// operations of Objective::task_cost — same subexpressions, same evaluation
+// order, clamps applied per edge — so cached plans are bitwise equal to the
+// uncached formulation. tests/property/cost_table_properties_test.cpp
+// asserts EXPECT_EQ on doubles for every consumer; do not "simplify" the
+// arithmetic here without re-certifying.
+
+#include <cstddef>
+#include <vector>
+
+#include "eacs/core/objective.h"
+#include "eacs/core/task.h"
+
+namespace eacs::core {
+
+/// Cached Eq. 11 edge-cost evaluator for one task environment.
+class TaskCostTable {
+ public:
+  /// Precomputes all per-level components of task_cost(env, *, *, buffer_s).
+  /// Performs M power-model and M+1 QoE-model evaluations; every edge_cost
+  /// call afterwards performs none. Throws std::invalid_argument on an
+  /// empty ladder.
+  TaskCostTable(const Objective& objective, const TaskEnvironment& env,
+                double buffer_s);
+
+  std::size_t num_levels() const noexcept { return energy_.size(); }
+
+  /// Edge weight with no switch coupling (first task / reference level):
+  /// bitwise equal to Objective::task_cost(env, level, std::nullopt, buffer_s).
+  double edge_cost(std::size_t level) const noexcept {
+    // Mirrors segment_qoe's subtraction chain: (q0 - vib) - switch(=0) - rebuf.
+    double quality = quality_base_[level] - 0.0;
+    quality -= rebuffer_impair_[level];
+    return weigh(level, quality);
+  }
+
+  /// Edge weight with switch coupling: bitwise equal to
+  /// Objective::task_cost(env, level, prev_level, buffer_s).
+  double edge_cost(std::size_t level, std::size_t prev_level) const noexcept {
+    double quality = quality_base_[level] - switch_impair(level, prev_level);
+    quality -= rebuffer_impair_[level];
+    return weigh(level, quality);
+  }
+
+  /// Re-weights the alpha-dependent derived terms in place; the cached
+  /// energy/QoE components are alpha-independent, so an alpha sweep (the
+  /// Pareto front) builds tables once and re-weights per sample.
+  void reweight(double alpha) noexcept;
+
+  // Component accessors (certification tests and introspection).
+  double energy(std::size_t level) const { return energy_.at(level); }
+  double energy_max() const noexcept { return energy_max_; }
+  double quality_base(std::size_t level) const { return quality_base_.at(level); }
+  double original_quality(std::size_t level) const {
+    return original_quality_.at(level);
+  }
+  double rebuffer_s(std::size_t level) const { return rebuffer_s_.at(level); }
+  double quality_max() const noexcept { return quality_max_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double switch_impair(std::size_t level, std::size_t prev_level) const noexcept;
+  double weigh(std::size_t level, double quality) const noexcept;
+
+  // Per-level components (SoA, contiguous).
+  std::vector<double> energy_;            ///< task_energy(env, j, buffer_s)
+  std::vector<double> e_term_;            ///< energy[j]/energy_max (guarded)
+  std::vector<double> e_cost_;            ///< alpha * e_term[j]
+  std::vector<double> quality_base_;      ///< q0(r_j) - I(v, r_j)
+  std::vector<double> original_quality_;  ///< q0(r_j), feeds the switch term
+  std::vector<double> bitrate_mbps_;      ///< r_j, guards the switch term
+  std::vector<double> rebuffer_s_;        ///< expected stall at this level
+  std::vector<double> rebuffer_impair_;   ///< mu * max(0, rebuffer_s[j])
+
+  // Per-task scalars.
+  double energy_max_ = 0.0;    ///< task_energy at the top rung (normaliser)
+  double quality_max_ = 0.0;   ///< top-rung QoE normaliser (Q(i,M))
+  double alpha_ = 0.5;
+  double one_minus_alpha_ = 0.5;
+  double switch_penalty_ = 0.0;
+  double mos_min_ = 1.0;
+  double mos_max_ = 5.0;
+};
+
+/// Builds one table per task. Throws std::invalid_argument on empty tasks,
+/// an empty ladder, or a ragged ladder (tasks with differing level counts).
+std::vector<TaskCostTable> build_cost_tables(
+    const Objective& objective, const std::vector<TaskEnvironment>& tasks,
+    double buffer_s);
+
+}  // namespace eacs::core

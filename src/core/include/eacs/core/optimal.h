@@ -14,11 +14,17 @@
 // argmin — so we offset each layer's edges to be non-negative and run
 // Dijkstra, as the paper prescribes. An exact DAG dynamic program is also
 // provided; tests assert both return identical plans/costs.
+//
+// Hot path: both solvers price edges through precomputed TaskCostTables
+// (O(N*M) model evaluations per plan); plan_reference keeps the original
+// uncached task_cost formulation for certification and benchmarking — the
+// cached plans are bit-identical to it by construction.
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "eacs/core/cost_table.h"
 #include "eacs/core/objective.h"
 #include "eacs/core/task.h"
 #include "eacs/player/abr_policy.h"
@@ -44,10 +50,18 @@ class OptimalPlanner {
 
   /// Plans the whole session. `buffer_s` is the buffer-occupancy proxy used
   /// in the per-task rebuffer estimate (the paper's B = 30 s threshold by
-  /// default, taken from the objective's config when <= 0).
+  /// default, taken from the objective's config when <= 0). Throws
+  /// std::invalid_argument on an empty or ragged bitrate ladder.
   OptimalPlan plan(const std::vector<TaskEnvironment>& tasks,
                    PlannerMethod method = PlannerMethod::kDagDp,
                    double buffer_s = 0.0) const;
+
+  /// Uncached reference DP: prices every edge with Objective::task_cost
+  /// directly (the pre-TaskCostTable formulation, O(N*M^2) model
+  /// evaluations). Kept for the bit-identity certification suite and the
+  /// hot-path benchmark; plan(kDagDp) is bitwise equal to this.
+  OptimalPlan plan_reference(const std::vector<TaskEnvironment>& tasks,
+                             double buffer_s = 0.0) const;
 
   const Objective& objective() const noexcept { return objective_; }
 
@@ -59,6 +73,11 @@ class OptimalPlanner {
 
   Objective objective_;
 };
+
+/// The kDagDp recurrence over prebuilt cost tables. Lets callers that reuse
+/// tables across plans (the Pareto alpha sweep re-weights in place) skip the
+/// table build; plan(kDagDp) is exactly build_cost_tables + this.
+OptimalPlan plan_over_cost_tables(const std::vector<TaskCostTable>& tables);
 
 /// Replays a precomputed plan through the player simulator ("Optimal" row of
 /// the evaluation figures).

@@ -1,0 +1,19 @@
+#include "eacs/core/cost_stats.h"
+
+namespace eacs::core {
+namespace {
+
+thread_local CostStats* g_current_stats = nullptr;
+
+}  // namespace
+
+CostStatsScope::CostStatsScope(CostStats& stats) noexcept
+    : previous_(g_current_stats) {
+  g_current_stats = &stats;
+}
+
+CostStatsScope::~CostStatsScope() { g_current_stats = previous_; }
+
+CostStats* CostStatsScope::current() noexcept { return g_current_stats; }
+
+}  // namespace eacs::core

@@ -1,8 +1,11 @@
 #include "eacs/core/graph.h"
 
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "eacs/core/cost_table.h"
 
 namespace eacs::core {
 
@@ -37,6 +40,10 @@ SelectionGraph build_selection_graph(const Objective& objective,
                                      double buffer_s) {
   if (tasks.empty()) throw std::invalid_argument("build_selection_graph: no tasks");
   const std::size_t m = tasks.front().size_megabits.size();
+  if (m == 0) {
+    throw std::invalid_argument(
+        "build_selection_graph: empty bitrate ladder (task has no candidate sizes)");
+  }
   for (const auto& env : tasks) {
     if (env.size_megabits.size() != m) {
       throw std::invalid_argument("build_selection_graph: ragged ladder");
@@ -45,6 +52,10 @@ SelectionGraph build_selection_graph(const Objective& objective,
   const double buffer =
       buffer_s > 0.0 ? buffer_s : objective.config().buffer_threshold_s;
   const std::size_t n = tasks.size();
+  // One cost table per task: O(N*M) model evaluations to weight the graph's
+  // O(N*M^2) edges (each edge is then a few cached adds/compares).
+  const std::vector<TaskCostTable> tables =
+      build_cost_tables(objective, tasks, buffer);
 
   SelectionGraph graph;
   graph.num_tasks = n;
@@ -68,16 +79,15 @@ SelectionGraph build_selection_graph(const Objective& objective,
 
   // S -> first layer: the first task has no switch coupling.
   for (std::size_t level = 0; level < m; ++level) {
-    graph.edges.push_back({graph.source, node_of(0, level),
-                           objective.task_cost(tasks[0], level, std::nullopt, buffer)});
+    graph.edges.push_back(
+        {graph.source, node_of(0, level), tables[0].edge_cost(level)});
   }
   // Layer i-1 -> layer i: weight reads both endpoints (switch term).
   for (std::size_t task = 1; task < n; ++task) {
     for (std::size_t prev = 0; prev < m; ++prev) {
       for (std::size_t level = 0; level < m; ++level) {
-        graph.edges.push_back(
-            {node_of(task - 1, prev), node_of(task, level),
-             objective.task_cost(tasks[task], level, prev, buffer)});
+        graph.edges.push_back({node_of(task - 1, prev), node_of(task, level),
+                               tables[task].edge_cost(level, prev)});
       }
     }
   }
@@ -94,15 +104,23 @@ GraphShortestPath bellman_ford_shortest_path(const SelectionGraph& graph) {
   std::vector<std::size_t> parent(graph.nodes.size(), graph.source);
   dist[graph.source] = 0.0;
 
-  // |V|-1 relaxation rounds suffice; the layered DAG converges in
-  // num_tasks+1 rounds, so cap there for speed.
+  // |V|-1 relaxation rounds suffice in general; here the edge list is
+  // emitted in topological order (S-edges, then layers ascending, then sink
+  // edges), so a single pass propagates the whole layered DAG and a second
+  // pass confirms quiescence. The longest S->D path has num_tasks+1 edges,
+  // so num_tasks+2 rounds is a safe cap even if the edge order changes.
+  //
+  // The comparison is a strict `<` with no tolerance: on an exact cost tie
+  // the first (lowest-index) predecessor wins, which is the same tie-break
+  // as the DP's ascending strict-< scan and the offset-Dijkstra's
+  // lowest-predecessor rule — all three solvers reconstruct identical plans.
   const std::size_t rounds = graph.num_tasks + 2;
   for (std::size_t round = 0; round < rounds; ++round) {
     bool changed = false;
     for (const auto& edge : graph.edges) {
       if (dist[edge.from] == kInfinity) continue;
       const double candidate = dist[edge.from] + edge.weight;
-      if (candidate < dist[edge.to] - 1e-15) {
+      if (candidate < dist[edge.to]) {
         dist[edge.to] = candidate;
         parent[edge.to] = edge.from;
         changed = true;

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "eacs/core/cost_stats.h"
+#include "eacs/core/cost_table.h"
+
 namespace eacs::core {
 
 RollingHorizonSelector::RollingHorizonSelector(Objective objective,
@@ -43,13 +46,20 @@ std::size_t RollingHorizonSelector::choose_level(const player::AbrContext& conte
   }
 
   // Exact DP over the window with switch coupling; the first task's switch
-  // term couples to the previously played segment.
+  // term couples to the previously played segment. Edge weights come from
+  // one precomputed cost table per window task (O(window*M) model
+  // evaluations instead of O(window*M^2)); the cached costs are bit-identical
+  // to the direct task_cost formulation, so decisions are unchanged.
   const std::size_t m = ladder.size();
+  const std::vector<TaskCostTable> tables =
+      build_cost_tables(objective_, tasks, context.buffer_s);
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
   std::vector<double> dp(m, kInfinity);
   std::vector<std::size_t> first_action(m, 0);
   for (std::size_t j = 0; j < m; ++j) {
-    dp[j] = objective_.task_cost(tasks[0], j, context.prev_level, context.buffer_s);
+    dp[j] = context.prev_level.has_value()
+                ? tables[0].edge_cost(j, *context.prev_level)
+                : tables[0].edge_cost(j);
     first_action[j] = j;
   }
   std::vector<double> next(m, kInfinity);
@@ -58,8 +68,7 @@ std::size_t RollingHorizonSelector::choose_level(const player::AbrContext& conte
     std::fill(next.begin(), next.end(), kInfinity);
     for (std::size_t j = 0; j < m; ++j) {
       for (std::size_t jp = 0; jp < m; ++jp) {
-        const double candidate =
-            dp[jp] + objective_.task_cost(tasks[k], j, jp, context.buffer_s);
+        const double candidate = dp[jp] + tables[k].edge_cost(j, jp);
         if (candidate < next[j]) {
           next[j] = candidate;
           next_first[j] = first_action[jp];
@@ -73,6 +82,10 @@ std::size_t RollingHorizonSelector::choose_level(const player::AbrContext& conte
   std::size_t best = 0;
   for (std::size_t j = 1; j < m; ++j) {
     if (dp[j] < dp[best]) best = j;
+  }
+  if (CostStats* stats = CostStatsScope::current()) {
+    stats->edge_evals += m + (tasks.size() - 1) * m * m;
+    ++stats->plans;
   }
   return first_action[best];
 }

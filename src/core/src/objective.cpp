@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "eacs/core/cost_stats.h"
+#include "eacs/core/cost_table.h"
+
 namespace eacs::core {
 
 Objective::Objective(qoe::QoeModel qoe_model, power::PowerModel power_model,
@@ -26,6 +29,7 @@ double Objective::expected_rebuffer_s(double size_megabits, double bandwidth_mbp
 
 double Objective::task_energy(const TaskEnvironment& env, std::size_t level,
                               double buffer_s) const {
+  if (CostStats* stats = CostStatsScope::current()) ++stats->power_model_evals;
   const double size_megabits = env.size_megabits.at(level);
   const double rebuffer =
       expected_rebuffer_s(size_megabits, env.bandwidth_mbps, buffer_s);
@@ -44,6 +48,7 @@ double Objective::task_energy(const TaskEnvironment& env, std::size_t level,
 double Objective::task_qoe(const TaskEnvironment& env, std::size_t level,
                            std::optional<std::size_t> prev_level,
                            double buffer_s) const {
+  if (CostStats* stats = CostStatsScope::current()) ++stats->qoe_model_evals;
   const double size_megabits = env.size_megabits.at(level);
   const double bitrate = size_megabits / std::max(1e-9, env.duration_s);
   qoe::SegmentContext context;
@@ -60,6 +65,7 @@ double Objective::task_qoe(const TaskEnvironment& env, std::size_t level,
 double Objective::task_cost(const TaskEnvironment& env, std::size_t level,
                             std::optional<std::size_t> prev_level,
                             double buffer_s) const {
+  if (CostStats* stats = CostStatsScope::current()) ++stats->edge_evals;
   const std::size_t top = env.size_megabits.size() - 1;
   const double energy = task_energy(env, level, buffer_s);
   const double energy_max = task_energy(env, top, buffer_s);
@@ -75,14 +81,22 @@ double Objective::task_cost(const TaskEnvironment& env, std::size_t level,
 
 std::size_t Objective::reference_level(const TaskEnvironment& env,
                                        double buffer_s) const {
+  // Online hot path: one cost table (O(M) model evaluations) instead of
+  // re-deriving the per-task normalisers for every candidate (O(M) costs,
+  // each re-evaluating 4 models). Bit-identical argmin: the cached costs
+  // are bitwise equal to task_cost and the strict-< scan is unchanged.
+  const TaskCostTable table(*this, env, buffer_s);
   std::size_t best = 0;
-  double best_cost = task_cost(env, 0, std::nullopt, buffer_s);
-  for (std::size_t level = 1; level < env.size_megabits.size(); ++level) {
-    const double cost = task_cost(env, level, std::nullopt, buffer_s);
+  double best_cost = table.edge_cost(0);
+  for (std::size_t level = 1; level < table.num_levels(); ++level) {
+    const double cost = table.edge_cost(level);
     if (cost < best_cost) {
       best_cost = cost;
       best = level;
     }
+  }
+  if (CostStats* stats = CostStatsScope::current()) {
+    stats->edge_evals += table.num_levels();
   }
   return best;
 }

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "eacs/core/cost_stats.h"
+
 namespace eacs::core {
 namespace {
 
@@ -17,6 +19,10 @@ OptimalPlanner::OptimalPlanner(Objective objective) : objective_(std::move(objec
 OptimalPlan OptimalPlanner::plan(const std::vector<TaskEnvironment>& tasks,
                                  PlannerMethod method, double buffer_s) const {
   if (tasks.empty()) return {};
+  if (tasks.front().size_megabits.empty()) {
+    throw std::invalid_argument(
+        "OptimalPlanner: empty bitrate ladder (task has no candidate sizes)");
+  }
   const double buffer =
       buffer_s > 0.0 ? buffer_s : objective_.config().buffer_threshold_s;
   switch (method) {
@@ -28,10 +34,10 @@ OptimalPlan OptimalPlanner::plan(const std::vector<TaskEnvironment>& tasks,
   throw std::invalid_argument("OptimalPlanner: unknown method");
 }
 
-OptimalPlan OptimalPlanner::plan_dag_dp(const std::vector<TaskEnvironment>& tasks,
-                                        double buffer_s) const {
-  const std::size_t n = tasks.size();
-  const std::size_t m = tasks.front().size_megabits.size();
+OptimalPlan plan_over_cost_tables(const std::vector<TaskCostTable>& tables) {
+  if (tables.empty()) return {};
+  const std::size_t n = tables.size();
+  const std::size_t m = tables.front().num_levels();
 
   // dp[j] = best cost of a prefix ending with task i at level j.
   std::vector<double> dp(m, kInfinity);
@@ -40,17 +46,15 @@ OptimalPlan OptimalPlanner::plan_dag_dp(const std::vector<TaskEnvironment>& task
   std::vector<std::vector<std::size_t>> parent(n, std::vector<std::size_t>(m, 0));
 
   for (std::size_t j = 0; j < m; ++j) {
-    dp[j] = objective_.task_cost(tasks[0], j, std::nullopt, buffer_s);
+    dp[j] = tables[0].edge_cost(j);
   }
 
   for (std::size_t i = 1; i < n; ++i) {
-    if (tasks[i].size_megabits.size() != m) {
-      throw std::invalid_argument("OptimalPlanner: ragged task ladder");
-    }
+    const TaskCostTable& table = tables[i];
     std::fill(next.begin(), next.end(), kInfinity);
     for (std::size_t j = 0; j < m; ++j) {
       for (std::size_t jp = 0; jp < m; ++jp) {
-        const double weight = objective_.task_cost(tasks[i], j, jp, buffer_s);
+        const double weight = table.edge_cost(j, jp);
         const double candidate = dp[jp] + weight;
         if (candidate < next[j]) {
           next[j] = candidate;
@@ -72,13 +76,77 @@ OptimalPlan OptimalPlanner::plan_dag_dp(const std::vector<TaskEnvironment>& task
   for (std::size_t i = n - 1; i > 0; --i) {
     plan.levels[i - 1] = parent[i][plan.levels[i]];
   }
+  if (CostStats* stats = CostStatsScope::current()) {
+    stats->edge_evals += m + (n - 1) * m * m;
+    ++stats->plans;
+  }
+  return plan;
+}
+
+OptimalPlan OptimalPlanner::plan_dag_dp(const std::vector<TaskEnvironment>& tasks,
+                                        double buffer_s) const {
+  return plan_over_cost_tables(build_cost_tables(objective_, tasks, buffer_s));
+}
+
+OptimalPlan OptimalPlanner::plan_reference(const std::vector<TaskEnvironment>& tasks,
+                                           double buffer_s) const {
+  if (tasks.empty()) return {};
+  if (tasks.front().size_megabits.empty()) {
+    throw std::invalid_argument(
+        "OptimalPlanner: empty bitrate ladder (task has no candidate sizes)");
+  }
+  const double buffer =
+      buffer_s > 0.0 ? buffer_s : objective_.config().buffer_threshold_s;
+  const std::size_t n = tasks.size();
+  const std::size_t m = tasks.front().size_megabits.size();
+
+  std::vector<double> dp(m, kInfinity);
+  std::vector<double> next(m, kInfinity);
+  std::vector<std::vector<std::size_t>> parent(n, std::vector<std::size_t>(m, 0));
+
+  for (std::size_t j = 0; j < m; ++j) {
+    dp[j] = objective_.task_cost(tasks[0], j, std::nullopt, buffer);
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    if (tasks[i].size_megabits.size() != m) {
+      throw std::invalid_argument("OptimalPlanner: ragged task ladder");
+    }
+    std::fill(next.begin(), next.end(), kInfinity);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t jp = 0; jp < m; ++jp) {
+        const double weight = objective_.task_cost(tasks[i], j, jp, buffer);
+        const double candidate = dp[jp] + weight;
+        if (candidate < next[j]) {
+          next[j] = candidate;
+          parent[i][j] = jp;
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  OptimalPlan plan;
+  plan.levels.assign(n, 0);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < m; ++j) {
+    if (dp[j] < dp[best]) best = j;
+  }
+  plan.total_cost = dp[best];
+  plan.levels[n - 1] = best;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    plan.levels[i - 1] = parent[i][plan.levels[i]];
+  }
+  if (CostStats* stats = CostStatsScope::current()) ++stats->plans;
   return plan;
 }
 
 OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& tasks,
                                           double buffer_s) const {
+  const auto tables = build_cost_tables(objective_, tasks, buffer_s);
   const std::size_t n = tasks.size();
-  const std::size_t m = tasks.front().size_megabits.size();
+  const std::size_t m = tables.front().num_levels();
+  std::uint64_t edge_evals = 0;
 
   // Node numbering: 0 = S; 1 + i*m + j = task i at level j; sink = 1 + n*m.
   const std::size_t num_nodes = 2 + n * m;
@@ -86,21 +154,22 @@ OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& ta
   const std::size_t sink = num_nodes - 1;
   const auto node_of = [m](std::size_t i, std::size_t j) { return 1 + i * m + j; };
 
-  // Edge weights are computed on demand; per-layer offsets make them
-  // non-negative without changing the argmin path (every path crosses each
-  // layer exactly once, so each offset adds a constant to every path).
+  // Per-layer offsets make the cached edge weights non-negative without
+  // changing the argmin path (every path crosses each layer exactly once,
+  // so each offset adds a constant to every path). With the table this
+  // pre-pass is pure arithmetic — the uncached formulation re-evaluated the
+  // entire O(N*M^2) weight set through the models before relaxation began.
   std::vector<double> layer_offset(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     double most_negative = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
       if (i == 0) {
-        most_negative =
-            std::min(most_negative,
-                     objective_.task_cost(tasks[0], j, std::nullopt, buffer_s));
+        most_negative = std::min(most_negative, tables[0].edge_cost(j));
+        ++edge_evals;
       } else {
         for (std::size_t jp = 0; jp < m; ++jp) {
-          most_negative = std::min(
-              most_negative, objective_.task_cost(tasks[i], j, jp, buffer_s));
+          most_negative = std::min(most_negative, tables[i].edge_cost(j, jp));
+          ++edge_evals;
         }
       }
     }
@@ -115,10 +184,16 @@ OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& ta
   queue.push({0.0, source});
 
   const auto relax = [&](std::size_t from, std::size_t to, double weight) {
-    if (dist[from] + weight < dist[to]) {
-      dist[to] = dist[from] + weight;
+    const double candidate = dist[from] + weight;
+    if (candidate < dist[to]) {
+      dist[to] = candidate;
       parent[to] = from;
-      queue.push({dist[to], to});
+      queue.push({candidate, to});
+    } else if (candidate == dist[to] && from < parent[to]) {
+      // Exact tie: keep the lowest predecessor index. This matches the DP's
+      // ascending strict-< scan over jp (and Bellman-Ford's ascending edge
+      // order), so all three solvers reconstruct the same plan on ties.
+      parent[to] = from;
     }
   };
 
@@ -130,9 +205,8 @@ OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& ta
 
     if (u == source) {
       for (std::size_t j = 0; j < m; ++j) {
-        const double w =
-            objective_.task_cost(tasks[0], j, std::nullopt, buffer_s) + layer_offset[0];
-        relax(source, node_of(0, j), w);
+        relax(source, node_of(0, j), tables[0].edge_cost(j) + layer_offset[0]);
+        ++edge_evals;
       }
       continue;
     }
@@ -141,9 +215,9 @@ OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& ta
     const std::size_t jp = flat % m;
     if (i + 1 < n) {
       for (std::size_t j = 0; j < m; ++j) {
-        const double w =
-            objective_.task_cost(tasks[i + 1], j, jp, buffer_s) + layer_offset[i + 1];
-        relax(u, node_of(i + 1, j), w);
+        relax(u, node_of(i + 1, j),
+              tables[i + 1].edge_cost(j, jp) + layer_offset[i + 1]);
+        ++edge_evals;
       }
     } else {
       relax(u, sink, 0.0);  // edges from the last layer to D have weight 0
@@ -159,6 +233,10 @@ OptimalPlan OptimalPlanner::plan_dijkstra(const std::vector<TaskEnvironment>& ta
   for (std::size_t i = n; i-- > 0;) {
     plan.levels[i] = (cursor - 1) % m;
     cursor = parent[cursor];
+  }
+  if (CostStats* stats = CostStatsScope::current()) {
+    stats->edge_evals += edge_evals;
+    ++stats->plans;
   }
   return plan;
 }

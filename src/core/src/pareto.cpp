@@ -57,16 +57,23 @@ ParetoFront compute_pareto_front(const std::vector<TaskEnvironment>& tasks,
   if (tasks.empty()) throw std::invalid_argument("compute_pareto_front: no tasks");
   if (steps < 2) throw std::invalid_argument("compute_pareto_front: steps < 2");
 
+  // The cached energy/QoE components of the cost tables are alpha-
+  // independent (alpha only enters the final weighted sum), so the sweep
+  // builds the tables once and re-weights them per sample instead of
+  // re-deriving every model term for every alpha. Each re-weighted DP is
+  // bit-identical to planning with a fresh Objective at that alpha.
+  ObjectiveConfig config;
+  config.alpha = 0.0;  // placeholder; reweight() sets the real value
+  config.buffer_threshold_s = buffer_s;
+  const Objective objective(qoe_model, power_model, config);
+  std::vector<TaskCostTable> tables = build_cost_tables(objective, tasks, buffer_s);
+
   std::vector<ParetoPoint> candidates;
   for (std::size_t k = 0; k < steps; ++k) {
     const double alpha =
         static_cast<double>(k) / static_cast<double>(steps - 1);
-    ObjectiveConfig config;
-    config.alpha = alpha;
-    config.buffer_threshold_s = buffer_s;
-    const Objective objective(qoe_model, power_model, config);
-    OptimalPlanner planner(objective);
-    const auto plan = planner.plan(tasks, PlannerMethod::kDagDp, buffer_s);
+    for (TaskCostTable& table : tables) table.reweight(alpha);
+    const auto plan = plan_over_cost_tables(tables);
     ParetoPoint point = price_plan(tasks, plan.levels, qoe_model, power_model, buffer_s);
     point.alpha = alpha;
     candidates.push_back(std::move(point));

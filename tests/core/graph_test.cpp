@@ -86,7 +86,23 @@ TEST(SelectionGraphTest, BellmanFordMatchesBothPlanners) {
 
     EXPECT_NEAR(graph_path.total_cost, dp.total_cost, 1e-9) << "seed " << seed;
     EXPECT_NEAR(graph_path.total_cost, dijkstra.total_cost, 1e-6) << "seed " << seed;
+    // All three solvers share one tie-break rule (lowest predecessor index),
+    // so the reconstructed plans are identical, not merely cost-equal.
+    EXPECT_EQ(graph_path.levels, dp.levels) << "seed " << seed;
+    EXPECT_EQ(graph_path.levels, dijkstra.levels) << "seed " << seed;
   }
+}
+
+TEST(SelectionGraphTest, EmptyLadderThrows) {
+  // Regression: tasks whose size_megabits is empty used to build a graph
+  // with m == 0 and hit undefined behaviour downstream.
+  const auto objective = make_objective();
+  std::vector<TaskEnvironment> tasks(2);
+  for (auto& env : tasks) {
+    env.duration_s = 2.0;
+    env.bandwidth_mbps = 8.0;
+  }
+  EXPECT_THROW(build_selection_graph(objective, tasks), std::invalid_argument);
 }
 
 TEST(SelectionGraphTest, PathLevelsAreConsistentWithCost) {

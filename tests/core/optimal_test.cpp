@@ -69,6 +69,19 @@ TEST(OptimalPlannerTest, EmptyTasksGiveEmptyPlan) {
   EXPECT_TRUE(plan.levels.empty());
 }
 
+TEST(OptimalPlannerTest, EmptyLadderThrows) {
+  // Regression: a task with no candidate sizes used to index
+  // size_megabits.front() with m == 0 undefined behaviour downstream.
+  OptimalPlanner planner(make_objective());
+  std::vector<TaskEnvironment> tasks(2);
+  for (auto& env : tasks) {
+    env.duration_s = 2.0;
+    env.bandwidth_mbps = 8.0;
+  }
+  EXPECT_THROW(planner.plan(tasks, PlannerMethod::kDagDp), std::invalid_argument);
+  EXPECT_THROW(planner.plan(tasks, PlannerMethod::kDijkstra), std::invalid_argument);
+}
+
 TEST(OptimalPlannerTest, SingleTaskPicksReferenceLevel) {
   const auto objective = make_objective();
   OptimalPlanner planner(objective);
