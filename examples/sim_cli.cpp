@@ -16,8 +16,12 @@
 //   --all          run every algorithm on --trace and print the comparison
 //   --sweep        run the full Section V evaluation (all traces, all
 //                  algorithms) and print the headline summary
-//   --jobs N       worker threads for --sweep / --all (0 = all hardware
-//                  threads; results are bit-identical at any value)
+//   --sensor-faults  run the sensor-fault study: degraded-context Ours vs.
+//                  clean context and a context-blind baseline, per fault
+//                  scenario x intensity
+//   --jobs N       worker threads for --sweep / --all / --sensor-faults
+//                  (0 = all hardware threads; results are bit-identical at
+//                  any value)
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +40,7 @@
 #include "eacs/media/mpd.h"
 #include "eacs/sim/evaluation.h"
 #include "eacs/sim/report.h"
+#include "eacs/sim/sensor_fault_study.h"
 #include "eacs/util/table.h"
 #include "eacs/util/thread_pool.h"
 
@@ -52,6 +57,7 @@ struct CliOptions {
   bool context_aware = true;
   bool run_all = false;
   bool sweep = false;
+  bool sensor_faults = false;
   std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
@@ -62,7 +68,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
                "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
-               "               [--sweep] [--jobs N]\n");
+               "               [--sweep] [--sensor-faults] [--jobs N]\n");
   std::exit(2);
 }
 
@@ -84,6 +90,7 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--csv") options.csv_path = next_value();
     else if (arg == "--all") options.run_all = true;
     else if (arg == "--sweep") options.sweep = true;
+    else if (arg == "--sensor-faults") options.sensor_faults = true;
     else if (arg == "--jobs") {
       const int jobs = std::atoi(next_value());
       if (jobs < 0) usage_error("--jobs must be >= 0");
@@ -160,9 +167,52 @@ int run_sweep(const CliOptions& options) {
   return 0;
 }
 
+/// --sensor-faults: the sensor-fault study — degraded-context Ours across the
+/// fault scenario x intensity grid, against clean-context Ours and a
+/// context-blind BBA baseline.
+int run_sensor_faults(const CliOptions& options) {
+  sim::SensorFaultStudyConfig config;
+  config.evaluation.alpha = options.alpha;
+  config.evaluation.segment_duration_s = options.segment_s;
+  config.evaluation.player.buffer_threshold_s = options.buffer_s;
+  config.evaluation.context_aware = options.context_aware;
+  config.evaluation.exec.jobs = options.jobs;
+  std::printf("Sensor-fault study: %zu scenarios x %zu intensities x 5 sessions, "
+              "jobs=%zu\n",
+              sim::all_sensor_fault_scenarios().size(), config.intensities.size(),
+              config.evaluation.exec.resolved_jobs());
+
+  const auto result = sim::run_sensor_fault_study(config);
+  std::printf("Clean-context Ours: QoE %.3f, energy %.1f J | context-blind %s: "
+              "QoE %.3f, energy %.1f J\n",
+              result.clean_ours.mean_qoe, result.clean_ours.total_energy_j,
+              result.context_blind.algorithm.c_str(),
+              result.context_blind.mean_qoe, result.context_blind.total_energy_j);
+
+  eacs::AsciiTable table("Degraded-context Ours vs. clean context and context-blind");
+  table.set_header({"fault", "intensity", "QoE", "QoE d clean", "QoE d blind",
+                    "energy d J", "rebuffer d s", "ctx err"});
+  table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight});
+  for (const auto& cell : result.cells) {
+    table.add_row({sim::to_string(cell.scenario),
+                   eacs::AsciiTable::num(cell.intensity, 2),
+                   eacs::AsciiTable::num(cell.mean_qoe, 3),
+                   eacs::AsciiTable::num(cell.qoe_delta_vs_clean, 3),
+                   eacs::AsciiTable::num(cell.qoe_delta_vs_blind, 3),
+                   eacs::AsciiTable::num(cell.energy_delta_vs_clean_j, 1),
+                   eacs::AsciiTable::num(cell.rebuffer_delta_vs_clean_s, 1),
+                   eacs::AsciiTable::num(cell.mean_context_error, 2)});
+  }
+  table.print();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const CliOptions options = parse_cli(argc, argv);
   if (options.sweep) return run_sweep(options);
+  if (options.sensor_faults) return run_sensor_faults(options);
 
   const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
   std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,

@@ -6,8 +6,16 @@
 // the context snapshot (vibration level, bandwidth estimate, signal) that
 // OnlineBitrateSelector consumes. The player simulator performs the same
 // wiring internally; examples use this class to demonstrate the public API.
+//
+// Sensing is fallible, so the monitor also grades its own inputs: a
+// SensorHealthMonitor tracks per-sensor freshness and validity, and the
+// snapshot carries health fields (vibration_confidence, signal_age_s,
+// ContextHealth grades) that let the selector fall back to a conservative
+// policy instead of planning on stale or garbage context (DESIGN.md "Sensor
+// failure model & degraded-context operation").
 
 #include "eacs/net/bandwidth_estimator.h"
+#include "eacs/sensors/sensor_health.h"
 #include "eacs/sensors/vibration.h"
 
 namespace eacs::core {
@@ -18,11 +26,18 @@ struct ContextSnapshot {
   double bandwidth_mbps = 0.0;   ///< harmonic-mean estimate; 0 = no data yet
   double signal_dbm = -90.0;     ///< latest signal reading
   bool vibrating_environment = false;  ///< vibration above the configured bar
+
+  // Health of the sensed inputs behind the numbers above.
+  sensors::ContextHealth vibration_health = sensors::ContextHealth::kHealthy;
+  sensors::ContextHealth signal_health = sensors::ContextHealth::kHealthy;
+  double vibration_confidence = 1.0;  ///< [0, 1]; see SensorHealthMonitor
+  double signal_age_s = 0.0;          ///< seconds since the signal reading
 };
 
 /// ContextMonitor tunables.
 struct ContextMonitorConfig {
   sensors::VibrationConfig vibration;
+  sensors::SensorHealthConfig health;
   std::size_t bandwidth_window = 20;
   double vibrating_threshold = 2.0;  ///< m/s^2 bar for the boolean flag
 };
@@ -34,28 +49,41 @@ class ContextMonitor {
 
   explicit ContextMonitor(Config config = {});
 
-  /// Feeds one raw accelerometer sample.
+  /// Feeds one raw accelerometer sample. Non-finite samples are rejected by
+  /// the vibration estimator but still graded by the health monitor.
   void update_accel(const sensors::AccelSample& sample);
 
   /// Records a completed segment download's measured throughput.
   void observe_throughput(double mbps);
 
-  /// Records a telephony signal-strength reading.
+  /// Records a telephony signal-strength reading. The untimed overload stamps
+  /// it with the internal clock (the latest accelerometer timestamp).
   void observe_signal(double dbm);
+  void observe_signal(double t_s, double dbm);
 
+  /// Snapshot at the internal clock (latest accelerometer timestamp).
   ContextSnapshot snapshot() const;
+
+  /// Snapshot at an explicit time: the vibration estimate decays toward the
+  /// configured conservative prior if the stream has gone quiet, and the
+  /// health fields reflect staleness at `now_s`.
+  ContextSnapshot snapshot(double now_s) const;
 
   const net::BandwidthEstimator& bandwidth_estimator() const noexcept {
     return bandwidth_;
   }
+
+  const sensors::SensorHealthMonitor& health() const noexcept { return health_; }
 
   void reset();
 
  private:
   Config config_;
   sensors::VibrationEstimator vibration_;
+  sensors::SensorHealthMonitor health_;
   net::HarmonicMeanEstimator bandwidth_;
   double last_signal_dbm_ = -90.0;
+  double clock_s_ = 0.0;  ///< latest accel timestamp seen
 };
 
 }  // namespace eacs::core

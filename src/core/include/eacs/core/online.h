@@ -30,6 +30,18 @@ struct OnlineOptions {
   /// bitrate every segment (the ramp ablation bench) — more switches, larger
   /// switch impairments, occasional rebuffering on sudden upswings.
   bool smoothing = true;
+
+  /// Degraded-context fallbacks (consulted only when the AbrContext health
+  /// fields report trouble; clean runs never reach them).
+  /// Vibration assumed when the accelerometer stream is kLost or the estimate
+  /// is non-finite: a vibrating-commute prior (Table V: 2.46..6.83 m/s^2 on
+  /// buses), so an unknown environment plans for the hostile case.
+  double fallback_vibration = 4.0;
+  /// Oldest signal reading the power model may still plan on. Beyond this age
+  /// (or for a non-finite reading) the selector assumes the weak-signal floor
+  /// below instead of a stale number that may be wildly optimistic.
+  double max_signal_age_s = 30.0;
+  double stale_signal_floor_dbm = -110.0;
 };
 
 /// Algorithm 1 as a player policy.

@@ -1,5 +1,8 @@
 #include "eacs/core/online.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace eacs::core {
 
 OnlineBitrateSelector::OnlineBitrateSelector(Objective objective, Options options)
@@ -12,6 +15,28 @@ TaskEnvironment OnlineBitrateSelector::environment_from(
   env.duration_s = context.manifest->segment_duration(context.segment_index);
   env.signal_dbm = context.signal_dbm;
   env.vibration = context.vibration_level;
+
+  // Degraded-context fallbacks. Clean runs present healthy grades, finite
+  // values and zero ages, so none of these branches fire and the environment
+  // is exactly the measured context.
+  using sensors::ContextHealth;
+  if (context.vibration_health == ContextHealth::kLost ||
+      !std::isfinite(env.vibration)) {
+    // Vibration unknown: plan for the vibrating-commute prior rather than a
+    // frozen or garbage estimate.
+    env.vibration = options_.fallback_vibration;
+  } else if (context.vibration_health == ContextHealth::kDegraded) {
+    // Partially trustworthy: blend toward the prior by confidence.
+    const double c = std::clamp(context.vibration_confidence, 0.0, 1.0);
+    env.vibration = c * env.vibration + (1.0 - c) * options_.fallback_vibration;
+  }
+  if (!std::isfinite(env.signal_dbm) ||
+      context.signal_health == ContextHealth::kLost ||
+      context.signal_age_s > options_.max_signal_age_s) {
+    // Signal too old to trust: assume the weak-signal floor so the power
+    // model errs toward the expensive-radio case.
+    env.signal_dbm = options_.stale_signal_floor_dbm;
+  }
   env.bandwidth_mbps = context.bandwidth->estimate();
   const std::size_t levels = context.manifest->ladder().size();
   env.size_megabits.reserve(levels);

@@ -9,6 +9,7 @@
 
 #include "eacs/media/manifest.h"
 #include "eacs/net/bandwidth_estimator.h"
+#include "eacs/sensors/sensor_health.h"
 
 namespace eacs::player {
 
@@ -26,6 +27,14 @@ struct AbrContext {
 
   double vibration_level = 0.0;    ///< current estimated vibration (m/s^2)
   double signal_dbm = -90.0;       ///< current signal-strength reading
+
+  // Health of the sensed context feeding the two fields above. The defaults
+  // say "fully trustworthy", which is exactly what clean (non-fault-injected)
+  // runs provide — policies that ignore these fields behave as before.
+  sensors::ContextHealth vibration_health = sensors::ContextHealth::kHealthy;
+  sensors::ContextHealth signal_health = sensors::ContextHealth::kHealthy;
+  double vibration_confidence = 1.0;  ///< [0, 1] trust in vibration_level
+  double signal_age_s = 0.0;          ///< seconds since signal_dbm was read
 };
 
 /// Details of one failed or aborted download attempt. Only produced on

@@ -30,6 +30,8 @@
 #include "eacs/net/downloader.h"
 #include "eacs/net/fault_injector.h"
 #include "eacs/player/abr_policy.h"
+#include "eacs/sensors/sensor_faults.h"
+#include "eacs/sensors/sensor_health.h"
 #include "eacs/sensors/vibration.h"
 #include "eacs/trace/session.h"
 
@@ -81,6 +83,7 @@ struct PlayerConfig {
   double startup_buffer_s = 4.0;     ///< playback begins once buffered
   std::size_t bandwidth_window = 20; ///< harmonic-mean estimator depth
   sensors::VibrationConfig vibration;  ///< vibration estimator settings
+  sensors::SensorHealthConfig sensor_health;  ///< sensor-fault runs only
   ResilienceConfig resilience;       ///< fault-injected runs only
 };
 
@@ -103,6 +106,11 @@ struct TaskRecord {
   double throughput_mbps = 0.0;     ///< measured size/time for this download
   double signal_dbm = -90.0;        ///< mean signal during the download
   double vibration = 0.0;           ///< vibration estimate at decision time
+  /// Vibration estimate the *policy* saw at decision time. Equal to
+  /// `vibration` except on sensor-fault runs, where the policy plans on the
+  /// corrupted stream while `vibration` keeps the true estimate that the
+  /// energy/QoE accounting prices.
+  double perceived_vibration = 0.0;
   double buffer_before_s = 0.0;     ///< buffer level when the request was made
   double rebuffer_s = 0.0;          ///< stall time waiting for this segment
   bool startup = false;             ///< downloaded before playback began
@@ -158,6 +166,20 @@ class PlayerSimulator {
   /// the result is bit-identical to the fault-free overload.
   PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
                      const net::FaultInjector& faults,
+                     SessionObserver* observer = nullptr) const;
+
+  /// Replays the session with corrupted *sensing*: the policy perceives the
+  /// sensor-fault injector's accel/signal streams while the link and the true
+  /// context (which the energy/QoE accounting prices) are untouched. An
+  /// inactive injector is a strict no-op.
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
+                     const sensors::SensorFaultInjector& sensor_faults,
+                     SessionObserver* observer = nullptr) const;
+
+  /// Link faults and sensor faults together.
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
+                     const net::FaultInjector& faults,
+                     const sensors::SensorFaultInjector& sensor_faults,
                      SessionObserver* observer = nullptr) const;
 
  private:

@@ -40,6 +40,7 @@
 #include "eacs/net/fault_injector.h"
 #include "eacs/player/abr_policy.h"
 #include "eacs/player/player.h"
+#include "eacs/sensors/sensor_faults.h"
 #include "eacs/sensors/vibration.h"
 #include "eacs/trace/session.h"
 #include "eacs/trace/time_series.h"
@@ -242,6 +243,14 @@ struct SessionClient {
   AbrPolicy* policy = nullptr;                     ///< adaptation algorithm
   const trace::SessionTraces* context = nullptr;   ///< signal/accel context
   double join_time_s = 0.0;  ///< stepped links only: when the client starts
+
+  /// Optional sensor-fault injector (unowned, must outlive the run). When
+  /// attached and active, the policy perceives the injector's corrupted
+  /// accel/signal streams (graded by a SensorHealthMonitor) while the
+  /// physical session — link, true signal, true vibration — is untouched;
+  /// TaskRecord::vibration keeps the true estimate, perceived_vibration what
+  /// the policy saw. Null or inactive: strict no-op, bit-identical results.
+  const sensors::SensorFaultInjector* sensor_faults = nullptr;
 };
 
 /// Engine knobs. `player` applies to every client; the step/stop values are

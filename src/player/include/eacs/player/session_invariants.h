@@ -1,0 +1,88 @@
+#pragma once
+// SessionInvariantChecker: a read-only SessionObserver that asserts the
+// physical invariants every engine run must satisfy, event by event:
+//
+//  * every numeric field of every event is finite;
+//  * the buffer stays within [0, buffer_threshold + max segment duration]
+//    (one segment can land while the buffer sits at the threshold);
+//  * per-client wall clocks are monotone non-decreasing over the engine's
+//    *clock* events (throttle, request, completion, backoff expiry, startup —
+//    drain/stall events are legitimately back-stamped to the span they cover);
+//  * ladder levels on events are within the manifest ladder;
+//  * exactly one kSessionStart (first) and kSessionEnd (last), at most one
+//    kStartup per client, and no drain/stall before that client's startup;
+//  * a stall only happens on an empty buffer.
+//
+// Like every observer it is strictly read-only: attaching one can never
+// perturb a PlaybackResult (the engine hands out const events), so the whole
+// test suite can run with the checker on without disturbing bit-identical
+// metrics. Violations are recorded (and optionally thrown) with a formatted
+// description of the offending event.
+//
+// check_result() applies the complementary task-level invariants to a
+// finished PlaybackResult (finite metrics, levels in the ladder, ordered
+// download windows, non-negative accounting).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eacs/player/player.h"
+#include "eacs/player/session_engine.h"
+
+namespace eacs::player {
+
+/// Checker knobs.
+struct SessionInvariantConfig {
+  double buffer_threshold_s = 30.0;  ///< engine buffer threshold
+  double max_segment_s = 10.0;       ///< longest segment the manifest can hold
+  std::size_t num_levels = 0;        ///< ladder size; 0 = skip level checks
+  bool throw_on_violation = true;    ///< throw std::logic_error on first hit
+  double buffer_epsilon = 1e-6;      ///< slack on buffer bounds comparisons
+};
+
+/// Event-stream invariant assertions (see file comment).
+class SessionInvariantChecker final : public SessionObserver {
+ public:
+  explicit SessionInvariantChecker(SessionInvariantConfig config = {});
+
+  /// Convenience: thresholds from an engine/player config plus ladder size.
+  SessionInvariantChecker(const PlayerConfig& player, std::size_t num_levels,
+                          double max_segment_s = 10.0);
+
+  void on_event(const SessionEvent& event) override;
+
+  /// True if no invariant has been violated so far.
+  bool ok() const noexcept { return violations_.empty(); }
+  const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  std::size_t events_seen() const noexcept { return events_seen_; }
+
+  /// Clears state for reuse across runs.
+  void reset();
+
+  /// Task-level invariants on a finished result. Returns human-readable
+  /// violation descriptions; empty = clean. `num_levels` 0 skips level checks.
+  static std::vector<std::string> check_result(const PlaybackResult& result,
+                                               std::size_t num_levels = 0);
+
+ private:
+  struct ClientState {
+    double clock_s = 0.0;
+    bool clock_seen = false;
+    bool started = false;
+  };
+
+  void report(const SessionEvent& event, const std::string& what);
+  ClientState& state_for(std::size_t client);
+
+  SessionInvariantConfig config_;
+  std::vector<ClientState> clients_;
+  std::vector<std::string> violations_;
+  std::size_t events_seen_ = 0;
+  bool session_started_ = false;
+  bool session_ended_ = false;
+};
+
+}  // namespace eacs::player

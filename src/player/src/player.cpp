@@ -78,4 +78,33 @@ PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
   return std::move(results.front());
 }
 
+PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
+                                    const trace::SessionTraces& session,
+                                    const sensors::SensorFaultInjector& sensor_faults,
+                                    SessionObserver* observer) const {
+  const SoloLinkModel link(session.throughput_mbps);
+  SessionClient client{&manifest_, &policy, &session, 0.0};
+  client.sensor_faults = &sensor_faults;
+  const SessionEngine engine(SessionEngineConfig{config_, 0.05, 7200.0});
+  auto results = engine.run(std::span<const SessionClient>(&client, 1), link,
+                            observer);
+  return std::move(results.front());
+}
+
+PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
+                                    const trace::SessionTraces& session,
+                                    const net::FaultInjector& faults,
+                                    const sensors::SensorFaultInjector& sensor_faults,
+                                    SessionObserver* observer) const {
+  if (!faults.active()) return run(policy, session, sensor_faults, observer);
+
+  const FaultLinkModel link(faults);
+  SessionClient client{&manifest_, &policy, &session, 0.0};
+  client.sensor_faults = &sensor_faults;
+  const SessionEngine engine(SessionEngineConfig{config_, 0.05, 7200.0});
+  auto results = engine.run(std::span<const SessionClient>(&client, 1), link,
+                            observer);
+  return std::move(results.front());
+}
+
 }  // namespace eacs::player

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -81,6 +82,60 @@ class OutageTransitionEmitter {
 long long signed_index(std::size_t value) {
   return value == kNoIndex ? -1 : static_cast<long long>(value);
 }
+
+/// The context the *policy* perceives on sensor-fault runs: the injector's
+/// corrupted accel stream feeds a VibrationEstimator and a
+/// SensorHealthMonitor, and its delivered signal readings replace the clean
+/// trace lookup. Instantiated only when a client has an active
+/// SensorFaultInjector — clean runs never construct one, which is what keeps
+/// them bit-identical.
+class PerceivedContext {
+ public:
+  PerceivedContext(const sensors::SensorFaultInjector& faults,
+                   const PlayerConfig& config)
+      : faults_(&faults),
+        estimator_(config.vibration),
+        health_(config.sensor_health) {}
+
+  /// Consumes every delivered sample/reading up to `t_s`.
+  void advance_to(double t_s) {
+    const auto& accel = faults_->accel();
+    while (accel_cursor_ < accel.size() && accel[accel_cursor_].t_s <= t_s) {
+      estimator_.update(accel[accel_cursor_]);
+      health_.observe_accel(accel[accel_cursor_]);
+      ++accel_cursor_;
+    }
+    const auto& signal = faults_->signal();
+    while (signal_cursor_ < signal.size() && signal[signal_cursor_].t_s <= t_s) {
+      health_.observe_signal(signal[signal_cursor_].t_s,
+                             signal[signal_cursor_].dbm);
+      ++signal_cursor_;
+    }
+  }
+
+  /// Perceived vibration at `t_s` (decays to the conservative prior while
+  /// the corrupted stream is quiet). Always finite.
+  double vibration_at(double t_s) const noexcept {
+    return estimator_.level_at(t_s);
+  }
+
+  /// Overwrites the context's sensed fields with the perceived view.
+  void fill(AbrContext& context, double t_s) const noexcept {
+    context.vibration_level = vibration_at(t_s);
+    context.signal_dbm = health_.last_signal_dbm();
+    context.vibration_health = health_.accel_health(t_s);
+    context.signal_health = health_.signal_health(t_s);
+    context.vibration_confidence = health_.vibration_confidence(t_s);
+    context.signal_age_s = health_.signal_age_s(t_s);
+  }
+
+ private:
+  const sensors::SensorFaultInjector* faults_;
+  sensors::VibrationEstimator estimator_;
+  sensors::SensorHealthMonitor health_;
+  std::size_t accel_cursor_ = 0;
+  std::size_t signal_cursor_ = 0;
+};
 
 std::string format_double(double value) {
   char buffer[40];
@@ -293,6 +348,14 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
   VibrationClock vibration(session.accel, config.vibration);
   const std::size_t lowest = manifest.ladder().lowest_level();
 
+  // Sensor faults: the policy perceives the corrupted streams; the true
+  // context above still prices energy/QoE. Engaged only when attached AND
+  // active, so clean runs stay bit-identical.
+  std::optional<PerceivedContext> perceived;
+  if (client.sensor_faults != nullptr && client.sensor_faults->active()) {
+    perceived.emplace(*client.sensor_faults, config);
+  }
+
   PlaybackResult result;
   result.tasks.reserve(manifest.num_segments());
 
@@ -332,6 +395,10 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     context.bandwidth = &bandwidth;
     context.vibration_level = vibration_level;
     context.signal_dbm = session.signal_dbm.linear_at(now);
+    if (perceived.has_value()) {
+      perceived->advance_to(now);
+      perceived->fill(context, now);
+    }
 
     const std::size_t requested = manifest.ladder().clamp_level(
         static_cast<long long>(policy.choose_level(context)));
@@ -340,6 +407,7 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     task.segment_index = i;
     task.duration_s = manifest.segment_duration(i);
     task.vibration = vibration_level;
+    task.perceived_vibration = context.vibration_level;
     task.buffer_before_s = context.buffer_s;
     task.startup = context.startup_phase;
 
@@ -541,6 +609,8 @@ struct SteppedClientState {
   const SessionClient* setup = nullptr;
   net::HarmonicMeanEstimator bandwidth;
   VibrationClock vibration;
+  std::optional<PerceivedContext> perceived;  ///< active sensor faults only
+  double perceived_at_request = 0.0;
 
   std::size_t next_segment = 0;
   double buffer_s = 0.0;
@@ -565,7 +635,11 @@ struct SteppedClientState {
   SteppedClientState(const SessionClient& client, const PlayerConfig& config)
       : setup(&client),
         bandwidth(config.bandwidth_window),
-        vibration(client.context->accel, config.vibration) {}
+        vibration(client.context->accel, config.vibration) {
+    if (client.sensor_faults != nullptr && client.sensor_faults->active()) {
+      perceived.emplace(*client.sensor_faults, config);
+    }
+  }
 };
 
 }  // namespace
@@ -600,6 +674,11 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
     context.bandwidth = &state.bandwidth;
     context.vibration_level = state.vibration.advance_to(now);
     context.signal_dbm = state.setup->context->signal_dbm.linear_at(now);
+    if (state.perceived.has_value()) {
+      state.perceived->advance_to(now);
+      state.perceived->fill(context, now);
+    }
+    state.perceived_at_request = context.vibration_level;
 
     state.level = manifest.ladder().clamp_level(
         static_cast<long long>(state.setup->policy->choose_level(context)));
@@ -635,6 +714,8 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
     task.signal_dbm = state.setup->context->signal_dbm.mean_over(
         state.download_start_s, std::max(end_s, state.download_start_s + 1e-6));
     task.vibration = state.vibration.level();
+    task.perceived_vibration =
+        state.perceived.has_value() ? state.perceived_at_request : task.vibration;
     task.buffer_before_s = state.buffer_at_request;
     task.rebuffer_s = state.stall_s;
     task.startup = state.startup_at_request;

@@ -1,0 +1,202 @@
+#include "eacs/player/session_invariants.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace eacs::player {
+
+namespace {
+
+std::string describe(const SessionEvent& event) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer,
+                " [event %s t=%.6f client=%lld segment=%lld level=%lld "
+                "buffer=%.6f value=%.6f]",
+                to_string(event.type), event.t_s,
+                event.client == kNoIndex ? -1LL
+                                         : static_cast<long long>(event.client),
+                event.segment == kNoIndex
+                    ? -1LL
+                    : static_cast<long long>(event.segment),
+                event.level == kNoIndex ? -1LL
+                                        : static_cast<long long>(event.level),
+                event.buffer_s, event.value);
+  return buffer;
+}
+
+/// Events whose timestamps follow the per-client wall clock. Drain/stall
+/// events are back-stamped to the span they cover (e.g. a kBufferDrain over a
+/// download is emitted at the span's start after the completion event), and
+/// stepped completions resolve sub-step, so only these types are required to
+/// be monotone.
+bool is_clock_event(SessionEventType type) noexcept {
+  switch (type) {
+    case SessionEventType::kThrottleWait:
+    case SessionEventType::kRequestIssued:
+    case SessionEventType::kDownloadComplete:
+    case SessionEventType::kBackoffExpiry:
+    case SessionEventType::kStartup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+SessionInvariantChecker::SessionInvariantChecker(SessionInvariantConfig config)
+    : config_(config) {}
+
+SessionInvariantChecker::SessionInvariantChecker(const PlayerConfig& player,
+                                                 std::size_t num_levels,
+                                                 double max_segment_s)
+    : config_{player.buffer_threshold_s, max_segment_s, num_levels, true, 1e-6} {}
+
+void SessionInvariantChecker::report(const SessionEvent& event,
+                                     const std::string& what) {
+  violations_.push_back(what + describe(event));
+  if (config_.throw_on_violation) {
+    throw std::logic_error("SessionInvariantChecker: " + violations_.back());
+  }
+}
+
+SessionInvariantChecker::ClientState& SessionInvariantChecker::state_for(
+    std::size_t client) {
+  if (client >= clients_.size()) clients_.resize(client + 1);
+  return clients_[client];
+}
+
+void SessionInvariantChecker::on_event(const SessionEvent& event) {
+  ++events_seen_;
+
+  if (!std::isfinite(event.t_s) || !std::isfinite(event.buffer_s) ||
+      !std::isfinite(event.value)) {
+    report(event, "non-finite event field");
+    return;
+  }
+  if (event.t_s < 0.0) report(event, "negative timestamp");
+
+  const double cap =
+      config_.buffer_threshold_s + config_.max_segment_s + config_.buffer_epsilon;
+  if (event.buffer_s < -config_.buffer_epsilon || event.buffer_s > cap) {
+    report(event, "buffer outside [0, threshold + max segment]");
+  }
+  if (config_.num_levels > 0 && event.level != kNoIndex &&
+      event.level >= config_.num_levels) {
+    report(event, "level outside the ladder");
+  }
+
+  switch (event.type) {
+    case SessionEventType::kSessionStart:
+      if (session_started_) report(event, "duplicate session_start");
+      session_started_ = true;
+      return;
+    case SessionEventType::kSessionEnd:
+      if (!session_started_) report(event, "session_end before session_start");
+      if (session_ended_) report(event, "duplicate session_end");
+      session_ended_ = true;
+      return;
+    default:
+      break;
+  }
+
+  if (!session_started_) report(event, "event before session_start");
+  if (session_ended_) report(event, "event after session_end");
+  if (event.client == kNoIndex) {
+    report(event, "client event without a client index");
+    return;
+  }
+
+  ClientState& client = state_for(event.client);
+  if (is_clock_event(event.type)) {
+    if (client.clock_seen && event.t_s < client.clock_s - 1e-9) {
+      report(event, "client clock moved backwards");
+    }
+    client.clock_s = std::max(client.clock_s, event.t_s);
+    client.clock_seen = true;
+  }
+
+  switch (event.type) {
+    case SessionEventType::kStartup:
+      if (client.started) report(event, "duplicate startup for client");
+      client.started = true;
+      break;
+    case SessionEventType::kBufferDrain:
+    case SessionEventType::kStall:
+      if (!client.started) report(event, "drain/stall before startup");
+      if (event.type == SessionEventType::kStall &&
+          event.buffer_s > config_.buffer_epsilon) {
+        report(event, "stall with a non-empty buffer");
+      }
+      break;
+    case SessionEventType::kThrottleWait:
+      if (event.value < 0.0) report(event, "negative throttle wait");
+      break;
+    case SessionEventType::kBackoffExpiry:
+      if (event.value < 0.0) report(event, "negative backoff wait");
+      break;
+    default:
+      break;
+  }
+}
+
+void SessionInvariantChecker::reset() {
+  clients_.clear();
+  violations_.clear();
+  events_seen_ = 0;
+  session_started_ = false;
+  session_ended_ = false;
+}
+
+std::vector<std::string> SessionInvariantChecker::check_result(
+    const PlaybackResult& result, std::size_t num_levels) {
+  std::vector<std::string> violations;
+  const auto check = [&](bool condition, const std::string& what,
+                         std::size_t segment) {
+    if (condition) return;
+    violations.push_back(what + " (segment " + std::to_string(segment) + ")");
+  };
+
+  const auto finite = [](double v) { return std::isfinite(v); };
+  if (!finite(result.startup_delay_s) || !finite(result.total_rebuffer_s) ||
+      !finite(result.session_end_s) || !finite(result.total_wasted_mb) ||
+      !finite(result.total_backoff_s)) {
+    violations.push_back("non-finite session totals");
+  }
+  if (result.startup_delay_s < 0.0 || result.total_rebuffer_s < 0.0 ||
+      result.total_wasted_mb < 0.0 || result.total_backoff_s < 0.0) {
+    violations.push_back("negative session totals");
+  }
+  if (result.session_end_s < result.startup_delay_s) {
+    violations.push_back("session ended before startup");
+  }
+
+  double prev_start = 0.0;
+  for (const auto& task : result.tasks) {
+    const std::size_t i = task.segment_index;
+    check(finite(task.bitrate_mbps) && finite(task.size_mb) &&
+              finite(task.duration_s) && finite(task.download_start_s) &&
+              finite(task.download_end_s) && finite(task.throughput_mbps) &&
+              finite(task.signal_dbm) && finite(task.vibration) &&
+              finite(task.perceived_vibration) && finite(task.buffer_before_s) &&
+              finite(task.rebuffer_s) && finite(task.wasted_mb) &&
+              finite(task.wasted_download_s) && finite(task.wasted_signal_dbm) &&
+              finite(task.backoff_s),
+          "non-finite task field", i);
+    check(num_levels == 0 || task.level < num_levels, "level outside the ladder",
+          i);
+    check(task.download_end_s >= task.download_start_s,
+          "download ends before it starts", i);
+    check(task.download_start_s >= prev_start - 1e-9,
+          "downloads out of order", i);
+    check(task.size_mb >= 0.0 && task.duration_s > 0.0 && task.rebuffer_s >= 0.0 &&
+              task.wasted_mb >= 0.0 && task.wasted_download_s >= 0.0 &&
+              task.backoff_s >= 0.0 && task.buffer_before_s >= 0.0,
+          "negative task accounting", i);
+    prev_start = task.download_start_s;
+  }
+  return violations;
+}
+
+}  // namespace eacs::player

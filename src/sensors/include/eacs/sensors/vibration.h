@@ -26,6 +26,17 @@ struct VibrationConfig {
   double sample_rate_hz = 50.0; ///< accelerometer rate
   double highpass_cutoff_hz = 0.5;  ///< gravity-removal cutoff
 
+  /// Degraded-stream behaviour for `level_at()`: once the stream has been
+  /// quiet for longer than `quiet_after_s`, the estimate decays exponentially
+  /// (time constant `prior_tau_s`) toward `prior_vibration`, a conservative
+  /// vibrating-commute prior (Table V reports 2.46..6.83 m/s^2 on buses).
+  /// Planning on "probably vibrating" costs a little energy headroom when the
+  /// user is actually still; planning on a frozen quiet-room estimate costs
+  /// rebuffering when they are not.
+  double quiet_after_s = 2.0;
+  double prior_vibration = 4.0;
+  double prior_tau_s = 10.0;
+
   std::size_t window_samples() const noexcept {
     const double n = window_s * sample_rate_hz;
     return n < 1.0 ? 1 : static_cast<std::size_t>(n);
@@ -40,14 +51,27 @@ class VibrationEstimator {
  public:
   explicit VibrationEstimator(VibrationConfig config = {});
 
-  /// Consumes one raw sample and returns the updated level.
+  /// Consumes one raw sample and returns the updated level. Samples with any
+  /// non-finite axis are rejected without touching the filter state (a single
+  /// NaN would otherwise poison the trailing RMS window for a full
+  /// window_samples() updates); rejected samples are counted but return the
+  /// unchanged level.
   double update(const AccelSample& sample);
 
   /// Current vibration level (m/s^2). 0 before any sample.
   double level() const noexcept;
 
-  /// Number of samples consumed.
+  /// Level with staleness decay: the raw `level()` while the stream is fresh
+  /// (age within quiet_after_s of the last *valid* sample), decaying toward
+  /// config().prior_vibration as the stream stays quiet. Returns the prior
+  /// outright if no valid sample was ever consumed. Always finite.
+  double level_at(double now_s) const noexcept;
+
+  /// Number of samples consumed (valid or not).
   std::size_t samples_seen() const noexcept { return samples_seen_; }
+
+  /// Number of samples rejected for non-finite components.
+  std::size_t rejected_samples() const noexcept { return rejected_samples_; }
 
   const VibrationConfig& config() const noexcept { return config_; }
 
@@ -58,6 +82,9 @@ class VibrationEstimator {
   eacs::HighPassFilter highpass_;
   eacs::MovingRms rms_;
   std::size_t samples_seen_ = 0;
+  std::size_t rejected_samples_ = 0;
+  double last_valid_t_s_ = 0.0;
+  bool have_valid_ = false;
 };
 
 /// Batch helper: vibration level over the trailing window of a whole trace.

@@ -1,0 +1,130 @@
+#include "eacs/sensors/sensor_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace eacs::sensors {
+
+const char* to_string(ContextHealth health) noexcept {
+  switch (health) {
+    case ContextHealth::kHealthy: return "healthy";
+    case ContextHealth::kDegraded: return "degraded";
+    case ContextHealth::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+SensorHealthMonitor::SensorHealthMonitor(SensorHealthConfig config)
+    : config_(config) {
+  if (config_.accel_stale_after_s <= 0.0 ||
+      config_.accel_lost_after_s <= config_.accel_stale_after_s ||
+      config_.signal_stale_after_s <= 0.0 ||
+      config_.signal_lost_after_s <= config_.signal_stale_after_s) {
+    throw std::invalid_argument(
+        "SensorHealthMonitor: staleness thresholds must be positive and "
+        "stale < lost");
+  }
+  if (config_.validity_window == 0) {
+    throw std::invalid_argument("SensorHealthMonitor: empty validity window");
+  }
+  validity_ring_.assign(config_.validity_window, true);
+}
+
+void SensorHealthMonitor::observe_accel(const AccelSample& sample) {
+  const bool valid = std::isfinite(sample.t_s) && std::isfinite(sample.x) &&
+                     std::isfinite(sample.y) && std::isfinite(sample.z);
+  ++accel_samples_;
+  if (!valid) ++invalid_accel_;
+  // A garbage sample still proves the sensor is delivering: refresh the
+  // clock whenever the timestamp itself is usable.
+  if (std::isfinite(sample.t_s)) {
+    last_accel_t_s_ = accel_seen_ ? std::max(last_accel_t_s_, sample.t_s)
+                                  : sample.t_s;
+    accel_seen_ = true;
+  }
+
+  if (ring_fill_ == validity_ring_.size()) {
+    if (!validity_ring_[ring_head_]) --ring_invalid_;
+  } else {
+    ++ring_fill_;
+  }
+  validity_ring_[ring_head_] = valid;
+  if (!valid) ++ring_invalid_;
+  ring_head_ = (ring_head_ + 1) % validity_ring_.size();
+}
+
+void SensorHealthMonitor::observe_signal(double t_s, double dbm) {
+  if (!std::isfinite(t_s) || !std::isfinite(dbm)) return;  // undelivered
+  ++signal_readings_;
+  last_signal_t_s_ = signal_seen_ ? std::max(last_signal_t_s_, t_s) : t_s;
+  last_signal_dbm_ = dbm;
+  signal_seen_ = true;
+}
+
+double SensorHealthMonitor::accel_age_s(double now_s) const noexcept {
+  if (!accel_seen_) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, now_s - last_accel_t_s_);
+}
+
+double SensorHealthMonitor::signal_age_s(double now_s) const noexcept {
+  if (!signal_seen_) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, now_s - last_signal_t_s_);
+}
+
+double SensorHealthMonitor::invalid_fraction() const noexcept {
+  if (ring_fill_ == 0) return 0.0;
+  return static_cast<double>(ring_invalid_) / static_cast<double>(ring_fill_);
+}
+
+ContextHealth SensorHealthMonitor::accel_health(double now_s) const noexcept {
+  const double age = accel_age_s(now_s);
+  const double invalid = invalid_fraction();
+  if (age > config_.accel_lost_after_s ||
+      invalid >= config_.lost_invalid_fraction ||
+      (!accel_seen_ && !std::isfinite(age))) {
+    return ContextHealth::kLost;
+  }
+  if (age > config_.accel_stale_after_s ||
+      invalid > config_.degraded_invalid_fraction) {
+    return ContextHealth::kDegraded;
+  }
+  return ContextHealth::kHealthy;
+}
+
+ContextHealth SensorHealthMonitor::signal_health(double now_s) const noexcept {
+  const double age = signal_age_s(now_s);
+  if (age > config_.signal_lost_after_s) return ContextHealth::kLost;
+  if (age > config_.signal_stale_after_s) return ContextHealth::kDegraded;
+  return ContextHealth::kHealthy;
+}
+
+double SensorHealthMonitor::vibration_confidence(double now_s) const noexcept {
+  if (!accel_seen_) return 0.0;
+  const double age = accel_age_s(now_s);
+  double freshness = 1.0;
+  if (age > config_.accel_stale_after_s) {
+    freshness = 1.0 - (age - config_.accel_stale_after_s) /
+                          (config_.accel_lost_after_s - config_.accel_stale_after_s);
+    freshness = std::clamp(freshness, 0.0, 1.0);
+  }
+  return freshness * (1.0 - invalid_fraction());
+}
+
+void SensorHealthMonitor::reset() {
+  accel_samples_ = 0;
+  invalid_accel_ = 0;
+  accel_seen_ = false;
+  last_accel_t_s_ = 0.0;
+  signal_readings_ = 0;
+  signal_seen_ = false;
+  last_signal_t_s_ = 0.0;
+  last_signal_dbm_ = -90.0;
+  std::fill(validity_ring_.begin(), validity_ring_.end(), true);
+  ring_head_ = 0;
+  ring_fill_ = 0;
+  ring_invalid_ = 0;
+}
+
+}  // namespace eacs::sensors

@@ -1,5 +1,7 @@
 #include "eacs/sensors/vibration.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "eacs/util/stats.h"
@@ -16,17 +18,38 @@ VibrationEstimator::VibrationEstimator(VibrationConfig config)
 }
 
 double VibrationEstimator::update(const AccelSample& sample) {
-  const double ac_component = highpass_.update(sample.magnitude());
   ++samples_seen_;
+  if (!std::isfinite(sample.x) || !std::isfinite(sample.y) ||
+      !std::isfinite(sample.z)) {
+    ++rejected_samples_;
+    return level();
+  }
+  if (std::isfinite(sample.t_s)) {
+    last_valid_t_s_ =
+        have_valid_ ? std::max(last_valid_t_s_, sample.t_s) : sample.t_s;
+    have_valid_ = true;
+  }
+  const double ac_component = highpass_.update(sample.magnitude());
   return rms_.update(ac_component);
 }
 
 double VibrationEstimator::level() const noexcept { return rms_.value(); }
 
+double VibrationEstimator::level_at(double now_s) const noexcept {
+  if (!have_valid_) return config_.prior_vibration;
+  const double age = std::max(0.0, now_s - last_valid_t_s_);
+  if (age <= config_.quiet_after_s) return level();
+  const double w = std::exp(-(age - config_.quiet_after_s) / config_.prior_tau_s);
+  return w * level() + (1.0 - w) * config_.prior_vibration;
+}
+
 void VibrationEstimator::reset() {
   highpass_.reset();
   rms_.reset();
   samples_seen_ = 0;
+  rejected_samples_ = 0;
+  last_valid_t_s_ = 0.0;
+  have_valid_ = false;
 }
 
 double vibration_level(std::span<const AccelSample> trace, VibrationConfig config) {

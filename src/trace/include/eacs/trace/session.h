@@ -9,6 +9,7 @@
 
 #include "eacs/media/catalogue.h"
 #include "eacs/sensors/accel.h"
+#include "eacs/sensors/sensor_health.h"
 #include "eacs/trace/accel_gen.h"
 #include "eacs/trace/signal_gen.h"
 #include "eacs/trace/throughput_gen.h"
@@ -44,5 +45,10 @@ SessionTraces build_session(const media::SessionSpec& spec,
 
 /// Builds all five Table V sessions.
 std::vector<SessionTraces> build_all_sessions(const SessionBuildOptions& options = {});
+
+/// Converts a signal-strength TimeSeries into the discrete delivered-reading
+/// stream that sensors::SensorFaultInjector consumes (one SignalSample per
+/// trace point).
+std::vector<sensors::SignalSample> signal_samples(const TimeSeries& signal_dbm);
 
 }  // namespace eacs::trace

@@ -7,6 +7,10 @@
 //
 // Real recorded traces in the same format can be dropped in to replace the
 // synthetic generators anywhere a TimeSeries / AccelTrace is accepted.
+//
+// Loads are validated: every value must be finite (no NaN/Inf) and timestamps
+// must never decrease (duplicates are allowed — they encode step edges).
+// Violations throw std::runtime_error naming the offending 1-based file line.
 
 #include <filesystem>
 

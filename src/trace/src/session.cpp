@@ -38,4 +38,13 @@ std::vector<SessionTraces> build_all_sessions(const SessionBuildOptions& options
   return sessions;
 }
 
+std::vector<sensors::SignalSample> signal_samples(const TimeSeries& signal_dbm) {
+  std::vector<sensors::SignalSample> readings;
+  readings.reserve(signal_dbm.size());
+  for (const auto& point : signal_dbm.samples()) {
+    readings.push_back({point.t_s, point.value});
+  }
+  return readings;
+}
+
 }  // namespace eacs::trace

@@ -1,6 +1,39 @@
 #include "eacs/trace/trace_io.h"
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 namespace eacs::trace {
+namespace {
+
+/// Data rows start on line 2 of the file (line 1 is the header), so CSV row
+/// `row` lives on line row + 2. All validation errors cite that line.
+std::size_t csv_line(std::size_t row) { return row + 2; }
+
+double finite_cell(const eacs::CsvTable& table, std::size_t row,
+                   std::string_view column) {
+  const double value = table.cell_as_double(row, column);
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("trace_io: line " + std::to_string(csv_line(row)) +
+                             ": column '" + std::string(column) + "' is '" +
+                             table.cell(row, table.column_index(column)) +
+                             "', expected a finite number");
+  }
+  return value;
+}
+
+/// Timestamps may repeat (zero-width step edges) but must never decrease.
+void check_time_monotone(double prev_t, double t, std::size_t row) {
+  if (t < prev_t) {
+    throw std::runtime_error("trace_io: line " + std::to_string(csv_line(row)) +
+                             ": timestamp " + eacs::format_double(t) +
+                             " moves backwards past " + eacs::format_double(prev_t));
+  }
+}
+
+}  // namespace
 
 eacs::CsvTable time_series_to_csv(const TimeSeries& series) {
   eacs::CsvTable table({"t_s", "value"});
@@ -12,8 +45,13 @@ eacs::CsvTable time_series_to_csv(const TimeSeries& series) {
 
 TimeSeries time_series_from_csv(const eacs::CsvTable& table) {
   TimeSeries series;
+  double prev_t = -std::numeric_limits<double>::infinity();
   for (std::size_t row = 0; row < table.num_rows(); ++row) {
-    series.append(table.cell_as_double(row, "t_s"), table.cell_as_double(row, "value"));
+    const double t = finite_cell(table, row, "t_s");
+    const double value = finite_cell(table, row, "value");
+    check_time_monotone(prev_t, t, row);
+    prev_t = t;
+    series.append(t, value);
   }
   return series;
 }
@@ -30,12 +68,15 @@ eacs::CsvTable accel_to_csv(const sensors::AccelTrace& trace) {
 sensors::AccelTrace accel_from_csv(const eacs::CsvTable& table) {
   sensors::AccelTrace trace;
   trace.reserve(table.num_rows());
+  double prev_t = -std::numeric_limits<double>::infinity();
   for (std::size_t row = 0; row < table.num_rows(); ++row) {
     sensors::AccelSample sample;
-    sample.t_s = table.cell_as_double(row, "t_s");
-    sample.x = table.cell_as_double(row, "x");
-    sample.y = table.cell_as_double(row, "y");
-    sample.z = table.cell_as_double(row, "z");
+    sample.t_s = finite_cell(table, row, "t_s");
+    sample.x = finite_cell(table, row, "x");
+    sample.y = finite_cell(table, row, "y");
+    sample.z = finite_cell(table, row, "z");
+    check_time_monotone(prev_t, sample.t_s, row);
+    prev_t = sample.t_s;
     trace.push_back(sample);
   }
   return trace;

@@ -46,8 +46,10 @@ double CsvTable::cell_as_double(std::size_t row, std::string_view col_name) cons
   char* end = nullptr;
   errno = 0;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || errno == ERANGE) {
-    throw std::runtime_error("CsvTable: cell '" + text + "' is not a double");
+  if (end != text.c_str() + text.size() || text.empty() || errno == ERANGE) {
+    throw std::runtime_error("CsvTable: row " + std::to_string(row) + ", column '" +
+                             std::string(col_name) + "': cell '" + text +
+                             "' is not a double");
   }
   return value;
 }
@@ -57,7 +59,9 @@ long long CsvTable::cell_as_int(std::size_t row, std::string_view col_name) cons
   long long value = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    throw std::runtime_error("CsvTable: cell '" + text + "' is not an integer");
+    throw std::runtime_error("CsvTable: row " + std::to_string(row) + ", column '" +
+                             std::string(col_name) + "': cell '" + text +
+                             "' is not an integer");
   }
   return value;
 }
@@ -73,12 +77,22 @@ std::vector<double> CsvTable::column_as_double(std::string_view col_name) const 
 
 namespace {
 
-std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
+/// Raw rows plus the 1-based input line each row started on (quoted cells may
+/// span lines, so a row's number is where it *begins*).
+struct RawRows {
   std::vector<std::vector<std::string>> rows;
+  std::vector<std::size_t> lines;
+};
+
+RawRows parse_rows(std::string_view text) {
+  RawRows raw;
   std::vector<std::string> row;
   std::string cell;
   bool in_quotes = false;
   bool row_has_content = false;
+  std::size_t line = 1;
+  std::size_t row_start_line = 1;
+  std::size_t quote_open_line = 1;
 
   const auto flush_cell = [&] {
     row.push_back(std::move(cell));
@@ -86,7 +100,8 @@ std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
   };
   const auto flush_row = [&] {
     flush_cell();
-    rows.push_back(std::move(row));
+    raw.rows.push_back(std::move(row));
+    raw.lines.push_back(row_start_line);
     row.clear();
     row_has_content = false;
   };
@@ -102,6 +117,7 @@ std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         cell.push_back(c);
       }
       continue;
@@ -109,6 +125,7 @@ std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
     switch (c) {
       case '"':
         in_quotes = true;
+        quote_open_line = line;
         row_has_content = true;
         break;
       case ',':
@@ -119,6 +136,8 @@ std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
         break;  // handled with the following \n
       case '\n':
         if (row_has_content || !cell.empty() || !row.empty()) flush_row();
+        ++line;
+        row_start_line = line;
         break;
       default:
         cell.push_back(c);
@@ -126,9 +145,12 @@ std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
         break;
     }
   }
-  if (in_quotes) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (in_quotes) {
+    throw std::runtime_error("parse_csv: line " + std::to_string(quote_open_line) +
+                             ": unterminated quoted field");
+  }
   if (row_has_content || !cell.empty() || !row.empty()) flush_row();
-  return rows;
+  return raw;
 }
 
 bool needs_quoting(std::string_view cell) {
@@ -147,10 +169,18 @@ void append_quoted(std::string& out, std::string_view cell) {
 }  // namespace
 
 CsvTable parse_csv(std::string_view text) {
-  auto rows = parse_rows(text);
-  if (rows.empty()) throw std::runtime_error("parse_csv: empty input");
-  CsvTable table(std::move(rows.front()));
-  for (std::size_t i = 1; i < rows.size(); ++i) table.add_row(std::move(rows[i]));
+  auto raw = parse_rows(text);
+  if (raw.rows.empty()) throw std::runtime_error("parse_csv: empty input");
+  CsvTable table(std::move(raw.rows.front()));
+  for (std::size_t i = 1; i < raw.rows.size(); ++i) {
+    if (raw.rows[i].size() != table.num_cols()) {
+      throw std::runtime_error(
+          "parse_csv: line " + std::to_string(raw.lines[i]) + ": row has " +
+          std::to_string(raw.rows[i].size()) + " cells but the header has " +
+          std::to_string(table.num_cols()));
+    }
+    table.add_row(std::move(raw.rows[i]));
+  }
   return table;
 }
 

@@ -157,7 +157,13 @@ TEST(ContextMonitorTest, ResetClears) {
   const auto snap = monitor.snapshot();
   EXPECT_DOUBLE_EQ(snap.bandwidth_mbps, 0.0);
   EXPECT_DOUBLE_EQ(snap.signal_dbm, -90.0);
-  EXPECT_FALSE(snap.vibrating_environment);
+  // With no accelerometer data at all, the context is unknown: the snapshot
+  // reports the conservative vibrating-commute prior, graded kLost.
+  EXPECT_DOUBLE_EQ(snap.vibration, sensors::VibrationConfig{}.prior_vibration);
+  EXPECT_TRUE(snap.vibrating_environment);
+  EXPECT_EQ(snap.vibration_health, sensors::ContextHealth::kLost);
+  EXPECT_EQ(snap.signal_health, sensors::ContextHealth::kLost);
+  EXPECT_DOUBLE_EQ(snap.vibration_confidence, 0.0);
 }
 
 }  // namespace

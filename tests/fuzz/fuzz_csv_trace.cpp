@@ -1,0 +1,40 @@
+// libFuzzer target for the CSV trace-parsing stack: parse_csv plus the two
+// schema loaders layered on top of it. Any input must either parse into a
+// validated trace or be rejected with the documented exception types
+// (std::runtime_error with a line-numbered message from the parsers,
+// std::out_of_range for a missing column). Anything else — a crash, a
+// sanitizer report, an unexpected exception escaping — is a finding.
+//
+// Built two ways:
+//   * with clang + -fsanitize=fuzzer,address as a real libFuzzer binary
+//     (EACS_LIBFUZZER=ON, the CI fuzz-smoke leg);
+//   * with any compiler as fuzz_csv_trace_replay (replay_main.cpp), which
+//     replays tests/fuzz/corpus/csv_trace/ as a plain ctest regression.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "eacs/trace/trace_io.h"
+#include "eacs/util/csv.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const eacs::CsvTable table = eacs::parse_csv(text);
+    try {
+      (void)eacs::trace::time_series_from_csv(table);
+    } catch (const std::runtime_error&) {
+    } catch (const std::out_of_range&) {
+    }
+    try {
+      (void)eacs::trace::accel_from_csv(table);
+    } catch (const std::runtime_error&) {
+    } catch (const std::out_of_range&) {
+    }
+  } catch (const std::runtime_error&) {
+    // Malformed CSV, rejected with a line-numbered message: expected.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// libFuzzer target for the MPD manifest parser. from_mpd_xml must either
+// produce a manifest that survives re-serialisation or throw the documented
+// std::runtime_error / std::invalid_argument; crashes, sanitizer reports and
+// other escaping exceptions are findings.
+//
+// Built both as a clang libFuzzer binary (EACS_LIBFUZZER=ON) and as the plain
+// fuzz_mpd_replay regression binary that replays tests/fuzz/corpus/mpd/.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "eacs/media/mpd.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto manifest = eacs::media::from_mpd_xml(text);
+    // Anything that parsed must round-trip back to XML without throwing.
+    (void)eacs::media::to_mpd_xml(manifest);
+  } catch (const std::runtime_error&) {
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

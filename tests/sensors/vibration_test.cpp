@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "eacs/sensors/accel.h"
 
@@ -108,6 +109,69 @@ TEST(MeanVibrationTest, StationarySignalMeanNearFinal) {
 TEST(MeanVibrationTest, ShortTraceFallsBack) {
   const auto trace = vibrating_trace(4.0, 5.0, 2.0);  // shorter than the window
   EXPECT_GT(mean_vibration_level(trace), 0.0);
+}
+
+TEST(VibrationEstimatorTest, NonFiniteSamplesAreRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  VibrationEstimator estimator;
+  const auto trace = vibrating_trace(4.0, 5.0, 10.0);
+  for (const auto& sample : trace) {
+    estimator.update(sample);
+  }
+  const double before = estimator.level();
+  EXPECT_DOUBLE_EQ(estimator.update({10.0, nan, 0.0, kGravity}), before);
+  EXPECT_DOUBLE_EQ(estimator.update({10.02, 0.0, inf, kGravity}), before);
+  EXPECT_DOUBLE_EQ(estimator.update({10.04, 0.0, 0.0, -inf}), before);
+  EXPECT_DOUBLE_EQ(estimator.level(), before);
+  EXPECT_EQ(estimator.rejected_samples(), 3U);
+  EXPECT_EQ(estimator.samples_seen(), trace.size() + 3);  // valid + rejected
+}
+
+TEST(VibrationEstimatorTest, NanDoesNotPoisonTheWindow) {
+  // A single NaN used to poison the trailing RMS window for a full
+  // window_samples() updates. With rejection, an estimator that saw NaNs
+  // interleaved into the stream must match one that never saw them.
+  const auto trace = vibrating_trace(4.0, 5.0, 20.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  VibrationEstimator with_nans;
+  VibrationEstimator clean;
+  for (const auto& sample : trace) {
+    with_nans.update(sample);
+    with_nans.update({sample.t_s, nan, nan, nan});
+    clean.update(sample);
+  }
+  EXPECT_DOUBLE_EQ(with_nans.level(), clean.level());
+  EXPECT_TRUE(std::isfinite(with_nans.level()));
+  EXPECT_EQ(with_nans.rejected_samples(), trace.size());
+}
+
+TEST(VibrationEstimatorTest, LevelAtReturnsPriorBeforeAnyValidSample) {
+  VibrationEstimator estimator;
+  EXPECT_DOUBLE_EQ(estimator.level_at(0.0), estimator.config().prior_vibration);
+  // An all-NaN stream never yields a valid sample: still the prior.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (double t = 0.0; t < 5.0; t += 0.02) {
+    estimator.update({t, nan, nan, nan});
+  }
+  EXPECT_DOUBLE_EQ(estimator.level_at(5.0), estimator.config().prior_vibration);
+  EXPECT_TRUE(std::isfinite(estimator.level_at(5.0)));
+}
+
+TEST(VibrationEstimatorTest, LevelAtDecaysTowardPriorWhenStreamGoesQuiet) {
+  VibrationEstimator estimator;
+  for (const auto& sample : constant_gravity_trace(10.0)) {
+    estimator.update(sample);
+  }
+  const double fresh = estimator.level_at(10.0);
+  EXPECT_NEAR(fresh, estimator.level(), 1e-12);  // fresh: raw level (near 0)
+  // Stale by much more than quiet_after_s + several tau: essentially the prior.
+  const double stale = estimator.level_at(10.0 + 100.0);
+  EXPECT_NEAR(stale, estimator.config().prior_vibration, 1e-3);
+  // In between: strictly between the raw level and the prior.
+  const double mid = estimator.level_at(10.0 + 7.0);
+  EXPECT_GT(mid, fresh);
+  EXPECT_LT(mid, estimator.config().prior_vibration);
 }
 
 TEST(VibrationEstimatorTest, HandlesXyVibrationToo) {

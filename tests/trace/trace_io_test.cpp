@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 namespace eacs::trace {
@@ -122,6 +123,84 @@ TEST(TraceIoTest, LoadMissingFileThrows) {
   const TempFile file("missing.csv");
   EXPECT_THROW(load_time_series(file.path()), std::runtime_error);
   EXPECT_THROW(load_accel(file.path()), std::runtime_error);
+}
+
+// -- Malformed input: every rejection must cite the offending file line
+// (line 1 is the header, so CSV row r is line r + 2).
+
+/// Runs `load` and returns the runtime_error message, failing if it doesn't
+/// throw.
+template <typename Fn>
+std::string error_message(Fn&& load) {
+  try {
+    load();
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return {};
+}
+
+TEST(TraceIoTest, NanValueIsRejectedWithLineNumber) {
+  const auto table = eacs::parse_csv("t_s,value\n0,1\n1,nan\n");
+  const std::string message =
+      error_message([&] { time_series_from_csv(table); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("value"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, InfTimestampIsRejectedWithLineNumber) {
+  const auto table = eacs::parse_csv("t_s,value\n0,1\ninf,2\n");
+  const std::string message =
+      error_message([&] { time_series_from_csv(table); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("t_s"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, BackwardsTimestampIsRejectedWithLineNumber) {
+  const auto table = eacs::parse_csv("t_s,value\n0,1\n5,2\n4.5,3\n");
+  const std::string message =
+      error_message([&] { time_series_from_csv(table); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("backwards"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, DuplicateTimestampIsStillAccepted) {
+  // Zero-width step edges are legitimate; only decreases are rejected.
+  const auto table = eacs::parse_csv("t_s,value\n0,1\n2,1\n2,0\n");
+  EXPECT_EQ(time_series_from_csv(table).size(), 3U);
+}
+
+TEST(TraceIoTest, NonNumericCellIsRejected) {
+  const auto table = eacs::parse_csv("t_s,value\n0,fast\n");
+  const std::string message =
+      error_message([&] { time_series_from_csv(table); });
+  EXPECT_NE(message.find("fast"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, AccelNanAxisIsRejectedWithLineNumber) {
+  const auto table = eacs::parse_csv("t_s,x,y,z\n0,0,0,9.81\n0.02,0,nan,9.81\n");
+  const std::string message = error_message([&] { accel_from_csv(table); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("'y'"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, AccelBackwardsTimestampIsRejectedWithLineNumber) {
+  const auto table =
+      eacs::parse_csv("t_s,x,y,z\n0,0,0,9.81\n0.04,0,0,9.81\n0.02,0,0,9.81\n");
+  const std::string message = error_message([&] { accel_from_csv(table); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+}
+
+TEST(TraceIoTest, MalformedFileLoadCitesLine) {
+  const TempFile file("malformed.csv");
+  {
+    std::ofstream out(file.path());
+    out << "t_s,value\n0,1\n1,inf\n";
+  }
+  const std::string message =
+      error_message([&] { load_time_series(file.path()); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <string>
 
 namespace eacs {
 namespace {
@@ -31,6 +32,58 @@ TEST(CsvTest, ParseCrlfAndMissingTrailingNewline) {
 
 TEST(CsvTest, RaggedRowThrows) {
   EXPECT_THROW(parse_csv("a,b\n1\n"), std::runtime_error);
+}
+
+/// Returns the runtime_error message from `fn`, failing if it doesn't throw.
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return {};
+}
+
+TEST(CsvTest, RaggedRowErrorCitesLine) {
+  const auto message =
+      error_message([] { parse_csv("a,b\n1,2\n3,4\n5\n6,7\n"); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("1 cells"), std::string::npos) << message;
+}
+
+TEST(CsvTest, RaggedRowLineAccountsForQuotedNewlines) {
+  // The quoted cell spans lines 2-3, so the ragged row starts on line 4.
+  const auto message =
+      error_message([] { parse_csv("a,b\n\"x\ny\",2\nonly_one\n"); });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+}
+
+TEST(CsvTest, UnterminatedQuoteErrorCitesOpeningLine) {
+  const auto message = error_message([] { parse_csv("a\n1\n\"oops\n"); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+}
+
+TEST(CsvTest, NumericErrorsCiteRowAndColumn) {
+  const auto table = parse_csv("d,i\n1.5,2\nbad,x\n");
+  const auto double_message =
+      error_message([&] { table.cell_as_double(1, "d"); });
+  EXPECT_NE(double_message.find("row 1"), std::string::npos) << double_message;
+  EXPECT_NE(double_message.find("'d'"), std::string::npos) << double_message;
+  const auto int_message = error_message([&] { table.cell_as_int(1, "i"); });
+  EXPECT_NE(int_message.find("row 1"), std::string::npos) << int_message;
+  EXPECT_NE(int_message.find("'i'"), std::string::npos) << int_message;
+}
+
+TEST(CsvTest, TrailingGarbageAfterNumberThrows) {
+  const auto table = parse_csv("d\n1.5abc\n");
+  EXPECT_THROW(table.cell_as_double(0, "d"), std::runtime_error);
+}
+
+TEST(CsvTest, EmptyCellIsNotADouble) {
+  const auto table = parse_csv("a,b\n,2\n");
+  EXPECT_THROW(table.cell_as_double(0, "a"), std::runtime_error);
 }
 
 TEST(CsvTest, EmptyInputThrows) {
