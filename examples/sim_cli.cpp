@@ -19,9 +19,12 @@
 //   --sensor-faults  run the sensor-fault study: degraded-context Ours vs.
 //                  clean context and a context-blind baseline, per fault
 //                  scenario x intensity
-//   --jobs N       worker threads for --sweep / --all / --sensor-faults
-//                  (0 = all hardware threads; results are bit-identical at
-//                  any value)
+//   --cdn-faults   run the CDN fault study: server-fault family x intensity
+//                  x source count, with the single-source column as the
+//                  retry-only baseline failover is judged against
+//   --jobs N       worker threads for --sweep / --all / --sensor-faults /
+//                  --cdn-faults (0 = all hardware threads; results are
+//                  bit-identical at any value)
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +41,7 @@
 #include "eacs/core/online.h"
 #include "eacs/core/optimal.h"
 #include "eacs/media/mpd.h"
+#include "eacs/sim/cdn_fault_study.h"
 #include "eacs/sim/evaluation.h"
 #include "eacs/sim/report.h"
 #include "eacs/sim/sensor_fault_study.h"
@@ -58,6 +62,7 @@ struct CliOptions {
   bool run_all = false;
   bool sweep = false;
   bool sensor_faults = false;
+  bool cdn_faults = false;
   std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
@@ -68,7 +73,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
                "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
-               "               [--sweep] [--sensor-faults] [--jobs N]\n");
+               "               [--sweep] [--sensor-faults] [--cdn-faults] [--jobs N]\n");
   std::exit(2);
 }
 
@@ -91,6 +96,7 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--all") options.run_all = true;
     else if (arg == "--sweep") options.sweep = true;
     else if (arg == "--sensor-faults") options.sensor_faults = true;
+    else if (arg == "--cdn-faults") options.cdn_faults = true;
     else if (arg == "--jobs") {
       const int jobs = std::atoi(next_value());
       if (jobs < 0) usage_error("--jobs must be >= 0");
@@ -209,10 +215,55 @@ int run_sensor_faults(const CliOptions& options) {
   return 0;
 }
 
+/// --cdn-faults: the CDN fault study — server-fault family x intensity x
+/// source count, judged against the single-source retry-only column.
+int run_cdn_faults(const CliOptions& options) {
+  sim::CdnFaultStudyConfig config;
+  config.evaluation.alpha = options.alpha;
+  config.evaluation.segment_duration_s = options.segment_s;
+  config.evaluation.player.buffer_threshold_s = options.buffer_s;
+  config.evaluation.context_aware = options.context_aware;
+  config.evaluation.exec.jobs = options.jobs;
+  std::printf("CDN fault study: %zu families x %zu intensities x %zu source "
+              "counts x 5 sessions, jobs=%zu\n",
+              sim::all_cdn_fault_families().size(), config.intensities.size(),
+              config.source_counts.size(), config.evaluation.exec.resolved_jobs());
+
+  const auto result = sim::run_cdn_fault_study(config);
+  std::printf("Fault-free single source (%s): QoE %.3f, energy %.1f J, "
+              "rebuffer %.1f s\n",
+              result.clean.algorithm.c_str(), result.clean.mean_qoe,
+              result.clean.total_energy_j, result.clean.rebuffer_s);
+
+  eacs::AsciiTable table("Delivery robustness vs. the single-source retry-only baseline");
+  table.set_header({"fault", "intensity", "srcs", "QoE", "rebuffer s",
+                    "QoE d single", "rebuf d single", "waste J", "failovers",
+                    "hedges", "breaker"});
+  table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight});
+  for (const auto& cell : result.cells) {
+    table.add_row({sim::to_string(cell.family),
+                   eacs::AsciiTable::num(cell.intensity, 2),
+                   std::to_string(cell.sources),
+                   eacs::AsciiTable::num(cell.mean_qoe, 3),
+                   eacs::AsciiTable::num(cell.rebuffer_s, 1),
+                   eacs::AsciiTable::num(cell.qoe_delta_vs_single, 3),
+                   eacs::AsciiTable::num(cell.rebuffer_delta_vs_single_s, 1),
+                   eacs::AsciiTable::num(cell.wasted_energy_j, 1),
+                   std::to_string(cell.failovers), std::to_string(cell.hedges),
+                   std::to_string(cell.breaker_transitions)});
+  }
+  table.print();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const CliOptions options = parse_cli(argc, argv);
   if (options.sweep) return run_sweep(options);
   if (options.sensor_faults) return run_sensor_faults(options);
+  if (options.cdn_faults) return run_cdn_faults(options);
 
   const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
   std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,

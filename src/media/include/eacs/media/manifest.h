@@ -44,6 +44,13 @@ class VideoManifest {
                 BitrateLadder ladder, VbrModel vbr = {});
 
   const std::string& video_id() const noexcept { return video_id_; }
+
+  /// Candidate delivery origins for every segment (MPD <BaseURL> elements,
+  /// in document order — the first is the default origin). Empty when the
+  /// manifest names a single implicit origin. Multi-source playback builds
+  /// one net::SegmentSource per entry.
+  const std::vector<std::string>& base_urls() const noexcept { return base_urls_; }
+  void set_base_urls(std::vector<std::string> urls) { base_urls_ = std::move(urls); }
   double total_duration_s() const noexcept { return total_duration_s_; }
   double segment_duration_s() const noexcept { return segment_duration_s_; }
   const BitrateLadder& ladder() const noexcept { return ladder_; }
@@ -67,6 +74,7 @@ class VideoManifest {
 
  private:
   std::string video_id_;
+  std::vector<std::string> base_urls_;
   double total_duration_s_;
   double segment_duration_s_;
   BitrateLadder ladder_;

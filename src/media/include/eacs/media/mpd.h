@@ -10,7 +10,9 @@
 //
 // Supported subset:
 //   MPD @mediaPresentationDuration (ISO-8601 "PT...S"), @type="static",
-//   @profiles; Period; AdaptationSet @contentType="video";
+//   @profiles; BaseURL (zero or more, MPD-level, in priority order — the
+//   multi-CDN origin list that multi-source playback maps to one
+//   net::SegmentSource each); Period; AdaptationSet @contentType="video";
 //   SegmentTemplate @duration/@timescale; Representation @id/@bandwidth
 //   (bits per second) /@width/@height (optional).
 // Our VBR size model rides in a private attribute (eacs:vbrAmplitude) so

@@ -97,6 +97,12 @@ eacs::XmlNode to_mpd_tree(const VideoManifest& manifest) {
   }
   mpd.set_attribute("eacs:videoId", manifest.video_id());
 
+  // DASH multi-CDN delivery: one <BaseURL> per candidate origin, in priority
+  // order, before the <Period> (ISO/IEC 23009-1 §5.6).
+  for (const std::string& url : manifest.base_urls()) {
+    mpd.add_child("BaseURL").set_text(url);
+  }
+
   auto& period = mpd.add_child("Period");
   period.set_attribute("id", "0");
   period.set_attribute("duration", iso8601_duration(manifest.total_duration_s()));
@@ -177,8 +183,15 @@ VideoManifest from_mpd_xml(std::string_view xml_text) {
   const std::string video_id =
       mpd.attribute("eacs:videoId").value_or("imported-mpd");
 
-  return VideoManifest(video_id, total_duration, segment_duration,
-                       BitrateLadder(std::move(rungs)), vbr);
+  std::vector<std::string> base_urls;
+  for (const eacs::XmlNode* base_url : mpd.find_children("BaseURL")) {
+    base_urls.push_back(base_url->text());
+  }
+
+  VideoManifest manifest(video_id, total_duration, segment_duration,
+                         BitrateLadder(std::move(rungs)), vbr);
+  manifest.set_base_urls(std::move(base_urls));
+  return manifest;
 }
 
 }  // namespace eacs::media

@@ -36,6 +36,13 @@ class SegmentDownloader {
   DownloadResult download(double start_s, double size_megabits) const;
 
   /// Instantaneous available bandwidth at `t_s` (linear interpolation).
+  ///
+  /// At a step discontinuity — duplicate timestamps t in the trace — the
+  /// lookup resolves to the *last* sample at t, so bandwidth_at(t) returns
+  /// the post-step (right-hand) value: the signal is right-continuous. With
+  /// k >= 2 samples at the same t, the intermediate duplicates are
+  /// unobservable; only the final one defines the value at t. Before the
+  /// first sample the first value is held, beyond the last the last.
   double bandwidth_at(double t_s) const;
 
   const trace::TimeSeries& trace() const noexcept { return throughput_; }

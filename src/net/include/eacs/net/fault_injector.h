@@ -87,6 +87,22 @@ struct AttemptOutcome {
   double fail_fraction = 0.0;
 };
 
+/// Scripted windows validated plus seeded-random windows (Poisson arrivals
+/// at `rate_per_min`, exponential durations of mean `mean_s`) drawn over the
+/// trace span, merged into one sorted, non-overlapping schedule. Shared by
+/// FaultInjector (link outages) and SegmentSource (origin outages and HTTP
+/// error episodes). Throws std::invalid_argument on a scripted window that
+/// ends before it starts.
+std::vector<OutageWindow> build_outage_schedule(
+    const std::vector<OutageWindow>& scripted, double rate_per_min,
+    double mean_s, std::uint64_t seed, const trace::TimeSeries& trace);
+
+/// The original trace with every window forced to zero. Window edges become
+/// zero-width step breakpoints (duplicate timestamps); an empty window list
+/// returns the original unchanged (bitwise — the no-op contract).
+trace::TimeSeries outage_zeroed_trace(const trace::TimeSeries& original,
+                                      const std::vector<OutageWindow>& windows);
+
 /// Wraps a throughput trace with a deterministic fault model. Everything is
 /// a pure function of (trace, spec, signal): the same inputs reproduce the
 /// same outage schedule and the same per-attempt outcomes bit-for-bit,

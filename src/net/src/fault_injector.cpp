@@ -18,25 +18,26 @@ std::uint64_t attempt_seed(std::uint64_t seed, std::size_t segment,
   return x;
 }
 
-// Scripted windows validated + random windows drawn over the trace span,
-// then merged into a sorted, non-overlapping schedule.
-std::vector<OutageWindow> build_schedule(const FaultSpec& spec,
-                                         const trace::TimeSeries& trace) {
+}  // namespace
+
+std::vector<OutageWindow> build_outage_schedule(
+    const std::vector<OutageWindow>& scripted, double rate_per_min,
+    double mean_s, std::uint64_t seed, const trace::TimeSeries& trace) {
   std::vector<OutageWindow> windows;
-  for (const auto& w : spec.outages) {
+  for (const auto& w : scripted) {
     if (w.end_s < w.start_s) {
       throw std::invalid_argument("FaultSpec: outage window ends before it starts");
     }
     if (w.duration_s() > 0.0) windows.push_back(w);
   }
 
-  if (spec.outage_rate_per_min > 0.0) {
-    eacs::Rng rng(spec.seed ^ 0x0074'A6E5ULL);
-    const double rate_per_s = spec.outage_rate_per_min / 60.0;
-    const double mean_s = std::max(spec.outage_mean_s, 1e-3);
+  if (rate_per_min > 0.0) {
+    eacs::Rng rng(seed);
+    const double rate_per_s = rate_per_min / 60.0;
+    const double clamped_mean_s = std::max(mean_s, 1e-3);
     double t = trace.start_time() + rng.exponential(rate_per_s);
     while (t < trace.end_time()) {
-      const double duration = rng.exponential(1.0 / mean_s);
+      const double duration = rng.exponential(1.0 / clamped_mean_s);
       windows.push_back({t, t + duration});
       t += duration + rng.exponential(rate_per_s);
     }
@@ -57,10 +58,8 @@ std::vector<OutageWindow> build_schedule(const FaultSpec& spec,
   return merged;
 }
 
-// The original trace with every outage window forced to zero. Window edges
-// become zero-width step breakpoints (duplicate timestamps).
-trace::TimeSeries effective_trace(const trace::TimeSeries& original,
-                                  const std::vector<OutageWindow>& windows) {
+trace::TimeSeries outage_zeroed_trace(const trace::TimeSeries& original,
+                                      const std::vector<OutageWindow>& windows) {
   if (windows.empty()) return original;
 
   const auto inside = [&](double t) {
@@ -105,14 +104,15 @@ trace::TimeSeries effective_trace(const trace::TimeSeries& original,
   return out;
 }
 
-}  // namespace
-
 FaultInjector::FaultInjector(const trace::TimeSeries& throughput_mbps, FaultSpec spec,
                              const trace::TimeSeries* signal_dbm)
     : spec_(std::move(spec)),
       signal_(signal_dbm),
-      schedule_(build_schedule(spec_, throughput_mbps)),
-      downloader_(effective_trace(throughput_mbps, schedule_)) {
+      schedule_(build_outage_schedule(spec_.outages, spec_.outage_rate_per_min,
+                                      spec_.outage_mean_s,
+                                      spec_.seed ^ 0x0074'A6E5ULL,
+                                      throughput_mbps)),
+      downloader_(outage_zeroed_trace(throughput_mbps, schedule_)) {
   if (spec_.failure_prob < 0.0 || spec_.failure_prob > 1.0 ||
       spec_.stall_prob < 0.0 || spec_.stall_prob > 1.0) {
     throw std::invalid_argument("FaultSpec: probabilities must be in [0, 1]");

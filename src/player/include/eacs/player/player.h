@@ -16,19 +16,28 @@
 // failing. Aborted attempts are accounted as wasted bytes / wasted wall
 // time, which eacs::sim prices as wasted download energy.
 //
-// Both overloads are thin configurations of the unified player::SessionEngine
+// A further overload replays the session against N CDN sources (one per
+// manifest BaseURL): per-source server faults, deterministic circuit
+// breakers, health-scored failover and hedged requests — the multi-source
+// delivery machinery of segment_source.h driven by the engine's CDN state
+// machine.
+//
+// All overloads are thin configurations of the unified player::SessionEngine
 // (session_engine.h): the fault-free path runs a SoloLinkModel, the
-// fault-injected path a FaultLinkModel. Pass a SessionObserver (e.g.
-// SessionTimeline) to receive the structured per-event log of a run.
+// fault-injected path a FaultLinkModel, the multi-source path a
+// CdnLinkModel. Pass a SessionObserver (e.g. SessionTimeline) to receive the
+// structured per-event log of a run.
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "eacs/media/manifest.h"
 #include "eacs/net/bandwidth_estimator.h"
 #include "eacs/net/downloader.h"
 #include "eacs/net/fault_injector.h"
+#include "eacs/net/segment_source.h"
 #include "eacs/player/abr_policy.h"
 #include "eacs/sensors/sensor_faults.h"
 #include "eacs/sensors/sensor_health.h"
@@ -75,6 +84,20 @@ struct ResilienceConfig {
   double abandon_factor = 2.0;
   double abandon_probe_s = 1.0;
   double abandon_min_buffer_s = 4.0;  ///< never abandon with this much buffer
+
+  // --- Multi-source CDN delivery (consulted only on CdnLinkModel runs with
+  // more than one source or a non-trivial source; see segment_source.h) ----
+
+  /// Hedged requests: when the primary source has neither completed nor
+  /// terminally failed by `hedge_fraction * attempt_deadline_s` into an
+  /// attempt, duplicate the fetch to the best backup source. The first
+  /// successful finisher wins; the loser's bytes are priced as wasted
+  /// download energy through the existing accounting.
+  bool hedge_enabled = true;
+  double hedge_fraction = 0.5;
+
+  /// Source scoring (EWMA throughput) and the per-source circuit breaker.
+  net::SourceSelectorConfig source_selector;
 };
 
 /// Player buffer configuration (paper: B = 30 s threshold).
@@ -119,9 +142,14 @@ struct TaskRecord {
   std::size_t retries = 0;          ///< aborted attempts before success
   bool abandoned = false;           ///< a mid-download abandonment occurred
   double wasted_mb = 0.0;           ///< bytes moved by aborted attempts
-  double wasted_download_s = 0.0;   ///< wall time spent in aborted attempts
+  double wasted_download_s = 0.0;   ///< connection time spent in aborted
+                                    ///< attempts (hedge legs overlap wall time)
   double wasted_signal_dbm = -90.0; ///< byte-weighted mean signal over waste
   double backoff_s = 0.0;           ///< wall time spent backing off
+
+  // Multi-source CDN accounting (zero outside CdnLinkModel runs).
+  std::size_t source = 0;           ///< source that served the winning attempt
+  std::size_t hedges = 0;           ///< hedged duplicates issued for this segment
 };
 
 /// Whole-session outcome.
@@ -138,6 +166,11 @@ struct PlaybackResult {
   std::size_t abandoned_segments = 0;
   double total_wasted_mb = 0.0;
   double total_backoff_s = 0.0;
+
+  // Multi-source CDN totals (zero outside CdnLinkModel runs).
+  std::size_t total_hedges = 0;        ///< hedged duplicates issued
+  std::size_t total_failovers = 0;     ///< primary-source switches
+  std::size_t breaker_transitions = 0; ///< circuit-breaker state changes
 
   /// Total downloaded data in MB (successful attempts only; wasted bytes are
   /// tracked in total_wasted_mb).
@@ -180,6 +213,17 @@ class PlayerSimulator {
   PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
                      const net::FaultInjector& faults,
                      const sensors::SensorFaultInjector& sensor_faults,
+                     SessionObserver* observer = nullptr) const;
+
+  /// Replays the session against N CDN sources (manifest BaseURLs) with
+  /// per-source server faults, circuit breakers, failover and hedged
+  /// requests (ResilienceConfig's CDN knobs). A single *trivial* source —
+  /// default CdnFaultSpec, capacity scale 1, RTT 0 — is a strict no-op:
+  /// the result is bit-identical to the fault-free overload. Sources are
+  /// unowned and must outlive the call; throws std::invalid_argument when
+  /// `sources` is empty.
+  PlaybackResult run(AbrPolicy& policy, const trace::SessionTraces& session,
+                     std::span<const net::SegmentSource> sources,
                      SessionObserver* observer = nullptr) const;
 
  private:

@@ -14,6 +14,11 @@
 //                       time out, engaging ResilienceConfig's state machine
 //                       (deadlines, bounded retries, backoff, degradation,
 //                       abandonment, rescue fetch);
+//  * CdnLinkModel     — multi-source CDN delivery: N SegmentSources with
+//                       per-source server faults; the engine adds circuit
+//                       breakers, health-scored failover and hedged requests
+//                       (first successful finisher wins, the loser's bytes
+//                       are priced as wasted energy);
 //  * SharedLinkModel  — processor-sharing bottleneck: concurrent downloads
 //                       split the capacity equally; integrated on a fixed
 //                       step grid with sub-step completions resolved exactly.
@@ -38,6 +43,7 @@
 
 #include "eacs/net/downloader.h"
 #include "eacs/net/fault_injector.h"
+#include "eacs/net/segment_source.h"
 #include "eacs/player/abr_policy.h"
 #include "eacs/player/player.h"
 #include "eacs/sensors/sensor_faults.h"
@@ -69,6 +75,13 @@ enum class SessionEventType {
   kStall,             ///< buffer hit empty; value = stall seconds
   kStartup,           ///< playback began for this client
   kFaultTransition,   ///< outage boundary crossed; value = 1 enter, 0 leave
+  kSourceFailover,    ///< CDN links: primary source switched; source = new
+                      ///< primary, value = the previous source index
+  kHedgeIssued,       ///< CDN links: duplicate fetch sent; source = backup
+  kHedgeComplete,     ///< CDN links: hedged race resolved; source = winner,
+                      ///< value = 0 primary won, 1 the hedge won
+  kBreakerTransition, ///< CDN links: breaker changed state; source = which,
+                      ///< value = new state (0 closed, 1 open, 2 half-open)
   kSessionEnd,        ///< engine run finished (client = kNoIndex)
 };
 
@@ -83,6 +96,7 @@ struct SessionEvent {
   std::size_t segment = kNoIndex;   ///< segment the event concerns
   std::size_t attempt = kNoIndex;   ///< attempt number (fault links)
   std::size_t level = kNoIndex;     ///< ladder level in play
+  std::size_t source = kNoIndex;    ///< CDN source index (CDN links only)
   double buffer_s = 0.0;            ///< client buffer after the event
   double value = 0.0;               ///< type-specific payload (see enum docs)
 };
@@ -106,7 +120,7 @@ class SessionTimeline final : public SessionObserver {
   void clear() { events_.clear(); }
 
   /// CSV: header + one row per event (t_s,client,event,segment,attempt,
-  /// level,buffer_s,value); kNoIndex prints as -1, doubles as %.17g.
+  /// level,source,buffer_s,value); kNoIndex prints as -1, doubles as %.17g.
   void write_csv(std::ostream& out) const;
   void write_csv(const std::string& path) const;
 
@@ -178,6 +192,13 @@ class LinkModel {
   virtual const std::vector<net::OutageWindow>* outage_schedule() const noexcept {
     return nullptr;
   }
+  /// CDN links only: the session's segment sources. Non-empty together with
+  /// unreliable() engages the engine's multi-source failover machine
+  /// (per-source breakers, health-scored selection, hedged requests)
+  /// instead of the single-source resilience machine.
+  virtual std::span<const net::SegmentSource> sources() const noexcept {
+    return {};
+  }
 
   // --- stepped links ------------------------------------------------------
   /// Instantaneous shared capacity at `t_s` (Mbps).
@@ -219,6 +240,37 @@ class FaultLinkModel final : public LinkModel {
 
  private:
   const net::FaultInjector* faults_;
+};
+
+/// Multi-source CDN delivery: N SegmentSources (unowned, must outlive the
+/// model), one per manifest BaseURL. unreliable() is false only for a single
+/// *trivial* source (default CdnFaultSpec, scale 1, RTT 0) — the engine then
+/// takes the plain fast path over that source's downloader, which is the
+/// certified no-op the sim studies' baselines rely on. Otherwise the engine
+/// runs the CDN failover machine: per-source circuit breakers, health-scored
+/// source selection and hedged requests (ResilienceConfig's CDN knobs).
+/// The analytic LinkModel methods delegate to source 0 (the origin), which
+/// also provides the fault seed for backoff jitter and the outage schedule
+/// surfaced as kFaultTransition events.
+class CdnLinkModel final : public LinkModel {
+ public:
+  /// Throws std::invalid_argument on an empty source list.
+  explicit CdnLinkModel(std::span<const net::SegmentSource> sources);
+
+  bool unreliable() const noexcept override;
+  net::AttemptOutcome attempt(std::size_t segment, std::size_t attempt,
+                              double start_s, double size_megabits) const override;
+  net::DownloadResult rescue(double start_s, double size_megabits) const override;
+  double megabits_over(double t0, double t1) const override;
+  bool in_outage(double t_s) const noexcept override;
+  std::uint64_t fault_seed() const noexcept override;
+  const std::vector<net::OutageWindow>* outage_schedule() const noexcept override;
+  std::span<const net::SegmentSource> sources() const noexcept override {
+    return sources_;
+  }
+
+ private:
+  std::span<const net::SegmentSource> sources_;
 };
 
 /// Processor-sharing bottleneck: the engine divides capacity_at(t) equally

@@ -93,6 +93,22 @@ PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
 
 PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
                                     const trace::SessionTraces& session,
+                                    std::span<const net::SegmentSource> sources,
+                                    SessionObserver* observer) const {
+  const CdnLinkModel link(sources);
+  // A single trivial source is a strict no-op pass-through: delegate to the
+  // plain solo link so results stay bit-identical to the fault-free overload.
+  if (!link.unreliable()) return run(policy, session, observer);
+
+  const SessionClient client{&manifest_, &policy, &session, 0.0};
+  const SessionEngine engine(SessionEngineConfig{config_, 0.05, 7200.0});
+  auto results = engine.run(std::span<const SessionClient>(&client, 1), link,
+                            observer);
+  return std::move(results.front());
+}
+
+PlaybackResult PlayerSimulator::run(AbrPolicy& policy,
+                                    const trace::SessionTraces& session,
                                     const net::FaultInjector& faults,
                                     const sensors::SensorFaultInjector& sensor_faults,
                                     SessionObserver* observer) const {

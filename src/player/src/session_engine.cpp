@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <ostream>
 #include <stdexcept>
@@ -29,7 +30,8 @@ double drain_buffer(bool playing, double& buffer_s, double dt) {
 void emit_event(SessionObserver* observer, SessionEventType type, double t_s,
                 std::size_t client, std::size_t segment = kNoIndex,
                 std::size_t attempt = kNoIndex, std::size_t level = kNoIndex,
-                double buffer_s = 0.0, double value = 0.0) {
+                double buffer_s = 0.0, double value = 0.0,
+                std::size_t source = kNoIndex) {
   if (observer == nullptr) return;
   SessionEvent event;
   event.type = type;
@@ -38,6 +40,7 @@ void emit_event(SessionObserver* observer, SessionEventType type, double t_s,
   event.segment = segment;
   event.attempt = attempt;
   event.level = level;
+  event.source = source;
   event.buffer_s = buffer_s;
   event.value = value;
   observer->on_event(event);
@@ -161,6 +164,10 @@ const char* to_string(SessionEventType type) noexcept {
     case SessionEventType::kStall: return "stall";
     case SessionEventType::kStartup: return "startup";
     case SessionEventType::kFaultTransition: return "fault_transition";
+    case SessionEventType::kSourceFailover: return "source_failover";
+    case SessionEventType::kHedgeIssued: return "hedge_issued";
+    case SessionEventType::kHedgeComplete: return "hedge_complete";
+    case SessionEventType::kBreakerTransition: return "breaker_transition";
     case SessionEventType::kSessionEnd: return "session_end";
   }
   return "unknown";
@@ -181,13 +188,13 @@ std::size_t SessionTimeline::count(SessionEventType type) const noexcept {
 }
 
 void SessionTimeline::write_csv(std::ostream& out) const {
-  out << "t_s,client,event,segment,attempt,level,buffer_s,value\n";
+  out << "t_s,client,event,segment,attempt,level,source,buffer_s,value\n";
   for (const auto& event : events_) {
     out << format_double(event.t_s) << ',' << signed_index(event.client) << ','
         << to_string(event.type) << ',' << signed_index(event.segment) << ','
         << signed_index(event.attempt) << ',' << signed_index(event.level) << ','
-        << format_double(event.buffer_s) << ',' << format_double(event.value)
-        << '\n';
+        << signed_index(event.source) << ',' << format_double(event.buffer_s)
+        << ',' << format_double(event.value) << '\n';
   }
 }
 
@@ -208,7 +215,8 @@ void SessionTimeline::write_json(std::ostream& out) const {
         << to_string(event.type) << "\", \"segment\": "
         << signed_index(event.segment) << ", \"attempt\": "
         << signed_index(event.attempt) << ", \"level\": "
-        << signed_index(event.level) << ", \"buffer_s\": "
+        << signed_index(event.level) << ", \"source\": "
+        << signed_index(event.source) << ", \"buffer_s\": "
         << format_double(event.buffer_s) << ", \"value\": "
         << format_double(event.value) << "}";
   }
@@ -280,6 +288,51 @@ std::uint64_t FaultLinkModel::fault_seed() const noexcept {
 const std::vector<net::OutageWindow>* FaultLinkModel::outage_schedule()
     const noexcept {
   return &faults_->outage_schedule();
+}
+
+CdnLinkModel::CdnLinkModel(std::span<const net::SegmentSource> sources)
+    : sources_(sources) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("CdnLinkModel: need at least one source");
+  }
+}
+
+bool CdnLinkModel::unreliable() const noexcept {
+  // A single trivial source cannot perturb anything: take the fast path.
+  return sources_.size() > 1 || !sources_[0].trivial();
+}
+
+net::AttemptOutcome CdnLinkModel::attempt(std::size_t segment,
+                                          std::size_t attempt, double start_s,
+                                          double size_megabits) const {
+  // Only reached on the fast path (single trivial source): a plain download
+  // against the source's (bitwise-original) trace.
+  net::AttemptOutcome outcome;
+  outcome.result =
+      sources_[0].attempt(segment, attempt, start_s, size_megabits).result;
+  return outcome;
+}
+
+net::DownloadResult CdnLinkModel::rescue(double start_s,
+                                         double size_megabits) const {
+  return sources_[0].rescue(start_s, size_megabits);
+}
+
+double CdnLinkModel::megabits_over(double t0, double t1) const {
+  return sources_[0].megabits_over(t0, t1);
+}
+
+bool CdnLinkModel::in_outage(double t_s) const noexcept {
+  return sources_[0].in_outage(t_s);
+}
+
+std::uint64_t CdnLinkModel::fault_seed() const noexcept {
+  return sources_[0].config().faults.seed;
+}
+
+const std::vector<net::OutageWindow>* CdnLinkModel::outage_schedule()
+    const noexcept {
+  return &sources_[0].outage_schedule();
 }
 
 SharedLinkModel::SharedLinkModel(const trace::TimeSeries& capacity_mbps)
@@ -367,6 +420,19 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
   OutageTransitionEmitter outages(unreliable ? link.outage_schedule() : nullptr,
                                   observer, 0);
 
+  // Multi-source CDN runs: per-run failover state (breakers + EWMA scores)
+  // lives in the selector; constructed only when the machine is engaged so
+  // every other path stays untouched.
+  const std::span<const net::SegmentSource> cdn_sources = link.sources();
+  const bool cdn = unreliable && !cdn_sources.empty();
+  std::optional<net::SourceSelector> selector;
+  std::vector<net::BreakerState> breaker_seen;
+  std::size_t active_source = 0;
+  if (cdn) {
+    selector.emplace(cdn_sources, res.source_selector);
+    breaker_seen.assign(cdn_sources.size(), net::BreakerState::kClosed);
+  }
+
   emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
   emit_event(observer, SessionEventType::kClientJoin, 0.0, 0);
 
@@ -435,6 +501,8 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     bool abandoned = false;
     std::size_t attempt = 0;
     std::size_t level = requested;
+    std::size_t serving = 0;        // CDN: source of the winning attempt
+    std::size_t segment_hedges = 0; // CDN: hedged duplicates this segment
     net::DownloadResult success;
 
     if (!unreliable) {
@@ -442,6 +510,236 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
       emit_event(observer, SessionEventType::kRequestIssued, now, 0, i, 0,
                  requested, buffer, size_megabits);
       success = link.attempt(i, 0, now, size_megabits).result;
+    } else if (cdn) {
+      // --- Multi-source CDN failover machine ----------------------------
+      // The single-source machine below generalised to N sources: the
+      // selector picks the healthiest source per attempt (circuit breakers
+      // + EWMA throughput scores), every abort feeds the breakers, and an
+      // attempt the primary cannot resolve by the hedge point is duplicated
+      // on the best backup — the first successful finisher wins and the
+      // loser's bytes are priced as wasted download energy.
+      net::SourceSelector& sel = *selector;
+      constexpr double kNever = std::numeric_limits<double>::infinity();
+
+      // Emits kBreakerTransition for every breaker whose state changed
+      // since last reported.
+      const auto note_breakers = [&](double t) {
+        for (std::size_t s = 0; s < cdn_sources.size(); ++s) {
+          const net::BreakerState st = sel.breaker(s).state();
+          if (st != breaker_seen[s]) {
+            breaker_seen[s] = st;
+            ++result.breaker_transitions;
+            emit_event(observer, SessionEventType::kBreakerTransition, t, 0, i,
+                       attempt, level, buffer, static_cast<double>(st), s);
+          }
+        }
+      };
+      // Advances the wall clock over an aborted round (every leg dead).
+      const auto advance_abort = [&](double abort_at, double moved) {
+        const double elapsed = abort_at - now;
+        bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
+        drain(elapsed);
+        now = abort_at;
+      };
+      const auto add_waste = [&](double megabits, double from, double until) {
+        wasted_megabits += megabits;
+        if (megabits > 0.0) {
+          wasted_signal_weight +=
+              megabits * session.signal_dbm.mean_over(from, until);
+        }
+        wasted_time += until - from;
+      };
+      // Megabits a leg moved from its start up to `until`.
+      const auto moved_by = [&](const net::SourceAttemptOutcome& leg,
+                                const net::SegmentSource& src, double from,
+                                double until, double size) {
+        if (until <= from) return 0.0;
+        if (leg.failed && leg.fail_at_s <= until) return size * leg.fail_fraction;
+        if (leg.kind == net::CdnAttemptClass::kSlow) {
+          return std::min(size, leg.result.mean_throughput_mbps * (until - from));
+        }
+        return std::min(size, src.megabits_over(from, until));
+      };
+
+      for (;;) {
+        // Rung for this attempt (same ladder walk as the single-source
+        // machine): the policy's choice first, then one rung down per retry,
+        // then the lowest rung while delivery keeps failing.
+        if (attempt == 0) {
+          level = requested;
+        } else if (attempt >= res.degrade_after) {
+          level = lowest;
+        } else {
+          level = requested > attempt ? std::max(lowest, requested - attempt) : lowest;
+        }
+        const double size_megabits = manifest.segment_size_megabits(i, level);
+
+        if (attempt >= res.max_retries) {
+          // Rescue fetch from the healthiest source: held open until it
+          // completes; guarantees bounded retries and session termination.
+          serving = sel.pick_primary(now);
+          note_breakers(now);
+          emit_event(observer, SessionEventType::kRequestIssued, now, 0, i,
+                     attempt, level, buffer, size_megabits, serving);
+          success = cdn_sources[serving].rescue(now, size_megabits);
+          break;
+        }
+
+        const std::size_t primary = sel.pick_primary(now);
+        note_breakers(now);
+        if (primary != active_source) {
+          ++result.total_failovers;
+          emit_event(observer, SessionEventType::kSourceFailover, now, 0, i,
+                     attempt, level, buffer,
+                     static_cast<double>(active_source), primary);
+          active_source = primary;
+        }
+        emit_event(observer, SessionEventType::kRequestIssued, now, 0, i,
+                   attempt, level, buffer, size_megabits, primary);
+
+        const auto p =
+            cdn_sources[primary].attempt(i, attempt, now, size_megabits);
+        const double deadline = now + res.attempt_deadline_s;
+        const double hedge_at = now + res.hedge_fraction * res.attempt_deadline_s;
+        const double p_success_at = p.failed ? kNever : p.result.end_s;
+
+        // Hedge: the primary is neither done nor terminally failed by the
+        // hedge point and a healthy backup exists.
+        bool hedged = false;
+        std::size_t backup = 0;
+        net::SourceAttemptOutcome h;
+        if (res.hedge_enabled && cdn_sources.size() > 1 &&
+            hedge_at < deadline && p_success_at > hedge_at &&
+            !(p.failed && p.fail_at_s <= hedge_at)) {
+          const auto pick = sel.pick_backup(hedge_at, primary);
+          note_breakers(hedge_at);
+          if (pick.has_value()) {
+            backup = *pick;
+            h = cdn_sources[backup].attempt(i, attempt, hedge_at, size_megabits);
+            hedged = true;
+            ++segment_hedges;
+            ++result.total_hedges;
+            emit_event(observer, SessionEventType::kHedgeIssued, hedge_at, 0,
+                       i, attempt, level, buffer, size_megabits, backup);
+          }
+        }
+        const double h_success_at = hedged && !h.failed ? h.result.end_s : kNever;
+
+        // Winner: earliest successful completion within the deadline; an
+        // exact tie goes to the primary.
+        const bool p_wins =
+            p_success_at <= deadline && p_success_at <= h_success_at;
+        const bool h_wins = !p_wins && h_success_at <= deadline;
+
+        if (p_wins || h_wins) {
+          // Abandonment is considered only for an unhedged primary win —
+          // identical semantics to the single-source machine.
+          if (p_wins && !hedged && res.abandon_enabled && !abandoned &&
+              playing && level > lowest && buffer < res.abandon_min_buffer_s &&
+              p.result.duration_s() > res.abandon_factor * buffer &&
+              now + res.abandon_probe_s < p.result.end_s) {
+            const double probe_end = now + res.abandon_probe_s;
+            const double moved = std::min(
+                size_megabits, cdn_sources[primary].megabits_over(now, probe_end));
+            outages.advance_to(probe_end);
+            emit_event(observer, SessionEventType::kAttemptAbandoned, probe_end,
+                       0, i, attempt, level, buffer, moved, primary);
+            add_waste(moved, now, probe_end);
+            advance_abort(probe_end, moved);
+            abandoned = true;
+            ++attempt;
+            continue;
+          }
+
+          const double win_end = p_wins ? p_success_at : h_success_at;
+          const std::size_t win_src = p_wins ? primary : backup;
+          if (hedged) {
+            // The losing leg is cancelled at the winner's completion; its
+            // bytes are waste. A leg feeds its breaker when it actually
+            // *failed*, or when it could not have met the attempt deadline
+            // anyway (a timeout regardless of cancellation) — cancelling a
+            // leg that was merely slower than the winner is not a server
+            // fault.
+            if (p_wins) {
+              const double moved = moved_by(h, cdn_sources[backup], hedge_at,
+                                            win_end, size_megabits);
+              add_waste(moved, hedge_at, win_end);
+              if (h.failed && h.fail_at_s <= win_end) {
+                sel.record(backup, false, 0.0, h.fail_at_s);
+              } else if (h_success_at > deadline) {
+                sel.record(backup, false, 0.0, win_end);
+              }
+            } else {
+              const double moved = moved_by(p, cdn_sources[primary], now,
+                                            win_end, size_megabits);
+              add_waste(moved, now, win_end);
+              if (p.failed && p.fail_at_s <= win_end) {
+                sel.record(primary, false, 0.0, p.fail_at_s);
+              } else if (p_success_at > deadline) {
+                sel.record(primary, false, 0.0, win_end);
+              }
+            }
+            emit_event(observer, SessionEventType::kHedgeComplete, win_end, 0,
+                       i, attempt, level, buffer, p_wins ? 0.0 : 1.0, win_src);
+          }
+          const net::DownloadResult& win = p_wins ? p.result : h.result;
+          sel.record(win_src, true, win.mean_throughput_mbps, win_end);
+          note_breakers(win_end);
+          success = win;
+          serving = win_src;
+          break;
+        }
+
+        // No leg delivered by the deadline. Every leg terminally dead before
+        // it: abort at the later death (a failure); otherwise the deadline
+        // fires (a timeout).
+        bool fail_abort = false;
+        double abort_at = deadline;
+        if (!hedged) {
+          if (p.failed && p.fail_at_s <= deadline) {
+            fail_abort = true;
+            abort_at = p.fail_at_s;
+          }
+        } else if (p.failed && p.fail_at_s <= deadline && h.failed &&
+                   h.fail_at_s <= deadline) {
+          fail_abort = true;
+          abort_at = std::max(p.fail_at_s, h.fail_at_s);
+        }
+
+        const auto leg_abort = [&](const net::SourceAttemptOutcome& leg,
+                                   const net::SegmentSource& src,
+                                   std::size_t src_index, double from) {
+          const double until =
+              leg.failed ? std::min(abort_at, leg.fail_at_s) : abort_at;
+          const double moved = moved_by(leg, src, from, until, size_megabits);
+          add_waste(moved, from, until);
+          sel.record(src_index, false, 0.0, until);
+          return moved;
+        };
+        double moved_total = leg_abort(p, cdn_sources[primary], primary, now);
+        if (hedged) {
+          moved_total += leg_abort(h, cdn_sources[backup], backup, hedge_at);
+        }
+        outages.advance_to(abort_at);
+        emit_event(observer,
+                   fail_abort ? SessionEventType::kAttemptFailure
+                              : SessionEventType::kAttemptDeadline,
+                   abort_at, 0, i, attempt, level, buffer, moved_total, primary);
+        policy.on_download_failure(
+            {i, attempt, abort_at, cdn_sources[primary].in_outage(abort_at)});
+        note_breakers(abort_at);
+        advance_abort(abort_at, moved_total);
+
+        const double wait = retry_backoff_s(res, link.fault_seed(), i, attempt);
+        outages.advance_to(now + wait);
+        drain(wait);
+        now += wait;
+        backoff_total += wait;
+        emit_event(observer, SessionEventType::kBackoffExpiry, now, 0, i,
+                   attempt, level, buffer, wait);
+        ++attempt;
+      }
+      // ------------------------------------------------------------------
     } else {
       // --- Per-segment resilience state machine -------------------------
       // Abort the in-flight attempt at `abort_at`, having moved `moved`
@@ -540,7 +838,10 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
       // ------------------------------------------------------------------
     }
 
-    const double download_time = success.duration_s();
+    // Wall time this segment's winning transfer occupied. On non-CDN paths
+    // success.start_s == now bit-for-bit, so this equals duration_s(); a
+    // hedge winner starts at the hedge point, after `now`.
+    const double download_time = success.end_s - now;
     outages.advance_to(success.end_s);
     drain(download_time);
     now = success.end_s;
@@ -563,6 +864,8 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     task.wasted_signal_dbm =
         wasted_megabits > 0.0 ? wasted_signal_weight / wasted_megabits : -90.0;
     task.backoff_s = backoff_total;
+    task.source = serving;
+    task.hedges = segment_hedges;
 
     if (stall_total > kStallEpsilon) {
       result.total_rebuffer_s += stall_total;

@@ -1,0 +1,135 @@
+#pragma once
+// CDN fault study (extension; sibling of fault_study.h / sensor_fault_study.h).
+//
+// The fault-tolerance study stresses the *link*, the sensor-fault study the
+// *sensing*; this study stresses the *servers*. It replays every Table V
+// session against N CDN sources (net::SegmentSource) whose origin misbehaves
+// — scripted/seeded outages, HTTP error episodes, truncated/corrupted
+// payloads, slow-start degradation — sweeping fault family x intensity x
+// source count, and reports QoE / energy / rebuffering / wasted-download
+// energy plus failover, hedge and circuit-breaker activity. The
+// source-count-1 column is the single-source retry-only baseline: the same
+// faulty origin with no failover target, so every cell's deltas quantify
+// what multi-source delivery (circuit breakers + health-scored failover +
+// hedged requests) buys over pure retry. Deterministic in (config, seed) at
+// any job count.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eacs/sim/evaluation.h"
+
+namespace eacs::sim {
+
+/// Server-side failure families swept by the study; each maps onto the
+/// corresponding net::CdnFaultSpec knobs applied to the origin source.
+enum class CdnFaultFamily {
+  kOriginOutage,       ///< long seeded outages (tens of seconds of dead origin)
+  kErrorBursts,        ///< HTTP 4xx/5xx error episodes
+  kPayloadCorruption,  ///< truncated and corrupted segment payloads
+  kSlowStart,          ///< per-request throughput collapse (overloaded origin)
+  kCombined,           ///< all of the above at half strength
+};
+
+/// Stable lower-case identifier (tables, CSV, logs).
+const char* to_string(CdnFaultFamily family) noexcept;
+
+/// All families, in sweep order.
+std::vector<CdnFaultFamily> all_cdn_fault_families();
+
+/// Sweep configuration. Intensity linearly scales the family's fault knobs;
+/// the defaults give a (family x {0.5, 1} x {1, 2, 3}) grid whose
+/// source-count-1 column is the retry-only baseline.
+struct CdnFaultStudyConfig {
+  EvaluationConfig evaluation;
+
+  /// Families to sweep; empty = all_cdn_fault_families().
+  std::vector<CdnFaultFamily> families;
+
+  /// Scales the faulty origin's knobs below (1.0 = the listed values).
+  std::vector<double> intensities = {0.5, 1.0};
+
+  /// Sources per cell: the origin plus (count - 1) clean but lower-capacity
+  /// edges. Include 1 to get the retry-only baseline the deltas refer to.
+  std::vector<std::size_t> source_counts = {1, 2, 3};
+
+  // Origin fault knobs at intensity 1 -------------------------------------
+  double outage_rate_per_min = 0.8;  ///< kOriginOutage: outage density
+  double outage_mean_s = 40.0;       ///< kOriginOutage: long origin outages
+  double error_rate_per_min = 2.0;   ///< kErrorBursts: episode density
+  double error_episode_mean_s = 10.0;
+  double truncate_prob = 0.15;       ///< kPayloadCorruption
+  double corrupt_prob = 0.10;        ///< kPayloadCorruption
+  double slow_start_prob = 0.5;      ///< kSlowStart
+  double slow_scale = 0.25;          ///< kSlowStart: residual throughput
+
+  // Edge-source shape: edge k (1-based) serves at capacity
+  // max(edge_scale_floor, 1 - k * edge_scale_step) with k * edge_rtt_step_s
+  // of extra per-request latency — a farther, smaller cache.
+  double edge_scale_step = 0.15;
+  double edge_scale_floor = 0.4;
+  double edge_rtt_step_s = 0.03;
+
+  /// Hedged requests on multi-source cells (ResilienceConfig::hedge_enabled).
+  bool hedge_enabled = true;
+
+  std::uint64_t seed = 0xCD4F'A170'57D1ULL;
+};
+
+/// One (family, intensity, source count) grid point: the delivery-robust
+/// player aggregated across the Table V sessions.
+struct CdnFaultCell {
+  CdnFaultFamily family = CdnFaultFamily::kOriginOutage;
+  double intensity = 0.0;
+  std::size_t sources = 1;
+
+  double mean_qoe = 0.0;         ///< mean across sessions
+  double total_energy_j = 0.0;   ///< summed across sessions (incl. waste)
+  double wasted_energy_j = 0.0;  ///< summed across sessions
+  double rebuffer_s = 0.0;       ///< summed across sessions
+  double mean_bitrate_mbps = 0.0;
+  std::size_t retries = 0;
+  std::size_t hedges = 0;
+  std::size_t failovers = 0;
+  std::size_t breaker_transitions = 0;
+
+  /// Deltas vs. the source-count-1 (retry-only) cell of the same family and
+  /// intensity. Zero when the sweep omits source count 1.
+  double qoe_delta_vs_single = 0.0;
+  double energy_delta_vs_single_j = 0.0;
+  double rebuffer_delta_vs_single_s = 0.0;
+
+  /// Deltas vs. the fault-free single-source run over the same sessions.
+  double qoe_delta_vs_clean = 0.0;
+  double rebuffer_delta_vs_clean_s = 0.0;
+};
+
+/// Aggregate of the fault-free reference run.
+struct CdnFaultBaseline {
+  std::string algorithm;
+  double mean_qoe = 0.0;
+  double total_energy_j = 0.0;
+  double rebuffer_s = 0.0;
+  double mean_bitrate_mbps = 0.0;
+};
+
+/// Full sweep outcome.
+struct CdnFaultStudyResult {
+  CdnFaultBaseline clean;             ///< fault-free single-source reference
+  std::vector<CdnFaultCell> cells;    ///< family-major, then intensity, then
+                                      ///< source count
+
+  /// Throws std::out_of_range when the cell is absent.
+  const CdnFaultCell& cell(CdnFaultFamily family, double intensity,
+                           std::size_t sources) const;
+};
+
+/// Runs the sweep. Sessions are built once and shared; each (grid point,
+/// session) fault seed derives from config.seed and per-source draws are
+/// decorrelated by source id inside net::SegmentSource, so the whole table
+/// is reproducible bit-for-bit at any job count.
+CdnFaultStudyResult run_cdn_fault_study(const CdnFaultStudyConfig& config = {});
+
+}  // namespace eacs::sim

@@ -75,6 +75,57 @@ TEST(MpdTest, RoundTripEvaluationLadder) {
   EXPECT_DOUBLE_EQ(parsed.ladder().highest_bitrate(), 5.8);
 }
 
+TEST(MpdTest, RoundTripBaseUrls) {
+  auto original = sample_manifest();
+  original.set_base_urls({"https://origin.example.com/v/",
+                          "https://edge-1.example.net/v/",
+                          "https://edge-2.example.net/v/"});
+  const auto xml = to_mpd_xml(original);
+  EXPECT_NE(xml.find("<BaseURL>https://origin.example.com/v/</BaseURL>"),
+            std::string::npos);
+  const auto parsed = from_mpd_xml(xml);
+  // Document order is priority order: the first BaseURL is the default
+  // origin, so the round-trip must preserve ordering exactly.
+  ASSERT_EQ(parsed.base_urls().size(), 3U);
+  EXPECT_EQ(parsed.base_urls()[0], "https://origin.example.com/v/");
+  EXPECT_EQ(parsed.base_urls()[1], "https://edge-1.example.net/v/");
+  EXPECT_EQ(parsed.base_urls()[2], "https://edge-2.example.net/v/");
+}
+
+TEST(MpdTest, NoBaseUrlsOmitsElementAndParsesEmpty) {
+  const auto original = sample_manifest();
+  const auto xml = to_mpd_xml(original);
+  EXPECT_EQ(xml.find("<BaseURL"), std::string::npos);
+  EXPECT_TRUE(from_mpd_xml(xml).base_urls().empty());
+}
+
+TEST(MpdTest, BaseUrlsEscapeRoundTrip) {
+  auto original = sample_manifest();
+  original.set_base_urls({"https://cdn.example.com/a?b=1&c=<2>"});
+  const auto parsed = from_mpd_xml(to_mpd_xml(original));
+  ASSERT_EQ(parsed.base_urls().size(), 1U);
+  EXPECT_EQ(parsed.base_urls()[0], "https://cdn.example.com/a?b=1&c=<2>");
+}
+
+TEST(MpdTest, ParsesForeignMpdWithBaseUrls) {
+  const char* foreign = R"(<?xml version="1.0"?>
+<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static"
+     mediaPresentationDuration="PT60S">
+  <BaseURL>https://a.example.com/</BaseURL>
+  <BaseURL>https://b.example.com/</BaseURL>
+  <Period>
+    <AdaptationSet contentType="video">
+      <SegmentTemplate timescale="1000" duration="4000"/>
+      <Representation id="low" bandwidth="500000"/>
+    </AdaptationSet>
+  </Period>
+</MPD>)";
+  const auto manifest = from_mpd_xml(foreign);
+  ASSERT_EQ(manifest.base_urls().size(), 2U);
+  EXPECT_EQ(manifest.base_urls()[0], "https://a.example.com/");
+  EXPECT_EQ(manifest.base_urls()[1], "https://b.example.com/");
+}
+
 TEST(MpdTest, ParsesForeignMpdWithoutPrivateAttributes) {
   const char* foreign = R"(<?xml version="1.0"?>
 <MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static"

@@ -114,6 +114,44 @@ TEST(SegmentDownloaderTest, ZeroWidthOutageWindowHaltsTransfer) {
   EXPECT_NEAR(result.end_s, 8.0, 1e-9);
 }
 
+TEST(SegmentDownloaderTest, BandwidthAtStepEdgeReturnsPostStepValue) {
+  // Regression pin for the documented step-edge contract: at a duplicate
+  // timestamp t the lookup resolves to the *last* sample at t, so
+  // bandwidth_at(t) is the post-step (right-hand) value — right-continuous.
+  trace::TimeSeries series;
+  series.append(0.0, 4.0);
+  series.append(2.0, 4.0);
+  series.append(2.0, 16.0);  // step up at t=2
+  series.append(6.0, 16.0);
+  series.append(6.0, 0.0);   // step down to an outage at t=6
+  series.append(100.0, 0.0);
+  SegmentDownloader downloader(series);
+
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(2.0), 16.0);  // not 4, not a blend
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(6.0), 0.0);
+  // Either side of the edge interpolates within its own flat piece.
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(1.999), 4.0);
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(2.001), 16.0);
+  // Outside the trace the boundary values are held.
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(-1.0), 4.0);
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(1000.0), 0.0);
+}
+
+TEST(SegmentDownloaderTest, BandwidthAtTripleDuplicateUsesLastSample) {
+  // With k >= 2 samples at the same t only the final duplicate defines the
+  // value at t; intermediate ones are unobservable.
+  trace::TimeSeries series;
+  series.append(0.0, 8.0);
+  series.append(5.0, 8.0);
+  series.append(5.0, 2.0);   // shadowed intermediate duplicate
+  series.append(5.0, 12.0);  // the value that applies at exactly t=5
+  series.append(10.0, 12.0);
+  SegmentDownloader downloader(series);
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(5.0), 12.0);
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(4.999), 8.0);
+  EXPECT_DOUBLE_EQ(downloader.bandwidth_at(5.001), 12.0);
+}
+
 TEST(SegmentDownloaderTest, LaterStartUsesLaterBandwidth) {
   trace::TimeSeries series;
   series.append(0.0, 2.0);

@@ -272,7 +272,7 @@ TEST(SessionTimelineTest, CsvAndJsonRoundTrip) {
   std::istringstream csv_in(csv.str());
   std::string line;
   ASSERT_TRUE(std::getline(csv_in, line));
-  EXPECT_EQ(line, "t_s,client,event,segment,attempt,level,buffer_s,value");
+  EXPECT_EQ(line, "t_s,client,event,segment,attempt,level,source,buffer_s,value");
   std::size_t rows = 0;
   while (std::getline(csv_in, line)) {
     if (!line.empty()) ++rows;
@@ -300,7 +300,7 @@ TEST(SessionTimelineTest, CsvAndJsonRoundTrip) {
   std::ifstream reloaded(csv_path);
   ASSERT_TRUE(reloaded.good());
   std::getline(reloaded, line);
-  EXPECT_EQ(line, "t_s,client,event,segment,attempt,level,buffer_s,value");
+  EXPECT_EQ(line, "t_s,client,event,segment,attempt,level,source,buffer_s,value");
   std::remove(csv_path.c_str());
 }
 

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "eacs/abr/fixed.h"
 #include "eacs/net/fault_injector.h"
@@ -115,6 +117,87 @@ TEST_P(ResilienceProperties, BackoffIsMonotoneAndBounded) {
     EXPECT_GE(wait, base);
     EXPECT_LE(wait, base * (1.0 + config.backoff_jitter));
     EXPECT_EQ(wait, retry_backoff_s(config, GetParam(), 3, attempt));
+  }
+}
+
+TEST_P(ResilienceProperties, BackoffIsAPureFunctionOfSeedSegmentAttempt) {
+  // The schedule must depend on nothing but (config, seed, segment, attempt):
+  // no hidden state, no call-order sensitivity. Build a reference table, then
+  // re-query in reverse order, interleaved with decoy lookups, through a
+  // copied config — every value bit-identical.
+  const ResilienceConfig config;
+  const std::uint64_t seed = GetParam();
+  constexpr std::size_t kSegments = 7;
+  constexpr std::size_t kAttempts = 6;
+  double reference[kSegments][kAttempts];
+  for (std::size_t s = 0; s < kSegments; ++s) {
+    for (std::size_t a = 0; a < kAttempts; ++a) {
+      reference[s][a] = retry_backoff_s(config, seed, s, a);
+    }
+  }
+  const ResilienceConfig copy = config;
+  for (std::size_t s = kSegments; s-- > 0;) {
+    for (std::size_t a = kAttempts; a-- > 0;) {
+      (void)retry_backoff_s(copy, seed ^ 0xDEC0'11DEULL, a, s);  // decoy
+      EXPECT_EQ(retry_backoff_s(copy, seed, s, a), reference[s][a]);
+    }
+  }
+  // The jitter really keys on its inputs: a different seed or segment index
+  // must perturb at least one entry of the table.
+  bool seed_matters = false;
+  bool segment_matters = false;
+  for (std::size_t a = 0; a < kAttempts; ++a) {
+    if (retry_backoff_s(config, seed ^ 1, 0, a) != reference[0][a]) {
+      seed_matters = true;
+    }
+    if (retry_backoff_s(config, seed, kSegments, a) != reference[0][a]) {
+      segment_matters = true;
+    }
+  }
+  EXPECT_TRUE(seed_matters);
+  EXPECT_TRUE(segment_matters);
+}
+
+TEST_P(ResilienceProperties, BackoffScheduleIdenticalAcrossThreadCounts) {
+  // Concurrent evaluation is how the parallel sweeps consume the schedule:
+  // whatever the thread count or interleaving, every (segment, attempt)
+  // lookup lands on the serial value bit-for-bit.
+  const ResilienceConfig config;
+  const std::uint64_t seed = GetParam() ^ 0x7EA2'F00DULL;
+  constexpr std::size_t kSegments = 32;
+  constexpr std::size_t kAttempts = 5;
+  std::vector<double> serial(kSegments * kAttempts);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = retry_backoff_s(config, seed, i / kAttempts, i % kAttempts);
+  }
+  for (const std::size_t jobs : {2U, 8U}) {
+    std::vector<double> parallel(serial.size());
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < jobs; ++w) {
+      workers.emplace_back([&, w] {
+        for (std::size_t i = w; i < parallel.size(); i += jobs) {
+          parallel[i] = retry_backoff_s(config, seed, i / kAttempts, i % kAttempts);
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " item " << i;
+    }
+  }
+}
+
+TEST_P(ResilienceProperties, BackoffNeverExceedsTheJitteredCap) {
+  // The cap holds for any attempt index, including ones far beyond
+  // max_retries where factor^attempt is astronomically large.
+  ResilienceConfig config;
+  config.backoff_jitter = 0.25;
+  const double cap = config.backoff_max_s * (1.0 + config.backoff_jitter);
+  for (const std::size_t attempt : {0UL, 1UL, 5UL, 17UL, 60UL, 200UL}) {
+    const double wait = retry_backoff_s(config, GetParam(), 11, attempt);
+    EXPECT_TRUE(std::isfinite(wait));
+    EXPECT_GT(wait, 0.0);
+    EXPECT_LE(wait, cap);
   }
 }
 
