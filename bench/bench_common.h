@@ -11,6 +11,12 @@
 // recorded via record_metric(), and every google-benchmark timing run
 // (captured by wrapping the console reporter). This is the format the
 // committed BENCH_*.json baselines use; see README "Benchmark JSON output".
+//
+// `--json-append <path>` instead upserts the same record into a top-level
+// JSON array file keyed by experiment id (the BENCH_baseline.json shape),
+// via util::json_io — validated read, unique temp file, atomic rename — so
+// repeated or concurrent bench runs can never truncate or interleave the
+// snapshot.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "eacs/util/json_io.h"
 #include "eacs/util/table.h"
 
 namespace eacs::bench {
@@ -103,36 +110,43 @@ class CapturingReporter : public benchmark::ConsoleReporter {
   }
 };
 
-inline void write_json(const std::string& path) {
+/// Renders the current bench state as one JSON record. `indent` is prefixed
+/// to every line so the record nests cleanly inside an array file.
+inline std::string render_json_record(const std::string& indent = "") {
   const JsonState& state = JsonState::instance();
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open JSON output: " + path);
-
-  out << "{\n";
-  out << "  \"experiment\": \"" << json_escaped(state.experiment) << "\",\n";
-  out << "  \"description\": \"" << json_escaped(state.description) << "\",\n";
-  out << "  \"metrics\": {";
+  std::string out;
+  out += indent + "{\n";
+  out += indent + "  \"experiment\": \"" + json_escaped(state.experiment) + "\",\n";
+  out += indent + "  \"description\": \"" + json_escaped(state.description) + "\",\n";
+  out += indent + "  \"metrics\": {";
   for (std::size_t i = 0; i < state.metrics.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \""
-        << json_escaped(state.metrics[i].first)
-        << "\": " << json_number(state.metrics[i].second);
+    out += (i == 0 ? "\n" : ",\n") + indent + "    \"" +
+           json_escaped(state.metrics[i].first) +
+           "\": " + json_number(state.metrics[i].second);
   }
-  out << (state.metrics.empty() ? "" : "\n  ") << "},\n";
-  out << "  \"benchmarks\": [";
+  out += (state.metrics.empty() ? std::string{} : "\n" + indent + "  ") + "},\n";
+  out += indent + "  \"benchmarks\": [";
   for (std::size_t i = 0; i < state.timings.size(); ++i) {
     const auto& t = state.timings[i];
-    out << (i == 0 ? "\n" : ",\n");
-    out << "    {\"name\": \"" << json_escaped(t.name) << "\", "
-        << "\"iterations\": " << t.iterations << ", "
-        << "\"real_time_ms\": " << json_number(t.real_time_ms) << ", "
-        << "\"cpu_time_ms\": " << json_number(t.cpu_time_ms);
+    out += (i == 0 ? "\n" : ",\n");
+    out += indent + "    {\"name\": \"" + json_escaped(t.name) + "\", " +
+           "\"iterations\": " + std::to_string(t.iterations) + ", " +
+           "\"real_time_ms\": " + json_number(t.real_time_ms) + ", " +
+           "\"cpu_time_ms\": " + json_number(t.cpu_time_ms);
     for (const auto& [name, value] : t.counters) {
-      out << ", \"" << json_escaped(name) << "\": " << json_number(value);
+      out += ", \"" + json_escaped(name) + "\": " + json_number(value);
     }
-    out << "}";
+    out += "}";
   }
-  out << (state.timings.empty() ? "" : "\n  ") << "]\n";
-  out << "}\n";
+  out += (state.timings.empty() ? std::string{} : "\n" + indent + "  ") + "]\n";
+  out += indent + "}";
+  return out;
+}
+
+inline void write_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open JSON output: " + path);
+  out << render_json_record() << "\n";
   if (!out.good()) throw std::runtime_error("failed writing JSON: " + path);
 }
 
@@ -161,19 +175,22 @@ inline void record_metric(const std::string& name, double value) {
   metrics.emplace_back(name, value);
 }
 
-/// Standard main() tail: strip `--json <path>`, run the registered timing
-/// benchmarks, and write the JSON document when requested.
+/// Standard main() tail: strip `--json <path>` / `--json-append <path>`, run
+/// the registered timing benchmarks, and write (or upsert into an array
+/// file) the JSON document when requested.
 inline int run_benchmarks(int argc, char** argv) {
   std::string json_path;
+  std::string append_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg == "--json-append") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json requires a path\n");
+        std::fprintf(stderr, "%s requires a path\n", arg.c_str());
         return 1;
       }
-      json_path = argv[++i];
+      (arg == "--json" ? json_path : append_path) = argv[++i];
       continue;
     }
     args.push_back(argv[i]);
@@ -188,6 +205,11 @@ inline int run_benchmarks(int argc, char** argv) {
   if (!json_path.empty()) {
     detail::write_json(json_path);
     std::printf("JSON results written to %s\n", json_path.c_str());
+  }
+  if (!append_path.empty()) {
+    util::upsert_json_array_record(append_path,
+                                   detail::render_json_record("  "));
+    std::printf("JSON record upserted into %s\n", append_path.c_str());
   }
   return 0;
 }

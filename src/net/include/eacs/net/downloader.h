@@ -6,6 +6,8 @@
 // trace's time-integral. This is the primitive the player simulator uses to
 // replay DASH sessions against recorded or synthetic network traces.
 
+#include <memory>
+
 #include "eacs/trace/time_series.h"
 
 namespace eacs::net {
@@ -29,7 +31,17 @@ class SegmentDownloader {
   /// Duplicate (zero-width) breakpoints — step discontinuities, e.g. outage
   /// edges injected by net::FaultInjector or repeated timestamps in recorded
   /// CSV traces — are tolerated.
+  ///
+  /// This overload copies the trace (safe to pass a temporary).
   explicit SegmentDownloader(const trace::TimeSeries& throughput_mbps);
+
+  /// Owning move: adopts the trace without copying it.
+  explicit SegmentDownloader(trace::TimeSeries&& throughput_mbps);
+
+  /// Shares an immutable trace. Many downloaders (e.g. one per sweep cell)
+  /// can reference the same samples with no per-instance copy. Throws
+  /// std::invalid_argument if the pointer is null or the trace invalid.
+  explicit SegmentDownloader(std::shared_ptr<const trace::TimeSeries> throughput_mbps);
 
   /// Computes the completion of a `size_megabits` transfer starting at
   /// `start_s`. Throws std::invalid_argument for negative sizes.
@@ -45,10 +57,23 @@ class SegmentDownloader {
   /// first sample the first value is held, beyond the last the last.
   double bandwidth_at(double t_s) const;
 
-  const trace::TimeSeries& trace() const noexcept { return throughput_; }
+  const trace::TimeSeries& trace() const noexcept { return *throughput_; }
 
  private:
-  trace::TimeSeries throughput_;
+  void validate() const;
+
+  std::shared_ptr<const trace::TimeSeries> throughput_;
 };
+
+/// Non-owning view of `series` as a shared_ptr (the aliasing constructor with
+/// an empty control block). For handing a long-lived trace — e.g. one owned
+/// by a SessionTraces that outlives every per-cell run — to the sharing
+/// SegmentDownloader constructor without a copy or a heap allocation. The
+/// caller is responsible for the series outliving every user of the view.
+inline std::shared_ptr<const trace::TimeSeries> borrow_trace(
+    const trace::TimeSeries& series) noexcept {
+  return std::shared_ptr<const trace::TimeSeries>(
+      std::shared_ptr<const trace::TimeSeries>{}, &series);
+}
 
 }  // namespace eacs::net

@@ -1,5 +1,6 @@
 #include "eacs/net/downloader.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,11 +26,28 @@ double solve_partial_interval(double v0, double m, double target) {
 }  // namespace
 
 SegmentDownloader::SegmentDownloader(const trace::TimeSeries& throughput_mbps)
-    : throughput_(throughput_mbps) {
-  if (throughput_.empty()) {
+    : throughput_(std::make_shared<trace::TimeSeries>(throughput_mbps)) {
+  validate();
+}
+
+SegmentDownloader::SegmentDownloader(trace::TimeSeries&& throughput_mbps)
+    : throughput_(std::make_shared<trace::TimeSeries>(std::move(throughput_mbps))) {
+  validate();
+}
+
+SegmentDownloader::SegmentDownloader(std::shared_ptr<const trace::TimeSeries> throughput_mbps)
+    : throughput_(std::move(throughput_mbps)) {
+  if (!throughput_) {
+    throw std::invalid_argument("SegmentDownloader: null throughput trace");
+  }
+  validate();
+}
+
+void SegmentDownloader::validate() const {
+  if (throughput_->empty()) {
     throw std::invalid_argument("SegmentDownloader: empty throughput trace");
   }
-  for (const auto& point : throughput_.samples()) {
+  for (const auto& point : throughput_->samples()) {
     if (point.value < 0.0) {
       throw std::invalid_argument("SegmentDownloader: negative throughput");
     }
@@ -37,7 +55,7 @@ SegmentDownloader::SegmentDownloader(const trace::TimeSeries& throughput_mbps)
 }
 
 double SegmentDownloader::bandwidth_at(double t_s) const {
-  return throughput_.linear_at(t_s);
+  return throughput_->linear_at(t_s);
 }
 
 DownloadResult SegmentDownloader::download(double start_s, double size_megabits) const {
@@ -55,11 +73,17 @@ DownloadResult SegmentDownloader::download(double start_s, double size_megabits)
 
   double remaining = size_megabits;
   double cursor = start_s;
-  double cursor_value = throughput_.linear_at(start_s);
+  double cursor_value = throughput_->linear_at(start_s);
 
-  // Walk the trace breakpoints after the start time.
-  for (const auto& point : throughput_.samples()) {
-    if (point.t_s <= start_s) continue;
+  // Walk the trace breakpoints after the start time. The first one is found
+  // by binary search: on a sorted trace this lands on exactly the first
+  // sample the old `t_s <= start_s` linear skip would have kept, so the
+  // accumulation below is bit-identical to the linear-scan version.
+  const auto samples = throughput_->samples();
+  auto it = std::upper_bound(samples.begin(), samples.end(), start_s,
+                             [](double t, const trace::TimePoint& p) { return t < p.t_s; });
+  for (; it != samples.end(); ++it) {
+    const auto& point = *it;
     const double dt = point.t_s - cursor;
     if (dt <= 0.0) {
       // Zero-width breakpoint (duplicate timestamp): a step discontinuity.
@@ -81,7 +105,7 @@ DownloadResult SegmentDownloader::download(double start_s, double size_megabits)
   }
 
   // Past the end of the trace: hold the last value.
-  const double tail_rate = throughput_.samples().back().value;
+  const double tail_rate = samples.back().value;
   if (tail_rate <= 1e-9) {
     // Dead link at trace end: report a very long stall rather than dividing
     // by zero; the player treats this as a session-ending condition.

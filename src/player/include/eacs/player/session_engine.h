@@ -200,21 +200,48 @@ class LinkModel {
     return {};
   }
 
+  /// Devirtualization hook for the reliable analytic path. Non-null only when
+  /// every attempt() on this link reduces to a plain
+  /// `downloader->download(start, size)` — i.e. the model is certifiably
+  /// trivial (solo link; fault link with an inactive injector; single
+  /// trivial CDN source). The engine then calls the downloader directly per
+  /// segment instead of dispatching through attempt(), which is
+  /// bit-identical by construction (the virtual path wraps the same call).
+  /// Unreliable/stepped links return null and take the full machinery.
+  virtual const net::SegmentDownloader* fast_downloader() const noexcept {
+    return nullptr;
+  }
+
   // --- stepped links ------------------------------------------------------
   /// Instantaneous shared capacity at `t_s` (Mbps).
   virtual double capacity_at(double t_s) const;
+
+  /// Stepped links: the underlying capacity trace when capacity_at() is a
+  /// plain TimeSeries::linear_at over it, letting the engine keep a stateful
+  /// trace cursor across steps instead of re-binary-searching per step.
+  /// Null (the default) falls back to per-step capacity_at() calls.
+  virtual const trace::TimeSeries* capacity_series() const noexcept {
+    return nullptr;
+  }
 };
 
 /// Dedicated trace-driven link: every attempt completes, nothing times out.
 class SoloLinkModel final : public LinkModel {
  public:
-  /// The trace must be non-empty (SegmentDownloader validates).
+  /// The trace is unowned — it must be non-empty (SegmentDownloader
+  /// validates) and outlive the model, like SharedLinkModel's capacity
+  /// trace. Sweeps build one model per (session, policy) run, so sharing the
+  /// session's trace instead of copying it is what makes those runs
+  /// allocation-free on the link side.
   explicit SoloLinkModel(const trace::TimeSeries& throughput_mbps)
-      : downloader_(throughput_mbps) {}
+      : downloader_(net::borrow_trace(throughput_mbps)) {}
 
   net::AttemptOutcome attempt(std::size_t segment, std::size_t attempt,
                               double start_s, double size_megabits) const override;
   net::DownloadResult rescue(double start_s, double size_megabits) const override;
+  const net::SegmentDownloader* fast_downloader() const noexcept override {
+    return &downloader_;
+  }
 
   const net::SegmentDownloader& downloader() const noexcept { return downloader_; }
 
@@ -237,6 +264,10 @@ class FaultLinkModel final : public LinkModel {
   bool in_outage(double t_s) const noexcept override;
   std::uint64_t fault_seed() const noexcept override;
   const std::vector<net::OutageWindow>* outage_schedule() const noexcept override;
+  /// Inactive injector: attempt() is exactly downloader().download(...).
+  const net::SegmentDownloader* fast_downloader() const noexcept override {
+    return faults_->active() ? nullptr : &faults_->downloader();
+  }
 
  private:
   const net::FaultInjector* faults_;
@@ -268,6 +299,11 @@ class CdnLinkModel final : public LinkModel {
   std::span<const net::SegmentSource> sources() const noexcept override {
     return sources_;
   }
+  /// Single trivial source: attempt() is its downloader's download() (no
+  /// fault gates, scale 1, RTT 0 — the certified no-op configuration).
+  const net::SegmentDownloader* fast_downloader() const noexcept override {
+    return unreliable() ? nullptr : &sources_[0].downloader();
+  }
 
  private:
   std::span<const net::SegmentSource> sources_;
@@ -283,6 +319,9 @@ class SharedLinkModel final : public LinkModel {
 
   bool stepped() const noexcept override { return true; }
   double capacity_at(double t_s) const override;
+  const trace::TimeSeries* capacity_series() const noexcept override {
+    return capacity_;
+  }
 
  private:
   const trace::TimeSeries* capacity_;
@@ -311,6 +350,11 @@ struct SessionEngineConfig {
   PlayerConfig player;
   double step_s = 0.05;           ///< stepped-link integration step
   double max_session_s = 7200.0;  ///< stepped-link hard stop (defensive)
+  /// Disables the devirtualized download path and the stateful trace
+  /// cursors, forcing the original virtual-dispatch / binary-search-per-
+  /// lookup code. Results are bit-identical either way — this switch exists
+  /// so tests/differential/ can prove it on every scenario.
+  bool reference_mode = false;
 };
 
 /// The unified session engine. Stateless across runs: one instance can be

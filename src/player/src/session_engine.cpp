@@ -397,6 +397,18 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
   const PlayerConfig& config = config_.player;
   const ResilienceConfig& res = config.resilience;
   const bool unreliable = link.unreliable();
+  // Inner-loop fast paths. `fast` devirtualizes the reliable download: on a
+  // certifiably trivial link every attempt() is a plain download() on that
+  // downloader, so the per-segment virtual dispatch is skipped. The signal
+  // cursor turns the per-segment signal lookups (which move almost
+  // monotonically with the session clock) from full binary searches into
+  // amortised O(1) walks. Both are bit-identical to the reference path —
+  // tests/differential/ asserts it per scenario; reference_mode forces the
+  // original code for that comparison.
+  const net::SegmentDownloader* fast =
+      (config_.reference_mode || unreliable) ? nullptr : link.fast_downloader();
+  std::optional<trace::TimeSeriesCursor> signal_cursor;
+  if (!config_.reference_mode) signal_cursor.emplace(session.signal_dbm);
   net::HarmonicMeanEstimator bandwidth(config.bandwidth_window);
   VibrationClock vibration(session.accel, config.vibration);
   const std::size_t lowest = manifest.ladder().lowest_level();
@@ -460,7 +472,9 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     context.manifest = &manifest;
     context.bandwidth = &bandwidth;
     context.vibration_level = vibration_level;
-    context.signal_dbm = session.signal_dbm.linear_at(now);
+    context.signal_dbm = signal_cursor.has_value()
+                             ? signal_cursor->linear_at(now)
+                             : session.signal_dbm.linear_at(now);
     if (perceived.has_value()) {
       perceived->advance_to(now);
       perceived->fill(context, now);
@@ -509,7 +523,8 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
       const double size_megabits = manifest.segment_size_megabits(i, requested);
       emit_event(observer, SessionEventType::kRequestIssued, now, 0, i, 0,
                  requested, buffer, size_megabits);
-      success = link.attempt(i, 0, now, size_megabits).result;
+      success = fast != nullptr ? fast->download(now, size_megabits)
+                                : link.attempt(i, 0, now, size_megabits).result;
     } else if (cdn) {
       // --- Multi-source CDN failover machine ----------------------------
       // The single-source machine below generalised to N sources: the
@@ -853,9 +868,12 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     task.download_start_s = success.start_s;
     task.download_end_s = success.end_s;
     task.throughput_mbps = success.mean_throughput_mbps;
-    task.signal_dbm = download_time > 0.0
-                          ? session.signal_dbm.mean_over(success.start_s, success.end_s)
-                          : session.signal_dbm.linear_at(success.start_s);
+    task.signal_dbm =
+        download_time > 0.0
+            ? session.signal_dbm.mean_over(success.start_s, success.end_s)
+            : (signal_cursor.has_value()
+                   ? signal_cursor->linear_at(success.start_s)
+                   : session.signal_dbm.linear_at(success.start_s));
     task.rebuffer_s = stall_total;
     task.retries = attempt;
     task.abandoned = abandoned;
@@ -913,6 +931,9 @@ struct SteppedClientState {
   net::HarmonicMeanEstimator bandwidth;
   VibrationClock vibration;
   std::optional<PerceivedContext> perceived;  ///< active sensor faults only
+  /// Stateful signal lookup (engaged unless reference_mode; the engine sets
+  /// it after construction). Bit-identical to the cursorless linear_at.
+  std::optional<trace::TimeSeriesCursor> signal_cursor;
   double perceived_at_request = 0.0;
 
   std::size_t next_segment = 0;
@@ -959,7 +980,18 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
   for (const auto& client : clients) {
     states.emplace_back(client, player_config);
     client.policy->reset();
+    if (!config_.reference_mode) {
+      states.back().signal_cursor.emplace(client.context->signal_dbm);
+    }
   }
+
+  // Capacity lookups happen once per step; when the link exposes its trace,
+  // a cursor walks it instead of binary-searching every step. The query time
+  // is strictly monotone here, so the walk is O(1) amortised.
+  const trace::TimeSeries* capacity_series =
+      config_.reference_mode ? nullptr : link.capacity_series();
+  std::optional<trace::TimeSeriesCursor> capacity_cursor;
+  if (capacity_series != nullptr) capacity_cursor.emplace(*capacity_series);
 
   emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
 
@@ -976,7 +1008,9 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
     context.manifest = &manifest;
     context.bandwidth = &state.bandwidth;
     context.vibration_level = state.vibration.advance_to(now);
-    context.signal_dbm = state.setup->context->signal_dbm.linear_at(now);
+    context.signal_dbm = state.signal_cursor.has_value()
+                             ? state.signal_cursor->linear_at(now)
+                             : state.setup->context->signal_dbm.linear_at(now);
     if (state.perceived.has_value()) {
       state.perceived->advance_to(now);
       state.perceived->fill(context, now);
@@ -1075,7 +1109,9 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
     for (const auto& state : states) {
       if (state.downloading) ++active;
     }
-    const double capacity = std::max(0.0, link.capacity_at(now));
+    const double capacity =
+        std::max(0.0, capacity_cursor.has_value() ? capacity_cursor->linear_at(now)
+                                                  : link.capacity_at(now));
     const double share = active > 0 ? capacity / static_cast<double>(active) : 0.0;
 
     // 3. Advance downloads (sub-step completion resolved exactly) and

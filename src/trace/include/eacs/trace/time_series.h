@@ -60,9 +60,61 @@ class TimeSeries {
   /// Uniformly resampled copy (linear interpolation) with step `dt_s`.
   TimeSeries resampled(double dt_s) const;
 
- private:
+  /// Index of the last sample with t <= `t_s` (0 before the first sample;
+  /// with duplicate timestamps, the *last* duplicate — the right-continuous
+  /// step contract). Throws std::logic_error on an empty series. This is the
+  /// index every lookup (step_at / linear_at / TimeSeriesCursor) resolves
+  /// through, exposed so cursor implementations can certify against it.
   std::size_t index_at_or_before(double t_s) const;
+
+ private:
+  friend class TimeSeriesCursor;
+
+  /// Interpolated value given `index == index_at_or_before(t_s)`. Shared by
+  /// linear_at and TimeSeriesCursor so the two paths are the same arithmetic
+  /// (bit-identical by construction, not by accident).
+  double linear_value_from(std::size_t index, double t_s) const;
+
   std::vector<TimePoint> samples_;
+};
+
+/// Stateful lookup cursor over one TimeSeries.
+///
+/// The stateless lookups binary-search the whole series on every call; the
+/// playback engines query traces at points that move almost monotonically
+/// (the session clock), so a cursor that walks from the previously resolved
+/// index turns per-sample O(log N) searches into amortised O(1) steps.
+///
+/// Contract (certified by tests/trace/time_series_cursor_test.cpp and the
+/// differential harness):
+///  * step_at / linear_at return values bitwise identical to the cursorless
+///    TimeSeries lookups for ANY query sequence — forward, backward or
+///    repeated times, including duplicate-timestamp step edges (the lookup
+///    resolves to the last duplicate: right-continuous, last wins);
+///  * the cursor never mutates the series; many cursors may share one;
+///  * appending to the series keeps the cursor valid (the resolved prefix is
+///    immutable); destroying or moving the series invalidates it — the
+///    cursor holds an unowned pointer and must not outlive the series.
+class TimeSeriesCursor {
+ public:
+  /// `series` is unowned and must outlive the cursor.
+  explicit TimeSeriesCursor(const TimeSeries& series) noexcept
+      : series_(&series) {}
+
+  /// Value of the most recent sample at or before `t_s` (zero-order hold).
+  double step_at(double t_s);
+
+  /// Linear interpolation between neighbouring samples; clamps outside the
+  /// covered range. Bitwise identical to TimeSeries::linear_at.
+  double linear_at(double t_s);
+
+ private:
+  /// Resolves index_at_or_before(t_s) by walking from the cached hint,
+  /// falling back to the full binary search when the target is far away.
+  std::size_t seek(double t_s);
+
+  const TimeSeries* series_;
+  std::size_t hint_ = 0;
 };
 
 }  // namespace eacs::trace

@@ -47,8 +47,7 @@ double TimeSeries::step_at(double t_s) const {
   return samples_[index_at_or_before(t_s)].value;
 }
 
-double TimeSeries::linear_at(double t_s) const {
-  const std::size_t i = index_at_or_before(t_s);
+double TimeSeries::linear_value_from(std::size_t i, double t_s) const {
   if (t_s < samples_.front().t_s) return samples_.front().value;
   if (i + 1 >= samples_.size()) return samples_.back().value;
   const TimePoint& a = samples_[i];
@@ -61,6 +60,10 @@ double TimeSeries::linear_at(double t_s) const {
   return a.value + frac * (b.value - a.value);
 }
 
+double TimeSeries::linear_at(double t_s) const {
+  return linear_value_from(index_at_or_before(t_s), t_s);
+}
+
 double TimeSeries::integral_over(double t0, double t1) const {
   if (t1 < t0) throw std::invalid_argument("TimeSeries::integral_over: t1 < t0");
   if (t1 == t0) return 0.0;
@@ -69,8 +72,13 @@ double TimeSeries::integral_over(double t0, double t1) const {
   double total = 0.0;
   double cursor = t0;
   double cursor_value = linear_at(t0);
-  for (const TimePoint& p : samples_) {
-    if (p.t_s <= t0) continue;
+  // First breakpoint strictly after t0, found in O(log N): on a sorted series
+  // this skips exactly the samples the old linear scan skipped, so the
+  // accumulation below visits the same terms in the same order.
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t0,
+                             [](double t, const TimePoint& p) { return t < p.t_s; });
+  for (; it != samples_.end(); ++it) {
+    const TimePoint& p = *it;
     // Strictly-greater: breakpoints exactly at t1 (including zero-width step
     // duplicates) must still update cursor_value, or a step at t1 would leak
     // the post-step value into the closing trapezoid.
@@ -106,6 +114,39 @@ TimeSeries TimeSeries::resampled(double dt_s) const {
     out.append(t, linear_at(std::min(t, t1)));
   }
   return out;
+}
+
+// --- TimeSeriesCursor -------------------------------------------------------
+
+std::size_t TimeSeriesCursor::seek(double t_s) {
+  const std::span<const TimePoint> s = series_->samples();
+  // Empty series: delegate so the error is identical to the stateless path.
+  if (s.empty()) return series_->index_at_or_before(t_s);
+  // Walk from the cached hint; if the target is far, fall back to the full
+  // binary search so a pathological query sequence stays O(log N) per call.
+  constexpr std::size_t kMaxLinearSteps = 32;
+  std::size_t i = std::min(hint_, s.size() - 1);
+  std::size_t steps = 0;
+  while (i + 1 < s.size() && s[i + 1].t_s <= t_s) {
+    if (++steps > kMaxLinearSteps) return hint_ = series_->index_at_or_before(t_s);
+    ++i;
+  }
+  while (i > 0 && s[i].t_s > t_s) {
+    if (++steps > kMaxLinearSteps) return hint_ = series_->index_at_or_before(t_s);
+    --i;
+  }
+  // Loop invariants leave i as the last index with t <= t_s (or 0 when t_s
+  // precedes the series) — exactly TimeSeries::index_at_or_before(t_s),
+  // including the last-duplicate-wins rule at zero-width step edges.
+  return hint_ = i;
+}
+
+double TimeSeriesCursor::step_at(double t_s) {
+  return series_->samples()[seek(t_s)].value;
+}
+
+double TimeSeriesCursor::linear_at(double t_s) {
+  return series_->linear_value_from(seek(t_s), t_s);
 }
 
 }  // namespace eacs::trace

@@ -1,0 +1,45 @@
+#pragma once
+// Crash-safe maintenance of JSON array files keyed by record identity.
+//
+// The bench binaries append their headline records to a shared snapshot file
+// (BENCH_baseline.json): a top-level JSON array with one object per
+// experiment. Appending by re-reading and rewriting the file in place is a
+// flake factory — an interrupted writer leaves a truncated file, and two
+// bench processes appending concurrently can interleave their writes. This
+// module centralises the update: validate the existing array, splice the new
+// record in (replacing any record with the same key), write the result to a
+// uniquely named temporary file, and atomically rename it over the original.
+// Concurrent appenders race to last-writer-wins, but the file is a valid
+// JSON array at every instant.
+
+#include <string>
+#include <vector>
+
+namespace eacs::util {
+
+/// Splits the body of a top-level JSON array into its element texts.
+/// `array_text` must start with '[' and end with ']' (after trimming
+/// whitespace); throws std::runtime_error otherwise — a file that fails this
+/// check was truncated or corrupted by a partial write and must not be
+/// silently clobbered. String escapes and nesting are respected.
+std::vector<std::string> split_json_array(const std::string& array_text);
+
+/// Returns the string value of `field` ("key") in the top level of the JSON
+/// object `object_text`, or "" if absent. Minimal scanner sufficient for the
+/// machine-written records this module manages.
+std::string json_object_string_field(const std::string& object_text,
+                                     const std::string& field);
+
+/// Inserts `record` (the text of one JSON object) into the JSON array file
+/// at `path`, replacing any existing element whose `key_field` string equals
+/// the new record's, else appending. A missing file becomes a fresh
+/// one-element array. Throws std::runtime_error if the existing file is not
+/// a well-formed top-level array (truncation guard) or on I/O failure. The
+/// rewrite goes through a per-process-and-thread temporary file followed by
+/// an atomic rename, so readers and concurrent appenders never observe a
+/// partially written file.
+void upsert_json_array_record(const std::string& path,
+                              const std::string& record,
+                              const std::string& key_field = "experiment");
+
+}  // namespace eacs::util

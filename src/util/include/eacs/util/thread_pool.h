@@ -18,6 +18,13 @@
 
 namespace eacs::util {
 
+/// Alignment used to pad shared counters and per-worker result arenas onto
+/// their own cache lines. A constant rather than
+/// std::hardware_destructive_interference_size, which GCC warns is
+/// ABI-unstable across -mtune targets; 64 bytes is correct for every
+/// platform this project targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
 /// Fixed worker-count thread pool. Tasks are run in submission order by
 /// whichever worker is free; wait() blocks until the queue drains and
 /// rethrows the first exception any task threw.
@@ -47,10 +54,28 @@ class ThreadPool {
   /// which wait() rethrows.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but hands fn a stable runner index in
+  /// [0, min(worker_count(), n)) alongside the work-item index, so callers
+  /// can give each runner a private, cache-line-padded result arena and
+  /// merge deterministically by work-item index afterwards. Which runner
+  /// executes which item is scheduling-dependent; only the (runner, item)
+  /// pairing varies, never the set of items run.
+  void parallel_for_workers(
+      std::size_t n,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
  private:
   struct Impl;
   Impl* impl_;
 };
+
+/// Number of concurrent runners the free parallel helpers actually use for
+/// `n` items at a requested `jobs` level: 1 when the request or the work is
+/// serial, otherwise min(jobs, n) clamped to the hardware concurrency.
+/// Oversubscribing threads beyond the physical cores only adds contention
+/// (the sweeps are CPU-bound), and under the DESIGN §6 purity contract the
+/// worker count never affects results, so the clamp is output-neutral.
+std::size_t effective_workers(std::size_t jobs, std::size_t n) noexcept;
 
 /// Calls fn(i) for i in [0, n). jobs <= 1 (or n <= 1) is the serial loop on
 /// the calling thread; otherwise a transient pool of min(jobs, n) workers
@@ -62,11 +87,37 @@ void parallel_for(std::size_t jobs, std::size_t n,
 /// Maps fn over [0, n) into a vector ordered by index — the deterministic
 /// fan-out primitive: out[i] depends only on i, never on scheduling. The
 /// result type must be default-constructible.
+///
+/// Workers never touch the shared output vector: each runner appends
+/// (index, result) pairs to a private cache-line-padded arena, and the
+/// arenas are merged into `out` by work-item index after the pool drains.
+/// The merge is deterministic regardless of arena visitation order because
+/// indices are unique and out[i] depends only on fn(i) (DESIGN §6). This
+/// removes the false sharing of adjacent out[i] slots that serialized small
+/// result types.
 template <typename Fn>
 auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
-  std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
-  parallel_for(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+  using Result = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<Result> out(n);
+  const std::size_t workers = effective_workers(jobs, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+  struct alignas(kCacheLineBytes) Arena {
+    std::vector<std::pair<std::size_t, Result>> items;
+  };
+  std::vector<Arena> arenas(workers);
+  // Declared after the arenas so the pool (and with it every worker thread)
+  // is destroyed first if an exception unwinds this scope.
+  ThreadPool pool(workers);
+  pool.parallel_for_workers(n, [&](std::size_t worker, std::size_t i) {
+    arenas[worker].items.emplace_back(i, fn(i));
+  });
+  for (auto& arena : arenas) {
+    for (auto& [i, value] : arena.items) out[i] = std::move(value);
+  }
   return out;
 }
 

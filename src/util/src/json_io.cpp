@@ -1,0 +1,206 @@
+#include "eacs/util/json_io.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace eacs::util {
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json_io: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Unique-per-writer temporary path next to `path`. Two processes (or two
+// threads in one process) appending concurrently must not share a staging
+// file, or the rename could publish an interleaved mix of both writes.
+std::string staging_path(const std::string& path) {
+  static std::atomic<unsigned long long> counter{0};
+  const auto thread_tag =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::ostringstream name;
+  name << path << ".tmp." << thread_tag << "."
+       << counter.fetch_add(1, std::memory_order_relaxed);
+  return name.str();
+}
+
+}  // namespace
+
+std::vector<std::string> split_json_array(const std::string& array_text) {
+  const std::string text = trimmed(array_text);
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    throw std::runtime_error(
+        "json_io: not a JSON array (truncated or corrupted file?)");
+  }
+  std::vector<std::string> elements;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      current.push_back(c);
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      current.push_back(c);
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      current.push_back(c);
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth < 0) {
+        throw std::runtime_error("json_io: unbalanced brackets in JSON array");
+      }
+      current.push_back(c);
+    } else if (c == ',' && depth == 0) {
+      const std::string element = trimmed(current);
+      if (element.empty()) {
+        throw std::runtime_error("json_io: empty element in JSON array");
+      }
+      elements.push_back(element);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_string || depth != 0) {
+    throw std::runtime_error(
+        "json_io: unterminated element in JSON array (partial write?)");
+  }
+  const std::string last = trimmed(current);
+  if (!last.empty()) {
+    elements.push_back(last);
+  } else if (!elements.empty()) {
+    throw std::runtime_error("json_io: trailing comma in JSON array");
+  }
+  return elements;
+}
+
+std::string json_object_string_field(const std::string& object_text,
+                                     const std::string& field) {
+  const std::string needle = "\"" + field + "\"";
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < object_text.size(); ++i) {
+    const char c = object_text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    } else if (c == '"') {
+      // Top level of the object is depth 1 (inside the outer braces).
+      if (depth == 1 && object_text.compare(i, needle.size(), needle) == 0) {
+        std::size_t j = i + needle.size();
+        while (j < object_text.size() &&
+               std::isspace(static_cast<unsigned char>(object_text[j]))) {
+          ++j;
+        }
+        if (j < object_text.size() && object_text[j] == ':') {
+          ++j;
+          while (j < object_text.size() &&
+                 std::isspace(static_cast<unsigned char>(object_text[j]))) {
+            ++j;
+          }
+          if (j < object_text.size() && object_text[j] == '"') {
+            std::string value;
+            bool value_escaped = false;
+            for (std::size_t k = j + 1; k < object_text.size(); ++k) {
+              const char v = object_text[k];
+              if (value_escaped) {
+                value.push_back(v);
+                value_escaped = false;
+              } else if (v == '\\') {
+                value_escaped = true;
+              } else if (v == '"') {
+                return value;
+              } else {
+                value.push_back(v);
+              }
+            }
+            return value;  // unterminated: best effort
+          }
+        }
+      }
+      in_string = true;
+    }
+  }
+  return "";
+}
+
+void upsert_json_array_record(const std::string& path,
+                              const std::string& record,
+                              const std::string& key_field) {
+  const std::string key = json_object_string_field(record, key_field);
+  std::vector<std::string> elements;
+  if (std::filesystem::exists(path)) {
+    elements = split_json_array(read_whole_file(path));
+  }
+  bool replaced = false;
+  for (auto& element : elements) {
+    if (!key.empty() && json_object_string_field(element, key_field) == key) {
+      element = trimmed(record);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) elements.push_back(trimmed(record));
+
+  const std::string tmp = staging_path(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("json_io: cannot write " + tmp);
+    out << "[\n";
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      out << elements[i];
+      if (i + 1 < elements.size()) out << ",";
+      out << "\n";
+    }
+    out << "]\n";
+    out.flush();
+    if (!out) throw std::runtime_error("json_io: write failed for " + tmp);
+  }
+  // rename(2) is atomic within a filesystem: readers see either the old
+  // array or the new one, never a prefix.
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace eacs::util

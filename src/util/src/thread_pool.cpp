@@ -86,23 +86,40 @@ void ThreadPool::wait() {
   }
 }
 
+namespace {
+
+// Shared dispatch state for one parallel_for call. The dispatch counter and
+// the failure flag live on separate cache lines: `next` is hammered by every
+// runner's fetch_add while `failed` is read-mostly, and co-locating them made
+// each abort-check invalidate the dispatch line on every claim.
+struct DispatchControl {
+  alignas(kCacheLineBytes) std::atomic<std::size_t> next{0};
+  alignas(kCacheLineBytes) std::atomic<bool> failed{false};
+};
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_workers(n, [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_workers(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   // Shared state outlives this call only via the runner tasks, which wait()
   // drains before returning; shared_ptr keeps it valid if wait() throws.
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto failed = std::make_shared<std::atomic<bool>>(false);
+  auto control = std::make_shared<DispatchControl>();
   const std::size_t runners = std::min(worker_count(), n);
   for (std::size_t r = 0; r < runners; ++r) {
-    submit([next, failed, n, &fn] {
-      while (!failed->load(std::memory_order_relaxed)) {
-        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+    submit([control, r, n, &fn] {
+      while (!control->failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = control->next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
         try {
-          fn(i);
+          fn(r, i);
         } catch (...) {
-          failed->store(true, std::memory_order_relaxed);
+          control->failed.store(true, std::memory_order_relaxed);
           throw;  // recorded by the worker loop, rethrown by wait()
         }
       }
@@ -111,13 +128,20 @@ void ThreadPool::parallel_for(std::size_t n,
   wait();
 }
 
+std::size_t effective_workers(std::size_t jobs, std::size_t n) noexcept {
+  if (jobs <= 1 || n <= 1) return 1;
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min({jobs, n, hw});
+}
+
 void parallel_for(std::size_t jobs, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
-  if (jobs <= 1 || n <= 1) {
+  const std::size_t workers = effective_workers(jobs, n);
+  if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(jobs, n));
+  ThreadPool pool(workers);
   pool.parallel_for(n, fn);
 }
 

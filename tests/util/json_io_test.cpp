@@ -1,0 +1,151 @@
+#include "eacs/util/json_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace eacs::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+class JsonIoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+  }
+
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::filesystem::remove(p);
+  }
+
+  std::string fresh(const std::string& name) {
+    const std::string p = path(name);
+    std::filesystem::remove(p);
+    cleanup_.push_back(p);
+    return p;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(JsonIoTest, MissingFileBecomesOneElementArray) {
+  const std::string p = fresh("json_io_create.json");
+  upsert_json_array_record(p, R"({"experiment": "a", "value": 1})");
+  const auto elements = split_json_array(read_file(p));
+  ASSERT_EQ(elements.size(), 1U);
+  EXPECT_EQ(json_object_string_field(elements[0], "experiment"), "a");
+}
+
+TEST_F(JsonIoTest, DistinctExperimentsAccumulateInOrder) {
+  const std::string p = fresh("json_io_accumulate.json");
+  upsert_json_array_record(p, R"({"experiment": "a", "value": 1})");
+  upsert_json_array_record(p, R"({"experiment": "b", "value": 2})");
+  upsert_json_array_record(p, R"({"experiment": "c", "value": 3})");
+  const auto elements = split_json_array(read_file(p));
+  ASSERT_EQ(elements.size(), 3U);
+  EXPECT_EQ(json_object_string_field(elements[0], "experiment"), "a");
+  EXPECT_EQ(json_object_string_field(elements[1], "experiment"), "b");
+  EXPECT_EQ(json_object_string_field(elements[2], "experiment"), "c");
+}
+
+TEST_F(JsonIoTest, SameExperimentReplacesInPlace) {
+  const std::string p = fresh("json_io_replace.json");
+  upsert_json_array_record(p, R"({"experiment": "a", "value": 1})");
+  upsert_json_array_record(p, R"({"experiment": "b", "value": 2})");
+  upsert_json_array_record(p, R"({"experiment": "a", "value": 99})");
+  const auto elements = split_json_array(read_file(p));
+  ASSERT_EQ(elements.size(), 2U);
+  EXPECT_EQ(json_object_string_field(elements[0], "experiment"), "a");
+  EXPECT_NE(elements[0].find("99"), std::string::npos);
+  EXPECT_EQ(json_object_string_field(elements[1], "experiment"), "b");
+}
+
+TEST_F(JsonIoTest, TruncatedFileIsRejectedNotClobbered) {
+  const std::string p = fresh("json_io_truncated.json");
+  const std::string truncated = R"([{"experiment": "a", "va)";
+  write_file(p, truncated);
+  EXPECT_THROW(upsert_json_array_record(p, R"({"experiment": "b"})"),
+               std::runtime_error);
+  // The corrupted evidence is left intact for inspection.
+  EXPECT_EQ(read_file(p), truncated);
+}
+
+TEST_F(JsonIoTest, NonArrayFileIsRejected) {
+  const std::string p = fresh("json_io_nonarray.json");
+  write_file(p, R"({"experiment": "a"})");
+  EXPECT_THROW(upsert_json_array_record(p, R"({"experiment": "b"})"),
+               std::runtime_error);
+}
+
+TEST(JsonIoSplitTest, RespectsStringsAndNesting) {
+  const auto elements = split_json_array(
+      R"([{"a": "br], ace"}, {"b": {"nested": [1, 2, {"x": "}"}]}}, 3])");
+  ASSERT_EQ(elements.size(), 3U);
+  EXPECT_EQ(elements[0], R"({"a": "br], ace"})");
+  EXPECT_EQ(elements[2], "3");
+}
+
+TEST(JsonIoSplitTest, EmptyArrayAndWhitespace) {
+  EXPECT_TRUE(split_json_array("[]").empty());
+  EXPECT_TRUE(split_json_array("  [ \n ]  ").empty());
+  EXPECT_THROW(split_json_array(""), std::runtime_error);
+  EXPECT_THROW(split_json_array("["), std::runtime_error);
+  EXPECT_THROW(split_json_array("[{]"), std::runtime_error);
+  EXPECT_THROW(split_json_array(R"([{"a": 1}, ])"), std::runtime_error);
+  EXPECT_THROW(split_json_array(R"([{"a": "unterminated])"), std::runtime_error);
+}
+
+TEST(JsonIoSplitTest, FieldLookupIsTopLevelOnly) {
+  const std::string object =
+      R"({"meta": {"experiment": "inner"}, "experiment": "outer", "x": "y"})";
+  EXPECT_EQ(json_object_string_field(object, "experiment"), "outer");
+  EXPECT_EQ(json_object_string_field(object, "missing"), "");
+  EXPECT_EQ(json_object_string_field(R"({"a": "es\"caped"})", "a"),
+            "es\"caped");
+}
+
+TEST_F(JsonIoTest, ConcurrentAppendersAlwaysLeaveAValidArray) {
+  const std::string p = fresh("json_io_concurrent.json");
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::string record = "{\"experiment\": \"t" + std::to_string(t) +
+                                   "_r" + std::to_string(r) + "\"}";
+        // Writers race (last writer wins whole-file), but every observable
+        // state must be a well-formed array — so no writer may ever throw
+        // the truncation error, and the final file must parse.
+        upsert_json_array_record(p, record);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto elements = split_json_array(read_file(p));
+  EXPECT_GE(elements.size(), 1U);
+  for (const auto& element : elements) {
+    EXPECT_FALSE(json_object_string_field(element, "experiment").empty());
+  }
+}
+
+}  // namespace
+}  // namespace eacs::util

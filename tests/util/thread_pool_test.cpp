@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace eacs::util {
@@ -133,6 +138,127 @@ TEST(ParallelMapTest, ExceptionPropagates) {
                             [](std::size_t i) -> int {
                               if (i == 7) throw std::runtime_error("seven");
                               return 0;
+                            }),
+               std::runtime_error);
+}
+
+// --- effective_workers / arena-merge stress ---------------------------------
+
+// A work item with deliberately non-associative floating-point content: any
+// reordering of the reduction would change low-order bits.
+double noisy_work(std::size_t i) {
+  double x = 1.0 + static_cast<double>(i) * 1e-3;
+  for (int k = 0; k < 8; ++k) x = std::sin(x) + std::sqrt(x + 1.0);
+  return x;
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &x, sizeof(out));
+  return out;
+}
+
+TEST(FreeParallelForTest, EffectiveWorkersClampsSerialAndHardware) {
+  EXPECT_EQ(effective_workers(1, 100), 1U);
+  EXPECT_EQ(effective_workers(0, 100), 1U);
+  EXPECT_EQ(effective_workers(8, 1), 1U);
+  EXPECT_EQ(effective_workers(8, 0), 1U);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_LE(effective_workers(64, 1000), hw);
+  EXPECT_LE(effective_workers(8, 4), 4U);
+  EXPECT_GE(effective_workers(8, 4), 1U);
+}
+
+TEST(ThreadPoolTest, ParallelForWorkersHandsOutStableRunnerIndices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 200;
+  std::vector<std::atomic<int>> visits(kItems);
+  std::vector<std::atomic<std::size_t>> runner(kItems);
+  pool.parallel_for_workers(kItems, [&](std::size_t worker, std::size_t i) {
+    EXPECT_LT(worker, 4U);
+    runner[i].store(worker);
+    ++visits[i];
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+    EXPECT_LT(runner[i].load(), 4U);
+  }
+}
+
+// The arena pattern parallel_map uses, run raw on a real pool with
+// sleep-jittered item latencies so items land in the arenas in a
+// scheduling-dependent order — the index merge must erase that.
+TEST(ThreadPoolTest, ArenaMergeIsDeterministicUnderJitteredLatencies) {
+  constexpr std::size_t kItems = 64;
+  std::vector<double> expected(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) expected[i] = noisy_work(i);
+
+  for (int round = 0; round < 3; ++round) {
+    struct alignas(kCacheLineBytes) Arena {
+      std::vector<std::pair<std::size_t, double>> items;
+    };
+    std::vector<Arena> arenas(4);
+    ThreadPool pool(4);
+    pool.parallel_for_workers(kItems, [&](std::size_t worker, std::size_t i) {
+      std::this_thread::sleep_for(std::chrono::microseconds((i * 97) % 500));
+      arenas[worker].items.emplace_back(i, noisy_work(i));
+    });
+    std::vector<double> out(kItems);
+    for (auto& arena : arenas) {
+      for (auto& [i, value] : arena.items) out[i] = value;
+    }
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(bits_of(out[i]), bits_of(expected[i]))
+          << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorkersPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for_workers(100,
+                                [&](std::size_t, std::size_t i) {
+                                  ++ran;
+                                  if (i == 13) throw std::logic_error("13");
+                                }),
+      std::logic_error);
+  // The pool is still serviceable afterwards.
+  pool.parallel_for_workers(8, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_GE(ran.load(), 9);
+}
+
+TEST(ParallelMapTest, BitIdenticalAcrossJobCounts) {
+  const auto reference = parallel_map(1, 128, noisy_work);
+  for (const std::size_t jobs : {2U, 4U, 8U}) {
+    const auto out = parallel_map(jobs, 128, noisy_work);
+    ASSERT_EQ(out.size(), reference.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(bits_of(out[i]), bits_of(reference[i]))
+          << "jobs=" << jobs << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelMapTest, SleepJitteredItemsStillLandAtTheirIndex) {
+  const auto out = parallel_map(8, 48, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((i * 131) % 400));
+    return static_cast<double>(i) * 1.5;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i) * 1.5);
+  }
+}
+
+TEST(ParallelMapTest, ExceptionWithArenasStillPropagates) {
+  // Force the arena path with a real pool regardless of this machine's core
+  // count: jobs > 1 and n > 1, fn throws mid-stream.
+  EXPECT_THROW(parallel_map(8, 64,
+                            [](std::size_t i) -> double {
+                              if (i == 31) throw std::runtime_error("31");
+                              return noisy_work(i);
                             }),
                std::runtime_error);
 }
