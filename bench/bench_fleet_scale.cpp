@@ -1,0 +1,167 @@
+// Fleet-scale throughput study: run_fleet (DESIGN §12) at 1k / 10k / 100k
+// sessions, reporting sessions/sec, incremental bytes per session, and peak
+// process RSS. The load-bearing claim is the O(live sessions) memory model:
+// the RSS increment across a run is set by the peak live set (Little's law:
+// arrival rate x session length), so bytes/session must FALL as the fleet
+// grows while sessions/sec stays roughly flat.
+//
+// `--json-append BENCH_baseline.json` upserts the "Fleet scale" record the
+// committed baseline carries.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eacs/sim/fleet.h"
+
+namespace {
+
+using namespace eacs;
+
+const std::vector<std::size_t> kFleetSizes = {1000, 10000, 100000};
+
+sim::FleetConfig fleet_config(std::size_t sessions) {
+  sim::FleetConfig config;  // 16 cells, 8 regions, 4 arrivals/s, 30 segments
+  config.num_sessions = sessions;
+  return config;
+}
+
+/// Reads one VmHWM/VmRSS-style field from /proc/self/status, in kB.
+/// Returns 0 when the field is unavailable (non-Linux), keeping the bench
+/// runnable everywhere.
+double proc_status_kb(const char* field) {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind(field, 0) != 0) continue;
+    std::istringstream parse(line.substr(std::string(field).size() + 1));
+    double kb = 0.0;
+    parse >> kb;
+    return kb;
+  }
+  return 0.0;
+}
+
+struct FleetPoint {
+  std::size_t sessions = 0;
+  double wall_ms = 0.0;
+  double sessions_per_sec = 0.0;
+  double rss_delta_kb = 0.0;
+  double bytes_per_session = 0.0;
+  sim::FleetMetrics metrics;
+};
+
+void print_reproduction() {
+  bench::banner(
+      "Fleet scale",
+      "run_fleet throughput and memory at 1k/10k/100k sessions: sessions/sec, "
+      "incremental bytes/session (O(live) claim), peak RSS");
+
+  std::vector<FleetPoint> points;
+  for (const std::size_t sessions : kFleetSizes) {
+    const auto config = fleet_config(sessions);
+    // Warm-up allocates the arena + pools so the measured RSS delta is the
+    // run's own working set, not one-time allocator growth.
+    sim::run_fleet(fleet_config(1000));
+
+    FleetPoint point;
+    point.sessions = sessions;
+    const double rss_before_kb = proc_status_kb("VmRSS");
+    const auto start = std::chrono::steady_clock::now();
+    point.metrics = sim::run_fleet(config);
+    const auto end = std::chrono::steady_clock::now();
+    point.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    point.rss_delta_kb = proc_status_kb("VmRSS") - rss_before_kb;
+    if (point.rss_delta_kb < 0.0) point.rss_delta_kb = 0.0;
+    point.sessions_per_sec = point.wall_ms > 0.0
+                                 ? 1e3 * static_cast<double>(sessions) / point.wall_ms
+                                 : 0.0;
+    point.bytes_per_session =
+        1024.0 * point.rss_delta_kb / static_cast<double>(sessions);
+    points.push_back(std::move(point));
+  }
+
+  AsciiTable table("Fleet throughput and memory vs. fleet size");
+  table.set_header({"sessions", "wall ms", "sessions/s", "events", "peak live",
+                    "rss delta kB", "bytes/session"});
+  table.set_alignment({Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                       Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& point : points) {
+    table.add_row({std::to_string(point.sessions),
+                   AsciiTable::num(point.wall_ms, 1),
+                   AsciiTable::num(point.sessions_per_sec, 0),
+                   std::to_string(point.metrics.events),
+                   std::to_string(point.metrics.peak_live_sessions),
+                   AsciiTable::num(point.rss_delta_kb, 0),
+                   AsciiTable::num(point.bytes_per_session, 0)});
+    const std::string tag = std::to_string(point.sessions / 1000) + "k";
+    bench::record_metric("sessions_per_sec_" + tag, point.sessions_per_sec);
+    bench::record_metric("bytes_per_session_" + tag, point.bytes_per_session);
+    bench::record_metric("peak_live_sessions_" + tag,
+                         static_cast<double>(point.metrics.peak_live_sessions));
+    bench::record_metric("events_" + tag,
+                         static_cast<double>(point.metrics.events));
+    bench::record_metric("requests_" + tag,
+                         static_cast<double>(point.metrics.requests));
+  }
+  table.print();
+
+  const auto& big = points.back().metrics;
+  AsciiTable dist("100k-session fleet distributions (streaming aggregates)");
+  dist.set_header({"metric", "mean", "p50", "p90"});
+  dist.set_alignment({Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  dist.add_row({"QoE", AsciiTable::num(big.qoe.mean(), 3),
+                AsciiTable::num(big.qoe_quantile(0.5), 3),
+                AsciiTable::num(big.qoe_quantile(0.9), 3)});
+  dist.add_row({"energy [J]", AsciiTable::num(big.energy_j.mean(), 1),
+                AsciiTable::num(big.energy_quantile(0.5), 1),
+                AsciiTable::num(big.energy_quantile(0.9), 1)});
+  dist.add_row({"rebuffer [s]", AsciiTable::num(big.rebuffer_s.mean(), 2),
+                AsciiTable::num(big.rebuffer_quantile(0.5), 2),
+                AsciiTable::num(big.rebuffer_quantile(0.9), 2)});
+  dist.print();
+
+  bench::record_metric("qoe_mean_100k", big.qoe.mean());
+  bench::record_metric("energy_j_mean_100k", big.energy_j.mean());
+  bench::record_metric("handoffs_100k", static_cast<double>(big.handoffs));
+  bench::record_metric("peak_rss_mb", proc_status_kb("VmHWM") / 1024.0);
+  std::printf("\npeak RSS (VmHWM): %.1f MB\n\n",
+              proc_status_kb("VmHWM") / 1024.0);
+}
+
+void BM_RunFleet(benchmark::State& state) {
+  const auto config = fleet_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fleet(config));
+  }
+}
+BENCHMARK(BM_RunFleet)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+void BM_RunFleetSerial(benchmark::State& state) {
+  auto config = fleet_config(static_cast<std::size_t>(state.range(0)));
+  config.exec = sim::ExecutionPolicy{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fleet(config));
+  }
+}
+BENCHMARK(BM_RunFleetSerial)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_reproduction();
+  return eacs::bench::run_benchmarks(argc, argv);
+}

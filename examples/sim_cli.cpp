@@ -22,9 +22,16 @@
 //   --cdn-faults   run the CDN fault study: server-fault family x intensity
 //                  x source count, with the single-source column as the
 //                  retry-only baseline failover is judged against
+//   --fleet        run the fleet-scale simulation (DESIGN §12): event-driven
+//                  sessions over the sharded cell network, streaming
+//                  distribution aggregates instead of per-session rows
+//   --sessions N   fleet size for --fleet (default 10000)
+//   --cells N      cell count for --fleet (default 16)
+//   --regions N    mobility regions for --fleet (default 8; model parameter,
+//                  not an execution knob)
 //   --jobs N       worker threads for --sweep / --all / --sensor-faults /
-//                  --cdn-faults (0 = all hardware threads; results are
-//                  bit-identical at any value)
+//                  --cdn-faults / --fleet (0 = all hardware threads; results
+//                  are bit-identical at any value)
 
 #include <cstdio>
 #include <cstring>
@@ -43,6 +50,7 @@
 #include "eacs/media/mpd.h"
 #include "eacs/sim/cdn_fault_study.h"
 #include "eacs/sim/evaluation.h"
+#include "eacs/sim/fleet.h"
 #include "eacs/sim/report.h"
 #include "eacs/sim/sensor_fault_study.h"
 #include "eacs/util/table.h"
@@ -63,6 +71,10 @@ struct CliOptions {
   bool sweep = false;
   bool sensor_faults = false;
   bool cdn_faults = false;
+  bool fleet = false;
+  std::size_t fleet_sessions = 10000;
+  std::size_t fleet_cells = 16;
+  std::size_t fleet_regions = 8;
   std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
@@ -73,7 +85,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
                "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
-               "               [--sweep] [--sensor-faults] [--cdn-faults] [--jobs N]\n");
+               "               [--sweep] [--sensor-faults] [--cdn-faults] [--jobs N]\n"
+               "               [--fleet] [--sessions N] [--cells N] [--regions N]\n");
   std::exit(2);
 }
 
@@ -97,6 +110,15 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--sweep") options.sweep = true;
     else if (arg == "--sensor-faults") options.sensor_faults = true;
     else if (arg == "--cdn-faults") options.cdn_faults = true;
+    else if (arg == "--fleet") options.fleet = true;
+    else if (arg == "--sessions" || arg == "--cells" || arg == "--regions") {
+      const int value = std::atoi(next_value());
+      if (value < 1) usage_error((arg + " must be >= 1").c_str());
+      (arg == "--sessions"  ? options.fleet_sessions
+       : arg == "--cells"   ? options.fleet_cells
+                            : options.fleet_regions) =
+          static_cast<std::size_t>(value);
+    }
     else if (arg == "--jobs") {
       const int jobs = std::atoi(next_value());
       if (jobs < 0) usage_error("--jobs must be >= 0");
@@ -259,11 +281,72 @@ int run_cdn_faults(const CliOptions& options) {
   return 0;
 }
 
+/// --fleet: the fleet-scale simulation — event-driven sessions over the
+/// sharded cell network, reported as streaming distribution aggregates.
+int run_fleet_mode(const CliOptions& options) {
+  sim::FleetConfig config;
+  config.network.num_cells = options.fleet_cells;
+  config.num_sessions = options.fleet_sessions;
+  config.regions = options.fleet_regions;
+  config.segment_duration_s = options.segment_s;
+  config.buffer_threshold_s = options.buffer_s;
+  if (!options.context_aware) config.vibration_cap_threshold = 1e9;
+  config.exec.jobs = options.jobs;
+  std::printf("Fleet: %zu sessions over %zu cells in %zu regions, jobs=%zu\n",
+              config.num_sessions, config.network.num_cells, config.regions,
+              config.exec.resolved_jobs());
+
+  const auto metrics = sim::run_fleet(config);
+  std::printf("events %zu, requests %zu, handoffs %zu, stalls %zu, "
+              "peak live %zu\n\n",
+              metrics.events, metrics.requests, metrics.handoffs,
+              metrics.stall_events, metrics.peak_live_sessions);
+
+  eacs::AsciiTable table("Fleet distributions (streaming aggregates)");
+  table.set_header({"metric", "mean", "p50", "p90"});
+  table.set_alignment({eacs::Align::kLeft, eacs::Align::kRight,
+                       eacs::Align::kRight, eacs::Align::kRight});
+  table.add_row({"QoE", eacs::AsciiTable::num(metrics.qoe.mean(), 3),
+                 eacs::AsciiTable::num(metrics.qoe_quantile(0.5), 3),
+                 eacs::AsciiTable::num(metrics.qoe_quantile(0.9), 3)});
+  table.add_row({"energy (J)", eacs::AsciiTable::num(metrics.energy_j.mean(), 1),
+                 eacs::AsciiTable::num(metrics.energy_quantile(0.5), 1),
+                 eacs::AsciiTable::num(metrics.energy_quantile(0.9), 1)});
+  table.add_row({"rebuffer (s)", eacs::AsciiTable::num(metrics.rebuffer_s.mean(), 2),
+                 eacs::AsciiTable::num(metrics.rebuffer_quantile(0.5), 2),
+                 eacs::AsciiTable::num(metrics.rebuffer_quantile(0.9), 2)});
+  table.add_row({"bitrate (Mbps)",
+                 eacs::AsciiTable::num(metrics.bitrate_mbps.mean(), 2), "-", "-"});
+  table.add_row({"startup (s)", eacs::AsciiTable::num(metrics.startup_s.mean(), 2),
+                 "-", "-"});
+  table.print();
+
+  eacs::AsciiTable regions("Per-region shard view (P^2 streaming medians)");
+  regions.set_header({"region", "cells", "sessions", "handoffs", "peak live",
+                      "median QoE", "median J"});
+  regions.set_alignment({eacs::Align::kRight, eacs::Align::kRight,
+                         eacs::Align::kRight, eacs::Align::kRight,
+                         eacs::Align::kRight, eacs::Align::kRight,
+                         eacs::Align::kRight});
+  for (const auto& region : metrics.regions) {
+    regions.add_row({std::to_string(region.region),
+                     std::to_string(region.num_cells),
+                     std::to_string(region.sessions),
+                     std::to_string(region.handoffs),
+                     std::to_string(region.peak_live_sessions),
+                     eacs::AsciiTable::num(region.median_qoe, 3),
+                     eacs::AsciiTable::num(region.median_energy_j, 1)});
+  }
+  regions.print();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   const CliOptions options = parse_cli(argc, argv);
   if (options.sweep) return run_sweep(options);
   if (options.sensor_faults) return run_sensor_faults(options);
   if (options.cdn_faults) return run_cdn_faults(options);
+  if (options.fleet) return run_fleet_mode(options);
 
   const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
   std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,

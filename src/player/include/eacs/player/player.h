@@ -172,6 +172,9 @@ struct PlaybackResult {
   std::size_t total_failovers = 0;     ///< primary-source switches
   std::size_t breaker_transitions = 0; ///< circuit-breaker state changes
 
+  /// Cellular runs only: cell changes this client made (zero elsewhere).
+  std::size_t cell_handoffs = 0;
+
   /// Total downloaded data in MB (successful attempts only; wasted bytes are
   /// tracked in total_wasted_mb).
   double total_downloaded_mb() const noexcept;

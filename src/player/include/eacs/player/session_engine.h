@@ -22,6 +22,11 @@
 //  * SharedLinkModel  — processor-sharing bottleneck: concurrent downloads
 //                       split the capacity equally; integrated on a fixed
 //                       step grid with sub-step completions resolved exactly.
+//  * CellularLinkModel — many processor-shared bottlenecks (one per base
+//                       station); clients attach per-cell and follow handoff
+//                       routes, and the engine advances cells through a
+//                       global (step, cell) event heap so finished or empty
+//                       cells cost nothing. One cell == SharedLinkModel.
 //
 // Every state transition is surfaced to SessionObserver hooks as a typed
 // SessionEvent; SessionTimeline is the bundled observer that records the full
@@ -82,6 +87,8 @@ enum class SessionEventType {
                       ///< value = 0 primary won, 1 the hedge won
   kBreakerTransition, ///< CDN links: breaker changed state; source = which,
                       ///< value = new state (0 closed, 1 open, 2 half-open)
+  kCellHandoff,       ///< cellular links: client moved cells at a step edge;
+                      ///< source = new cell, value = the previous cell index
   kSessionEnd,        ///< engine run finished (client = kNoIndex)
 };
 
@@ -223,6 +230,17 @@ class LinkModel {
   virtual const trace::TimeSeries* capacity_series() const noexcept {
     return nullptr;
   }
+
+  /// Stepped links: the per-cell capacity traces of a cellular network, one
+  /// processor-shared bottleneck per base station. Non-empty engages the
+  /// engine's multi-cell path (clients attach at SessionClient::home_cell and
+  /// follow their handoff route); SharedLinkModel reports its single
+  /// bottleneck here, which is how the classic multi-client run becomes a
+  /// one-cell configuration of that path. Empty (the default) keeps the
+  /// legacy single-bottleneck stepping over capacity_at().
+  virtual std::span<const trace::TimeSeries* const> cells() const noexcept {
+    return {};
+  }
 };
 
 /// Dedicated trace-driven link: every attempt completes, nothing times out.
@@ -322,9 +340,45 @@ class SharedLinkModel final : public LinkModel {
   const trace::TimeSeries* capacity_series() const noexcept override {
     return capacity_;
   }
+  std::span<const trace::TimeSeries* const> cells() const noexcept override {
+    return {&capacity_, 1};
+  }
 
  private:
   const trace::TimeSeries* capacity_;
+};
+
+/// Multi-cell cellular network: one processor-shared capacity trace per base
+/// station. Clients attach to SessionClient::home_cell, follow their
+/// SessionClient::route between cells (handoffs applied at step edges, an
+/// in-flight download carries its remaining bytes to the new cell), and each
+/// cell splits its own capacity equally among its downloading members. The
+/// traces are unowned and must outlive the model. With a single cell this is
+/// exactly SharedLinkModel.
+class CellularLinkModel final : public LinkModel {
+ public:
+  /// Throws std::invalid_argument on an empty cell list or any null/empty
+  /// capacity trace.
+  explicit CellularLinkModel(std::span<const trace::TimeSeries* const> cells);
+
+  bool stepped() const noexcept override { return true; }
+  /// Cell 0's capacity (the LinkModel single-bottleneck view).
+  double capacity_at(double t_s) const override;
+  const trace::TimeSeries* capacity_series() const noexcept override {
+    return cells_.front();
+  }
+  std::span<const trace::TimeSeries* const> cells() const noexcept override {
+    return cells_;
+  }
+
+ private:
+  std::vector<const trace::TimeSeries*> cells_;
+};
+
+/// One scheduled cell change on a client's route through a cellular network.
+struct CellHop {
+  double t_s = 0.0;       ///< earliest time the handoff can happen
+  std::size_t cell = 0;   ///< destination cell index
 };
 
 /// One participating client. `context` supplies signal/accel traces (and, on
@@ -342,6 +396,16 @@ struct SessionClient {
   /// TaskRecord::vibration keeps the true estimate, perceived_vibration what
   /// the policy saw. Null or inactive: strict no-op, bit-identical results.
   const sensors::SensorFaultInjector* sensor_faults = nullptr;
+
+  // --- cellular links only (LinkModel::cells().size() > 1) ----------------
+  /// Cell the client attaches to before its first handoff.
+  std::size_t home_cell = 0;
+  /// Scheduled handoffs, sorted by t_s (unowned storage, must outlive the
+  /// run). Each hop is applied at the first step edge at or after its t_s,
+  /// in client index order when several land on the same edge; an in-flight
+  /// download carries its remaining megabits to the new cell. Hops to the
+  /// current cell are no-ops. Empty: the client never leaves home_cell.
+  std::span<const CellHop> route = {};
 };
 
 /// Engine knobs. `player` applies to every client; the step/stop values are
@@ -381,6 +445,19 @@ class SessionEngine {
   std::vector<PlaybackResult> run_stepped(std::span<const SessionClient> clients,
                                           const LinkModel& link,
                                           SessionObserver* observer) const;
+  /// The pre-refactor single-bottleneck stepping loop, kept verbatim so the
+  /// differential harness can certify the cellular path against it (and as
+  /// the fallback for custom stepped links that expose no cells()).
+  std::vector<PlaybackResult> run_stepped_reference(
+      std::span<const SessionClient> clients, const LinkModel& link,
+      SessionObserver* observer) const;
+  /// The cellular path: per-cell stepping driven by a global (step, cell)
+  /// event heap, with handoffs applied at step edges. Single cell is
+  /// bit-identical to run_stepped_reference.
+  std::vector<PlaybackResult> run_cells(std::span<const SessionClient> clients,
+                                        std::span<const trace::TimeSeries* const> cells,
+                                        const LinkModel& link,
+                                        SessionObserver* observer) const;
 
   SessionEngineConfig config_;
 };

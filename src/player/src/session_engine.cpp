@@ -1,12 +1,16 @@
 #include "eacs/player/session_engine.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <ostream>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 namespace eacs::player {
 namespace {
@@ -146,6 +150,52 @@ std::string format_double(double value) {
   return buffer;
 }
 
+/// The per-session adaptation runtime every mode shares — bandwidth
+/// estimator, vibration clock, optional perceived-context rewire and the
+/// optional stateful signal cursor. One construction path (this factory)
+/// serves the solo analytic run, the stepped multi-client loop and the
+/// cellular fleet path, which used to carry three divergent inline setups.
+struct SessionRuntime {
+  net::HarmonicMeanEstimator bandwidth;
+  VibrationClock vibration;
+  std::optional<PerceivedContext> perceived;  ///< active sensor faults only
+  /// Stateful signal lookup (engaged unless reference_mode). Bit-identical
+  /// to the cursorless linear_at.
+  std::optional<trace::TimeSeriesCursor> signal_cursor;
+
+  SessionRuntime(const SessionClient& client, const PlayerConfig& config,
+                 bool reference_mode)
+      : bandwidth(config.bandwidth_window),
+        vibration(client.context->accel, config.vibration) {
+    if (client.sensor_faults != nullptr && client.sensor_faults->active()) {
+      perceived.emplace(*client.sensor_faults, config);
+    }
+    if (!reference_mode) signal_cursor.emplace(client.context->signal_dbm);
+  }
+
+  /// Signal strength at `t_s` through the cursor when engaged.
+  double signal_at(const SessionClient& client, double t_s) {
+    return signal_cursor.has_value()
+               ? signal_cursor->linear_at(t_s)
+               : client.context->signal_dbm.linear_at(t_s);
+  }
+
+  /// Decision-time sensing: advances the vibration clock (and the perceived
+  /// streams when sensor faults are active) to `now` and fills the sensed
+  /// fields of `context`. Returns the *true* vibration level;
+  /// context.vibration_level afterwards holds what the policy perceives.
+  double sense(AbrContext& context, const SessionClient& client, double now) {
+    const double true_vibration = vibration.advance_to(now);
+    context.vibration_level = true_vibration;
+    context.signal_dbm = signal_at(client, now);
+    if (perceived.has_value()) {
+      perceived->advance_to(now);
+      perceived->fill(context, now);
+    }
+    return true_vibration;
+  }
+};
+
 }  // namespace
 
 const char* to_string(SessionEventType type) noexcept {
@@ -168,6 +218,7 @@ const char* to_string(SessionEventType type) noexcept {
     case SessionEventType::kHedgeIssued: return "hedge_issued";
     case SessionEventType::kHedgeComplete: return "hedge_complete";
     case SessionEventType::kBreakerTransition: return "breaker_transition";
+    case SessionEventType::kCellHandoff: return "cell_handoff";
     case SessionEventType::kSessionEnd: return "session_end";
   }
   return "unknown";
@@ -346,6 +397,24 @@ double SharedLinkModel::capacity_at(double t_s) const {
   return capacity_->linear_at(t_s);
 }
 
+CellularLinkModel::CellularLinkModel(
+    std::span<const trace::TimeSeries* const> cells)
+    : cells_(cells.begin(), cells.end()) {
+  if (cells_.empty()) {
+    throw std::invalid_argument("CellularLinkModel: need at least one cell");
+  }
+  for (const auto* cell : cells_) {
+    if (cell == nullptr || cell->empty()) {
+      throw std::invalid_argument(
+          "CellularLinkModel: null or empty cell capacity trace");
+    }
+  }
+}
+
+double CellularLinkModel::capacity_at(double t_s) const {
+  return cells_.front()->linear_at(t_s);
+}
+
 // --- SessionEngine ----------------------------------------------------------
 
 SessionEngine::SessionEngine(SessionEngineConfig config) : config_(config) {
@@ -371,7 +440,25 @@ std::vector<PlaybackResult> SessionEngine::run(
       throw std::invalid_argument("SessionEngine: null client fields");
     }
   }
-  if (link.stepped()) return run_stepped(clients, link, observer);
+  if (link.stepped()) {
+    const std::size_t num_cells = std::max<std::size_t>(1, link.cells().size());
+    for (const auto& client : clients) {
+      if (client.home_cell >= num_cells) {
+        throw std::invalid_argument("SessionEngine: home_cell out of range");
+      }
+      double prev_hop_s = -std::numeric_limits<double>::infinity();
+      for (const auto& hop : client.route) {
+        if (hop.cell >= num_cells) {
+          throw std::invalid_argument("SessionEngine: route cell out of range");
+        }
+        if (hop.t_s < prev_hop_s) {
+          throw std::invalid_argument("SessionEngine: route not sorted by time");
+        }
+        prev_hop_s = hop.t_s;
+      }
+    }
+    return run_stepped(clients, link, observer);
+  }
   if (clients.size() != 1) {
     throw std::invalid_argument(
         "SessionEngine: analytic links take exactly one client");
@@ -407,19 +494,11 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
   // original code for that comparison.
   const net::SegmentDownloader* fast =
       (config_.reference_mode || unreliable) ? nullptr : link.fast_downloader();
-  std::optional<trace::TimeSeriesCursor> signal_cursor;
-  if (!config_.reference_mode) signal_cursor.emplace(session.signal_dbm);
-  net::HarmonicMeanEstimator bandwidth(config.bandwidth_window);
-  VibrationClock vibration(session.accel, config.vibration);
+  // Estimators, vibration clock, signal cursor and (when sensor faults are
+  // attached AND active) the perceived-context rewire, all built by the one
+  // construction path every mode shares.
+  SessionRuntime runtime(client, config, config_.reference_mode);
   const std::size_t lowest = manifest.ladder().lowest_level();
-
-  // Sensor faults: the policy perceives the corrupted streams; the true
-  // context above still prices energy/QoE. Engaged only when attached AND
-  // active, so clean runs stay bit-identical.
-  std::optional<PerceivedContext> perceived;
-  if (client.sensor_faults != nullptr && client.sensor_faults->active()) {
-    perceived.emplace(*client.sensor_faults, config);
-  }
 
   PlaybackResult result;
   result.tasks.reserve(manifest.num_segments());
@@ -460,8 +539,6 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
                  kNoIndex, buffer, wait);
     }
 
-    const double vibration_level = vibration.advance_to(now);
-
     AbrContext context;
     context.segment_index = i;
     context.num_segments = manifest.num_segments();
@@ -470,15 +547,8 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     context.startup_phase = !playing;
     context.prev_level = prev_level;
     context.manifest = &manifest;
-    context.bandwidth = &bandwidth;
-    context.vibration_level = vibration_level;
-    context.signal_dbm = signal_cursor.has_value()
-                             ? signal_cursor->linear_at(now)
-                             : session.signal_dbm.linear_at(now);
-    if (perceived.has_value()) {
-      perceived->advance_to(now);
-      perceived->fill(context, now);
-    }
+    context.bandwidth = &runtime.bandwidth;
+    const double vibration_level = runtime.sense(context, client, now);
 
     const std::size_t requested = manifest.ladder().clamp_level(
         static_cast<long long>(policy.choose_level(context)));
@@ -552,7 +622,7 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
       // Advances the wall clock over an aborted round (every leg dead).
       const auto advance_abort = [&](double abort_at, double moved) {
         const double elapsed = abort_at - now;
-        bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
+        runtime.bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
         drain(elapsed);
         now = abort_at;
       };
@@ -767,7 +837,7 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
           wasted_signal_weight += moved * session.signal_dbm.mean_over(now, abort_at);
         }
         wasted_time += elapsed;
-        bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
+        runtime.bandwidth.observe(elapsed > 0.0 ? moved / elapsed : 0.0);
         drain(elapsed);
         now = abort_at;
       };
@@ -871,9 +941,7 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     task.signal_dbm =
         download_time > 0.0
             ? session.signal_dbm.mean_over(success.start_s, success.end_s)
-            : (signal_cursor.has_value()
-                   ? signal_cursor->linear_at(success.start_s)
-                   : session.signal_dbm.linear_at(success.start_s));
+            : runtime.signal_at(client, success.start_s);
     task.rebuffer_s = stall_total;
     task.retries = attempt;
     task.abandoned = abandoned;
@@ -892,7 +960,7 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
     if (prev_level.has_value() && *prev_level != level) ++result.switch_count;
     prev_level = level;
 
-    bandwidth.observe(success.mean_throughput_mbps);
+    runtime.bandwidth.observe(success.mean_throughput_mbps);
     result.total_retries += attempt;
     if (abandoned) ++result.abandoned_segments;
     result.total_wasted_mb += task.wasted_mb;
@@ -925,16 +993,12 @@ PlaybackResult SessionEngine::run_analytic(const SessionClient& client,
 
 namespace {
 
-/// Per-client state for the stepped (shared-link) mode.
+/// Per-client state for the stepped (shared-link / cellular) modes.
 struct SteppedClientState {
   const SessionClient* setup = nullptr;
-  net::HarmonicMeanEstimator bandwidth;
-  VibrationClock vibration;
-  std::optional<PerceivedContext> perceived;  ///< active sensor faults only
-  /// Stateful signal lookup (engaged unless reference_mode; the engine sets
-  /// it after construction). Bit-identical to the cursorless linear_at.
-  std::optional<trace::TimeSeriesCursor> signal_cursor;
+  SessionRuntime runtime;  ///< the shared construction path (see above)
   double perceived_at_request = 0.0;
+  std::size_t cell = 0;  ///< current serving cell (cellular runs)
 
   std::size_t next_segment = 0;
   double buffer_s = 0.0;
@@ -956,33 +1020,135 @@ struct SteppedClientState {
 
   PlaybackResult result;
 
-  SteppedClientState(const SessionClient& client, const PlayerConfig& config)
+  SteppedClientState(const SessionClient& client, const PlayerConfig& config,
+                     bool reference_mode)
       : setup(&client),
-        bandwidth(config.bandwidth_window),
-        vibration(client.context->accel, config.vibration) {
-    if (client.sensor_faults != nullptr && client.sensor_faults->active()) {
-      perceived.emplace(*client.sensor_faults, config);
-    }
-  }
+        runtime(client, config, reference_mode),
+        cell(client.home_cell) {}
 };
+
+/// Consults the policy and opens the next download. Shared verbatim between
+/// the reference loop and the cellular path, so the two can only diverge in
+/// loop structure — which is exactly what the differential harness certifies.
+void stepped_request_next(SteppedClientState& state, std::size_t index,
+                          double now, SessionObserver* observer) {
+  const auto& manifest = *state.setup->manifest;
+  AbrContext context;
+  context.segment_index = state.next_segment;
+  context.num_segments = manifest.num_segments();
+  context.now_s = now;
+  context.buffer_s = state.buffer_s;
+  context.startup_phase = !state.playing;
+  context.prev_level = state.prev_level;
+  context.manifest = &manifest;
+  context.bandwidth = &state.runtime.bandwidth;
+  state.runtime.sense(context, *state.setup, now);
+  state.perceived_at_request = context.vibration_level;
+
+  state.level = manifest.ladder().clamp_level(
+      static_cast<long long>(state.setup->policy->choose_level(context)));
+  state.size_megabits =
+      manifest.segment_size_megabits(state.next_segment, state.level);
+  state.remaining_megabits = state.size_megabits;
+  state.download_start_s = now;
+  state.buffer_at_request = state.buffer_s;
+  state.startup_at_request = context.startup_phase;
+  state.stall_s = 0.0;
+  state.downloading = true;
+  emit_event(observer, SessionEventType::kRequestIssued, now, index,
+             state.next_segment, 0, state.level, state.buffer_s,
+             state.size_megabits);
+}
+
+/// Books a finished download: task record, totals, startup transition.
+/// Shared between the reference loop and the cellular path.
+void stepped_complete_download(SteppedClientState& state, std::size_t index,
+                               double end_s, const PlayerConfig& player_config,
+                               SessionObserver* observer) {
+  const auto& manifest = *state.setup->manifest;
+  state.downloading = false;
+  state.buffer_s += manifest.segment_duration(state.next_segment);
+
+  TaskRecord task;
+  task.segment_index = state.next_segment;
+  task.level = state.level;
+  task.bitrate_mbps = manifest.ladder().bitrate(state.level);
+  task.size_mb = state.size_megabits / 8.0;
+  task.duration_s = manifest.segment_duration(state.next_segment);
+  task.download_start_s = state.download_start_s;
+  task.download_end_s = end_s;
+  const double elapsed = std::max(1e-9, end_s - state.download_start_s);
+  task.throughput_mbps = state.size_megabits / elapsed;
+  task.signal_dbm = state.setup->context->signal_dbm.mean_over(
+      state.download_start_s, std::max(end_s, state.download_start_s + 1e-6));
+  task.vibration = state.runtime.vibration.level();
+  task.perceived_vibration = state.runtime.perceived.has_value()
+                                 ? state.perceived_at_request
+                                 : task.vibration;
+  task.buffer_before_s = state.buffer_at_request;
+  task.rebuffer_s = state.stall_s;
+  task.startup = state.startup_at_request;
+
+  if (state.stall_s > kStallEpsilon) {
+    state.result.total_rebuffer_s += state.stall_s;
+    ++state.result.rebuffer_events;
+  }
+  if (state.prev_level.has_value() && *state.prev_level != state.level) {
+    ++state.result.switch_count;
+  }
+  state.prev_level = state.level;
+  state.runtime.bandwidth.observe(task.throughput_mbps);
+  state.result.tasks.push_back(task);
+  emit_event(observer, SessionEventType::kDownloadComplete, end_s, index,
+             state.next_segment, 0, state.level, state.buffer_s,
+             task.throughput_mbps);
+
+  ++state.next_segment;
+  if (state.next_segment >= manifest.num_segments()) {
+    state.finished_downloading = true;
+    // Nothing left to wait for: playback ends once the buffer drains.
+    state.playback_finish_s = end_s + state.buffer_s;
+  }
+  if (!state.playing && state.buffer_s >= player_config.startup_buffer_s) {
+    state.playing = true;
+    state.result.startup_delay_s = end_s;
+    emit_event(observer, SessionEventType::kStartup, end_s, index,
+               task.segment_index, kNoIndex, kNoIndex, state.buffer_s);
+  }
+}
 
 }  // namespace
 
 // Stepped links: completion times depend on who else is downloading, so the
 // engine integrates on a fixed grid (sub-step completions resolved exactly)
-// and splits capacity equally among the in-flight clients.
+// and splits capacity equally among the in-flight clients. Links that expose
+// per-cell capacity traces run the cellular event-heap path; single-cell
+// reference_mode (and custom stepped links without cells()) keep the
+// pre-refactor loop, which the differential harness certifies the cellular
+// path against bit-for-bit.
 std::vector<PlaybackResult> SessionEngine::run_stepped(
+    std::span<const SessionClient> clients, const LinkModel& link,
+    SessionObserver* observer) const {
+  const auto cell_traces = link.cells();
+  if (cell_traces.empty() ||
+      (config_.reference_mode && cell_traces.size() == 1)) {
+    return run_stepped_reference(clients, link, observer);
+  }
+  return run_cells(clients, cell_traces, link, observer);
+}
+
+// The pre-refactor single-bottleneck loop, preserved as the certification
+// reference for the cellular path (and the fallback for custom stepped links
+// that expose no cells()).
+std::vector<PlaybackResult> SessionEngine::run_stepped_reference(
     std::span<const SessionClient> clients, const LinkModel& link,
     SessionObserver* observer) const {
   const PlayerConfig& player_config = config_.player;
   std::vector<SteppedClientState> states;
   states.reserve(clients.size());
   for (const auto& client : clients) {
-    states.emplace_back(client, player_config);
+    states.emplace_back(client, player_config, config_.reference_mode);
     client.policy->reset();
-    if (!config_.reference_mode) {
-      states.back().signal_cursor.emplace(client.context->signal_dbm);
-    }
   }
 
   // Capacity lookups happen once per step; when the link exposes its trace,
@@ -994,96 +1160,6 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
   if (capacity_series != nullptr) capacity_cursor.emplace(*capacity_series);
 
   emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
-
-  const auto request_next = [&](SteppedClientState& state, std::size_t index,
-                                double now) {
-    const auto& manifest = *state.setup->manifest;
-    AbrContext context;
-    context.segment_index = state.next_segment;
-    context.num_segments = manifest.num_segments();
-    context.now_s = now;
-    context.buffer_s = state.buffer_s;
-    context.startup_phase = !state.playing;
-    context.prev_level = state.prev_level;
-    context.manifest = &manifest;
-    context.bandwidth = &state.bandwidth;
-    context.vibration_level = state.vibration.advance_to(now);
-    context.signal_dbm = state.signal_cursor.has_value()
-                             ? state.signal_cursor->linear_at(now)
-                             : state.setup->context->signal_dbm.linear_at(now);
-    if (state.perceived.has_value()) {
-      state.perceived->advance_to(now);
-      state.perceived->fill(context, now);
-    }
-    state.perceived_at_request = context.vibration_level;
-
-    state.level = manifest.ladder().clamp_level(
-        static_cast<long long>(state.setup->policy->choose_level(context)));
-    state.size_megabits =
-        manifest.segment_size_megabits(state.next_segment, state.level);
-    state.remaining_megabits = state.size_megabits;
-    state.download_start_s = now;
-    state.buffer_at_request = state.buffer_s;
-    state.startup_at_request = context.startup_phase;
-    state.stall_s = 0.0;
-    state.downloading = true;
-    emit_event(observer, SessionEventType::kRequestIssued, now, index,
-               state.next_segment, 0, state.level, state.buffer_s,
-               state.size_megabits);
-  };
-
-  const auto complete_download = [&](SteppedClientState& state,
-                                     std::size_t index, double end_s) {
-    const auto& manifest = *state.setup->manifest;
-    state.downloading = false;
-    state.buffer_s += manifest.segment_duration(state.next_segment);
-
-    TaskRecord task;
-    task.segment_index = state.next_segment;
-    task.level = state.level;
-    task.bitrate_mbps = manifest.ladder().bitrate(state.level);
-    task.size_mb = state.size_megabits / 8.0;
-    task.duration_s = manifest.segment_duration(state.next_segment);
-    task.download_start_s = state.download_start_s;
-    task.download_end_s = end_s;
-    const double elapsed = std::max(1e-9, end_s - state.download_start_s);
-    task.throughput_mbps = state.size_megabits / elapsed;
-    task.signal_dbm = state.setup->context->signal_dbm.mean_over(
-        state.download_start_s, std::max(end_s, state.download_start_s + 1e-6));
-    task.vibration = state.vibration.level();
-    task.perceived_vibration =
-        state.perceived.has_value() ? state.perceived_at_request : task.vibration;
-    task.buffer_before_s = state.buffer_at_request;
-    task.rebuffer_s = state.stall_s;
-    task.startup = state.startup_at_request;
-
-    if (state.stall_s > kStallEpsilon) {
-      state.result.total_rebuffer_s += state.stall_s;
-      ++state.result.rebuffer_events;
-    }
-    if (state.prev_level.has_value() && *state.prev_level != state.level) {
-      ++state.result.switch_count;
-    }
-    state.prev_level = state.level;
-    state.bandwidth.observe(task.throughput_mbps);
-    state.result.tasks.push_back(task);
-    emit_event(observer, SessionEventType::kDownloadComplete, end_s, index,
-               state.next_segment, 0, state.level, state.buffer_s,
-               task.throughput_mbps);
-
-    ++state.next_segment;
-    if (state.next_segment >= manifest.num_segments()) {
-      state.finished_downloading = true;
-      // Nothing left to wait for: playback ends once the buffer drains.
-      state.playback_finish_s = end_s + state.buffer_s;
-    }
-    if (!state.playing && state.buffer_s >= player_config.startup_buffer_s) {
-      state.playing = true;
-      state.result.startup_delay_s = end_s;
-      emit_event(observer, SessionEventType::kStartup, end_s, index,
-                 task.segment_index, kNoIndex, kNoIndex, state.buffer_s);
-    }
-  };
 
   const double dt = config_.step_s;
   double now = 0.0;
@@ -1101,7 +1177,7 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
       if (state.playing && state.buffer_s > player_config.buffer_threshold_s) {
         continue;  // throttled; the buffer drains below
       }
-      request_next(state, c, now);
+      stepped_request_next(state, c, now, observer);
     }
 
     // 2. Share the link among active downloads.
@@ -1124,7 +1200,7 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
         if (state.remaining_megabits <= deliverable) {
           const double finish = now + state.remaining_megabits / share;
           state.remaining_megabits = 0.0;
-          complete_download(state, c, finish);
+          stepped_complete_download(state, c, finish, player_config, observer);
         } else {
           state.remaining_megabits -= deliverable;
           emit_event(observer, SessionEventType::kDownloadProgress, now, c,
@@ -1162,6 +1238,256 @@ std::vector<PlaybackResult> SessionEngine::run_stepped(
     results.push_back(std::move(state.result));
   }
   emit_event(observer, SessionEventType::kSessionEnd, now, kNoIndex);
+  return results;
+}
+
+namespace {
+
+/// Per-cell runtime for the cellular path.
+struct CellRuntime {
+  const trace::TimeSeries* capacity = nullptr;
+  std::optional<trace::TimeSeriesCursor> cursor;
+  std::vector<std::size_t> members;  ///< client indices, ascending
+  bool scheduled = false;            ///< has a pending entry in the heap
+  double exit_s = 0.0;               ///< clock when the cell stopped stepping
+};
+
+/// One scheduled handoff, flattened from the clients' routes.
+struct PendingHop {
+  double t_s = 0.0;
+  std::size_t client = 0;
+  std::size_t cell = 0;
+};
+
+}  // namespace
+
+// The cellular path. Each base station is a processor-shared bottleneck that
+// advances its members with the same per-step phases as the reference loop;
+// a global binary heap keyed (step, cell) orders the work, so a cell whose
+// members all finished (or that has no members) is simply never scheduled —
+// the live set, not the fleet size, is what costs. All cells share one step
+// grid whose clock accumulates by repeated `+ dt` exactly like the serial
+// loop, which is what makes the single-cell configuration bit-identical to
+// run_stepped_reference (certified in tests/differential/).
+//
+// Handoffs are applied at step edges, before any cell processes the step, in
+// client index order; an in-flight download carries its remaining megabits
+// into the new cell and simply competes for the new bottleneck from the next
+// step on. A handoff into a dormant cell wakes it at the current step.
+std::vector<PlaybackResult> SessionEngine::run_cells(
+    std::span<const SessionClient> clients,
+    std::span<const trace::TimeSeries* const> cell_traces, const LinkModel& link,
+    SessionObserver* observer) const {
+  (void)link;
+  const PlayerConfig& player_config = config_.player;
+  const double dt = config_.step_s;
+
+  std::vector<SteppedClientState> states;
+  states.reserve(clients.size());
+  for (const auto& client : clients) {
+    states.emplace_back(client, player_config, config_.reference_mode);
+    client.policy->reset();
+  }
+
+  std::vector<CellRuntime> cells(cell_traces.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i].capacity = cell_traces[i];
+    if (!config_.reference_mode) cells[i].cursor.emplace(*cell_traces[i]);
+  }
+  for (std::size_t c = 0; c < states.size(); ++c) {
+    cells[states[c].cell].members.push_back(c);  // ascending: c is increasing
+  }
+
+  // Flatten the routes into one hop list ordered by time; a stable sort
+  // keeps each client's route order at equal timestamps.
+  std::vector<PendingHop> hops;
+  for (std::size_t c = 0; c < states.size(); ++c) {
+    for (const CellHop& hop : clients[c].route) {
+      hops.push_back({hop.t_s, c, hop.cell});
+    }
+  }
+  std::stable_sort(hops.begin(), hops.end(),
+                   [](const PendingHop& a, const PendingHop& b) {
+                     return a.t_s < b.t_s;
+                   });
+  std::size_t next_hop = 0;
+
+  // Global (step, cell) min-heap; ties resolve by cell index, members within
+  // a cell by client index — the same deterministic ordering contract the
+  // serial loop provides.
+  using StepEntry = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<StepEntry, std::vector<StepEntry>, std::greater<StepEntry>>
+      queue;
+  const auto schedule = [&](std::size_t cell, std::uint64_t step) {
+    if (!cells[cell].scheduled) {
+      cells[cell].scheduled = true;
+      queue.push({step, cell});
+    }
+  };
+
+  // Shared step grid: grid[k] accumulates by repeated `+ dt`, so a cell's
+  // clock at step k is bit-identical to the serial loop's `now` after k
+  // iterations — whatever order cells are processed in.
+  std::vector<double> grid{0.0};
+  const auto grid_time = [&](std::uint64_t step) {
+    while (grid.size() <= step) grid.push_back(grid.back() + dt);
+    return grid[static_cast<std::size_t>(step)];
+  };
+
+  emit_event(observer, SessionEventType::kSessionStart, 0.0, kNoIndex);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].members.empty()) schedule(i, 0);
+  }
+
+  double global_exit_s = 0.0;
+  constexpr std::uint64_t kNoStep = ~std::uint64_t{0};
+  std::uint64_t hops_checked_step = kNoStep;
+  std::vector<PendingHop> due;  // reused per step edge
+
+  while (!queue.empty()) {
+    const auto [step, cell_index] = queue.top();
+    queue.pop();
+    CellRuntime& cell = cells[cell_index];
+    cell.scheduled = false;
+    const double now = grid_time(step);
+
+    // Apply handoffs once per step edge, before any cell processes it.
+    // Several hops landing on the same edge apply in client index order. A
+    // hop can wake a dormant lower-indexed cell at this very step, so
+    // re-enter the heap afterwards to restore (step, cell) processing order.
+    if (step != hops_checked_step) {
+      hops_checked_step = step;
+      bool moved = false;
+      if (now < config_.max_session_s) {
+        due.clear();
+        while (next_hop < hops.size() && hops[next_hop].t_s <= now) {
+          due.push_back(hops[next_hop++]);
+        }
+        std::stable_sort(due.begin(), due.end(),
+                         [](const PendingHop& a, const PendingHop& b) {
+                           return a.client < b.client;
+                         });
+        for (const PendingHop& hop : due) {
+          auto& state = states[hop.client];
+          const std::size_t from = state.cell;
+          if (from == hop.cell) continue;  // self-handoff: no-op
+          auto& old_members = cells[from].members;
+          old_members.erase(
+              std::find(old_members.begin(), old_members.end(), hop.client));
+          auto& new_members = cells[hop.cell].members;
+          new_members.insert(std::upper_bound(new_members.begin(),
+                                              new_members.end(), hop.client),
+                             hop.client);
+          state.cell = hop.cell;
+          ++state.result.cell_handoffs;
+          emit_event(observer, SessionEventType::kCellHandoff, now, hop.client,
+                     state.downloading ? state.next_segment : kNoIndex,
+                     kNoIndex, kNoIndex, state.buffer_s,
+                     static_cast<double>(from), hop.cell);
+          // Wake the destination for this step if it still has work to do.
+          if (!state.finished_downloading) schedule(hop.cell, step);
+          moved = true;
+        }
+      }
+      if (moved) {
+        // Membership changed: re-enter the heap so the smallest (step, cell)
+        // — possibly a freshly woken cell — processes first.
+        schedule(cell_index, step);
+        continue;
+      }
+    }
+
+    // Hard stop: mirror the serial loop's `now < max_session_s` guard, which
+    // exits with the clock already advanced past the last executed step.
+    if (now >= config_.max_session_s) {
+      cell.exit_s = now;
+      global_exit_s = std::max(global_exit_s, now);
+      continue;
+    }
+
+    // 1. Activate members: start a download if joined, not finished, not
+    //    already downloading, and the buffer is at/below the threshold.
+    for (const std::size_t c : cell.members) {
+      auto& state = states[c];
+      if (state.finished_downloading || state.downloading) continue;
+      if (now < state.setup->join_time_s) continue;
+      if (!state.joined) {
+        state.joined = true;
+        emit_event(observer, SessionEventType::kClientJoin, now, c);
+      }
+      if (state.playing && state.buffer_s > player_config.buffer_threshold_s) {
+        continue;  // throttled; the buffer drains below
+      }
+      stepped_request_next(state, c, now, observer);
+    }
+
+    // 2. Share this cell's capacity among its active downloads.
+    std::size_t active = 0;
+    for (const std::size_t c : cell.members) {
+      if (states[c].downloading) ++active;
+    }
+    const double capacity =
+        std::max(0.0, cell.cursor.has_value() ? cell.cursor->linear_at(now)
+                                              : cell.capacity->linear_at(now));
+    const double share = active > 0 ? capacity / static_cast<double>(active) : 0.0;
+
+    // 3. Advance downloads (sub-step completion resolved exactly) and
+    //    playback.
+    for (const std::size_t c : cell.members) {
+      auto& state = states[c];
+      const double play_time = dt;  // playback advances the full step
+      if (state.downloading && share > 0.0) {
+        const double deliverable = share * dt;
+        if (state.remaining_megabits <= deliverable) {
+          const double finish = now + state.remaining_megabits / share;
+          state.remaining_megabits = 0.0;
+          stepped_complete_download(state, c, finish, player_config, observer);
+        } else {
+          state.remaining_megabits -= deliverable;
+          emit_event(observer, SessionEventType::kDownloadProgress, now, c,
+                     state.next_segment, 0, state.level, state.buffer_s,
+                     deliverable);
+        }
+      }
+      // Playback drain & stalls (the engine's single drain path). Stall time
+      // is attributed to a segment only while one is actually in flight.
+      const double stall = drain_buffer(state.playing, state.buffer_s, play_time);
+      if (stall > 0.0) {
+        if (state.downloading) state.stall_s += stall;
+        emit_event(observer, SessionEventType::kStall, now, c,
+                   state.next_segment, kNoIndex, kNoIndex, state.buffer_s, stall);
+      }
+    }
+
+    // 4. Cell termination: every member finished downloading (vacuously true
+    //    for an emptied cell) parks the cell; otherwise step again.
+    bool all_done = true;
+    for (const std::size_t c : cell.members) {
+      if (!states[c].finished_downloading) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      cell.exit_s = now;
+      global_exit_s = std::max(global_exit_s, now);
+    } else {
+      schedule(cell_index, step + 1);
+    }
+  }
+
+  std::vector<PlaybackResult> results;
+  results.reserve(states.size());
+  for (auto& state : states) {
+    // Unfinished clients (hard stop) end at their own cell's exit clock.
+    const double end_now = cells[state.cell].exit_s;
+    if (!state.playing) state.result.startup_delay_s = end_now;
+    state.result.session_end_s = state.finished_downloading
+                                     ? state.playback_finish_s
+                                     : end_now + state.buffer_s;
+    results.push_back(std::move(state.result));
+  }
+  emit_event(observer, SessionEventType::kSessionEnd, global_exit_s, kNoIndex);
   return results;
 }
 

@@ -1,0 +1,78 @@
+#pragma once
+// Sharded multi-cell radio network for the fleet simulator (DESIGN §12).
+//
+// A CellNetwork is a procedural model of many base stations: each cell has
+// its own capacity trajectory (per-cell scale and phase over a shared
+// sinusoidal profile) and every (session, cell) pair has its own signal
+// trajectory, both derived statelessly from sim::seed_mix — no traces are
+// stored, so memory is O(cells) however long the run and however many
+// sessions attach. Sessions pick a serving cell by signal with a hysteresis
+// margin (a handoff happens only when a neighbour beats the serving cell by
+// `hysteresis_db`), the classic guard against ping-pong handoffs.
+//
+// Every query is a pure function of (config, ids, time): two shards asking
+// about the same cell see identical answers, which is what lets the fleet
+// path shard by region under the DESIGN §6 determinism contract.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eacs::sim {
+
+/// Procedural network parameters. Defaults give a city-ish 16-cell layout
+/// with 25-55 Mbps cells swinging ±30% over a 90 s period.
+struct CellNetworkConfig {
+  std::size_t num_cells = 16;
+
+  double mean_capacity_mbps = 40.0;  ///< fleet-wide mean cell capacity
+  double capacity_spread = 0.4;      ///< per-cell scale in [1-spread, 1+spread]
+  double capacity_sway = 0.3;        ///< sinusoidal swing as a fraction of mean
+  double capacity_period_s = 90.0;   ///< period of the capacity sinusoid
+
+  double signal_best_dbm = -65.0;    ///< strongest per-(session, cell) base
+  double signal_worst_dbm = -110.0;  ///< weakest per-(session, cell) base
+  double signal_swing_db = 12.0;     ///< mobility swing amplitude
+  double signal_period_s = 60.0;     ///< mean mobility period (per-pair jitter)
+
+  std::uint64_t seed = 0xCE11'F1EEULL;
+};
+
+/// The procedural network. Cheap to copy; all state is the config.
+class CellNetwork {
+ public:
+  /// Throws std::invalid_argument when `num_cells` is zero.
+  explicit CellNetwork(CellNetworkConfig config);
+
+  const CellNetworkConfig& config() const noexcept { return config_; }
+  std::size_t num_cells() const noexcept { return config_.num_cells; }
+
+  /// Cell capacity at time `t_s` [Mbps], always >= 0. Pure in (config,
+  /// cell, t_s).
+  double capacity_mbps(std::size_t cell, double t_s) const noexcept;
+
+  /// Signal strength session `session_id` sees from `cell` at `t_s` [dBm].
+  /// Each pair gets a stable base level plus a sinusoidal mobility swing
+  /// with pair-specific phase and period. Pure in (config, ids, t_s).
+  double signal_dbm(int session_id, std::size_t cell, double t_s) const noexcept;
+
+  /// Strongest cell for the session at `t_s` (lowest index wins ties).
+  std::size_t best_cell(int session_id, double t_s) const noexcept;
+
+  /// Best cell restricted to [first_cell, first_cell + count) — the region
+  /// variant the sharded fleet path uses so mobility never crosses a shard.
+  std::size_t best_cell_in(int session_id, double t_s, std::size_t first_cell,
+                           std::size_t count) const noexcept;
+
+  /// Hysteresis handoff rule: returns the cell the session should be served
+  /// by, given it is currently on `current`. Switches to the best in-range
+  /// cell only when that cell's signal beats `current` by more than
+  /// `hysteresis_db`; otherwise sticks (anti-ping-pong).
+  std::size_t serving_cell(int session_id, std::size_t current, double t_s,
+                           double hysteresis_db, std::size_t first_cell,
+                           std::size_t count) const noexcept;
+
+ private:
+  CellNetworkConfig config_;
+};
+
+}  // namespace eacs::sim

@@ -1,0 +1,147 @@
+#pragma once
+// Fleet-scale simulation: O(live sessions) event-driven streaming over a
+// sharded CellNetwork (DESIGN §12).
+//
+// Where Evaluation replays a handful of trace-backed sessions through the
+// full player::SessionEngine, run_fleet answers population questions — what
+// do the QoE / energy / rebuffer *distributions* look like across 100k
+// sessions on a city of cells? — with three structural changes:
+//
+//   * Event queue, not stepping. Each region runs one binary min-heap of
+//     (time, session, kind) events; a session costs O(log live) per segment
+//     instead of O(steps), and idle time costs nothing.
+//   * SoA arena state. Per-session state lives in parallel arrays indexed by
+//     slot, with a free list recycling slots as sessions finish — memory is
+//     O(cells + peak live sessions), not O(total sessions).
+//   * Streaming aggregation. Per-session scalars fold into RunningStats,
+//     P^2 quantile markers, and seeded reservoir samples (util/stats.h) the
+//     moment a session ends; nothing per-session is retained.
+//
+// Sharding: cells are split into `regions` contiguous blocks; sessions are
+// assigned round-robin (id % regions) and are mobile within their region
+// only. Each region is a pure function of (config, region index) — seeds
+// come from sim::seed_mix, never from shared state — so regions run on
+// util::parallel_map and merge serially in region order: bit-identical
+// results at any job count (DESIGN §6).
+//
+// Link model: quasi-stationary processor sharing. A request entering cell c
+// at time t is granted share = capacity_c(t) / (downloads in c + 1), frozen
+// for the transfer. This is the documented fleet-scale approximation of the
+// engine's exact per-step re-sharing; the rich path remains the reference
+// for within-session fidelity, the fleet path for population statistics.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "eacs/power/model.h"
+#include "eacs/qoe/model.h"
+#include "eacs/sim/cell_network.h"
+#include "eacs/sim/execution.h"
+#include "eacs/util/stats.h"
+
+namespace eacs::sim {
+
+/// Fleet run parameters. Defaults give a quick smoke-sized run; benchmarks
+/// scale num_sessions to 100k+.
+struct FleetConfig {
+  CellNetworkConfig network;
+
+  std::size_t num_sessions = 1000;
+  /// Constant arrival rate [sessions/s]. With finite session length this
+  /// bounds the live set (Little's law), which is what keeps peak memory
+  /// flat as num_sessions grows.
+  double arrival_rate_per_s = 4.0;
+
+  // Content: fixed-duration segments over the paper-style bitrate ladder.
+  double segment_duration_s = 2.0;
+  std::size_t segments_per_session = 30;
+  std::vector<double> ladder_mbps = {0.35, 0.75, 1.2, 2.4, 4.8};
+
+  // Player knobs (mirroring player::PlayerConfig's semantics).
+  double buffer_threshold_s = 30.0;  ///< pause requesting above this level
+  double startup_buffer_s = 4.0;     ///< playback begins once buffered
+  double abr_safety = 0.8;           ///< request <= safety * estimated rate
+  std::size_t bandwidth_window = 5;  ///< harmonic-mean window (SoA inline)
+
+  // Context-aware rung cap (paper §IV): under strong vibration the fleet
+  // client caps its rung, trading bitrate for energy exactly like the rich
+  // path's context-aware policy. Vibration is procedural per session.
+  double vibration_cap_threshold = 1.2;  ///< m/s^2; above this, cap the rung
+  std::size_t vibration_rung_cap = 2;    ///< max rung index while vibrating
+
+  // Mobility: serving cell re-evaluated at every request boundary.
+  double handoff_hysteresis_db = 3.0;
+
+  /// Cells are split into this many contiguous shards; sessions are pinned
+  /// to region (id % regions). Clamped to num_cells. The region count is
+  /// part of the *model* (mobility range), not an execution knob: changing
+  /// it changes results; changing exec.jobs never does.
+  std::size_t regions = 8;
+
+  std::size_t reservoir_capacity = 1024;  ///< per-metric sample reservoir
+
+  qoe::QoeModelParams qoe;
+  power::PowerModelParams power;
+
+  std::uint64_t seed = 0xF1EE'7CA5ULL;
+  ExecutionPolicy exec;
+};
+
+/// Per-region streaming aggregates (the shard-local view, kept in the
+/// result for locality analysis; P^2 medians are per-region because P^2
+/// markers cannot be merged across shards).
+struct FleetRegionMetrics {
+  std::size_t region = 0;
+  std::size_t first_cell = 0;
+  std::size_t num_cells = 0;
+  std::size_t sessions = 0;
+  std::size_t events = 0;
+  std::size_t requests = 0;
+  std::size_t handoffs = 0;
+  std::size_t stall_events = 0;
+  std::size_t peak_live_sessions = 0;
+  double median_qoe = 0.0;        ///< P^2 streaming estimate
+  double median_energy_j = 0.0;   ///< P^2 streaming estimate
+};
+
+/// Fleet-wide outcome: streaming moments + reservoir percentiles, no
+/// per-session storage.
+struct FleetMetrics {
+  std::size_t sessions = 0;
+  std::size_t events = 0;    ///< total events processed across regions
+  std::size_t requests = 0;  ///< segment requests issued
+  std::size_t handoffs = 0;  ///< serving-cell changes
+  std::size_t stall_events = 0;
+  /// Sum of per-region peak live counts: a conservative bound on the global
+  /// peak, and the quantity the O(live) memory claim is about.
+  std::size_t peak_live_sessions = 0;
+
+  RunningStats qoe;
+  RunningStats energy_j;
+  RunningStats bitrate_mbps;
+  RunningStats rebuffer_s;
+  RunningStats startup_s;
+
+  /// Seeded reservoir samples for fleet-wide percentiles (mergeable across
+  /// shards, unlike P^2 — see util/stats.h).
+  ReservoirSampler qoe_sample{1};       // re-seeded by run_fleet
+  ReservoirSampler energy_sample{1};    // re-seeded by run_fleet
+  ReservoirSampler rebuffer_sample{1};  // re-seeded by run_fleet
+
+  std::vector<FleetRegionMetrics> regions;
+
+  /// Reservoir-estimated fleet-wide quantiles, p in [0, 1].
+  double qoe_quantile(double p) const { return qoe_sample.quantile(p); }
+  double energy_quantile(double p) const { return energy_sample.quantile(p); }
+  double rebuffer_quantile(double p) const {
+    return rebuffer_sample.quantile(p);
+  }
+};
+
+/// Runs the fleet. Deterministic in (config): bit-identical at any
+/// exec.jobs. Throws std::invalid_argument on an empty ladder, zero
+/// sessions, zero segments, or a non-positive arrival rate.
+FleetMetrics run_fleet(const FleetConfig& config);
+
+}  // namespace eacs::sim

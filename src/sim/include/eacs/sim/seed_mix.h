@@ -1,0 +1,37 @@
+#pragma once
+// One seed-derivation rule for every sharded study (DESIGN §6): a sweep cell's
+// RNG seed must be a pure function of (base seed, grid index, session id) so
+// results are bit-identical at any job count and any evaluation order.
+//
+// The fault, sensor-fault, and CDN-fault studies all derive their per-cell
+// seeds here; the fleet simulator derives per-session and per-(client, cell)
+// signal seeds the same way. robustness.cpp intentionally keeps its serial
+// Rng salt stream (changing it would shift that study's committed outputs).
+//
+// The arithmetic is frozen: it is the exact `cell_seed` formula the studies
+// shipped with, so routing them through this header changes no outputs.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eacs::sim {
+
+/// Mixes (base, grid_index, session_id) into one 64-bit seed using the two
+/// SplitMix64 multiplicative constants. The +1 offsets keep index 0 and
+/// session 0 from degenerating into `base` itself.
+inline std::uint64_t seed_mix(std::uint64_t base, std::size_t grid_index,
+                              int session_id) noexcept {
+  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (grid_index + 1));
+  x ^= 0x94D049BB133111EBULL * (static_cast<std::uint64_t>(session_id) + 1);
+  return x;
+}
+
+/// Maps a seed_mix value to a uniform double in [0, 1) via the standard
+/// 53-bit mantissa construction — exact, platform-independent, and pure, so
+/// procedural models (cell capacities, signal trajectories, per-session
+/// context) can sample without any RNG state.
+inline double seed_unit(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace eacs::sim

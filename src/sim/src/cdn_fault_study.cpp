@@ -6,16 +6,11 @@
 
 #include "eacs/abr/bba.h"
 #include "eacs/net/segment_source.h"
+#include "eacs/sim/seed_mix.h"
 #include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 namespace {
-
-std::uint64_t cell_seed(std::uint64_t base, std::size_t grid_index, int session_id) {
-  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (grid_index + 1));
-  x ^= 0x94D049BB133111EBULL * (static_cast<std::uint64_t>(session_id) + 1);
-  return x;
-}
 
 /// Origin fault spec for one grid point: the family's knobs scaled linearly
 /// by intensity. Per-source draws are decorrelated by source id inside
@@ -208,7 +203,7 @@ CdnFaultStudyResult run_cdn_fault_study(const CdnFaultStudyConfig& config) {
         const std::size_t fault_point =
             grid_index / config.source_counts.size();
         return run_unit(s, family, intensity, count,
-                        cell_seed(config.seed, fault_point, sessions[s].spec.id));
+                        seed_mix(config.seed, fault_point, sessions[s].spec.id));
       });
 
   // Serial reduction in grid order: bit-identical at any job count.

@@ -10,18 +10,10 @@
 #include "eacs/core/online.h"
 #include "eacs/core/optimal.h"
 #include "eacs/net/fault_injector.h"
+#include "eacs/sim/seed_mix.h"
 #include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
-namespace {
-
-std::uint64_t cell_seed(std::uint64_t base, std::size_t grid_index, int session_id) {
-  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (grid_index + 1));
-  x ^= 0x94D049BB133111EBULL * (static_cast<std::uint64_t>(session_id) + 1);
-  return x;
-}
-
-}  // namespace
 
 const FaultCell& FaultStudyResult::cell(const std::string& algorithm,
                                         double outage_rate_per_min,
@@ -143,7 +135,7 @@ FaultStudyResult run_fault_study(const FaultStudyConfig& config) {
           spec.signal_failure_per_db = config.signal_failure_per_db;
           spec.signal_threshold_dbm = config.signal_threshold_dbm;
         }
-        spec.seed = cell_seed(config.seed, grid_index, session.spec.id);
+        spec.seed = seed_mix(config.seed, grid_index, session.spec.id);
         const net::FaultInjector faults(session.throughput_mbps, spec,
                                         &session.signal_dbm);
         return run_policies(s, &faults);

@@ -1,0 +1,428 @@
+#include "eacs/sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "eacs/sim/seed_mix.h"
+#include "eacs/util/thread_pool.h"
+
+namespace eacs::sim {
+namespace {
+
+// seed_mix "grid index" lanes reserved by the fleet path (cell indices use
+// the plain lane in CellNetwork; these stay clear of real cell counts).
+constexpr std::size_t kVibrationLane = 0x00F1'0001;
+constexpr std::size_t kReservoirLane = 0x00F1'0002;
+
+/// Per-session procedural vibration level [m/s^2]: a stable draw skewed
+/// toward stillness (squared uniform), so a minority of the fleet is
+/// "walking" and hits the context-aware rung cap.
+double session_vibration(std::uint64_t seed, int session_id) noexcept {
+  const double u = seed_unit(seed_mix(seed, kVibrationLane, session_id));
+  return 3.0 * u * u;
+}
+
+/// One scheduled event. Every live session has exactly one pending event
+/// (arrive -> request -> complete -> request -> ...), so events can carry
+/// their slot index and never go stale.
+struct Event {
+  double t_s = 0.0;
+  int session = 0;
+  std::uint8_t kind = 0;  // 0 = arrive, 1 = request, 2 = complete
+  std::uint32_t slot = 0;
+};
+constexpr std::uint8_t kArrive = 0;
+constexpr std::uint8_t kRequest = 1;
+constexpr std::uint8_t kComplete = 2;
+
+/// Min-heap order (t, session, kind): deterministic pops under duplicate
+/// timestamps, independent of heap internals.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.t_s != b.t_s) return a.t_s > b.t_s;
+    if (a.session != b.session) return a.session > b.session;
+    return a.kind > b.kind;
+  }
+};
+
+/// SoA arena for live-session state. All vectors are indexed by slot and
+/// sized to the *live* high-water mark — finished sessions return their slot
+/// to the free list, so a 100k-session run with a few hundred live at a time
+/// allocates a few hundred slots. The bandwidth window is inlined as
+/// slots x K doubles (no per-session allocations).
+struct SessionArena {
+  std::size_t window = 1;
+
+  std::vector<int> session;
+  std::vector<std::size_t> cell;
+  std::vector<std::size_t> next_segment;
+  std::vector<double> arrival_s;
+  std::vector<double> last_event_s;  ///< playback drained up to here
+  std::vector<double> buffer_s;
+  std::vector<std::uint8_t> playing;
+  std::vector<double> startup_s;       ///< set when playback starts
+  std::vector<double> rebuffer_s;      ///< total stall so far
+  std::vector<double> seg_rebuffer_s;  ///< stall since the current request
+  std::vector<double> qoe_sum;
+  std::vector<double> energy_j;
+  std::vector<double> bitrate_sum;
+  std::vector<double> prev_bitrate;
+  // In-flight transfer (valid between request and complete).
+  std::vector<double> request_s;
+  std::vector<double> size_mb;
+  std::vector<double> level_bitrate;
+  // Inline harmonic-mean bandwidth window: throughputs[slot*window + i].
+  std::vector<double> throughputs;
+  std::vector<std::size_t> seen;  ///< samples observed (ring write cursor)
+
+  std::vector<std::uint32_t> free_slots;
+
+  explicit SessionArena(std::size_t bandwidth_window)
+      : window(std::max<std::size_t>(1, bandwidth_window)) {}
+
+  std::size_t slots() const noexcept { return session.size(); }
+
+  std::uint32_t acquire(int id, double now, std::size_t start_cell) {
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots());
+      session.push_back(0);
+      cell.push_back(0);
+      next_segment.push_back(0);
+      arrival_s.push_back(0.0);
+      last_event_s.push_back(0.0);
+      buffer_s.push_back(0.0);
+      playing.push_back(0);
+      startup_s.push_back(0.0);
+      rebuffer_s.push_back(0.0);
+      seg_rebuffer_s.push_back(0.0);
+      qoe_sum.push_back(0.0);
+      energy_j.push_back(0.0);
+      bitrate_sum.push_back(0.0);
+      prev_bitrate.push_back(0.0);
+      request_s.push_back(0.0);
+      size_mb.push_back(0.0);
+      level_bitrate.push_back(0.0);
+      throughputs.resize(throughputs.size() + window, 0.0);
+      seen.push_back(0);
+    }
+    session[slot] = id;
+    cell[slot] = start_cell;
+    next_segment[slot] = 0;
+    arrival_s[slot] = now;
+    last_event_s[slot] = now;
+    buffer_s[slot] = 0.0;
+    playing[slot] = 0;
+    startup_s[slot] = 0.0;
+    rebuffer_s[slot] = 0.0;
+    seg_rebuffer_s[slot] = 0.0;
+    qoe_sum[slot] = 0.0;
+    energy_j[slot] = 0.0;
+    bitrate_sum[slot] = 0.0;
+    prev_bitrate[slot] = 0.0;
+    request_s[slot] = 0.0;
+    size_mb[slot] = 0.0;
+    level_bitrate[slot] = 0.0;
+    std::fill_n(throughputs.begin() + static_cast<std::ptrdiff_t>(slot * window),
+                window, 0.0);
+    seen[slot] = 0;
+    return slot;
+  }
+
+  void release(std::uint32_t slot) { free_slots.push_back(slot); }
+
+  void observe(std::uint32_t slot, double mbps) {
+    throughputs[slot * window + seen[slot] % window] = mbps;
+    ++seen[slot];
+  }
+
+  /// Harmonic mean over the window; 0 before any sample.
+  double estimate(std::uint32_t slot) const {
+    const std::size_t n = std::min(seen[slot], window);
+    if (n == 0) return 0.0;
+    double inv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      inv += 1.0 / throughputs[slot * window + i];
+    }
+    return static_cast<double>(n) / inv;
+  }
+};
+
+/// Shard-local aggregates. Default-constructible for parallel_map; the
+/// reservoirs are re-seeded per region before use.
+struct Shard {
+  FleetRegionMetrics region;
+  RunningStats qoe, energy_j, bitrate_mbps, rebuffer_s, startup_s;
+  ReservoirSampler qoe_sample{1};
+  ReservoirSampler energy_sample{1};
+  ReservoirSampler rebuffer_sample{1};
+  P2Quantile median_qoe{0.5};
+  P2Quantile median_energy{0.5};
+};
+
+/// Runs one region: a pure function of (config, region index). Sessions are
+/// pinned by id % regions; cells are the region's contiguous block.
+Shard run_region(const FleetConfig& config, const CellNetwork& network,
+                 const qoe::QoeModel& qoe_model,
+                 const power::PowerModel& power_model, std::size_t region,
+                 std::size_t num_regions) {
+  const std::size_t base = network.num_cells() / num_regions;
+  const std::size_t rem = network.num_cells() % num_regions;
+  const std::size_t first_cell = region * base + std::min(region, rem);
+  const std::size_t cell_count = base + (region < rem ? 1 : 0);
+
+  Shard shard;
+  shard.region.region = region;
+  shard.region.first_cell = first_cell;
+  shard.region.num_cells = cell_count;
+  shard.qoe_sample = ReservoirSampler(
+      config.reservoir_capacity,
+      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3)));
+  shard.energy_sample = ReservoirSampler(
+      config.reservoir_capacity,
+      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 1)));
+  shard.rebuffer_sample = ReservoirSampler(
+      config.reservoir_capacity,
+      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 2)));
+  if (cell_count == 0) return shard;  // more regions than cells: empty shard
+
+  SessionArena arena(config.bandwidth_window);
+  std::vector<std::size_t> cell_active(cell_count, 0);  // in-flight downloads
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
+
+  // Constant-rate arrival schedule, shared fleet-wide: session s arrives at
+  // s / rate whatever region it lands in.
+  for (int s = static_cast<int>(region); s < static_cast<int>(config.num_sessions);
+       s += static_cast<int>(num_regions)) {
+    heap.push({static_cast<double>(s) / config.arrival_rate_per_s, s, kArrive, 0});
+  }
+
+  const double seg_s = config.segment_duration_s;
+  const std::size_t top_level = config.ladder_mbps.size() - 1;
+  std::size_t live = 0;
+
+  // Advances playback to `now`: drains the buffer, accrues stalls.
+  const auto drain = [&](std::uint32_t slot, double now) {
+    double dt = now - arena.last_event_s[slot];
+    arena.last_event_s[slot] = now;
+    if (arena.playing[slot] == 0 || dt <= 0.0) return;
+    if (arena.buffer_s[slot] >= dt) {
+      arena.buffer_s[slot] -= dt;
+      return;
+    }
+    const double stall = dt - arena.buffer_s[slot];
+    arena.buffer_s[slot] = 0.0;
+    arena.rebuffer_s[slot] += stall;
+    arena.seg_rebuffer_s[slot] += stall;
+    ++shard.region.stall_events;
+  };
+
+  while (!heap.empty()) {
+    const Event event = heap.top();
+    heap.pop();
+    ++shard.region.events;
+    const double now = event.t_s;
+
+    if (event.kind == kArrive) {
+      const std::size_t start =
+          network.best_cell_in(event.session, now, first_cell, cell_count);
+      const std::uint32_t slot = arena.acquire(event.session, now, start);
+      ++live;
+      shard.region.peak_live_sessions =
+          std::max(shard.region.peak_live_sessions, live);
+      heap.push({now, event.session, kRequest, slot});
+      continue;
+    }
+
+    const std::uint32_t slot = event.slot;
+    if (event.kind == kRequest) {
+      drain(slot, now);
+      // Throttle: above the buffer threshold, sleep until it drains back.
+      // Only throttle when the wake time actually advances: after a wakeup
+      // the buffer can sit one ulp above the threshold, and a sleep shorter
+      // than ulp(now) would re-enqueue at the identical timestamp forever.
+      if (arena.playing[slot] != 0 &&
+          arena.buffer_s[slot] > config.buffer_threshold_s) {
+        const double wake =
+            now + (arena.buffer_s[slot] - config.buffer_threshold_s);
+        if (wake > now) {
+          heap.push({wake, event.session, kRequest, slot});
+          continue;
+        }
+      }
+      // Handoff check at every request boundary (hysteresis rule).
+      const std::size_t serving = network.serving_cell(
+          event.session, arena.cell[slot], now, config.handoff_hysteresis_db,
+          first_cell, cell_count);
+      if (serving != arena.cell[slot]) {
+        arena.cell[slot] = serving;
+        ++shard.region.handoffs;
+      }
+      // Throughput-based ABR with the context-aware rung cap.
+      const double est = arena.estimate(slot);
+      std::size_t level = 0;
+      for (std::size_t l = top_level; l > 0; --l) {
+        if (config.ladder_mbps[l] <= config.abr_safety * est) {
+          level = l;
+          break;
+        }
+      }
+      if (session_vibration(config.seed, event.session) >
+          config.vibration_cap_threshold) {
+        level = std::min(level, config.vibration_rung_cap);
+      }
+      const double bitrate = config.ladder_mbps[level];
+      // Quasi-stationary processor sharing: the share is frozen at request
+      // time (fleet-scale approximation; the rich engine re-shares per step).
+      const std::size_t local = arena.cell[slot] - first_cell;
+      const double capacity = network.capacity_mbps(arena.cell[slot], now);
+      const double share = std::max(
+          capacity / static_cast<double>(cell_active[local] + 1), 1e-6);
+      ++cell_active[local];
+      arena.request_s[slot] = now;
+      arena.level_bitrate[slot] = bitrate;
+      arena.size_mb[slot] = bitrate * seg_s / 8.0;
+      arena.seg_rebuffer_s[slot] = 0.0;
+      ++shard.region.requests;
+      heap.push({now + (bitrate * seg_s) / share, event.session, kComplete, slot});
+      continue;
+    }
+
+    // kComplete
+    drain(slot, now);
+    const std::size_t local = arena.cell[slot] - first_cell;
+    --cell_active[local];
+    const double elapsed = std::max(now - arena.request_s[slot], 1e-9);
+    const double bitrate = arena.level_bitrate[slot];
+    arena.observe(slot, arena.size_mb[slot] * 8.0 / elapsed);
+    arena.buffer_s[slot] += seg_s;
+
+    const double vibration = session_vibration(config.seed, event.session);
+    qoe::SegmentContext segment;
+    segment.bitrate_mbps = bitrate;
+    segment.vibration = vibration;
+    segment.prev_bitrate_mbps = arena.prev_bitrate[slot];
+    segment.rebuffer_s = arena.seg_rebuffer_s[slot];
+    arena.qoe_sum[slot] += qoe_model.segment_qoe(segment);
+
+    power::TaskEnergyInput task;
+    task.size_mb = arena.size_mb[slot];
+    task.bitrate_mbps = bitrate;
+    task.signal_dbm = network.signal_dbm(event.session, arena.cell[slot],
+                                         0.5 * (arena.request_s[slot] + now));
+    task.play_s = arena.playing[slot] != 0
+                      ? std::max(0.0, elapsed - arena.seg_rebuffer_s[slot])
+                      : 0.0;
+    task.rebuffer_s = arena.seg_rebuffer_s[slot];
+    arena.energy_j[slot] += power_model.task_energy(task);
+
+    arena.bitrate_sum[slot] += bitrate;
+    arena.prev_bitrate[slot] = bitrate;
+    if (arena.playing[slot] == 0 &&
+        arena.buffer_s[slot] >= config.startup_buffer_s) {
+      arena.playing[slot] = 1;
+      arena.startup_s[slot] = now - arena.arrival_s[slot];
+    }
+    ++arena.next_segment[slot];
+    if (arena.next_segment[slot] < config.segments_per_session) {
+      heap.push({now, event.session, kRequest, slot});
+      continue;
+    }
+
+    // Session end: drain the remaining buffer (priced as playback energy),
+    // fold the per-session scalars into the streaming aggregates, free the
+    // slot. Nothing per-session survives this point.
+    if (arena.playing[slot] == 0) arena.startup_s[slot] = now - arena.arrival_s[slot];
+    arena.energy_j[slot] +=
+        power_model.playback_power(bitrate) * arena.buffer_s[slot];
+    const double segments = static_cast<double>(config.segments_per_session);
+    const double session_qoe = arena.qoe_sum[slot] / segments;
+    const double session_energy = arena.energy_j[slot];
+    const double session_bitrate = arena.bitrate_sum[slot] / segments;
+    shard.qoe.add(session_qoe);
+    shard.energy_j.add(session_energy);
+    shard.bitrate_mbps.add(session_bitrate);
+    shard.rebuffer_s.add(arena.rebuffer_s[slot]);
+    shard.startup_s.add(arena.startup_s[slot]);
+    shard.qoe_sample.add(session_qoe);
+    shard.energy_sample.add(session_energy);
+    shard.rebuffer_sample.add(arena.rebuffer_s[slot]);
+    shard.median_qoe.add(session_qoe);
+    shard.median_energy.add(session_energy);
+    ++shard.region.sessions;
+    --live;
+    arena.release(slot);
+  }
+
+  shard.region.median_qoe = shard.median_qoe.value();
+  shard.region.median_energy_j = shard.median_energy.value();
+  return shard;
+}
+
+}  // namespace
+
+FleetMetrics run_fleet(const FleetConfig& config) {
+  if (config.ladder_mbps.empty()) {
+    throw std::invalid_argument("run_fleet: empty bitrate ladder");
+  }
+  if (config.num_sessions == 0 || config.segments_per_session == 0) {
+    throw std::invalid_argument("run_fleet: zero sessions or segments");
+  }
+  if (!(config.arrival_rate_per_s > 0.0)) {
+    throw std::invalid_argument("run_fleet: arrival rate must be > 0");
+  }
+  for (const double mbps : config.ladder_mbps) {
+    if (!(mbps > 0.0)) {
+      throw std::invalid_argument("run_fleet: ladder bitrates must be > 0");
+    }
+  }
+
+  const CellNetwork network(config.network);
+  const qoe::QoeModel qoe_model(config.qoe);
+  const power::PowerModel power_model(config.power);
+  const std::size_t regions =
+      std::min(std::max<std::size_t>(1, config.regions), network.num_cells());
+
+  // Regions are the parallel unit; each is pure in (config, region index).
+  const auto shards = util::parallel_map(
+      config.exec.resolved_jobs(), regions, [&](std::size_t region) {
+        return run_region(config, network, qoe_model, power_model, region,
+                          regions);
+      });
+
+  // Serial merge in region order: bit-identical at any job count.
+  FleetMetrics metrics;
+  metrics.qoe_sample = ReservoirSampler(
+      config.reservoir_capacity, seed_mix(config.seed, kReservoirLane, -3));
+  metrics.energy_sample = ReservoirSampler(
+      config.reservoir_capacity, seed_mix(config.seed, kReservoirLane, -4));
+  metrics.rebuffer_sample = ReservoirSampler(
+      config.reservoir_capacity, seed_mix(config.seed, kReservoirLane, -5));
+  metrics.regions.reserve(shards.size());
+  for (const Shard& shard : shards) {
+    metrics.sessions += shard.region.sessions;
+    metrics.events += shard.region.events;
+    metrics.requests += shard.region.requests;
+    metrics.handoffs += shard.region.handoffs;
+    metrics.stall_events += shard.region.stall_events;
+    metrics.peak_live_sessions += shard.region.peak_live_sessions;
+    metrics.qoe.merge(shard.qoe);
+    metrics.energy_j.merge(shard.energy_j);
+    metrics.bitrate_mbps.merge(shard.bitrate_mbps);
+    metrics.rebuffer_s.merge(shard.rebuffer_s);
+    metrics.startup_s.merge(shard.startup_s);
+    metrics.qoe_sample.merge(shard.qoe_sample);
+    metrics.energy_sample.merge(shard.energy_sample);
+    metrics.rebuffer_sample.merge(shard.rebuffer_sample);
+    metrics.regions.push_back(shard.region);
+  }
+  return metrics;
+}
+
+}  // namespace eacs::sim

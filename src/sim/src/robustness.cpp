@@ -13,7 +13,9 @@ RobustnessResult run_robustness_study(const EvaluationConfig& config,
   if (runs == 0) throw std::invalid_argument("run_robustness_study: runs must be > 0");
 
   // The salts are drawn serially up front so the seed stream is identical
-  // to the historical per-iteration draws, whatever the job count.
+  // to the historical per-iteration draws, whatever the job count. This is
+  // deliberately NOT sim::seed_mix — the study's committed outputs are keyed
+  // to this sequential Rng stream, not the stateless grid-index mix.
   eacs::Rng seed_stream(base_seed);
   std::vector<std::uint64_t> run_salts(runs);
   for (auto& salt : run_salts) salt = seed_stream.next_u64();

@@ -6,16 +6,11 @@
 #include "eacs/abr/bba.h"
 #include "eacs/core/online.h"
 #include "eacs/sensors/sensor_faults.h"
+#include "eacs/sim/seed_mix.h"
 #include "eacs/util/thread_pool.h"
 
 namespace eacs::sim {
 namespace {
-
-std::uint64_t cell_seed(std::uint64_t base, std::size_t grid_index, int session_id) {
-  std::uint64_t x = base ^ (0x9E3779B97F4A7C15ULL * (grid_index + 1));
-  x ^= 0x94D049BB133111EBULL * (static_cast<std::uint64_t>(session_id) + 1);
-  return x;
-}
 
 /// Periodic scripted episodes of `type` covering fraction `intensity` of
 /// [0, horizon): episodes of `episode_s` every episode_s/intensity seconds.
@@ -222,7 +217,7 @@ SensorFaultStudyResult run_sensor_fault_study(
         const auto spec = build_spec(
             config, scenario, intensity, accel_horizon,
             session.signal_dbm.empty() ? 0.0 : session.signal_dbm.end_time(),
-            cell_seed(config.seed, grid_index, session.spec.id));
+            seed_mix(config.seed, grid_index, session.spec.id));
         const sensors::SensorFaultInjector faults(session.accel,
                                                   signal_streams[s], spec);
         return run_ours(s, &faults);

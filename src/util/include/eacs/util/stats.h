@@ -1,9 +1,16 @@
 #pragma once
-// Descriptive statistics helpers used across the evaluation pipeline.
+// Descriptive statistics helpers used across the evaluation pipeline, plus
+// the streaming aggregators the fleet simulator folds per-session metrics
+// into (P^2 online quantiles, seeded reservoir sampling) so 100k-session
+// runs report percentiles without retaining per-session results.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+#include "eacs/util/rng.h"
 
 namespace eacs {
 
@@ -84,6 +91,71 @@ class SlidingWindow {
  private:
   std::size_t capacity_;
   std::size_t head_ = 0;  // index of oldest element once full
+  std::vector<double> items_;
+};
+
+/// Online quantile estimator (Jain & Chlamtac's P^2 algorithm): tracks one
+/// quantile of an unbounded stream in O(1) memory with five markers. Exact
+/// until five samples have arrived, then piecewise-parabolic interpolation.
+/// Deterministic: the estimate is a pure function of the sample sequence.
+/// P^2 state is not mergeable — use ReservoirSampler when shard results must
+/// be combined.
+class P2Quantile {
+ public:
+  /// `p` is the quantile in (0, 1), e.g. 0.5 for the median; throws
+  /// std::invalid_argument outside that range.
+  explicit P2Quantile(double p);
+
+  void add(double x);
+
+  std::size_t count() const noexcept { return count_; }
+  double p() const noexcept { return p_; }
+
+  /// Current estimate; 0 before any sample (matching percentile()'s
+  /// empty-input convention).
+  double value() const noexcept;
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights q_i
+  std::array<double, 5> positions_{};  // actual marker positions n_i
+  std::array<double, 5> desired_{};    // desired marker positions n'_i
+  std::array<double, 5> increments_{}; // dn'_i per observation
+};
+
+/// Fixed-capacity uniform sample of an unbounded stream (Algorithm R with a
+/// seeded eacs::Rng, so the kept sample is a pure function of (seed, stream)).
+/// Quantiles of the reservoir approximate stream quantiles with error
+/// O(1/sqrt(capacity)); `merge` combines shard reservoirs by count-weighted
+/// interleave, which keeps the uniformity guarantee and — merged in a fixed
+/// shard order — is bit-deterministic at any worker count (DESIGN §6).
+class ReservoirSampler {
+ public:
+  /// Throws std::invalid_argument on zero capacity.
+  explicit ReservoirSampler(std::size_t capacity, std::uint64_t seed = 0x5EED5A17ULL);
+
+  void add(double x);
+
+  /// Folds `other` into this sampler: each kept slot is drawn from the two
+  /// reservoirs with probability proportional to their stream counts.
+  /// Deterministic in (this state, other state).
+  void merge(const ReservoirSampler& other);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Samples seen (the whole stream, not the kept subset).
+  std::size_t count() const noexcept { return count_; }
+  /// The kept sample, in retention order.
+  std::span<const double> sample() const noexcept { return items_; }
+
+  /// Linear-interpolated quantile of the kept sample, `p` in [0, 1];
+  /// 0 before any sample.
+  double quantile(double p) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  Rng rng_;
   std::vector<double> items_;
 };
 

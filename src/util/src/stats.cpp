@@ -157,4 +157,135 @@ double SlidingWindow::harmonic_mean() const noexcept { return eacs::harmonic_mea
 
 double SlidingWindow::rms() const noexcept { return eacs::rms(items_); }
 
+P2Quantile::P2Quantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("P2Quantile p must be in (0, 1)");
+  }
+}
+
+void P2Quantile::add(double x) {
+  // Bootstrap: the first five samples become the markers, kept sorted.
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() + static_cast<long>(count_));
+    if (count_ == 5) {
+      for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+      increments_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Locate the cell containing x and clamp the extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P^2) prediction of the marker height.
+      const double np = positions_[i + 1] - positions_[i - 1];
+      const double candidate =
+          heights_[i] +
+          sign / np *
+              ((below + sign) * (heights_[i + 1] - heights_[i]) / above +
+               (above - sign) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        // Parabolic prediction left the bracket; fall back to linear.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact quantile of the sorted bootstrap buffer.
+    const double rank = p_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return heights_[lo] + (heights_[hi] - heights_[lo]) * frac;
+  }
+  return heights_[2];
+}
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ReservoirSampler capacity must be > 0");
+  }
+  items_.reserve(capacity_);
+}
+
+void ReservoirSampler::add(double x) {
+  ++count_;
+  if (items_.size() < capacity_) {
+    items_.push_back(x);
+    return;
+  }
+  // Algorithm R: keep x with probability capacity/count, evicting uniformly.
+  const auto j = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(count_) - 1));
+  if (j < capacity_) items_[j] = x;
+}
+
+void ReservoirSampler::merge(const ReservoirSampler& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    // Adopt the other reservoir's sample but keep our own Rng stream so the
+    // merged state stays a pure function of (this seed, both streams).
+    items_ = other.items_;
+    count_ = other.count_;
+    return;
+  }
+  // Each output slot keeps this side's element with probability
+  // count/(count+other.count), otherwise draws uniformly from the other
+  // reservoir. Count-weighting preserves uniformity over the union stream.
+  const double total = static_cast<double>(count_) + static_cast<double>(other.count_);
+  const double keep_self = static_cast<double>(count_) / total;
+  const std::size_t out_size = std::min(capacity_, items_.size() + other.items_.size());
+  std::vector<double> merged;
+  merged.reserve(out_size);
+  for (std::size_t i = 0; i < out_size; ++i) {
+    if (i < items_.size() && (i >= other.items_.size() || rng_.uniform() < keep_self)) {
+      merged.push_back(items_[i]);
+    } else {
+      const auto j = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(other.items_.size()) - 1));
+      merged.push_back(other.items_[j]);
+    }
+  }
+  items_ = std::move(merged);
+  count_ += other.count_;
+}
+
+double ReservoirSampler::quantile(double p) const {
+  return percentile(items_, std::clamp(p, 0.0, 1.0) * 100.0);
+}
+
 }  // namespace eacs

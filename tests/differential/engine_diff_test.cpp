@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -62,7 +63,8 @@ std::string serialize(const std::vector<PlaybackResult>& results) {
         << " backoff=" << hex(r.total_backoff_s)
         << " hedges=" << r.total_hedges
         << " failovers=" << r.total_failovers
-        << " breaker=" << r.breaker_transitions << "\n";
+        << " breaker=" << r.breaker_transitions
+        << " handoffs=" << r.cell_handoffs << "\n";
     for (const TaskRecord& t : r.tasks) {
       out << "task " << t.segment_index << " level=" << t.level
           << " bitrate=" << hex(t.bitrate_mbps)
@@ -237,6 +239,35 @@ RunOutput scenario_shared(bool reference_mode) {
   return run_clients(reference_mode, clients, link);
 }
 
+// Single-cell fleet of `n` clients over one shared bottleneck. In reference
+// mode this runs the preserved pre-refactor loop; with the fast paths on it
+// runs the cellular event-heap engine — so these scenarios certify the
+// fleet-scale refactor at sizes 1/2/4/8 (staggered joins, mixed policies).
+RunOutput scenario_fleet(bool reference_mode, std::size_t n) {
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto capacity_owner = make_session(60.0, 6.0 * static_cast<double>(n));
+  std::vector<trace::SessionTraces> sessions;
+  std::vector<std::unique_ptr<AbrPolicy>> policies;
+  for (std::size_t c = 0; c < n; ++c) {
+    sessions.push_back(make_session(60.0, 8.0, -90.0 - static_cast<double>(c) * 4.0,
+                                    0.5 * static_cast<double>(c)));
+    switch (c % 3) {
+      case 0: policies.push_back(std::make_unique<abr::Bba>(5.0, 30.0)); break;
+      case 1: policies.push_back(std::make_unique<abr::Festive>()); break;
+      default:
+        policies.push_back(std::make_unique<abr::FixedBitrate>(4, "fixed4"));
+        break;
+    }
+  }
+  const SharedLinkModel link(capacity_owner.throughput_mbps);
+  std::vector<SessionClient> clients;
+  for (std::size_t c = 0; c < n; ++c) {
+    clients.push_back({&manifest, policies[c].get(), &sessions[c],
+                       1.5 * static_cast<double>(c)});
+  }
+  return run_clients(reference_mode, clients, link);
+}
+
 using Scenario = std::function<RunOutput(bool)>;
 
 const std::vector<std::pair<const char*, Scenario>>& scenarios() {
@@ -249,6 +280,10 @@ const std::vector<std::pair<const char*, Scenario>>& scenarios() {
       {"cdn_trivial", scenario_cdn_trivial},
       {"cdn_faulty", scenario_cdn_faulty},
       {"shared", scenario_shared},
+      {"fleet1", [](bool ref) { return scenario_fleet(ref, 1); }},
+      {"fleet2", [](bool ref) { return scenario_fleet(ref, 2); }},
+      {"fleet4", [](bool ref) { return scenario_fleet(ref, 4); }},
+      {"fleet8", [](bool ref) { return scenario_fleet(ref, 8); }},
   };
   return all;
 }
@@ -297,6 +332,39 @@ TEST(EngineDifferentialTest, ScenarioMatrixBitIdenticalAcrossJobCounts) {
       EXPECT_EQ(outputs[i].timeline, reference[i].timeline)
           << "jobs=" << jobs << " scenario " << matrix[i / 2].first;
     }
+  }
+}
+
+TEST(EngineDifferentialTest, SingleCellCellularLinkEqualsSharedLink) {
+  // A one-cell CellularLinkModel must be indistinguishable from the
+  // SharedLinkModel over the same capacity trace — same engine path, same
+  // bits — at every fleet size the matrix covers.
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto capacity_owner = make_session(60.0, 18.0);
+  for (const std::size_t n : {1U, 2U, 4U, 8U}) {
+    std::vector<trace::SessionTraces> sessions;
+    std::vector<std::unique_ptr<AbrPolicy>> shared_policies;
+    std::vector<std::unique_ptr<AbrPolicy>> cell_policies;
+    for (std::size_t c = 0; c < n; ++c) {
+      sessions.push_back(make_session(60.0, 8.0, -92.0, 1.0));
+      shared_policies.push_back(std::make_unique<abr::Bba>(5.0, 30.0));
+      cell_policies.push_back(std::make_unique<abr::Bba>(5.0, 30.0));
+    }
+    std::vector<SessionClient> shared_clients;
+    std::vector<SessionClient> cell_clients;
+    for (std::size_t c = 0; c < n; ++c) {
+      shared_clients.push_back({&manifest, shared_policies[c].get(),
+                                &sessions[c], static_cast<double>(c)});
+      cell_clients.push_back({&manifest, cell_policies[c].get(), &sessions[c],
+                              static_cast<double>(c)});
+    }
+    const SharedLinkModel shared(capacity_owner.throughput_mbps);
+    const trace::TimeSeries* cells[] = {&capacity_owner.throughput_mbps};
+    const CellularLinkModel cellular(cells);
+    const RunOutput a = run_clients(false, shared_clients, shared);
+    const RunOutput b = run_clients(false, cell_clients, cellular);
+    EXPECT_EQ(a.result, b.result) << "n=" << n;
+    EXPECT_EQ(a.timeline, b.timeline) << "n=" << n;
   }
 }
 
