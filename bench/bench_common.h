@@ -35,7 +35,8 @@ namespace detail {
 
 /// Mutable bench-wide state behind the JSON output (single-threaded main).
 struct JsonState {
-  std::string experiment;
+  std::string experiment;  ///< stable snake_case id — the upsert key
+  std::string title;       ///< human-readable banner title
   std::string description;
   std::vector<std::pair<std::string, double>> metrics;
 
@@ -117,6 +118,7 @@ inline std::string render_json_record(const std::string& indent = "") {
   std::string out;
   out += indent + "{\n";
   out += indent + "  \"experiment\": \"" + json_escaped(state.experiment) + "\",\n";
+  out += indent + "  \"title\": \"" + json_escaped(state.title) + "\",\n";
   out += indent + "  \"description\": \"" + json_escaped(state.description) + "\",\n";
   out += indent + "  \"metrics\": {";
   for (std::size_t i = 0; i < state.metrics.size(); ++i) {
@@ -152,12 +154,16 @@ inline void write_json(const std::string& path) {
 
 }  // namespace detail
 
-/// Prints the experiment banner (and names the experiment in JSON output).
-inline void banner(const char* experiment_id, const char* description) {
-  detail::JsonState::instance().experiment = experiment_id;
+/// Prints the experiment banner and names the experiment in JSON output:
+/// the prose title is kept as "title", and its util::snake_case_id becomes
+/// the stable machine-readable "experiment" id that --json-append upserts
+/// on ("Extension: CDN failover" -> "extension_cdn_failover").
+inline void banner(const char* title, const char* description) {
+  detail::JsonState::instance().experiment = util::snake_case_id(title);
+  detail::JsonState::instance().title = title;
   detail::JsonState::instance().description = description;
   std::printf("==============================================================\n");
-  std::printf("Reproduction: %s\n", experiment_id);
+  std::printf("Reproduction: %s\n", title);
   std::printf("%s\n", description);
   std::printf("==============================================================\n\n");
 }

@@ -29,6 +29,10 @@
 //   --cells N      cell count for --fleet (default 16)
 //   --regions N    mobility regions for --fleet (default 8; model parameter,
 //                  not an execution knob)
+//   --policy NAME  fleet client policy: "throughput" (default) or "planner"
+//                  (the Eq. 11 rolling-horizon planner on every client,
+//                  memoized through the context-quantized decision cache;
+//                  prints cache hit/miss/plan counters)
 //   --jobs N       worker threads for --sweep / --all / --sensor-faults /
 //                  --cdn-faults / --fleet (0 = all hardware threads; results
 //                  are bit-identical at any value)
@@ -75,6 +79,7 @@ struct CliOptions {
   std::size_t fleet_sessions = 10000;
   std::size_t fleet_cells = 16;
   std::size_t fleet_regions = 8;
+  std::string fleet_policy = "throughput";
   std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
@@ -86,7 +91,8 @@ struct CliOptions {
                "usage: sim_cli [--trace N] [--algo NAME] [--alpha X] [--segment S]\n"
                "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
                "               [--sweep] [--sensor-faults] [--cdn-faults] [--jobs N]\n"
-               "               [--fleet] [--sessions N] [--cells N] [--regions N]\n");
+               "               [--fleet] [--sessions N] [--cells N] [--regions N]\n"
+               "               [--policy throughput|planner]\n");
   std::exit(2);
 }
 
@@ -111,6 +117,13 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--sensor-faults") options.sensor_faults = true;
     else if (arg == "--cdn-faults") options.cdn_faults = true;
     else if (arg == "--fleet") options.fleet = true;
+    else if (arg == "--policy") {
+      options.fleet_policy = next_value();
+      if (options.fleet_policy != "throughput" &&
+          options.fleet_policy != "planner") {
+        usage_error("--policy must be \"throughput\" or \"planner\"");
+      }
+    }
     else if (arg == "--sessions" || arg == "--cells" || arg == "--regions") {
       const int value = std::atoi(next_value());
       if (value < 1) usage_error((arg + " must be >= 1").c_str());
@@ -291,16 +304,36 @@ int run_fleet_mode(const CliOptions& options) {
   config.segment_duration_s = options.segment_s;
   config.buffer_threshold_s = options.buffer_s;
   if (!options.context_aware) config.vibration_cap_threshold = 1e9;
+  if (options.fleet_policy == "planner") {
+    config.policy = sim::FleetPolicy::kPlanner;
+    config.planner_alpha = options.alpha;
+  }
   config.exec.jobs = options.jobs;
-  std::printf("Fleet: %zu sessions over %zu cells in %zu regions, jobs=%zu\n",
+  std::printf("Fleet: %zu sessions over %zu cells in %zu regions, "
+              "policy=%s, jobs=%zu\n",
               config.num_sessions, config.network.num_cells, config.regions,
-              config.exec.resolved_jobs());
+              options.fleet_policy.c_str(), config.exec.resolved_jobs());
 
   const auto metrics = sim::run_fleet(config);
   std::printf("events %zu, requests %zu, handoffs %zu, stalls %zu, "
-              "peak live %zu\n\n",
+              "peak live %zu\n",
               metrics.events, metrics.requests, metrics.handoffs,
               metrics.stall_events, metrics.peak_live_sessions);
+  if (config.policy == sim::FleetPolicy::kPlanner) {
+    const auto& planner = metrics.planner;
+    const auto lookups = planner.cache_hits + planner.cache_misses;
+    std::printf("planner: %llu plans, cache %llu/%llu hits (%.1f%%), "
+                "%llu evictions, %llu model evals\n",
+                static_cast<unsigned long long>(planner.plans),
+                static_cast<unsigned long long>(planner.cache_hits),
+                static_cast<unsigned long long>(lookups),
+                lookups > 0 ? 100.0 * static_cast<double>(planner.cache_hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0,
+                static_cast<unsigned long long>(planner.cache_evictions),
+                static_cast<unsigned long long>(planner.model_evals()));
+  }
+  std::printf("\n");
 
   eacs::AsciiTable table("Fleet distributions (streaming aggregates)");
   table.set_header({"metric", "mean", "p50", "p90"});

@@ -21,10 +21,27 @@ struct CostStats {
   std::uint64_t edge_evals = 0;         ///< Eq. 11 edge-weight evaluations
   std::uint64_t tables_built = 0;       ///< TaskCostTable constructions
   std::uint64_t plans = 0;              ///< planner / selector invocations
+  std::uint64_t cache_hits = 0;         ///< DecisionCache lookups served
+  std::uint64_t cache_misses = 0;       ///< DecisionCache lookups solved cold
+  std::uint64_t cache_evictions = 0;    ///< DecisionCache direct-map displacements
 
   /// Total model evaluations (the O(N*M) vs O(N*M^2) headline number).
   std::uint64_t model_evals() const noexcept {
     return qoe_model_evals + power_model_evals;
+  }
+
+  /// Serial fold for region-sharded counting (DESIGN §6): each region
+  /// accumulates into its own CostStats under a CostStatsScope, then the
+  /// driver merges shard counters in region order.
+  void merge(const CostStats& other) noexcept {
+    qoe_model_evals += other.qoe_model_evals;
+    power_model_evals += other.power_model_evals;
+    edge_evals += other.edge_evals;
+    tables_built += other.tables_built;
+    plans += other.plans;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evictions += other.cache_evictions;
   }
 
   void reset() noexcept { *this = CostStats{}; }

@@ -19,6 +19,7 @@
 // arithmetic here without re-certifying.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "eacs/core/objective.h"
@@ -97,8 +98,11 @@ class TaskCostTable {
 
 /// Builds one table per task. Throws std::invalid_argument on empty tasks,
 /// an empty ladder, or a ragged ladder (tasks with differing level counts).
+/// Takes a span so callers can price a window of a larger task sequence
+/// without copying (the rolling-horizon planner and the decision cache both
+/// slice prebuilt windows).
 std::vector<TaskCostTable> build_cost_tables(
-    const Objective& objective, const std::vector<TaskEnvironment>& tasks,
+    const Objective& objective, std::span<const TaskEnvironment> tasks,
     double buffer_s);
 
 }  // namespace eacs::core

@@ -15,8 +15,10 @@
 //       (size/bandwidth <= buffer); if none fits, jump to the reference;
 //     - reference equals previous: keep it.
 
+#include <memory>
 #include <optional>
 
+#include "eacs/core/decision_cache.h"
 #include "eacs/core/objective.h"
 #include "eacs/player/abr_policy.h"
 
@@ -42,6 +44,15 @@ struct OnlineOptions {
   /// below instead of a stale number that may be wildly optimistic.
   double max_signal_age_s = 30.0;
   double stale_signal_floor_dbm = -110.0;
+
+  /// Optional decision memoization. The snapshot keys the *effective*
+  /// environment (post degraded-context fallbacks) so the cached solve is
+  /// pure in the key; with the default exact-key config decisions are
+  /// bit-identical to uncached selection (certified by tests/differential/).
+  /// Post-failure cooldown segments bypass the cache entirely — their cap
+  /// depends on transient selector state outside the key. Share one cache
+  /// per deterministic execution unit, never across threads.
+  std::shared_ptr<DecisionCache> cache;
 };
 
 /// Algorithm 1 as a player policy.

@@ -92,7 +92,7 @@ void TaskCostTable::reweight(double alpha) noexcept {
 }
 
 std::vector<TaskCostTable> build_cost_tables(
-    const Objective& objective, const std::vector<TaskEnvironment>& tasks,
+    const Objective& objective, std::span<const TaskEnvironment> tasks,
     double buffer_s) {
   if (tasks.empty()) {
     throw std::invalid_argument("build_cost_tables: no tasks");

@@ -9,6 +9,57 @@
 
 namespace eacs::core {
 
+std::size_t plan_horizon_first_action(const Objective& objective,
+                                      std::span<const TaskEnvironment> tasks,
+                                      double buffer_s,
+                                      std::optional<std::size_t> prev_level) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("plan_horizon_first_action: empty window");
+  }
+  // Exact DP over the window with switch coupling; the first task's switch
+  // term couples to the previously played segment. Edge weights come from
+  // one precomputed cost table per window task (O(window*M) model
+  // evaluations instead of O(window*M^2)); the cached costs are bit-identical
+  // to the direct task_cost formulation, so decisions are unchanged.
+  const std::size_t m = tasks.front().size_megabits.size();
+  const std::vector<TaskCostTable> tables =
+      build_cost_tables(objective, tasks, buffer_s);
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(m, kInfinity);
+  std::vector<std::size_t> first_action(m, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    dp[j] = prev_level.has_value() ? tables[0].edge_cost(j, *prev_level)
+                                   : tables[0].edge_cost(j);
+    first_action[j] = j;
+  }
+  std::vector<double> next(m, kInfinity);
+  std::vector<std::size_t> next_first(m, 0);
+  for (std::size_t k = 1; k < tasks.size(); ++k) {
+    std::fill(next.begin(), next.end(), kInfinity);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t jp = 0; jp < m; ++jp) {
+        const double candidate = dp[jp] + tables[k].edge_cost(j, jp);
+        if (candidate < next[j]) {
+          next[j] = candidate;
+          next_first[j] = first_action[jp];
+        }
+      }
+    }
+    dp.swap(next);
+    first_action.swap(next_first);
+  }
+
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < m; ++j) {
+    if (dp[j] < dp[best]) best = j;
+  }
+  if (CostStats* stats = CostStatsScope::current()) {
+    stats->edge_evals += m + (tasks.size() - 1) * m * m;
+    ++stats->plans;
+  }
+  return first_action[best];
+}
+
 RollingHorizonSelector::RollingHorizonSelector(Objective objective,
                                                HorizonOptions options)
     : objective_(std::move(objective)), options_(std::move(options)) {
@@ -45,49 +96,34 @@ std::size_t RollingHorizonSelector::choose_level(const player::AbrContext& conte
     tasks.push_back(std::move(env));
   }
 
-  // Exact DP over the window with switch coupling; the first task's switch
-  // term couples to the previously played segment. Edge weights come from
-  // one precomputed cost table per window task (O(window*M) model
-  // evaluations instead of O(window*M^2)); the cached costs are bit-identical
-  // to the direct task_cost formulation, so decisions are unchanged.
-  const std::size_t m = ladder.size();
-  const std::vector<TaskCostTable> tables =
-      build_cost_tables(objective_, tasks, context.buffer_s);
-  constexpr double kInfinity = std::numeric_limits<double>::infinity();
-  std::vector<double> dp(m, kInfinity);
-  std::vector<std::size_t> first_action(m, 0);
-  for (std::size_t j = 0; j < m; ++j) {
-    dp[j] = context.prev_level.has_value()
-                ? tables[0].edge_cost(j, *context.prev_level)
-                : tables[0].edge_cost(j);
-    first_action[j] = j;
-  }
-  std::vector<double> next(m, kInfinity);
-  std::vector<std::size_t> next_first(m, 0);
-  for (std::size_t k = 1; k < tasks.size(); ++k) {
-    std::fill(next.begin(), next.end(), kInfinity);
-    for (std::size_t j = 0; j < m; ++j) {
-      for (std::size_t jp = 0; jp < m; ++jp) {
-        const double candidate = dp[jp] + tables[k].edge_cost(j, jp);
-        if (candidate < next[j]) {
-          next[j] = candidate;
-          next_first[j] = first_action[jp];
-        }
-      }
-    }
-    dp.swap(next);
-    first_action.swap(next_first);
+  if (!options_.cache) {
+    return plan_horizon_first_action(objective_, tasks, context.buffer_s,
+                                     context.prev_level);
   }
 
-  std::size_t best = 0;
-  for (std::size_t j = 1; j < m; ++j) {
-    if (dp[j] < dp[best]) best = j;
-  }
-  if (CostStats* stats = CostStatsScope::current()) {
-    stats->edge_evals += m + (tasks.size() - 1) * m * m;
-    ++stats->plans;
-  }
-  return first_action[best];
+  // Memoized path. The snapshot carries exactly the inputs the DP depends on
+  // (the per-segment sizes/durations live in ladder_id); on a miss the DP
+  // runs on the canonical representatives, never the raw values, so a later
+  // hit on the same key returns bit-identically what this cold solve stored.
+  DecisionSnapshot snapshot;
+  snapshot.buffer_s = context.buffer_s;
+  snapshot.bandwidth_mbps = context.bandwidth->estimate();
+  snapshot.vibration = context.vibration_level;
+  snapshot.signal_dbm = context.signal_dbm;
+  snapshot.segments_remaining = window;
+  snapshot.prev_level = context.prev_level;
+  snapshot.ladder_id = hash_task_ladder(tasks);
+  snapshot.alpha = objective_.config().alpha;
+  const CanonicalDecision canonical = options_.cache->canonicalize(snapshot);
+  return options_.cache->level_for(canonical, [&](const CanonicalDecision& c) {
+    for (TaskEnvironment& env : tasks) {
+      env.signal_dbm = c.signal_dbm;
+      env.vibration = c.vibration;
+      env.bandwidth_mbps = c.bandwidth_mbps;
+    }
+    return plan_horizon_first_action(objective_, tasks, c.buffer_s,
+                                     c.prev_level);
+  });
 }
 
 }  // namespace eacs::core

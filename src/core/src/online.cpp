@@ -81,13 +81,46 @@ std::size_t OnlineBitrateSelector::choose_level(const player::AbrContext& contex
     return ladder.clamp_level(static_cast<long long>(options_.startup_level));
   }
 
-  const TaskEnvironment env = environment_from(context);
-  const std::size_t reference = objective_.reference_level(env, context.buffer_s);
-  std::size_t chosen = reference;
-  if (options_.smoothing && context.prev_level.has_value()) {
-    chosen = ladder.clamp_level(static_cast<long long>(
-        smooth(reference, *context.prev_level, env, env.bandwidth_mbps,
-               context.buffer_s)));
+  TaskEnvironment env = environment_from(context);
+  // Algorithm 1's decision as a function of the (effective) environment:
+  // Eq. 11 reference level, then the smoothing rule. Factored so the cached
+  // path below can run it on canonical representatives instead.
+  const auto decide = [&](const TaskEnvironment& e, double buffer_s,
+                          std::optional<std::size_t> prev_level) {
+    const std::size_t reference = objective_.reference_level(e, buffer_s);
+    if (options_.smoothing && prev_level.has_value()) {
+      return ladder.clamp_level(static_cast<long long>(
+          smooth(reference, *prev_level, e, e.bandwidth_mbps, buffer_s)));
+    }
+    return reference;
+  };
+
+  std::size_t chosen;
+  if (options_.cache && failure_cooldown_ == 0) {
+    // Memoized path: key the effective environment (fallbacks already
+    // applied, so the solve is pure in the key) and solve on the canonical
+    // representatives — a hit returns bit-identically what the cold solve of
+    // the same key stored. Cooldown segments never reach here: their cap
+    // depends on transient selector state outside the key.
+    DecisionSnapshot snapshot;
+    snapshot.buffer_s = context.buffer_s;
+    snapshot.bandwidth_mbps = env.bandwidth_mbps;
+    snapshot.vibration = env.vibration;
+    snapshot.signal_dbm = env.signal_dbm;
+    snapshot.segments_remaining = 1;
+    snapshot.prev_level = context.prev_level;
+    snapshot.ladder_id = hash_task_ladder({&env, 1});
+    snapshot.alpha = objective_.config().alpha;
+    const CanonicalDecision canonical = options_.cache->canonicalize(snapshot);
+    chosen = options_.cache->level_for(
+        canonical, [&](const CanonicalDecision& c) {
+          env.vibration = c.vibration;
+          env.signal_dbm = c.signal_dbm;
+          env.bandwidth_mbps = c.bandwidth_mbps;
+          return decide(env, c.buffer_s, c.prev_level);
+        });
+  } else {
+    chosen = decide(env, context.buffer_s, context.prev_level);
   }
 
   // Replan-on-failure: while cooling down after a reported download failure,

@@ -7,9 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "eacs/core/decision_cache.h"
 #include "eacs/core/objective.h"
 #include "eacs/player/player.h"
 #include "eacs/sim/execution.h"
@@ -31,6 +33,12 @@ struct EvaluationConfig {
   power::PowerModelParams power;
   trace::SessionBuildOptions session_options;
   std::size_t online_startup_level = 3;  ///< "Ours" startup rung
+  /// Optional decision memoization for "Ours": each session work item gets a
+  /// fresh cache built from this config (per-instance — never shared across
+  /// workers), keeping units pure in their index. The exact-key default
+  /// leaves decisions bit-identical to uncached runs; a quantized config is
+  /// the EXPERIMENTS.md quantization-error study.
+  std::optional<core::DecisionCacheConfig> online_cache;
   /// Worker threads for the session fan-out; bit-identical at any value.
   ExecutionPolicy exec;
 };

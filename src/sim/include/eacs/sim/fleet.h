@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "eacs/core/cost_stats.h"
+#include "eacs/core/decision_cache.h"
 #include "eacs/power/model.h"
 #include "eacs/qoe/model.h"
 #include "eacs/sim/cell_network.h"
@@ -41,6 +43,16 @@
 #include "eacs/util/stats.h"
 
 namespace eacs::sim {
+
+/// Client policy the fleet's sessions run.
+enum class FleetPolicy {
+  /// Throughput-based ABR with the context-aware rung cap (PR 8 baseline).
+  kThroughput,
+  /// The paper's planner: every request solves the Eq. 11 rolling-horizon DP
+  /// on its (quantized) context snapshot, memoized through one DecisionCache
+  /// shard per region. See DESIGN "Decision cache & quantization".
+  kPlanner,
+};
 
 /// Fleet run parameters. Defaults give a quick smoke-sized run; benchmarks
 /// scale num_sessions to 100k+.
@@ -73,6 +85,27 @@ struct FleetConfig {
   // Mobility: serving cell re-evaluated at every request boundary.
   double handoff_hysteresis_db = 3.0;
 
+  /// Which client policy the sessions run.
+  FleetPolicy policy = FleetPolicy::kThroughput;
+  // Planner-policy knobs (ignored under kThroughput).
+  std::size_t planner_horizon = 5;        ///< rolling-horizon window (tasks)
+  std::size_t planner_startup_level = 0;  ///< rung before any throughput sample
+  double planner_alpha = 0.5;             ///< Eq. 11 energy weight
+  /// Per-region decision-cache shard configuration. The fleet default is the
+  /// quantized mode: population hit rates need bucket coalescing, and the
+  /// quantization error is bounded + studied in EXPERIMENTS.md. capacity=0
+  /// gives the uncached ("naive per-session solving") reference with
+  /// identical decisions. The capacity is raised well above the observed
+  /// distinct-key population (~2-3k per region shard at 10k sessions):
+  /// direct-mapped tables thrash hard once revisited keys alternate in a
+  /// slot, so head-room is cheap insurance (~10 MB per region).
+  /// prev_level_bucket = 2 pairs neighbouring rungs in the key: on the dense
+  /// evaluation ladder the switch-penalty term barely distinguishes them,
+  /// and it roughly halves the compulsory-miss floor (EXPERIMENTS.md).
+  core::DecisionCacheConfig planner_cache{.exact = false,
+                                          .prev_level_bucket = 2,
+                                          .capacity = 131072};
+
   /// Cells are split into this many contiguous shards; sessions are pinned
   /// to region (id % regions). Clamped to num_cells. The region count is
   /// part of the *model* (mobility range), not an execution knob: changing
@@ -103,6 +136,10 @@ struct FleetRegionMetrics {
   std::size_t peak_live_sessions = 0;
   double median_qoe = 0.0;        ///< P^2 streaming estimate
   double median_energy_j = 0.0;   ///< P^2 streaming estimate
+  /// Planner-policy instrumentation for this region's cache shard (all zero
+  /// under kThroughput): cache hits/misses/evictions, plans, model evals.
+  /// Deterministic in (config, region index), merged serially by run_fleet.
+  core::CostStats planner;
 };
 
 /// Fleet-wide outcome: streaming moments + reservoir percentiles, no
@@ -116,6 +153,12 @@ struct FleetMetrics {
   /// Sum of per-region peak live counts: a conservative bound on the global
   /// peak, and the quantity the O(live) memory claim is about.
   std::size_t peak_live_sessions = 0;
+
+  /// Fleet-wide planner instrumentation (serial merge of the per-region
+  /// CostStats; all zero under kThroughput). cache_hits + cache_misses is
+  /// the number of planner consultations, plans the number of cold DP
+  /// solves — the memoization headline is their ratio.
+  core::CostStats planner;
 
   RunningStats qoe;
   RunningStats energy_j;

@@ -147,7 +147,11 @@ EvaluationResult Evaluation::run(
     abr::Festive festive;
     abr::Bba bba(5.0, config_.player.buffer_threshold_s);
     core::OnlineBitrateSelector ours(
-        objective, {.startup_level = config_.online_startup_level});
+        objective,
+        {.startup_level = config_.online_startup_level,
+         .cache = config_.online_cache ? std::make_shared<core::DecisionCache>(
+                                             *config_.online_cache)
+                                       : nullptr});
     const auto tasks = core::build_task_environments(manifest, session);
     core::OptimalPlanner planner(objective);
     core::PlannedPolicy optimal(planner.plan(tasks));

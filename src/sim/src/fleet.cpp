@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
 
+#include "eacs/core/horizon.h"
+#include "eacs/core/objective.h"
 #include "eacs/sim/seed_mix.h"
 #include "eacs/util/thread_pool.h"
 
@@ -70,10 +73,20 @@ struct SessionArena {
   std::vector<double> energy_j;
   std::vector<double> bitrate_sum;
   std::vector<double> prev_bitrate;
+  std::vector<int> prev_level;  ///< last completed rung (-1 before any)
   // In-flight transfer (valid between request and complete).
   std::vector<double> request_s;
   std::vector<double> size_mb;
   std::vector<double> level_bitrate;
+  std::vector<std::uint32_t> level;  ///< in-flight rung index
+  // Planner L1: the slot's last canonical decision. Steady-state sessions
+  // canonicalize consecutive requests to the same key, and decisions are a
+  // pure function of the key, so an equal key reuses the level without
+  // probing the shared shard table (a guaranteed cold-cache access at fleet
+  // capacities). Counted as cache hits via count_external_hit().
+  std::vector<core::DecisionKey> last_key;
+  std::vector<std::uint32_t> last_level;
+  std::vector<std::uint8_t> has_last;
   // Inline harmonic-mean bandwidth window: throughputs[slot*window + i].
   std::vector<double> throughputs;
   std::vector<std::size_t> seen;  ///< samples observed (ring write cursor)
@@ -106,9 +119,14 @@ struct SessionArena {
       energy_j.push_back(0.0);
       bitrate_sum.push_back(0.0);
       prev_bitrate.push_back(0.0);
+      prev_level.push_back(-1);
       request_s.push_back(0.0);
       size_mb.push_back(0.0);
       level_bitrate.push_back(0.0);
+      level.push_back(0);
+      last_key.emplace_back();
+      last_level.push_back(0);
+      has_last.push_back(0);
       throughputs.resize(throughputs.size() + window, 0.0);
       seen.push_back(0);
     }
@@ -126,9 +144,12 @@ struct SessionArena {
     energy_j[slot] = 0.0;
     bitrate_sum[slot] = 0.0;
     prev_bitrate[slot] = 0.0;
+    prev_level[slot] = -1;
     request_s[slot] = 0.0;
     size_mb[slot] = 0.0;
     level_bitrate[slot] = 0.0;
+    level[slot] = 0;
+    has_last[slot] = 0;
     std::fill_n(throughputs.begin() + static_cast<std::ptrdiff_t>(slot * window),
                 window, 0.0);
     seen[slot] = 0;
@@ -207,6 +228,38 @@ Shard run_region(const FleetConfig& config, const CellNetwork& network,
   const std::size_t top_level = config.ladder_mbps.size() - 1;
   std::size_t live = 0;
 
+  // Planner-policy machinery: one cache shard per region, one Objective per
+  // region, and a reusable window of TaskEnvironments (sizes/durations are
+  // fleet-constant — only the context fields change per solve, and only to
+  // canonical representatives). All planner counters accumulate into this
+  // region's CostStats shard via the scope; kThroughput leaves them zero.
+  const bool planner = config.policy == FleetPolicy::kPlanner;
+  core::CostStatsScope stats_scope(shard.region.planner);
+  std::optional<core::Objective> objective;
+  std::optional<core::DecisionCache> cache;
+  std::vector<core::TaskEnvironment> window_tasks;
+  std::vector<std::uint64_t> ladder_ids;  // ladder_ids[w-1]: window size w
+  if (planner) {
+    objective.emplace(qoe_model, power_model,
+                      core::ObjectiveConfig{
+                          .alpha = config.planner_alpha,
+                          .buffer_threshold_s = config.buffer_threshold_s,
+                          .context_aware = true});
+    cache.emplace(config.planner_cache);
+    window_tasks.resize(config.planner_horizon);
+    ladder_ids.resize(config.planner_horizon);
+    for (std::size_t k = 0; k < config.planner_horizon; ++k) {
+      core::TaskEnvironment& env = window_tasks[k];
+      env.index = k;
+      env.duration_s = seg_s;
+      env.size_megabits.reserve(config.ladder_mbps.size());
+      for (const double mbps : config.ladder_mbps) {
+        env.size_megabits.push_back(mbps * seg_s);
+      }
+      ladder_ids[k] = core::hash_task_ladder({window_tasks.data(), k + 1});
+    }
+  }
+
   // Advances playback to `now`: drains the buffer, accrues stalls.
   const auto drain = [&](std::uint32_t slot, double now) {
     double dt = now - arena.last_event_s[slot];
@@ -264,18 +317,88 @@ Shard run_region(const FleetConfig& config, const CellNetwork& network,
         arena.cell[slot] = serving;
         ++shard.region.handoffs;
       }
-      // Throughput-based ABR with the context-aware rung cap.
-      const double est = arena.estimate(slot);
       std::size_t level = 0;
-      for (std::size_t l = top_level; l > 0; --l) {
-        if (config.ladder_mbps[l] <= config.abr_safety * est) {
-          level = l;
-          break;
+      if (planner) {
+        // The paper's planner: rolling-horizon Eq. 11 DP on the session's
+        // context snapshot, memoized through the region's cache shard. The
+        // startup segment (no throughput sample yet) takes the fixed startup
+        // rung, mirroring the selectors' startup path, and bypasses the
+        // cache. No vibration rung cap here — the objective itself prices
+        // vibration via the QoE impairment.
+        if (arena.seen[slot] == 0) {
+          level = std::min(config.planner_startup_level, top_level);
+        } else {
+          // Segments-remaining quantization (caller-side, since the horizon
+          // is planner knowledge): in quantized mode every window is
+          // canonicalized to the full horizon — the last few segments plan
+          // over phantom successors, which only perturbs the receding
+          // horizon's *lookahead*, never the committed first action's
+          // context. Collapses the remaining-count key dimension to one
+          // value. Exact mode keeps the true min(horizon, left) window.
+          const std::size_t window =
+              config.planner_cache.exact
+                  ? std::min(config.planner_horizon,
+                             config.segments_per_session -
+                                 arena.next_segment[slot])
+                  : config.planner_horizon;
+          core::DecisionSnapshot snapshot;
+          snapshot.buffer_s = arena.buffer_s[slot];
+          snapshot.bandwidth_mbps = arena.estimate(slot);
+          snapshot.vibration = session_vibration(config.seed, event.session);
+          snapshot.signal_dbm =
+              network.signal_dbm(event.session, arena.cell[slot], now);
+          snapshot.segments_remaining = window;
+          if (arena.prev_level[slot] >= 0) {
+            snapshot.prev_level =
+                static_cast<std::size_t>(arena.prev_level[slot]);
+          }
+          snapshot.ladder_id = ladder_ids[window - 1];
+          snapshot.alpha = config.planner_alpha;
+          const core::DecisionKey key = cache->key_for(snapshot);
+          // capacity = 0 is the no-memoization reference: the arena L1 is
+          // memoization too, so it is disabled there along with the table.
+          const bool memoize = config.planner_cache.capacity > 0;
+          if (memoize && arena.has_last[slot] && arena.last_key[slot] == key) {
+            // Arena L1 (see SessionArena::last_key): same canonical key →
+            // same decision, no shard probe needed.
+            level = arena.last_level[slot];
+            cache->count_external_hit();
+          } else if (const auto hit = cache->find(key)) {
+            level = *hit;
+          } else {
+            // Cold key: reconstruct the representatives and solve on them —
+            // canonicalize-then-solve, so the stored decision is exactly
+            // what any later hit on this key must return.
+            const core::CanonicalDecision c = cache->canonicalize(snapshot);
+            for (std::size_t k = 0; k < window; ++k) {
+              window_tasks[k].signal_dbm = c.signal_dbm;
+              window_tasks[k].vibration = c.vibration;
+              window_tasks[k].bandwidth_mbps = c.bandwidth_mbps;
+            }
+            level = core::plan_horizon_first_action(
+                *objective, {window_tasks.data(), window}, c.buffer_s,
+                c.prev_level);
+            cache->insert(key, level);
+          }
+          if (memoize) {
+            arena.last_key[slot] = key;
+            arena.last_level[slot] = static_cast<std::uint32_t>(level);
+            arena.has_last[slot] = 1;
+          }
         }
-      }
-      if (session_vibration(config.seed, event.session) >
-          config.vibration_cap_threshold) {
-        level = std::min(level, config.vibration_rung_cap);
+      } else {
+        // Throughput-based ABR with the context-aware rung cap.
+        const double est = arena.estimate(slot);
+        for (std::size_t l = top_level; l > 0; --l) {
+          if (config.ladder_mbps[l] <= config.abr_safety * est) {
+            level = l;
+            break;
+          }
+        }
+        if (session_vibration(config.seed, event.session) >
+            config.vibration_cap_threshold) {
+          level = std::min(level, config.vibration_rung_cap);
+        }
       }
       const double bitrate = config.ladder_mbps[level];
       // Quasi-stationary processor sharing: the share is frozen at request
@@ -287,6 +410,7 @@ Shard run_region(const FleetConfig& config, const CellNetwork& network,
       ++cell_active[local];
       arena.request_s[slot] = now;
       arena.level_bitrate[slot] = bitrate;
+      arena.level[slot] = static_cast<std::uint32_t>(level);
       arena.size_mb[slot] = bitrate * seg_s / 8.0;
       arena.seg_rebuffer_s[slot] = 0.0;
       ++shard.region.requests;
@@ -324,6 +448,7 @@ Shard run_region(const FleetConfig& config, const CellNetwork& network,
 
     arena.bitrate_sum[slot] += bitrate;
     arena.prev_bitrate[slot] = bitrate;
+    arena.prev_level[slot] = static_cast<int>(arena.level[slot]);
     if (arena.playing[slot] == 0 &&
         arena.buffer_s[slot] >= config.startup_buffer_s) {
       arena.playing[slot] = 1;
@@ -382,6 +507,17 @@ FleetMetrics run_fleet(const FleetConfig& config) {
       throw std::invalid_argument("run_fleet: ladder bitrates must be > 0");
     }
   }
+  if (config.policy == FleetPolicy::kPlanner) {
+    if (config.planner_horizon == 0) {
+      throw std::invalid_argument("run_fleet: planner horizon must be > 0");
+    }
+    // Validate the shard cache config up front (width checks live in the
+    // DecisionCache ctor) so a bad config throws here, not inside a worker.
+    core::DecisionCacheConfig probe = config.planner_cache;
+    probe.capacity = 0;
+    const core::DecisionCache probe_cache(probe);
+    (void)probe_cache;
+  }
 
   const CellNetwork network(config.network);
   const qoe::QoeModel qoe_model(config.qoe);
@@ -412,6 +548,7 @@ FleetMetrics run_fleet(const FleetConfig& config) {
     metrics.handoffs += shard.region.handoffs;
     metrics.stall_events += shard.region.stall_events;
     metrics.peak_live_sessions += shard.region.peak_live_sessions;
+    metrics.planner.merge(shard.region.planner);
     metrics.qoe.merge(shard.qoe);
     metrics.energy_j.merge(shard.energy_j);
     metrics.bitrate_mbps.merge(shard.bitrate_mbps);

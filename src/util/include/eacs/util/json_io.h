@@ -17,6 +17,13 @@
 
 namespace eacs::util {
 
+/// Canonical machine-readable id for an experiment title: lowercase ASCII
+/// alphanumerics with every other run of characters collapsed to a single
+/// '_', leading/trailing '_' trimmed ("Extension: CDN failover" ->
+/// "extension_cdn_failover"). Stable under prose tweaks to spacing and
+/// punctuation — this is the upsert key of BENCH_baseline.json records.
+std::string snake_case_id(const std::string& title);
+
 /// Splits the body of a top-level JSON array into its element texts.
 /// `array_text` must start with '[' and end with ']' (after trimming
 /// whitespace); throws std::runtime_error otherwise — a file that fails this

@@ -11,6 +11,23 @@
 #include <thread>
 
 namespace eacs::util {
+
+std::string snake_case_id(const std::string& title) {
+  std::string out;
+  out.reserve(title.size());
+  bool pending_sep = false;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !out.empty()) out += '_';
+      pending_sep = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 std::string trimmed(const std::string& s) {

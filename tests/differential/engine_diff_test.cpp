@@ -26,6 +26,9 @@
 #include "eacs/abr/bba.h"
 #include "eacs/abr/festive.h"
 #include "eacs/abr/fixed.h"
+#include "eacs/core/decision_cache.h"
+#include "eacs/core/horizon.h"
+#include "eacs/core/online.h"
 #include "eacs/net/fault_injector.h"
 #include "eacs/net/segment_source.h"
 #include "eacs/player/session_engine.h"
@@ -299,6 +302,77 @@ TEST(EngineDifferentialTest, FastPathBitIdenticalToReferenceEverywhere) {
     // Sanity: the dumps carry real content, not an accidentally empty run.
     EXPECT_NE(reference.result.find("task"), std::string::npos)
         << "scenario " << name;
+  }
+}
+
+TEST(EngineDifferentialTest, ExactKeyCachedSelectorsBitIdenticalToUncached) {
+  // The DecisionCache's rich-engine default (exact keys): caching must be
+  // pure memoization — a cached selector's full hex-float playback dump
+  // equals the uncached selector's, at a comfortable capacity AND through a
+  // 1-slot cache whose every collision evicts.
+  const auto manifest = make_manifest(60.0, 2.0);
+  const auto session = make_session(60.0, 8.0, -95.0, 2.0);
+  const SoloLinkModel link(session.throughput_mbps);
+  const core::Objective objective(qoe::QoeModel{}, power::PowerModel{});
+
+  for (const std::size_t capacity : {std::size_t{4096}, std::size_t{1}}) {
+    core::DecisionCacheConfig config;  // exact mode
+    config.capacity = capacity;
+
+    core::OnlineBitrateSelector online_uncached(objective);
+    const RunOutput online_base =
+        run_single(false, manifest, session, online_uncached, link);
+    const auto online_cache = std::make_shared<core::DecisionCache>(config);
+    core::OnlineBitrateSelector online_cached(objective,
+                                              {.cache = online_cache});
+    EXPECT_EQ(run_single(false, manifest, session, online_cached, link),
+              online_base)
+        << "online, capacity " << capacity;
+    EXPECT_GT(online_cache->stats().lookups(), 0u);
+
+    core::RollingHorizonSelector horizon_uncached(objective);
+    const RunOutput horizon_base =
+        run_single(false, manifest, session, horizon_uncached, link);
+    const auto horizon_cache = std::make_shared<core::DecisionCache>(config);
+    core::RollingHorizonSelector horizon_cached(objective,
+                                                {.cache = horizon_cache});
+    EXPECT_EQ(run_single(false, manifest, session, horizon_cached, link),
+              horizon_base)
+        << "horizon, capacity " << capacity;
+    EXPECT_GT(horizon_cache->stats().lookups(), 0u);
+  }
+}
+
+TEST(EngineDifferentialTest, QuantizedCacheStorageNeverChangesDecisions) {
+  // Quantized mode certification: capacity 0 (canonicalize every snapshot,
+  // solve every time, store nothing) is the reference; any real capacity
+  // must reproduce its playback bitwise — storage and eviction can only
+  // save solves, never change them. Unlike the exact-key test this run has
+  // genuine coalescing, so the capacity-4096 cache must also HIT.
+  const auto manifest = make_manifest(90.0, 2.0);
+  const auto session = make_step_session(90.0, 12.0, 2.5, 40.0, -102.0, 4.0);
+  const SoloLinkModel link(session.throughput_mbps);
+  const core::Objective objective(qoe::QoeModel{}, power::PowerModel{});
+
+  core::DecisionCacheConfig quantized;
+  quantized.exact = false;
+  quantized.prev_level_bucket = 2;
+
+  quantized.capacity = 0;
+  const auto reference_cache =
+      std::make_shared<core::DecisionCache>(quantized);
+  core::OnlineBitrateSelector reference(objective, {.cache = reference_cache});
+  const RunOutput base = run_single(false, manifest, session, reference, link);
+  EXPECT_EQ(reference_cache->stats().hits, 0u);
+
+  for (const std::size_t capacity : {std::size_t{4096}, std::size_t{1}}) {
+    quantized.capacity = capacity;
+    const auto cache = std::make_shared<core::DecisionCache>(quantized);
+    core::OnlineBitrateSelector cached(objective, {.cache = cache});
+    EXPECT_EQ(run_single(false, manifest, session, cached, link), base)
+        << "capacity " << capacity;
+    EXPECT_EQ(cache->stats().lookups(), reference_cache->stats().lookups());
+    if (capacity >= 4096) EXPECT_GT(cache->stats().hits, 0u);
   }
 }
 

@@ -1,0 +1,194 @@
+// Property suite for the decision cache's load-bearing claim: with
+// canonicalize-then-solve, caching NEVER changes a decision. For random
+// context streams, the rung sequence produced through a cache of any
+// capacity — including the 1-slot pathological thrasher — is EXPECT_EQ to
+// the sequence produced by solving every canonicalized snapshot cold, and
+// the exact-key mode is EXPECT_EQ to solving the raw snapshots directly.
+// Alongside, the counters must balance exactly: hits + misses == lookups,
+// and every miss is one cold solve.
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eacs/core/cost_stats.h"
+#include "eacs/core/decision_cache.h"
+#include "eacs/core/horizon.h"
+#include "eacs/core/objective.h"
+#include "eacs/media/bitrate_ladder.h"
+#include "eacs/util/rng.h"
+
+namespace eacs::core {
+namespace {
+
+constexpr std::size_t kHorizon = 4;
+
+Objective make_objective() {
+  ObjectiveConfig config;
+  config.alpha = 0.5;
+  config.context_aware = true;
+  return Objective(qoe::QoeModel{}, power::PowerModel{}, config);
+}
+
+std::vector<TaskEnvironment> make_window() {
+  const auto ladder = media::BitrateLadder::evaluation14();
+  std::vector<TaskEnvironment> tasks(kHorizon);
+  for (std::size_t i = 0; i < kHorizon; ++i) {
+    tasks[i].index = i;
+    tasks[i].duration_s = 2.0;
+    for (std::size_t level = 0; level < ladder.size(); ++level) {
+      tasks[i].size_megabits.push_back(ladder.bitrate(level) * 2.0);
+    }
+  }
+  return tasks;
+}
+
+/// A context stream shaped like a population's: a handful of base states,
+/// revisited with jitter. Quantization's whole job is to coalesce those
+/// jittered revisits, so the stream must contain them (fully independent
+/// uniform draws would almost never share a bucket key).
+std::vector<DecisionSnapshot> random_snapshots(std::size_t n,
+                                               std::uint64_t seed,
+                                               std::uint64_t ladder_id) {
+  eacs::Rng rng(seed);
+  struct State {
+    double buffer_s, bandwidth_mbps, vibration, confidence, signal_dbm;
+  };
+  std::vector<State> states;
+  for (int s = 0; s < 10; ++s) {
+    states.push_back({rng.uniform(0.0, 30.0), rng.uniform(0.2, 40.0),
+                      rng.uniform(0.0, 7.5), rng.uniform(0.0, 1.0),
+                      rng.uniform(-118.0, -82.0)});
+  }
+  std::vector<DecisionSnapshot> snapshots;
+  std::optional<std::size_t> prev;
+  for (std::size_t i = 0; i < n; ++i) {
+    const State& state =
+        states[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+    DecisionSnapshot snapshot;
+    snapshot.buffer_s = std::max(0.0, state.buffer_s + rng.uniform(-0.5, 0.5));
+    snapshot.bandwidth_mbps =
+        state.bandwidth_mbps * rng.uniform(0.95, 1.05);
+    snapshot.vibration =
+        std::max(0.0, state.vibration + rng.uniform(-0.05, 0.05));
+    snapshot.confidence = state.confidence;
+    snapshot.signal_dbm = state.signal_dbm + rng.uniform(-1.0, 1.0);
+    snapshot.segments_remaining = kHorizon;
+    snapshot.prev_level = prev;
+    snapshot.ladder_id = ladder_id;
+    snapshot.alpha = 0.5;
+    // Occasional degenerate inputs: the cache must key them safely too.
+    if (i % 17 == 0) snapshot.bandwidth_mbps = 0.0;
+    snapshots.push_back(snapshot);
+    // "Previous rung" dwells for stretches, like a steady-state session.
+    if (i % 8 == 0) prev = static_cast<std::size_t>(rng.uniform_int(0, 13));
+  }
+  return snapshots;
+}
+
+/// The planner evaluated on a canonical decision — the same composition the
+/// fleet and the rolling-horizon selector use on a miss.
+std::size_t solve_canonical(const Objective& objective,
+                            std::vector<TaskEnvironment>& window,
+                            const CanonicalDecision& canonical) {
+  for (TaskEnvironment& env : window) {
+    env.signal_dbm = canonical.signal_dbm;
+    env.vibration = canonical.vibration;
+    env.bandwidth_mbps = canonical.bandwidth_mbps;
+  }
+  return plan_horizon_first_action(objective, window, canonical.buffer_s,
+                                   canonical.prev_level);
+}
+
+struct Params {
+  std::uint64_t seed;
+  std::size_t capacity;
+};
+
+class DecisionCacheProperties : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DecisionCacheProperties, CachedDecisionsEqualColdSolvesAtAnyCapacity) {
+  const auto [seed, capacity] = GetParam();
+  const Objective objective = make_objective();
+  auto window = make_window();
+  auto reference_window = make_window();
+  const std::uint64_t ladder_id = hash_task_ladder(window);
+
+  DecisionCacheConfig config;
+  config.exact = false;
+  config.prev_level_bucket = 2;
+  config.capacity = capacity;
+  DecisionCache cache(config);
+  DecisionCache reference(config);  // canonicalization only, never stored to
+
+  CostStats stats;
+  std::uint64_t solves = 0;
+  const auto snapshots = random_snapshots(400, seed, ladder_id);
+  {
+    CostStatsScope scope(stats);
+    for (const DecisionSnapshot& snapshot : snapshots) {
+      const std::size_t cached = cache.level_for(
+          cache.canonicalize(snapshot), [&](const CanonicalDecision& c) {
+            ++solves;
+            return solve_canonical(objective, window, c);
+          });
+      const std::size_t cold = solve_canonical(
+          objective, reference_window, reference.canonicalize(snapshot));
+      ASSERT_EQ(cached, cold);  // caching/eviction never changes a decision
+    }
+  }
+  // Counter conservation: every lookup is exactly one hit or one miss, every
+  // miss is exactly one cold solve, and the scope mirrors the cache.
+  EXPECT_EQ(cache.stats().lookups(), snapshots.size());
+  EXPECT_EQ(cache.stats().misses, solves);
+  EXPECT_EQ(stats.cache_hits, cache.stats().hits);
+  EXPECT_EQ(stats.cache_misses, cache.stats().misses);
+  EXPECT_EQ(stats.cache_evictions, cache.stats().evictions);
+  if (capacity == 0) {
+    EXPECT_EQ(cache.stats().hits, 0u);  // quantize-only: nothing stored
+    EXPECT_EQ(solves, snapshots.size());
+  } else {
+    EXPECT_GT(cache.stats().hits, 0u);  // quantization must coalesce some
+  }
+}
+
+TEST_P(DecisionCacheProperties, ExactKeyCacheMatchesRawSolvesBitwise) {
+  const auto [seed, capacity] = GetParam();
+  const Objective objective = make_objective();
+  auto window = make_window();
+  auto raw_window = make_window();
+  const std::uint64_t ladder_id = hash_task_ladder(window);
+
+  DecisionCacheConfig config;  // exact = true
+  config.capacity = capacity;
+  DecisionCache cache(config);
+
+  for (const DecisionSnapshot& snapshot :
+       random_snapshots(200, seed ^ 0x9E3779B9u, ladder_id)) {
+    const std::size_t cached = cache.level_for(
+        cache.canonicalize(snapshot), [&](const CanonicalDecision& c) {
+          return solve_canonical(objective, window, c);
+        });
+    // The uncached planner on the raw snapshot, bit-for-bit.
+    for (TaskEnvironment& env : raw_window) {
+      env.signal_dbm = snapshot.signal_dbm;
+      env.vibration = snapshot.vibration;
+      env.bandwidth_mbps = snapshot.bandwidth_mbps;
+    }
+    const std::size_t uncached = plan_horizon_first_action(
+        objective, raw_window, snapshot.buffer_s, snapshot.prev_level);
+    ASSERT_EQ(cached, uncached);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, DecisionCacheProperties,
+    ::testing::Values(Params{0xA11CE, 0}, Params{0xA11CE, 1},
+                      Params{0xB0B, 64}, Params{0xB0B, 8192},
+                      Params{0xC4FE, 1}, Params{0xC4FE, 8192}));
+
+}  // namespace
+}  // namespace eacs::core

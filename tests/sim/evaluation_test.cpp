@@ -146,6 +146,28 @@ TEST(EvaluationTest, ManifestForSpecUsesEvaluationLadder) {
   EXPECT_DOUBLE_EQ(manifest.total_duration_s(), 198.0);
 }
 
+TEST(EvaluationTest, ExactKeyOnlineCacheIsBitIdenticalToUncached) {
+  // The rich-engine default cache mode is exact keys: memoization is a pure
+  // speedup, so every row must come out bit-for-bit the same as uncached.
+  EvaluationConfig cached_config;
+  cached_config.online_cache = core::DecisionCacheConfig{};  // exact = true
+  const auto sessions = mini_sessions();
+  const auto uncached = Evaluation{}.run(sessions);
+  const auto cached = Evaluation(cached_config).run(sessions);
+  ASSERT_EQ(cached.rows.size(), uncached.rows.size());
+  for (std::size_t i = 0; i < cached.rows.size(); ++i) {
+    const auto& a = cached.rows[i];
+    const auto& b = uncached.rows[i];
+    EXPECT_EQ(a.algorithm, b.algorithm);
+    EXPECT_EQ(a.session_id, b.session_id);
+    EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+    EXPECT_EQ(a.mean_qoe, b.mean_qoe);
+    EXPECT_EQ(a.mean_bitrate_mbps, b.mean_bitrate_mbps);
+    EXPECT_EQ(a.rebuffer_s, b.rebuffer_s);
+    EXPECT_EQ(a.switch_count, b.switch_count);
+  }
+}
+
 TEST(EvaluationTest, InvalidConfigThrows) {
   EvaluationConfig config;
   config.segment_duration_s = 0.0;

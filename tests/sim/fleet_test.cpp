@@ -244,5 +244,138 @@ TEST(FleetTest, MoreRegionsThanCellsClamps) {
   EXPECT_EQ(metrics.sessions, config.num_sessions);
 }
 
+// ---------------------------------------------------------------------------
+// kPlanner policy: the Eq. 11 planner on every client, memoized through one
+// DecisionCache shard per region (DESIGN "Decision cache & quantization").
+
+FleetConfig planner_fleet() {
+  FleetConfig config = small_fleet();
+  config.policy = FleetPolicy::kPlanner;
+  return config;
+}
+
+TEST(FleetPlannerTest, ValidatesPlannerConfig) {
+  {
+    FleetConfig config = planner_fleet();
+    config.planner_horizon = 0;
+    EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  }
+  {
+    FleetConfig config = planner_fleet();
+    config.planner_cache.buffer_bucket_s = 0.0;  // invalid quantized width
+    EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  }
+  // The same width is fine under kThroughput: the planner cache is unused.
+  {
+    FleetConfig config = small_fleet();
+    config.planner_cache.buffer_bucket_s = 0.0;
+    EXPECT_EQ(run_fleet(config).sessions, config.num_sessions);
+  }
+}
+
+TEST(FleetPlannerTest, ThroughputPolicyKeepsPlannerCountersZero) {
+  const auto metrics = run_fleet(small_fleet());
+  EXPECT_EQ(metrics.planner.plans, 0u);
+  EXPECT_EQ(metrics.planner.cache_hits, 0u);
+  EXPECT_EQ(metrics.planner.cache_misses, 0u);
+  EXPECT_EQ(metrics.planner.cache_evictions, 0u);
+  EXPECT_EQ(metrics.planner.model_evals(), 0u);
+}
+
+TEST(FleetPlannerTest, CounterConservation) {
+  const FleetConfig config = planner_fleet();
+  const auto metrics = run_fleet(config);
+  const auto& planner = metrics.planner;
+  // Exactly one startup request per session bypasses the cache; every other
+  // request consults it exactly once.
+  EXPECT_EQ(planner.cache_hits + planner.cache_misses,
+            metrics.requests - metrics.sessions);
+  // Every miss is exactly one cold DP solve, and nothing else plans.
+  EXPECT_EQ(planner.plans, planner.cache_misses);
+  // Each solve builds one cost table per window task (quantized mode always
+  // plans the full horizon), each table evaluating the QoE and power models
+  // once per rung plus one baseline QoE pass (2M + 1).
+  EXPECT_EQ(planner.tables_built, planner.plans * config.planner_horizon);
+  const std::uint64_t rungs = config.ladder_mbps.size();
+  EXPECT_EQ(planner.model_evals(), planner.tables_built * (2 * rungs + 1));
+  // Memoization must actually engage on a population this size.
+  EXPECT_GT(planner.cache_hits, 0u);
+  // Shard counters merge to the fleet total (serial region-order fold).
+  core::CostStats folded;
+  for (const auto& region : metrics.regions) folded.merge(region.planner);
+  EXPECT_EQ(folded.plans, planner.plans);
+  EXPECT_EQ(folded.cache_hits, planner.cache_hits);
+  EXPECT_EQ(folded.cache_misses, planner.cache_misses);
+  EXPECT_EQ(folded.cache_evictions, planner.cache_evictions);
+  EXPECT_EQ(folded.model_evals(), planner.model_evals());
+}
+
+TEST(FleetPlannerTest, BitIdenticalAcrossJobCounts) {
+  FleetConfig config = planner_fleet();
+  config.exec = ExecutionPolicy{1};
+  const auto serial = run_fleet(config);
+  for (const std::size_t jobs : {2, 8}) {
+    config.exec = ExecutionPolicy{jobs};
+    const auto parallel = run_fleet(config);
+    EXPECT_EQ(parallel.events, serial.events);
+    EXPECT_EQ(parallel.requests, serial.requests);
+    EXPECT_EQ(parallel.stall_events, serial.stall_events);
+    EXPECT_EQ(parallel.planner.plans, serial.planner.plans);
+    EXPECT_EQ(parallel.planner.cache_hits, serial.planner.cache_hits);
+    EXPECT_EQ(parallel.planner.cache_misses, serial.planner.cache_misses);
+    EXPECT_EQ(parallel.planner.cache_evictions,
+              serial.planner.cache_evictions);
+    EXPECT_EQ(parallel.planner.model_evals(), serial.planner.model_evals());
+    // Bit-identical floating-point aggregates, not just "close".
+    EXPECT_EQ(parallel.qoe.mean(), serial.qoe.mean());
+    EXPECT_EQ(parallel.energy_j.sum(), serial.energy_j.sum());
+    EXPECT_EQ(parallel.qoe_quantile(0.5), serial.qoe_quantile(0.5));
+    ASSERT_EQ(parallel.regions.size(), serial.regions.size());
+    for (std::size_t r = 0; r < serial.regions.size(); ++r) {
+      EXPECT_EQ(parallel.regions[r].planner.cache_hits,
+                serial.regions[r].planner.cache_hits);
+      EXPECT_EQ(parallel.regions[r].median_qoe, serial.regions[r].median_qoe);
+    }
+  }
+}
+
+TEST(FleetPlannerTest, CacheCapacityNeverChangesDecisions) {
+  // Canonicalize-then-solve: the cache (at ANY capacity, including the
+  // 1-slot thrasher and the never-storing 0) only changes how often the DP
+  // runs, never what it returns. Fleet aggregates are bitwise invariant.
+  FleetConfig config = planner_fleet();
+  config.planner_cache.capacity = 0;
+  const auto uncached = run_fleet(config);
+  for (const std::size_t capacity :
+       {std::size_t{1}, std::size_t{4096}, FleetConfig{}.planner_cache.capacity}) {
+    config.planner_cache.capacity = capacity;
+    const auto cached = run_fleet(config);
+    EXPECT_EQ(cached.requests, uncached.requests);
+    EXPECT_EQ(cached.stall_events, uncached.stall_events);
+    EXPECT_EQ(cached.qoe.mean(), uncached.qoe.mean());
+    EXPECT_EQ(cached.qoe.variance(), uncached.qoe.variance());
+    EXPECT_EQ(cached.energy_j.sum(), uncached.energy_j.sum());
+    EXPECT_EQ(cached.bitrate_mbps.mean(), uncached.bitrate_mbps.mean());
+    EXPECT_EQ(cached.rebuffer_s.sum(), uncached.rebuffer_s.sum());
+    EXPECT_EQ(cached.qoe_quantile(0.9), uncached.qoe_quantile(0.9));
+    // The uncached reference solves on every consultation; a real capacity
+    // must replace some solves with hits without changing the lookup count.
+    EXPECT_EQ(cached.planner.cache_hits + cached.planner.cache_misses,
+              uncached.planner.cache_misses);
+    EXPECT_GT(cached.planner.cache_hits, 0u);
+    EXPECT_LT(cached.planner.plans, uncached.planner.plans);
+  }
+}
+
+TEST(FleetPlannerTest, PlannerPolicyChangesOutcomes) {
+  // Sanity that kPlanner is a different client, not a relabeled kThroughput:
+  // the energy-aware objective should spend less energy on this workload.
+  const auto throughput = run_fleet(small_fleet());
+  const auto planner = run_fleet(planner_fleet());
+  EXPECT_EQ(planner.sessions, throughput.sessions);
+  EXPECT_NE(planner.energy_j.mean(), throughput.energy_j.mean());
+  EXPECT_GT(planner.planner.plans, 0u);
+}
+
 }  // namespace
 }  // namespace eacs::sim

@@ -121,6 +121,17 @@ TEST(JsonIoSplitTest, FieldLookupIsTopLevelOnly) {
             "es\"caped");
 }
 
+TEST(JsonIoSnakeCaseTest, TitlesBecomeStableIds) {
+  EXPECT_EQ(snake_case_id("Extension: CDN failover"), "extension_cdn_failover");
+  EXPECT_EQ(snake_case_id("Fleet planner cache"), "fleet_planner_cache");
+  EXPECT_EQ(snake_case_id("already_snake"), "already_snake");
+  // Non-alnum runs collapse to one separator; edges are trimmed.
+  EXPECT_EQ(snake_case_id("  --A/B  test!!  "), "a_b_test");
+  EXPECT_EQ(snake_case_id("MiXeD Case 42"), "mixed_case_42");
+  EXPECT_EQ(snake_case_id(""), "");
+  EXPECT_EQ(snake_case_id("!!!"), "");
+}
+
 TEST_F(JsonIoTest, ConcurrentAppendersAlwaysLeaveAValidArray) {
   const std::string p = fresh("json_io_concurrent.json");
   constexpr int kThreads = 4;
