@@ -33,12 +33,31 @@
 //                  (the Eq. 11 rolling-horizon planner on every client,
 //                  memoized through the context-quantized decision cache;
 //                  prints cache hit/miss/plan counters)
+//   --fleet-faults overlay the seeded infrastructure-fault model (DESIGN §14)
+//                  on the --fleet run: correlated cell outages, capacity
+//                  brownouts, signal collapses and flash crowds drawn over a
+//                  horizon covering the whole run. Fixed CLI fault shape, so
+//                  the run is reproducible bit-for-bit
+//   --checkpoint FILE     with --fleet: cut the run at --checkpoint-at T,
+//                  write the bit-exact sidecar to FILE, and exit. A later
+//                  --resume FILE (any process, any --jobs) continues to the
+//                  identical final metrics
+//   --checkpoint-at T     sim-time cut point in seconds for --checkpoint
+//   --resume FILE  with --fleet: load the sidecar written by --checkpoint and
+//                  run the remainder. The config fingerprint must match the
+//                  checkpointing run's (same flags except --jobs)
 //   --jobs N       worker threads for --sweep / --all / --sensor-faults /
 //                  --cdn-faults / --fleet (0 = all hardware threads; results
 //                  are bit-identical at any value)
+//
+// Fleet runs end with a one-line degradation banner (degraded time, escape
+// handoffs, retries, abandonments, planner sheds, wasted energy) and a
+// machine-parsable "fleet-counters:" line the CI resume smoke pins exactly.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -55,6 +74,8 @@
 #include "eacs/sim/cdn_fault_study.h"
 #include "eacs/sim/evaluation.h"
 #include "eacs/sim/fleet.h"
+#include "eacs/sim/fleet_checkpoint.h"
+#include "eacs/sim/fleet_faults.h"
 #include "eacs/sim/report.h"
 #include "eacs/sim/sensor_fault_study.h"
 #include "eacs/util/table.h"
@@ -76,10 +97,14 @@ struct CliOptions {
   bool sensor_faults = false;
   bool cdn_faults = false;
   bool fleet = false;
+  bool fleet_faults = false;
   std::size_t fleet_sessions = 10000;
   std::size_t fleet_cells = 16;
   std::size_t fleet_regions = 8;
   std::string fleet_policy = "throughput";
+  std::string checkpoint_path;
+  double checkpoint_at_s = 0.0;
+  std::string resume_path;
   std::size_t jobs = 1;
   std::string mpd_path;
   std::string csv_path;
@@ -92,7 +117,8 @@ struct CliOptions {
                "               [--buffer B] [--no-context] [--mpd FILE] [--all]\n"
                "               [--sweep] [--sensor-faults] [--cdn-faults] [--jobs N]\n"
                "               [--fleet] [--sessions N] [--cells N] [--regions N]\n"
-               "               [--policy throughput|planner]\n");
+               "               [--policy throughput|planner] [--fleet-faults]\n"
+               "               [--checkpoint FILE --checkpoint-at T] [--resume FILE]\n");
   std::exit(2);
 }
 
@@ -117,6 +143,10 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--sensor-faults") options.sensor_faults = true;
     else if (arg == "--cdn-faults") options.cdn_faults = true;
     else if (arg == "--fleet") options.fleet = true;
+    else if (arg == "--fleet-faults") options.fleet_faults = true;
+    else if (arg == "--checkpoint") options.checkpoint_path = next_value();
+    else if (arg == "--checkpoint-at") options.checkpoint_at_s = std::atof(next_value());
+    else if (arg == "--resume") options.resume_path = next_value();
     else if (arg == "--policy") {
       options.fleet_policy = next_value();
       if (options.fleet_policy != "throughput" &&
@@ -143,6 +173,17 @@ CliOptions parse_cli(int argc, char** argv) {
     usage_error("--trace must be 1..5");
   }
   if (options.alpha < 0.0 || options.alpha > 1.0) usage_error("--alpha must be in [0,1]");
+  const bool fleet_only = options.fleet_faults || !options.checkpoint_path.empty() ||
+                          !options.resume_path.empty();
+  if (fleet_only && !options.fleet) {
+    usage_error("--fleet-faults / --checkpoint / --resume require --fleet");
+  }
+  if (!options.checkpoint_path.empty() && !options.resume_path.empty()) {
+    usage_error("--checkpoint and --resume are mutually exclusive");
+  }
+  if (!options.checkpoint_path.empty() && !(options.checkpoint_at_s > 0.0)) {
+    usage_error("--checkpoint requires --checkpoint-at T with T > 0");
+  }
   return options;
 }
 
@@ -309,16 +350,85 @@ int run_fleet_mode(const CliOptions& options) {
     config.planner_alpha = options.alpha;
   }
   config.exec.jobs = options.jobs;
+  if (options.fleet_faults) {
+    // The fixed CLI fault shape: a seeded overlay whose horizon covers the
+    // whole run (arrival span plus a generous drain margin), so every run
+    // with the same fleet flags reproduces the identical episode set.
+    sim::SeededFaultConfig& seeded = config.faults.seeded;
+    seeded.horizon_s = static_cast<double>(config.num_sessions) /
+                           config.arrival_rate_per_s +
+                       300.0;
+    seeded.epoch_s = 60.0;
+    // Half-region fault domains: outages usually leave a live cell in the
+    // region, so the escape-handoff rung of the ladder gets exercised, not
+    // just whole-region backoff.
+    seeded.domain_cells =
+        std::max<std::size_t>(config.network.num_cells / (2 * config.regions), 1);
+    seeded.outage_prob = 0.25;
+    seeded.outage_duration_s = 45.0;
+    seeded.brownout_prob = 0.35;
+    seeded.brownout_factor = 0.4;
+    seeded.collapse_prob = 0.35;
+    seeded.collapse_db = -18.0;
+    seeded.surge_prob = 0.3;
+    seeded.surge_multiplier = 3.0;
+  }
   std::printf("Fleet: %zu sessions over %zu cells in %zu regions, "
-              "policy=%s, jobs=%zu\n",
+              "policy=%s, faults=%s, jobs=%zu\n",
               config.num_sessions, config.network.num_cells, config.regions,
-              options.fleet_policy.c_str(), config.exec.resolved_jobs());
+              options.fleet_policy.c_str(),
+              config.faults.empty() ? "off" : "on",
+              config.exec.resolved_jobs());
 
-  const auto metrics = sim::run_fleet(config);
+  if (!options.checkpoint_path.empty()) {
+    const sim::FleetCheckpoint checkpoint =
+        sim::run_fleet_until(config, options.checkpoint_at_s);
+    sim::save_fleet_checkpoint(checkpoint, options.checkpoint_path);
+    std::size_t pending = 0, live = 0;
+    for (const auto& region : checkpoint.regions) {
+      pending += region.events.size();
+      live += region.live;
+    }
+    std::printf("checkpoint cut at t=%.1f s: %zu pending events, %zu live "
+                "sessions across %zu regions -> %s\n",
+                checkpoint.checkpoint_t_s, pending, live,
+                checkpoint.regions.size(), options.checkpoint_path.c_str());
+    std::printf("resume with: sim_cli --fleet ... --resume %s (identical "
+                "flags; --jobs may differ)\n",
+                options.checkpoint_path.c_str());
+    return 0;
+  }
+
+  sim::FleetMetrics metrics;
+  if (!options.resume_path.empty()) {
+    const sim::FleetCheckpoint checkpoint =
+        sim::load_fleet_checkpoint(options.resume_path);
+    std::printf("resuming from %s (cut at t=%.1f s)\n",
+                options.resume_path.c_str(), checkpoint.checkpoint_t_s);
+    metrics = sim::resume_fleet(config, checkpoint);
+  } else {
+    metrics = sim::run_fleet(config);
+  }
   std::printf("events %zu, requests %zu, handoffs %zu, stalls %zu, "
               "peak live %zu\n",
               metrics.events, metrics.requests, metrics.handoffs,
               metrics.stall_events, metrics.peak_live_sessions);
+  // The degradation ladder in one line (DESIGN §14), plus the exact-counter
+  // line the CI kill-and-resume smoke pins.
+  std::printf("degraded: %.1f s in backoff, %zu escape handoffs, %zu retries, "
+              "%zu abandoned, %zu sheds / %zu recoveries, %.1f J wasted\n",
+              metrics.degraded_time_s, metrics.escape_handoffs,
+              metrics.backoff_retries, metrics.abandoned_sessions,
+              metrics.policy_sheds, metrics.policy_recoveries,
+              metrics.wasted_energy_j);
+  std::printf("fleet-counters: events=%zu requests=%zu handoffs=%zu "
+              "stalls=%zu sessions=%zu abandoned=%zu escapes=%zu retries=%zu "
+              "sheds=%zu recoveries=%zu shed_decisions=%zu\n",
+              metrics.events, metrics.requests, metrics.handoffs,
+              metrics.stall_events, metrics.sessions,
+              metrics.abandoned_sessions, metrics.escape_handoffs,
+              metrics.backoff_retries, metrics.policy_sheds,
+              metrics.policy_recoveries, metrics.shed_decisions);
   if (config.policy == sim::FleetPolicy::kPlanner) {
     const auto& planner = metrics.planner;
     const auto lookups = planner.cache_hits + planner.cache_misses;
@@ -379,7 +489,16 @@ int main(int argc, char** argv) {
   if (options.sweep) return run_sweep(options);
   if (options.sensor_faults) return run_sensor_faults(options);
   if (options.cdn_faults) return run_cdn_faults(options);
-  if (options.fleet) return run_fleet_mode(options);
+  if (options.fleet) {
+    // Surface checkpoint-layer failures (foreign fingerprint, truncated
+    // sidecar, malformed fault spec) as a clean diagnostic, not a terminate.
+    try {
+      return run_fleet_mode(options);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "sim_cli: %s\n", error.what());
+      return 1;
+    }
+  }
 
   const auto& spec = media::evaluation_sessions()[options.trace_id - 1];
   std::printf("Trace %d: %.0f s video, avg vibration %.2f m/s^2\n", spec.id,

@@ -144,6 +144,24 @@ struct DecisionCacheStats {
   }
 };
 
+/// Serialized contents of a DecisionCache: the occupied slots (with their
+/// direct-mapped slot index, so restore reproduces the exact table layout
+/// without re-hashing) plus the counters. Exposed for the fleet checkpoint
+/// (DESIGN §14); restore_state() on a cache built with the same config makes
+/// the resumed shard bit-identical to the uninterrupted one.
+struct DecisionCacheState {
+  struct Entry {
+    std::size_t slot = 0;
+    DecisionKey key;
+    std::uint32_t level = 0;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  DecisionCacheStats stats;
+  std::vector<Entry> entries;
+};
+
 /// The memoization table. Throws std::invalid_argument on a quantized
 /// configuration with a non-positive or non-finite bucket width.
 class DecisionCache {
@@ -192,6 +210,15 @@ class DecisionCache {
 
   /// Drops all entries and zeroes the counters.
   void clear() noexcept;
+
+  /// Snapshot of the occupied slots and counters, in slot order (checkpoint
+  /// side).
+  DecisionCacheState export_state() const;
+
+  /// Reinstates a previously exported state, replacing current contents and
+  /// counters. Throws std::invalid_argument when an entry's slot index is
+  /// outside the configured capacity or two entries name the same slot.
+  void restore_state(const DecisionCacheState& state);
 
  private:
   struct Entry {

@@ -274,6 +274,42 @@ void DecisionCache::clear() noexcept {
   entries_ = 0;
 }
 
+DecisionCacheState DecisionCache::export_state() const {
+  DecisionCacheState state;
+  state.stats = stats_;
+  state.entries.reserve(entries_);
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    const Entry& entry = slots_[slot];
+    if (entry.occupied) {
+      state.entries.push_back({slot, entry.key, entry.level});
+    }
+  }
+  return state;
+}
+
+void DecisionCache::restore_state(const DecisionCacheState& state) {
+  for (const DecisionCacheState::Entry& entry : state.entries) {
+    if (entry.slot >= slots_.size()) {
+      throw std::invalid_argument(
+          "DecisionCache::restore_state: slot index outside capacity");
+    }
+  }
+  for (Entry& entry : slots_) entry = Entry{};
+  entries_ = 0;
+  for (const DecisionCacheState::Entry& entry : state.entries) {
+    Entry& target = slots_[entry.slot];
+    if (target.occupied) {
+      throw std::invalid_argument(
+          "DecisionCache::restore_state: duplicate slot index");
+    }
+    target.key = entry.key;
+    target.level = entry.level;
+    target.occupied = true;
+    ++entries_;
+  }
+  stats_ = state.stats;
+}
+
 std::uint64_t hash_task_ladder(
     std::span<const TaskEnvironment> tasks) noexcept {
   std::uint64_t h = kFnvOffset;

@@ -40,6 +40,7 @@
 #include "eacs/qoe/model.h"
 #include "eacs/sim/cell_network.h"
 #include "eacs/sim/execution.h"
+#include "eacs/sim/fleet_faults.h"
 #include "eacs/util/stats.h"
 
 namespace eacs::sim {
@@ -52,6 +53,38 @@ enum class FleetPolicy {
   /// on its (quantized) context snapshot, memoized through one DecisionCache
   /// shard per region. See DESIGN "Decision cache & quantization".
   kPlanner,
+};
+
+/// Graceful-degradation knobs: the retry/backoff ladder sessions enter when
+/// no live cell is reachable, and the overload triggers that shed the
+/// planner policy to the throughput policy (DESIGN §14). Defaults disable
+/// both shed triggers and give a 2 s -> 30 s exponential backoff ladder;
+/// the backoff path only ever runs when faults kill cells, so the defaults
+/// are inert on a clean run.
+struct FleetResilienceConfig {
+  /// Backoff ladder for a session whose whole region is dead: sleep
+  /// base * factor^(attempt-1) seconds, capped, burning pause power the
+  /// whole time (wasted-energy accounting mirrors the rich player's stall
+  /// pricing). After `max_retries` consecutive failures the session is
+  /// abandoned (counted, never folded into the QoE aggregates).
+  double backoff_base_s = 2.0;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 30.0;
+  std::size_t max_retries = 6;
+
+  /// Live-session overload trigger: when a region's live count reaches this,
+  /// planner decisions shed to the throughput policy until the live count
+  /// falls back to `shed_live_recover` (0 = half the threshold). 0 disables.
+  std::size_t shed_live_threshold = 0;
+  std::size_t shed_live_recover = 0;
+
+  /// Cache-thrash trigger: over each trailing window of
+  /// `shed_miss_window` planner consultations, a miss rate at or above
+  /// `shed_miss_rate_threshold` sheds planner decisions for `shed_hold_s`
+  /// seconds. A threshold > 1 disables the trigger.
+  double shed_miss_rate_threshold = 2.0;
+  std::size_t shed_miss_window = 256;
+  double shed_hold_s = 30.0;
 };
 
 /// Fleet run parameters. Defaults give a quick smoke-sized run; benchmarks
@@ -114,6 +147,13 @@ struct FleetConfig {
 
   std::size_t reservoir_capacity = 1024;  ///< per-metric sample reservoir
 
+  /// Fault overlay (outages / brownouts / collapses / surges). The default
+  /// (empty) spec is a certified no-op: run_fleet takes the exact clean code
+  /// path and results are bitwise unchanged.
+  FleetFaultSpec faults;
+  /// Degradation ladder + overload-shed triggers (see above).
+  FleetResilienceConfig resilience;
+
   qoe::QoeModelParams qoe;
   power::PowerModelParams power;
 
@@ -128,12 +168,21 @@ struct FleetRegionMetrics {
   std::size_t region = 0;
   std::size_t first_cell = 0;
   std::size_t num_cells = 0;
-  std::size_t sessions = 0;
+  std::size_t sessions = 0;  ///< sessions that completed all their segments
   std::size_t events = 0;
   std::size_t requests = 0;
   std::size_t handoffs = 0;
   std::size_t stall_events = 0;
   std::size_t peak_live_sessions = 0;
+  // Degradation ladder counters (DESIGN §14); all zero on a clean run.
+  std::size_t escape_handoffs = 0;     ///< forced moves off a dead cell
+  std::size_t backoff_retries = 0;     ///< backoff sleeps scheduled
+  std::size_t abandoned_sessions = 0;  ///< gave up after max_retries
+  std::size_t policy_sheds = 0;        ///< planner -> throughput transitions
+  std::size_t policy_recoveries = 0;   ///< throughput -> planner transitions
+  std::size_t shed_decisions = 0;      ///< decisions taken while shed
+  double degraded_time_s = 0.0;        ///< total session-time in backoff
+  double wasted_energy_j = 0.0;        ///< pause power burned in backoff
   double median_qoe = 0.0;        ///< P^2 streaming estimate
   double median_energy_j = 0.0;   ///< P^2 streaming estimate
   /// Planner-policy instrumentation for this region's cache shard (all zero
@@ -145,14 +194,27 @@ struct FleetRegionMetrics {
 /// Fleet-wide outcome: streaming moments + reservoir percentiles, no
 /// per-session storage.
 struct FleetMetrics {
-  std::size_t sessions = 0;
+  std::size_t sessions = 0;  ///< completed sessions; with faults,
+                             ///< sessions + abandoned_sessions == num_sessions
   std::size_t events = 0;    ///< total events processed across regions
   std::size_t requests = 0;  ///< segment requests issued
-  std::size_t handoffs = 0;  ///< serving-cell changes
+  std::size_t handoffs = 0;  ///< serving-cell changes (hysteresis rule)
   std::size_t stall_events = 0;
   /// Sum of per-region peak live counts: a conservative bound on the global
   /// peak, and the quantity the O(live) memory claim is about.
   std::size_t peak_live_sessions = 0;
+
+  // Degradation ladder totals (serial merge of the region counters; see
+  // FleetRegionMetrics). All zero on a clean run — pinned by the no-op
+  // certification tests.
+  std::size_t escape_handoffs = 0;
+  std::size_t backoff_retries = 0;
+  std::size_t abandoned_sessions = 0;
+  std::size_t policy_sheds = 0;
+  std::size_t policy_recoveries = 0;
+  std::size_t shed_decisions = 0;
+  double degraded_time_s = 0.0;
+  double wasted_energy_j = 0.0;
 
   /// Fleet-wide planner instrumentation (serial merge of the per-region
   /// CostStats; all zero under kThroughput). cache_hits + cache_misses is
@@ -184,7 +246,9 @@ struct FleetMetrics {
 
 /// Runs the fleet. Deterministic in (config): bit-identical at any
 /// exec.jobs. Throws std::invalid_argument on an empty ladder, zero
-/// sessions, zero segments, or a non-positive arrival rate.
+/// sessions, zero cells, zero segments, a non-finite or non-positive
+/// segment duration / arrival rate, more regions than cells (or zero
+/// regions), a malformed fault spec, or malformed resilience knobs.
 FleetMetrics run_fleet(const FleetConfig& config);
 
 }  // namespace eacs::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <queue>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 
 #include "eacs/core/horizon.h"
 #include "eacs/core/objective.h"
+#include "eacs/sim/fleet_checkpoint.h"
 #include "eacs/sim/seed_mix.h"
 #include "eacs/util/thread_pool.h"
 
@@ -42,7 +44,10 @@ constexpr std::uint8_t kRequest = 1;
 constexpr std::uint8_t kComplete = 2;
 
 /// Min-heap order (t, session, kind): deterministic pops under duplicate
-/// timestamps, independent of heap internals.
+/// timestamps, independent of heap internals. Because each session owns at
+/// most one pending event, the order is a strict total order — which is what
+/// lets a checkpoint re-push the captured event multiset and reproduce the
+/// remaining pop sequence exactly.
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const noexcept {
     if (a.t_s != b.t_s) return a.t_s > b.t_s;
@@ -87,6 +92,9 @@ struct SessionArena {
   std::vector<core::DecisionKey> last_key;
   std::vector<std::uint32_t> last_level;
   std::vector<std::uint8_t> has_last;
+  /// Consecutive failed request attempts (dead region): drives the
+  /// exponential backoff ladder; reset on every successful request.
+  std::vector<std::uint32_t> retries;
   // Inline harmonic-mean bandwidth window: throughputs[slot*window + i].
   std::vector<double> throughputs;
   std::vector<std::size_t> seen;  ///< samples observed (ring write cursor)
@@ -127,6 +135,7 @@ struct SessionArena {
       last_key.emplace_back();
       last_level.push_back(0);
       has_last.push_back(0);
+      retries.push_back(0);
       throughputs.resize(throughputs.size() + window, 0.0);
       seen.push_back(0);
     }
@@ -150,6 +159,7 @@ struct SessionArena {
     level_bitrate[slot] = 0.0;
     level[slot] = 0;
     has_last[slot] = 0;
+    retries[slot] = 0;
     std::fill_n(throughputs.begin() + static_cast<std::ptrdiff_t>(slot * window),
                 window, 0.0);
     seen[slot] = 0;
@@ -187,81 +197,129 @@ struct Shard {
   P2Quantile median_energy{0.5};
 };
 
-/// Runs one region: a pure function of (config, region index). Sessions are
-/// pinned by id % regions; cells are the region's contiguous block.
-Shard run_region(const FleetConfig& config, const CellNetwork& network,
-                 const qoe::QoeModel& qoe_model,
-                 const power::PowerModel& power_model, std::size_t region,
-                 std::size_t num_regions) {
-  const std::size_t base = network.num_cells() / num_regions;
-  const std::size_t rem = network.num_cells() % num_regions;
-  const std::size_t first_cell = region * base + std::min(region, rem);
-  const std::size_t cell_count = base + (region < rem ? 1 : 0);
+/// One region's full simulation state: a pure function of (config, region
+/// index, optional checkpoint). Extracted from the old run_region free
+/// function so the same event loop can run to completion (run_fleet), stop
+/// at a checkpoint cut (run_fleet_until + capture), or continue from one
+/// (restore + resume_fleet). Sessions are pinned by id % regions; cells are
+/// the region's contiguous block.
+struct RegionSim {
+  const FleetConfig& config;
+  const CellNetwork& network;
+  const qoe::QoeModel& qoe_model;
+  const power::PowerModel& power_model;
+  /// Non-null only when at least one fault episode exists. Every fault code
+  /// path is gated on this pointer, so the empty spec never executes a
+  /// single extra floating-point operation — the clean-run no-op guarantee.
+  const FleetFaultModel* faults;
+  std::size_t num_regions;
+  std::size_t region;
+  std::size_t first_cell = 0;
+  std::size_t cell_count = 0;
 
   Shard shard;
-  shard.region.region = region;
-  shard.region.first_cell = first_cell;
-  shard.region.num_cells = cell_count;
-  shard.qoe_sample = ReservoirSampler(
-      config.reservoir_capacity,
-      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3)));
-  shard.energy_sample = ReservoirSampler(
-      config.reservoir_capacity,
-      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 1)));
-  shard.rebuffer_sample = ReservoirSampler(
-      config.reservoir_capacity,
-      seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 2)));
-  if (cell_count == 0) return shard;  // more regions than cells: empty shard
-
-  SessionArena arena(config.bandwidth_window);
-  std::vector<std::size_t> cell_active(cell_count, 0);  // in-flight downloads
+  SessionArena arena;
+  std::vector<std::size_t> cell_active;  // in-flight downloads per cell
   std::priority_queue<Event, std::vector<Event>, EventAfter> heap;
-
-  // Constant-rate arrival schedule, shared fleet-wide: session s arrives at
-  // s / rate whatever region it lands in.
-  for (int s = static_cast<int>(region); s < static_cast<int>(config.num_sessions);
-       s += static_cast<int>(num_regions)) {
-    heap.push({static_cast<double>(s) / config.arrival_rate_per_s, s, kArrive, 0});
-  }
-
-  const double seg_s = config.segment_duration_s;
-  const std::size_t top_level = config.ladder_mbps.size() - 1;
   std::size_t live = 0;
 
   // Planner-policy machinery: one cache shard per region, one Objective per
   // region, and a reusable window of TaskEnvironments (sizes/durations are
   // fleet-constant — only the context fields change per solve, and only to
-  // canonical representatives). All planner counters accumulate into this
-  // region's CostStats shard via the scope; kThroughput leaves them zero.
-  const bool planner = config.policy == FleetPolicy::kPlanner;
-  core::CostStatsScope stats_scope(shard.region.planner);
+  // canonical representatives).
+  bool planner = false;
   std::optional<core::Objective> objective;
   std::optional<core::DecisionCache> cache;
   std::vector<core::TaskEnvironment> window_tasks;
   std::vector<std::uint64_t> ladder_ids;  // ladder_ids[w-1]: window size w
-  if (planner) {
-    objective.emplace(qoe_model, power_model,
-                      core::ObjectiveConfig{
-                          .alpha = config.planner_alpha,
-                          .buffer_threshold_s = config.buffer_threshold_s,
-                          .context_aware = true});
-    cache.emplace(config.planner_cache);
-    window_tasks.resize(config.planner_horizon);
-    ladder_ids.resize(config.planner_horizon);
-    for (std::size_t k = 0; k < config.planner_horizon; ++k) {
-      core::TaskEnvironment& env = window_tasks[k];
-      env.index = k;
-      env.duration_s = seg_s;
-      env.size_megabits.reserve(config.ladder_mbps.size());
-      for (const double mbps : config.ladder_mbps) {
-        env.size_megabits.push_back(mbps * seg_s);
+
+  // Overload-shed detector state (DESIGN §14 degradation ladder).
+  bool live_shed = false;
+  bool miss_shed = false;
+  double shed_until_s = 0.0;
+  std::uint64_t window_consults = 0;
+  std::uint64_t window_misses = 0;
+
+  RegionSim(const FleetConfig& config_in, const CellNetwork& network_in,
+            const qoe::QoeModel& qoe_model_in,
+            const power::PowerModel& power_model_in,
+            const FleetFaultModel* faults_in, std::size_t region_in,
+            std::size_t num_regions_in)
+      : config(config_in),
+        network(network_in),
+        qoe_model(qoe_model_in),
+        power_model(power_model_in),
+        faults(faults_in != nullptr && !faults_in->empty() ? faults_in
+                                                           : nullptr),
+        num_regions(num_regions_in),
+        region(region_in),
+        arena(config_in.bandwidth_window) {
+    const std::size_t base = network.num_cells() / num_regions;
+    const std::size_t rem = network.num_cells() % num_regions;
+    first_cell = region * base + std::min(region, rem);
+    cell_count = base + (region < rem ? 1 : 0);
+
+    shard.region.region = region;
+    shard.region.first_cell = first_cell;
+    shard.region.num_cells = cell_count;
+    shard.qoe_sample = ReservoirSampler(
+        config.reservoir_capacity,
+        seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3)));
+    shard.energy_sample = ReservoirSampler(
+        config.reservoir_capacity,
+        seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 1)));
+    shard.rebuffer_sample = ReservoirSampler(
+        config.reservoir_capacity,
+        seed_mix(config.seed, kReservoirLane, static_cast<int>(region * 3 + 2)));
+    cell_active.assign(cell_count, 0);
+
+    planner = config.policy == FleetPolicy::kPlanner;
+    if (planner) {
+      objective.emplace(qoe_model, power_model,
+                        core::ObjectiveConfig{
+                            .alpha = config.planner_alpha,
+                            .buffer_threshold_s = config.buffer_threshold_s,
+                            .context_aware = true});
+      cache.emplace(config.planner_cache);
+      window_tasks.resize(config.planner_horizon);
+      ladder_ids.resize(config.planner_horizon);
+      for (std::size_t k = 0; k < config.planner_horizon; ++k) {
+        core::TaskEnvironment& env = window_tasks[k];
+        env.index = k;
+        env.duration_s = config.segment_duration_s;
+        env.size_megabits.reserve(config.ladder_mbps.size());
+        for (const double mbps : config.ladder_mbps) {
+          env.size_megabits.push_back(mbps * config.segment_duration_s);
+        }
+        ladder_ids[k] = core::hash_task_ladder({window_tasks.data(), k + 1});
       }
-      ladder_ids[k] = core::hash_task_ladder({window_tasks.data(), k + 1});
     }
   }
 
-  // Advances playback to `now`: drains the buffer, accrues stalls.
-  const auto drain = [&](std::uint32_t slot, double now) {
+  /// Constant-rate arrival schedule, shared fleet-wide: session s arrives at
+  /// s / rate whatever region it lands in — or at the surge-warped time when
+  /// a flash crowd is configured.
+  void seed_arrivals() {
+    const bool surges = faults != nullptr && faults->has_surges();
+    for (int s = static_cast<int>(region);
+         s < static_cast<int>(config.num_sessions);
+         s += static_cast<int>(num_regions)) {
+      const double t =
+          surges ? faults->arrival_time(static_cast<std::size_t>(s),
+                                        config.arrival_rate_per_s)
+                 : static_cast<double>(s) / config.arrival_rate_per_s;
+      heap.push({t, s, kArrive, 0});
+    }
+  }
+
+  /// Signal with the fault overlay applied; only called when faults != null.
+  double fault_signal(int session_id, std::size_t cell, double t_s) const {
+    return network.signal_dbm(session_id, cell, t_s) +
+           faults->signal_offset_db(cell, t_s);
+  }
+
+  /// Advances playback to `now`: drains the buffer, accrues stalls.
+  void drain(std::uint32_t slot, double now) {
     double dt = now - arena.last_event_s[slot];
     arena.last_event_s[slot] = now;
     if (arena.playing[slot] == 0 || dt <= 0.0) return;
@@ -274,237 +332,572 @@ Shard run_region(const FleetConfig& config, const CellNetwork& network,
     arena.rebuffer_s[slot] += stall;
     arena.seg_rebuffer_s[slot] += stall;
     ++shard.region.stall_events;
-  };
-
-  while (!heap.empty()) {
-    const Event event = heap.top();
-    heap.pop();
-    ++shard.region.events;
-    const double now = event.t_s;
-
-    if (event.kind == kArrive) {
-      const std::size_t start =
-          network.best_cell_in(event.session, now, first_cell, cell_count);
-      const std::uint32_t slot = arena.acquire(event.session, now, start);
-      ++live;
-      shard.region.peak_live_sessions =
-          std::max(shard.region.peak_live_sessions, live);
-      heap.push({now, event.session, kRequest, slot});
-      continue;
-    }
-
-    const std::uint32_t slot = event.slot;
-    if (event.kind == kRequest) {
-      drain(slot, now);
-      // Throttle: above the buffer threshold, sleep until it drains back.
-      // Only throttle when the wake time actually advances: after a wakeup
-      // the buffer can sit one ulp above the threshold, and a sleep shorter
-      // than ulp(now) would re-enqueue at the identical timestamp forever.
-      if (arena.playing[slot] != 0 &&
-          arena.buffer_s[slot] > config.buffer_threshold_s) {
-        const double wake =
-            now + (arena.buffer_s[slot] - config.buffer_threshold_s);
-        if (wake > now) {
-          heap.push({wake, event.session, kRequest, slot});
-          continue;
-        }
-      }
-      // Handoff check at every request boundary (hysteresis rule).
-      const std::size_t serving = network.serving_cell(
-          event.session, arena.cell[slot], now, config.handoff_hysteresis_db,
-          first_cell, cell_count);
-      if (serving != arena.cell[slot]) {
-        arena.cell[slot] = serving;
-        ++shard.region.handoffs;
-      }
-      std::size_t level = 0;
-      if (planner) {
-        // The paper's planner: rolling-horizon Eq. 11 DP on the session's
-        // context snapshot, memoized through the region's cache shard. The
-        // startup segment (no throughput sample yet) takes the fixed startup
-        // rung, mirroring the selectors' startup path, and bypasses the
-        // cache. No vibration rung cap here — the objective itself prices
-        // vibration via the QoE impairment.
-        if (arena.seen[slot] == 0) {
-          level = std::min(config.planner_startup_level, top_level);
-        } else {
-          // Segments-remaining quantization (caller-side, since the horizon
-          // is planner knowledge): in quantized mode every window is
-          // canonicalized to the full horizon — the last few segments plan
-          // over phantom successors, which only perturbs the receding
-          // horizon's *lookahead*, never the committed first action's
-          // context. Collapses the remaining-count key dimension to one
-          // value. Exact mode keeps the true min(horizon, left) window.
-          const std::size_t window =
-              config.planner_cache.exact
-                  ? std::min(config.planner_horizon,
-                             config.segments_per_session -
-                                 arena.next_segment[slot])
-                  : config.planner_horizon;
-          core::DecisionSnapshot snapshot;
-          snapshot.buffer_s = arena.buffer_s[slot];
-          snapshot.bandwidth_mbps = arena.estimate(slot);
-          snapshot.vibration = session_vibration(config.seed, event.session);
-          snapshot.signal_dbm =
-              network.signal_dbm(event.session, arena.cell[slot], now);
-          snapshot.segments_remaining = window;
-          if (arena.prev_level[slot] >= 0) {
-            snapshot.prev_level =
-                static_cast<std::size_t>(arena.prev_level[slot]);
-          }
-          snapshot.ladder_id = ladder_ids[window - 1];
-          snapshot.alpha = config.planner_alpha;
-          const core::DecisionKey key = cache->key_for(snapshot);
-          // capacity = 0 is the no-memoization reference: the arena L1 is
-          // memoization too, so it is disabled there along with the table.
-          const bool memoize = config.planner_cache.capacity > 0;
-          if (memoize && arena.has_last[slot] && arena.last_key[slot] == key) {
-            // Arena L1 (see SessionArena::last_key): same canonical key →
-            // same decision, no shard probe needed.
-            level = arena.last_level[slot];
-            cache->count_external_hit();
-          } else if (const auto hit = cache->find(key)) {
-            level = *hit;
-          } else {
-            // Cold key: reconstruct the representatives and solve on them —
-            // canonicalize-then-solve, so the stored decision is exactly
-            // what any later hit on this key must return.
-            const core::CanonicalDecision c = cache->canonicalize(snapshot);
-            for (std::size_t k = 0; k < window; ++k) {
-              window_tasks[k].signal_dbm = c.signal_dbm;
-              window_tasks[k].vibration = c.vibration;
-              window_tasks[k].bandwidth_mbps = c.bandwidth_mbps;
-            }
-            level = core::plan_horizon_first_action(
-                *objective, {window_tasks.data(), window}, c.buffer_s,
-                c.prev_level);
-            cache->insert(key, level);
-          }
-          if (memoize) {
-            arena.last_key[slot] = key;
-            arena.last_level[slot] = static_cast<std::uint32_t>(level);
-            arena.has_last[slot] = 1;
-          }
-        }
-      } else {
-        // Throughput-based ABR with the context-aware rung cap.
-        const double est = arena.estimate(slot);
-        for (std::size_t l = top_level; l > 0; --l) {
-          if (config.ladder_mbps[l] <= config.abr_safety * est) {
-            level = l;
-            break;
-          }
-        }
-        if (session_vibration(config.seed, event.session) >
-            config.vibration_cap_threshold) {
-          level = std::min(level, config.vibration_rung_cap);
-        }
-      }
-      const double bitrate = config.ladder_mbps[level];
-      // Quasi-stationary processor sharing: the share is frozen at request
-      // time (fleet-scale approximation; the rich engine re-shares per step).
-      const std::size_t local = arena.cell[slot] - first_cell;
-      const double capacity = network.capacity_mbps(arena.cell[slot], now);
-      const double share = std::max(
-          capacity / static_cast<double>(cell_active[local] + 1), 1e-6);
-      ++cell_active[local];
-      arena.request_s[slot] = now;
-      arena.level_bitrate[slot] = bitrate;
-      arena.level[slot] = static_cast<std::uint32_t>(level);
-      arena.size_mb[slot] = bitrate * seg_s / 8.0;
-      arena.seg_rebuffer_s[slot] = 0.0;
-      ++shard.region.requests;
-      heap.push({now + (bitrate * seg_s) / share, event.session, kComplete, slot});
-      continue;
-    }
-
-    // kComplete
-    drain(slot, now);
-    const std::size_t local = arena.cell[slot] - first_cell;
-    --cell_active[local];
-    const double elapsed = std::max(now - arena.request_s[slot], 1e-9);
-    const double bitrate = arena.level_bitrate[slot];
-    arena.observe(slot, arena.size_mb[slot] * 8.0 / elapsed);
-    arena.buffer_s[slot] += seg_s;
-
-    const double vibration = session_vibration(config.seed, event.session);
-    qoe::SegmentContext segment;
-    segment.bitrate_mbps = bitrate;
-    segment.vibration = vibration;
-    segment.prev_bitrate_mbps = arena.prev_bitrate[slot];
-    segment.rebuffer_s = arena.seg_rebuffer_s[slot];
-    arena.qoe_sum[slot] += qoe_model.segment_qoe(segment);
-
-    power::TaskEnergyInput task;
-    task.size_mb = arena.size_mb[slot];
-    task.bitrate_mbps = bitrate;
-    task.signal_dbm = network.signal_dbm(event.session, arena.cell[slot],
-                                         0.5 * (arena.request_s[slot] + now));
-    task.play_s = arena.playing[slot] != 0
-                      ? std::max(0.0, elapsed - arena.seg_rebuffer_s[slot])
-                      : 0.0;
-    task.rebuffer_s = arena.seg_rebuffer_s[slot];
-    arena.energy_j[slot] += power_model.task_energy(task);
-
-    arena.bitrate_sum[slot] += bitrate;
-    arena.prev_bitrate[slot] = bitrate;
-    arena.prev_level[slot] = static_cast<int>(arena.level[slot]);
-    if (arena.playing[slot] == 0 &&
-        arena.buffer_s[slot] >= config.startup_buffer_s) {
-      arena.playing[slot] = 1;
-      arena.startup_s[slot] = now - arena.arrival_s[slot];
-    }
-    ++arena.next_segment[slot];
-    if (arena.next_segment[slot] < config.segments_per_session) {
-      heap.push({now, event.session, kRequest, slot});
-      continue;
-    }
-
-    // Session end: drain the remaining buffer (priced as playback energy),
-    // fold the per-session scalars into the streaming aggregates, free the
-    // slot. Nothing per-session survives this point.
-    if (arena.playing[slot] == 0) arena.startup_s[slot] = now - arena.arrival_s[slot];
-    arena.energy_j[slot] +=
-        power_model.playback_power(bitrate) * arena.buffer_s[slot];
-    const double segments = static_cast<double>(config.segments_per_session);
-    const double session_qoe = arena.qoe_sum[slot] / segments;
-    const double session_energy = arena.energy_j[slot];
-    const double session_bitrate = arena.bitrate_sum[slot] / segments;
-    shard.qoe.add(session_qoe);
-    shard.energy_j.add(session_energy);
-    shard.bitrate_mbps.add(session_bitrate);
-    shard.rebuffer_s.add(arena.rebuffer_s[slot]);
-    shard.startup_s.add(arena.startup_s[slot]);
-    shard.qoe_sample.add(session_qoe);
-    shard.energy_sample.add(session_energy);
-    shard.rebuffer_sample.add(arena.rebuffer_s[slot]);
-    shard.median_qoe.add(session_qoe);
-    shard.median_energy.add(session_energy);
-    ++shard.region.sessions;
-    --live;
-    arena.release(slot);
   }
 
-  shard.region.median_qoe = shard.median_qoe.value();
-  shard.region.median_energy_j = shard.median_energy.value();
-  return shard;
-}
+  /// Strongest live (non-dead) cell in the region by faulted signal, lowest
+  /// index winning ties; num_cells() sentinel when the whole region is dead.
+  std::size_t best_live_cell(int session_id, double now) const {
+    std::size_t best = network.num_cells();
+    double best_dbm = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = first_cell; c < first_cell + cell_count; ++c) {
+      if (faults->cell_dead(c, now)) continue;
+      const double dbm = fault_signal(session_id, c, now);
+      if (best == network.num_cells() || dbm > best_dbm) {
+        best_dbm = dbm;
+        best = c;
+      }
+    }
+    return best;
+  }
 
-}  // namespace
+  /// Fault-aware serving-cell maintenance at a request boundary. Returns
+  /// true when the request can proceed on a live cell; false when the
+  /// session backed off (re-enqueued) or was abandoned.
+  bool ensure_live_cell(const Event& event, double now) {
+    const std::uint32_t slot = event.slot;
+    const std::size_t current = arena.cell[slot];
+    if (!faults->cell_dead(current, now)) {
+      // Healthy serving cell: the hysteresis handoff rule, restricted to
+      // live cells (mirrors CellNetwork::serving_cell).
+      const std::size_t best = best_live_cell(event.session, now);
+      if (best != current &&
+          fault_signal(event.session, best, now) -
+                  fault_signal(event.session, current, now) >
+              config.handoff_hysteresis_db) {
+        arena.cell[slot] = best;
+        ++shard.region.handoffs;
+      }
+      arena.retries[slot] = 0;
+      return true;
+    }
+    // Dead serving cell: escape to the strongest live cell in the region —
+    // no hysteresis, any live cell beats a dead one.
+    const std::size_t best = best_live_cell(event.session, now);
+    if (best != network.num_cells()) {
+      arena.cell[slot] = best;
+      ++shard.region.escape_handoffs;
+      arena.retries[slot] = 0;
+      return true;
+    }
+    // Whole region dead: bounded exponential backoff, burning pause power
+    // (the screen is on, the spinner spins — the rich player's stall
+    // pricing), then abandonment once the retry budget is spent.
+    ++arena.retries[slot];
+    if (arena.retries[slot] > config.resilience.max_retries) {
+      ++shard.region.abandoned_sessions;
+      --live;
+      arena.release(slot);
+      return false;
+    }
+    double backoff = config.resilience.backoff_base_s;
+    for (std::uint32_t i = 1; i < arena.retries[slot]; ++i) {
+      backoff *= config.resilience.backoff_factor;
+    }
+    backoff = std::min(backoff, config.resilience.backoff_max_s);
+    const double wasted = power_model.params().p_pause_w * backoff;
+    arena.energy_j[slot] += wasted;
+    shard.region.wasted_energy_j += wasted;
+    shard.region.degraded_time_s += backoff;
+    ++shard.region.backoff_retries;
+    heap.push({now + backoff, event.session, kRequest, slot});
+    return false;
+  }
 
-FleetMetrics run_fleet(const FleetConfig& config) {
+  /// Overload-shed decision for this request, updating the trigger state
+  /// machines (transitions counted, never silent).
+  bool shed_active(double now) {
+    const FleetResilienceConfig& r = config.resilience;
+    if (r.shed_live_threshold > 0) {
+      const std::size_t recover =
+          r.shed_live_recover > 0 ? r.shed_live_recover
+                                  : r.shed_live_threshold / 2;
+      if (live_shed) {
+        if (live <= recover) {
+          live_shed = false;
+          ++shard.region.policy_recoveries;
+        }
+      } else if (live >= r.shed_live_threshold) {
+        live_shed = true;
+        ++shard.region.policy_sheds;
+      }
+    }
+    if (miss_shed && now >= shed_until_s) {
+      miss_shed = false;
+      ++shard.region.policy_recoveries;
+    }
+    return live_shed || miss_shed;
+  }
+
+  /// Feeds the trailing-window miss-rate trigger after a planner
+  /// consultation. Recovery is time-held (shed_until_s): no consultations
+  /// happen while shed, so a rate-based recovery could never fire.
+  void note_consultation(bool miss, double now) {
+    const FleetResilienceConfig& r = config.resilience;
+    if (r.shed_miss_rate_threshold > 1.0 || r.shed_miss_window == 0) return;
+    ++window_consults;
+    if (miss) ++window_misses;
+    if (window_consults >= r.shed_miss_window) {
+      const double rate = static_cast<double>(window_misses) /
+                          static_cast<double>(window_consults);
+      if (!miss_shed && rate >= r.shed_miss_rate_threshold) {
+        miss_shed = true;
+        shed_until_s = now + r.shed_hold_s;
+        ++shard.region.policy_sheds;
+      }
+      window_consults = 0;
+      window_misses = 0;
+    }
+  }
+
+  /// Throughput-based ABR with the context-aware rung cap — the baseline
+  /// policy, and the degraded mode planner regions shed into.
+  std::size_t throughput_level(std::uint32_t slot, int session_id) const {
+    const std::size_t top_level = config.ladder_mbps.size() - 1;
+    std::size_t level = 0;
+    const double est = arena.estimate(slot);
+    for (std::size_t l = top_level; l > 0; --l) {
+      if (config.ladder_mbps[l] <= config.abr_safety * est) {
+        level = l;
+        break;
+      }
+    }
+    if (session_vibration(config.seed, session_id) >
+        config.vibration_cap_threshold) {
+      level = std::min(level, config.vibration_rung_cap);
+    }
+    return level;
+  }
+
+  /// Processes events strictly before `limit` (pass +inf to run dry). The
+  /// cut convention: an event at exactly the checkpoint time belongs to the
+  /// resumed run.
+  void run(double limit) {
+    core::CostStatsScope stats_scope(shard.region.planner);
+    const double seg_s = config.segment_duration_s;
+    const std::size_t top_level = config.ladder_mbps.size() - 1;
+
+    while (!heap.empty() && heap.top().t_s < limit) {
+      const Event event = heap.top();
+      heap.pop();
+      ++shard.region.events;
+      const double now = event.t_s;
+
+      if (event.kind == kArrive) {
+        const std::size_t start =
+            network.best_cell_in(event.session, now, first_cell, cell_count);
+        const std::uint32_t slot = arena.acquire(event.session, now, start);
+        ++live;
+        shard.region.peak_live_sessions =
+            std::max(shard.region.peak_live_sessions, live);
+        heap.push({now, event.session, kRequest, slot});
+        continue;
+      }
+
+      const std::uint32_t slot = event.slot;
+      if (event.kind == kRequest) {
+        drain(slot, now);
+        // Throttle: above the buffer threshold, sleep until it drains back.
+        // Only throttle when the wake time actually advances: after a wakeup
+        // the buffer can sit one ulp above the threshold, and a sleep shorter
+        // than ulp(now) would re-enqueue at the identical timestamp forever.
+        if (arena.playing[slot] != 0 &&
+            arena.buffer_s[slot] > config.buffer_threshold_s) {
+          const double wake =
+              now + (arena.buffer_s[slot] - config.buffer_threshold_s);
+          if (wake > now) {
+            heap.push({wake, event.session, kRequest, slot});
+            continue;
+          }
+        }
+        // Handoff check at every request boundary (hysteresis rule). With a
+        // fault overlay this also escapes dead cells, backs off, or abandons.
+        if (faults == nullptr) {
+          const std::size_t serving = network.serving_cell(
+              event.session, arena.cell[slot], now,
+              config.handoff_hysteresis_db, first_cell, cell_count);
+          if (serving != arena.cell[slot]) {
+            arena.cell[slot] = serving;
+            ++shard.region.handoffs;
+          }
+        } else if (!ensure_live_cell(event, now)) {
+          continue;
+        }
+        std::size_t level = 0;
+        if (planner) {
+          // The paper's planner: rolling-horizon Eq. 11 DP on the session's
+          // context snapshot, memoized through the region's cache shard. The
+          // startup segment (no throughput sample yet) takes the fixed
+          // startup rung, mirroring the selectors' startup path, and
+          // bypasses the cache. No vibration rung cap here — the objective
+          // itself prices vibration via the QoE impairment.
+          if (arena.seen[slot] == 0) {
+            level = std::min(config.planner_startup_level, top_level);
+          } else if (shed_active(now)) {
+            // Overload: degrade to the throughput policy for this decision.
+            level = throughput_level(slot, event.session);
+            ++shard.region.shed_decisions;
+          } else {
+            // Segments-remaining quantization (caller-side, since the
+            // horizon is planner knowledge): in quantized mode every window
+            // is canonicalized to the full horizon — the last few segments
+            // plan over phantom successors, which only perturbs the receding
+            // horizon's *lookahead*, never the committed first action's
+            // context. Collapses the remaining-count key dimension to one
+            // value. Exact mode keeps the true min(horizon, left) window.
+            const std::size_t window =
+                config.planner_cache.exact
+                    ? std::min(config.planner_horizon,
+                               config.segments_per_session -
+                                   arena.next_segment[slot])
+                    : config.planner_horizon;
+            core::DecisionSnapshot snapshot;
+            snapshot.buffer_s = arena.buffer_s[slot];
+            snapshot.bandwidth_mbps = arena.estimate(slot);
+            snapshot.vibration = session_vibration(config.seed, event.session);
+            snapshot.signal_dbm =
+                faults == nullptr
+                    ? network.signal_dbm(event.session, arena.cell[slot], now)
+                    : fault_signal(event.session, arena.cell[slot], now);
+            snapshot.segments_remaining = window;
+            if (arena.prev_level[slot] >= 0) {
+              snapshot.prev_level =
+                  static_cast<std::size_t>(arena.prev_level[slot]);
+            }
+            snapshot.ladder_id = ladder_ids[window - 1];
+            snapshot.alpha = config.planner_alpha;
+            const core::DecisionKey key = cache->key_for(snapshot);
+            // capacity = 0 is the no-memoization reference: the arena L1 is
+            // memoization too, so it is disabled there along with the table.
+            const bool memoize = config.planner_cache.capacity > 0;
+            bool miss = false;
+            if (memoize && arena.has_last[slot] &&
+                arena.last_key[slot] == key) {
+              // Arena L1 (see SessionArena::last_key): same canonical key →
+              // same decision, no shard probe needed.
+              level = arena.last_level[slot];
+              cache->count_external_hit();
+            } else if (const auto hit = cache->find(key)) {
+              level = *hit;
+            } else {
+              // Cold key: reconstruct the representatives and solve on them
+              // — canonicalize-then-solve, so the stored decision is exactly
+              // what any later hit on this key must return.
+              miss = true;
+              const core::CanonicalDecision c = cache->canonicalize(snapshot);
+              for (std::size_t k = 0; k < window; ++k) {
+                window_tasks[k].signal_dbm = c.signal_dbm;
+                window_tasks[k].vibration = c.vibration;
+                window_tasks[k].bandwidth_mbps = c.bandwidth_mbps;
+              }
+              level = core::plan_horizon_first_action(
+                  *objective, {window_tasks.data(), window}, c.buffer_s,
+                  c.prev_level);
+              cache->insert(key, level);
+            }
+            if (memoize) {
+              arena.last_key[slot] = key;
+              arena.last_level[slot] = static_cast<std::uint32_t>(level);
+              arena.has_last[slot] = 1;
+            }
+            note_consultation(miss, now);
+          }
+        } else {
+          level = throughput_level(slot, event.session);
+        }
+        const double bitrate = config.ladder_mbps[level];
+        // Quasi-stationary processor sharing: the share is frozen at request
+        // time (fleet-scale approximation; the rich engine re-shares per
+        // step). Brownouts scale the capacity; outages never reach here —
+        // ensure_live_cell gates them.
+        const std::size_t local = arena.cell[slot] - first_cell;
+        double capacity = network.capacity_mbps(arena.cell[slot], now);
+        if (faults != nullptr) {
+          capacity *= faults->capacity_factor(arena.cell[slot], now);
+        }
+        const double share = std::max(
+            capacity / static_cast<double>(cell_active[local] + 1), 1e-6);
+        ++cell_active[local];
+        arena.request_s[slot] = now;
+        arena.level_bitrate[slot] = bitrate;
+        arena.level[slot] = static_cast<std::uint32_t>(level);
+        arena.size_mb[slot] = bitrate * seg_s / 8.0;
+        arena.seg_rebuffer_s[slot] = 0.0;
+        ++shard.region.requests;
+        heap.push(
+            {now + (bitrate * seg_s) / share, event.session, kComplete, slot});
+        continue;
+      }
+
+      // kComplete
+      drain(slot, now);
+      const std::size_t local = arena.cell[slot] - first_cell;
+      --cell_active[local];
+      const double elapsed = std::max(now - arena.request_s[slot], 1e-9);
+      const double bitrate = arena.level_bitrate[slot];
+      arena.observe(slot, arena.size_mb[slot] * 8.0 / elapsed);
+      arena.buffer_s[slot] += seg_s;
+
+      const double vibration = session_vibration(config.seed, event.session);
+      qoe::SegmentContext segment;
+      segment.bitrate_mbps = bitrate;
+      segment.vibration = vibration;
+      segment.prev_bitrate_mbps = arena.prev_bitrate[slot];
+      segment.rebuffer_s = arena.seg_rebuffer_s[slot];
+      arena.qoe_sum[slot] += qoe_model.segment_qoe(segment);
+
+      power::TaskEnergyInput task;
+      task.size_mb = arena.size_mb[slot];
+      task.bitrate_mbps = bitrate;
+      task.signal_dbm =
+          faults == nullptr
+              ? network.signal_dbm(event.session, arena.cell[slot],
+                                   0.5 * (arena.request_s[slot] + now))
+              : fault_signal(event.session, arena.cell[slot],
+                             0.5 * (arena.request_s[slot] + now));
+      task.play_s = arena.playing[slot] != 0
+                        ? std::max(0.0, elapsed - arena.seg_rebuffer_s[slot])
+                        : 0.0;
+      task.rebuffer_s = arena.seg_rebuffer_s[slot];
+      arena.energy_j[slot] += power_model.task_energy(task);
+
+      arena.bitrate_sum[slot] += bitrate;
+      arena.prev_bitrate[slot] = bitrate;
+      arena.prev_level[slot] = static_cast<int>(arena.level[slot]);
+      if (arena.playing[slot] == 0 &&
+          arena.buffer_s[slot] >= config.startup_buffer_s) {
+        arena.playing[slot] = 1;
+        arena.startup_s[slot] = now - arena.arrival_s[slot];
+      }
+      ++arena.next_segment[slot];
+      if (arena.next_segment[slot] < config.segments_per_session) {
+        heap.push({now, event.session, kRequest, slot});
+        continue;
+      }
+
+      // Session end: drain the remaining buffer (priced as playback energy),
+      // fold the per-session scalars into the streaming aggregates, free the
+      // slot. Nothing per-session survives this point.
+      if (arena.playing[slot] == 0) {
+        arena.startup_s[slot] = now - arena.arrival_s[slot];
+      }
+      arena.energy_j[slot] +=
+          power_model.playback_power(bitrate) * arena.buffer_s[slot];
+      const double segments = static_cast<double>(config.segments_per_session);
+      const double session_qoe = arena.qoe_sum[slot] / segments;
+      const double session_energy = arena.energy_j[slot];
+      const double session_bitrate = arena.bitrate_sum[slot] / segments;
+      shard.qoe.add(session_qoe);
+      shard.energy_j.add(session_energy);
+      shard.bitrate_mbps.add(session_bitrate);
+      shard.rebuffer_s.add(arena.rebuffer_s[slot]);
+      shard.startup_s.add(arena.startup_s[slot]);
+      shard.qoe_sample.add(session_qoe);
+      shard.energy_sample.add(session_energy);
+      shard.rebuffer_sample.add(arena.rebuffer_s[slot]);
+      shard.median_qoe.add(session_qoe);
+      shard.median_energy.add(session_energy);
+      ++shard.region.sessions;
+      --live;
+      arena.release(slot);
+    }
+  }
+
+  /// Drains the remaining event heap into a checkpoint (terminal: the sim
+  /// cannot continue after capture).
+  FleetRegionCheckpoint capture() {
+    FleetRegionCheckpoint ckpt;
+    ckpt.region = region;
+    ckpt.live = live;
+    while (!heap.empty()) {
+      const Event e = heap.top();
+      heap.pop();
+      ckpt.events.push_back({e.t_s, e.session, e.kind, e.slot});
+    }
+    FleetArenaState& a = ckpt.arena;
+    a.window = arena.window;
+    a.session = arena.session;
+    a.cell = arena.cell;
+    a.next_segment = arena.next_segment;
+    a.arrival_s = arena.arrival_s;
+    a.last_event_s = arena.last_event_s;
+    a.buffer_s = arena.buffer_s;
+    a.playing = arena.playing;
+    a.startup_s = arena.startup_s;
+    a.rebuffer_s = arena.rebuffer_s;
+    a.seg_rebuffer_s = arena.seg_rebuffer_s;
+    a.qoe_sum = arena.qoe_sum;
+    a.energy_j = arena.energy_j;
+    a.bitrate_sum = arena.bitrate_sum;
+    a.prev_bitrate = arena.prev_bitrate;
+    a.prev_level = arena.prev_level;
+    a.request_s = arena.request_s;
+    a.size_mb = arena.size_mb;
+    a.level_bitrate = arena.level_bitrate;
+    a.level = arena.level;
+    a.last_key = arena.last_key;
+    a.last_level = arena.last_level;
+    a.has_last = arena.has_last;
+    a.retries = arena.retries;
+    a.throughputs = arena.throughputs;
+    a.seen = arena.seen;
+    a.free_slots = arena.free_slots;
+    ckpt.cell_active = cell_active;
+    ckpt.metrics = shard.region;
+    ckpt.qoe = shard.qoe.state();
+    ckpt.energy_j = shard.energy_j.state();
+    ckpt.bitrate_mbps = shard.bitrate_mbps.state();
+    ckpt.rebuffer_s = shard.rebuffer_s.state();
+    ckpt.startup_s = shard.startup_s.state();
+    ckpt.qoe_sample = shard.qoe_sample.state();
+    ckpt.energy_sample = shard.energy_sample.state();
+    ckpt.rebuffer_sample = shard.rebuffer_sample.state();
+    ckpt.median_qoe = shard.median_qoe.state();
+    ckpt.median_energy = shard.median_energy.state();
+    ckpt.shed = {static_cast<std::uint8_t>(live_shed ? 1 : 0),
+                 static_cast<std::uint8_t>(miss_shed ? 1 : 0), shed_until_s,
+                 window_consults, window_misses};
+    if (cache) ckpt.cache = cache->export_state();
+    return ckpt;
+  }
+
+  /// Reinstates a captured region state. Throws std::invalid_argument on an
+  /// internally inconsistent checkpoint (wrong region, wrong cell count,
+  /// ragged arena vectors).
+  void restore(const FleetRegionCheckpoint& ckpt) {
+    if (ckpt.region != region) {
+      throw std::invalid_argument("resume_fleet: checkpoint region mismatch");
+    }
+    if (ckpt.cell_active.size() != cell_count) {
+      throw std::invalid_argument(
+          "resume_fleet: checkpoint cell count mismatch");
+    }
+    const FleetArenaState& a = ckpt.arena;
+    if (a.window != arena.window) {
+      throw std::invalid_argument(
+          "resume_fleet: checkpoint bandwidth window mismatch");
+    }
+    const std::size_t slots = a.session.size();
+    const bool ragged =
+        a.cell.size() != slots || a.next_segment.size() != slots ||
+        a.arrival_s.size() != slots || a.last_event_s.size() != slots ||
+        a.buffer_s.size() != slots || a.playing.size() != slots ||
+        a.startup_s.size() != slots || a.rebuffer_s.size() != slots ||
+        a.seg_rebuffer_s.size() != slots || a.qoe_sum.size() != slots ||
+        a.energy_j.size() != slots || a.bitrate_sum.size() != slots ||
+        a.prev_bitrate.size() != slots || a.prev_level.size() != slots ||
+        a.request_s.size() != slots || a.size_mb.size() != slots ||
+        a.level_bitrate.size() != slots || a.level.size() != slots ||
+        a.last_key.size() != slots || a.last_level.size() != slots ||
+        a.has_last.size() != slots || a.retries.size() != slots ||
+        a.throughputs.size() != slots * a.window || a.seen.size() != slots;
+    if (ragged) {
+      throw std::invalid_argument(
+          "resume_fleet: ragged arena vectors in checkpoint");
+    }
+    arena.session = a.session;
+    arena.cell = a.cell;
+    arena.next_segment = a.next_segment;
+    arena.arrival_s = a.arrival_s;
+    arena.last_event_s = a.last_event_s;
+    arena.buffer_s = a.buffer_s;
+    arena.playing = a.playing;
+    arena.startup_s = a.startup_s;
+    arena.rebuffer_s = a.rebuffer_s;
+    arena.seg_rebuffer_s = a.seg_rebuffer_s;
+    arena.qoe_sum = a.qoe_sum;
+    arena.energy_j = a.energy_j;
+    arena.bitrate_sum = a.bitrate_sum;
+    arena.prev_bitrate = a.prev_bitrate;
+    arena.prev_level = a.prev_level;
+    arena.request_s = a.request_s;
+    arena.size_mb = a.size_mb;
+    arena.level_bitrate = a.level_bitrate;
+    arena.level = a.level;
+    arena.last_key = a.last_key;
+    arena.last_level = a.last_level;
+    arena.has_last = a.has_last;
+    arena.retries = a.retries;
+    arena.throughputs = a.throughputs;
+    arena.seen = a.seen;
+    arena.free_slots = a.free_slots;
+    for (const FleetEventState& e : ckpt.events) {
+      heap.push({e.t_s, e.session, e.kind, e.slot});
+    }
+    cell_active = ckpt.cell_active;
+    live = ckpt.live;
+    shard.region = ckpt.metrics;
+    shard.qoe.restore(ckpt.qoe);
+    shard.energy_j.restore(ckpt.energy_j);
+    shard.bitrate_mbps.restore(ckpt.bitrate_mbps);
+    shard.rebuffer_s.restore(ckpt.rebuffer_s);
+    shard.startup_s.restore(ckpt.startup_s);
+    shard.qoe_sample.restore(ckpt.qoe_sample);
+    shard.energy_sample.restore(ckpt.energy_sample);
+    shard.rebuffer_sample.restore(ckpt.rebuffer_sample);
+    shard.median_qoe.restore(ckpt.median_qoe);
+    shard.median_energy.restore(ckpt.median_energy);
+    live_shed = ckpt.shed.live_shed != 0;
+    miss_shed = ckpt.shed.miss_shed != 0;
+    shed_until_s = ckpt.shed.shed_until_s;
+    window_consults = ckpt.shed.window_consults;
+    window_misses = ckpt.shed.window_misses;
+    if (cache) cache->restore_state(ckpt.cache);
+  }
+
+  Shard finish() {
+    shard.region.median_qoe = shard.median_qoe.value();
+    shard.region.median_energy_j = shard.median_energy.value();
+    return std::move(shard);
+  }
+};
+
+/// Shared entry validation (satellite of DESIGN §14: reject malformed
+/// configs with std::invalid_argument instead of clamping silently).
+/// Returns the region count.
+std::size_t validate_fleet_config(const FleetConfig& config) {
+  if (config.network.num_cells == 0) {
+    throw std::invalid_argument("run_fleet: zero cells");
+  }
   if (config.ladder_mbps.empty()) {
     throw std::invalid_argument("run_fleet: empty bitrate ladder");
   }
   if (config.num_sessions == 0 || config.segments_per_session == 0) {
     throw std::invalid_argument("run_fleet: zero sessions or segments");
   }
-  if (!(config.arrival_rate_per_s > 0.0)) {
-    throw std::invalid_argument("run_fleet: arrival rate must be > 0");
+  if (!(std::isfinite(config.arrival_rate_per_s) &&
+        config.arrival_rate_per_s > 0.0)) {
+    throw std::invalid_argument(
+        "run_fleet: arrival rate must be finite and > 0");
+  }
+  if (!(std::isfinite(config.segment_duration_s) &&
+        config.segment_duration_s > 0.0)) {
+    throw std::invalid_argument(
+        "run_fleet: segment duration must be finite and > 0");
   }
   for (const double mbps : config.ladder_mbps) {
-    if (!(mbps > 0.0)) {
-      throw std::invalid_argument("run_fleet: ladder bitrates must be > 0");
+    if (!(std::isfinite(mbps) && mbps > 0.0)) {
+      throw std::invalid_argument(
+          "run_fleet: ladder bitrates must be finite and > 0");
+    }
+  }
+  if (config.regions == 0 || config.regions > config.network.num_cells) {
+    throw std::invalid_argument(
+        "run_fleet: regions must be in [1, num_cells]");
+  }
+  const FleetResilienceConfig& r = config.resilience;
+  if (!(std::isfinite(r.backoff_base_s) && r.backoff_base_s > 0.0) ||
+      !(std::isfinite(r.backoff_factor) && r.backoff_factor >= 1.0) ||
+      !(std::isfinite(r.backoff_max_s) &&
+        r.backoff_max_s >= r.backoff_base_s)) {
+    throw std::invalid_argument("run_fleet: malformed backoff ladder");
+  }
+  if (r.max_retries == 0) {
+    throw std::invalid_argument("run_fleet: max_retries must be >= 1");
+  }
+  if (r.shed_miss_rate_threshold <= 1.0) {
+    if (!(r.shed_miss_rate_threshold >= 0.0) || r.shed_miss_window == 0 ||
+        !(std::isfinite(r.shed_hold_s) && r.shed_hold_s >= 0.0)) {
+      throw std::invalid_argument("run_fleet: malformed miss-rate shed rule");
     }
   }
   if (config.policy == FleetPolicy::kPlanner) {
@@ -518,18 +911,44 @@ FleetMetrics run_fleet(const FleetConfig& config) {
     const core::DecisionCache probe_cache(probe);
     (void)probe_cache;
   }
+  return config.regions;
+}
 
+/// The common driver: fresh start or checkpoint resume, then the serial
+/// region-order merge (bit-identical at any job count).
+FleetMetrics run_fleet_impl(const FleetConfig& config,
+                            const FleetCheckpoint* checkpoint) {
+  const std::size_t regions = validate_fleet_config(config);
   const CellNetwork network(config.network);
   const qoe::QoeModel qoe_model(config.qoe);
   const power::PowerModel power_model(config.power);
-  const std::size_t regions =
-      std::min(std::max<std::size_t>(1, config.regions), network.num_cells());
+  const FleetFaultModel fault_model(config.faults, network.num_cells());
+  const FleetFaultModel* faults = fault_model.empty() ? nullptr : &fault_model;
 
-  // Regions are the parallel unit; each is pure in (config, region index).
+  if (checkpoint != nullptr) {
+    if (checkpoint->config_fingerprint != fleet_config_fingerprint(config)) {
+      throw std::invalid_argument(
+          "resume_fleet: checkpoint fingerprint does not match the config");
+    }
+    if (checkpoint->regions.size() != regions) {
+      throw std::invalid_argument(
+          "resume_fleet: checkpoint region count mismatch");
+    }
+  }
+
+  // Regions are the parallel unit; each is pure in (config, region index,
+  // checkpoint region).
   const auto shards = util::parallel_map(
       config.exec.resolved_jobs(), regions, [&](std::size_t region) {
-        return run_region(config, network, qoe_model, power_model, region,
-                          regions);
+        RegionSim sim(config, network, qoe_model, power_model, faults, region,
+                      regions);
+        if (checkpoint != nullptr) {
+          sim.restore(checkpoint->regions[region]);
+        } else {
+          sim.seed_arrivals();
+        }
+        sim.run(std::numeric_limits<double>::infinity());
+        return sim.finish();
       });
 
   // Serial merge in region order: bit-identical at any job count.
@@ -548,6 +967,14 @@ FleetMetrics run_fleet(const FleetConfig& config) {
     metrics.handoffs += shard.region.handoffs;
     metrics.stall_events += shard.region.stall_events;
     metrics.peak_live_sessions += shard.region.peak_live_sessions;
+    metrics.escape_handoffs += shard.region.escape_handoffs;
+    metrics.backoff_retries += shard.region.backoff_retries;
+    metrics.abandoned_sessions += shard.region.abandoned_sessions;
+    metrics.policy_sheds += shard.region.policy_sheds;
+    metrics.policy_recoveries += shard.region.policy_recoveries;
+    metrics.shed_decisions += shard.region.shed_decisions;
+    metrics.degraded_time_s += shard.region.degraded_time_s;
+    metrics.wasted_energy_j += shard.region.wasted_energy_j;
     metrics.planner.merge(shard.region.planner);
     metrics.qoe.merge(shard.qoe);
     metrics.energy_j.merge(shard.energy_j);
@@ -560,6 +987,43 @@ FleetMetrics run_fleet(const FleetConfig& config) {
     metrics.regions.push_back(shard.region);
   }
   return metrics;
+}
+
+}  // namespace
+
+FleetMetrics run_fleet(const FleetConfig& config) {
+  return run_fleet_impl(config, nullptr);
+}
+
+FleetCheckpoint run_fleet_until(const FleetConfig& config, double t_s) {
+  if (!(std::isfinite(t_s) && t_s > 0.0)) {
+    throw std::invalid_argument(
+        "run_fleet_until: checkpoint time must be finite and > 0");
+  }
+  const std::size_t regions = validate_fleet_config(config);
+  const CellNetwork network(config.network);
+  const qoe::QoeModel qoe_model(config.qoe);
+  const power::PowerModel power_model(config.power);
+  const FleetFaultModel fault_model(config.faults, network.num_cells());
+  const FleetFaultModel* faults = fault_model.empty() ? nullptr : &fault_model;
+
+  FleetCheckpoint checkpoint;
+  checkpoint.config_fingerprint = fleet_config_fingerprint(config);
+  checkpoint.checkpoint_t_s = t_s;
+  checkpoint.regions = util::parallel_map(
+      config.exec.resolved_jobs(), regions, [&](std::size_t region) {
+        RegionSim sim(config, network, qoe_model, power_model, faults, region,
+                      regions);
+        sim.seed_arrivals();
+        sim.run(t_s);
+        return sim.capture();
+      });
+  return checkpoint;
+}
+
+FleetMetrics resume_fleet(const FleetConfig& config,
+                          const FleetCheckpoint& checkpoint) {
+  return run_fleet_impl(config, &checkpoint);
 }
 
 }  // namespace eacs::sim

@@ -1,0 +1,567 @@
+#include "eacs/sim/fleet_checkpoint.h"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace eacs::sim {
+namespace {
+
+constexpr char kMagic[] = "EACS_FLEET_CKPT";
+constexpr std::uint64_t kVersion = 1;
+
+// ---------------------------------------------------------------------------
+// Config fingerprint: FNV-1a over every result-shaping field's bit pattern.
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFULL;
+      h *= 0x00000100000001b3ULL;
+    }
+  }
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+  void sz(std::size_t v) noexcept { u64(static_cast<std::uint64_t>(v)); }
+  void b(bool v) noexcept { u64(v ? 1 : 0); }
+};
+
+}  // namespace
+
+std::uint64_t fleet_config_fingerprint(const FleetConfig& config) {
+  Fnv f;
+  const CellNetworkConfig& n = config.network;
+  f.sz(n.num_cells);
+  f.f64(n.mean_capacity_mbps);
+  f.f64(n.capacity_spread);
+  f.f64(n.capacity_sway);
+  f.f64(n.capacity_period_s);
+  f.f64(n.signal_best_dbm);
+  f.f64(n.signal_worst_dbm);
+  f.f64(n.signal_swing_db);
+  f.f64(n.signal_period_s);
+  f.u64(n.seed);
+
+  f.sz(config.num_sessions);
+  f.f64(config.arrival_rate_per_s);
+  f.f64(config.segment_duration_s);
+  f.sz(config.segments_per_session);
+  f.sz(config.ladder_mbps.size());
+  for (const double mbps : config.ladder_mbps) f.f64(mbps);
+  f.f64(config.buffer_threshold_s);
+  f.f64(config.startup_buffer_s);
+  f.f64(config.abr_safety);
+  f.sz(config.bandwidth_window);
+  f.f64(config.vibration_cap_threshold);
+  f.sz(config.vibration_rung_cap);
+  f.f64(config.handoff_hysteresis_db);
+  f.u64(static_cast<std::uint64_t>(config.policy));
+  f.sz(config.planner_horizon);
+  f.sz(config.planner_startup_level);
+  f.f64(config.planner_alpha);
+  const core::DecisionCacheConfig& c = config.planner_cache;
+  f.b(c.exact);
+  f.f64(c.buffer_bucket_s);
+  f.f64(c.bandwidth_buckets_per_octave);
+  f.f64(c.vibration_bucket);
+  f.f64(c.confidence_bucket);
+  f.f64(c.signal_bucket_dbm);
+  f.sz(c.prev_level_bucket);
+  f.sz(c.capacity);
+  f.sz(config.regions);
+  f.sz(config.reservoir_capacity);
+
+  const FleetFaultSpec& spec = config.faults;
+  f.sz(spec.outages.size());
+  for (const CellOutage& o : spec.outages) {
+    f.f64(o.t0_s);
+    f.f64(o.t1_s);
+    f.sz(o.first_cell);
+    f.sz(o.num_cells);
+  }
+  f.sz(spec.brownouts.size());
+  for (const CapacityBrownout& b : spec.brownouts) {
+    f.f64(b.t0_s);
+    f.f64(b.t1_s);
+    f.sz(b.first_cell);
+    f.sz(b.num_cells);
+    f.f64(b.capacity_factor);
+  }
+  f.sz(spec.collapses.size());
+  for (const SignalCollapse& s : spec.collapses) {
+    f.f64(s.t0_s);
+    f.f64(s.t1_s);
+    f.sz(s.first_cell);
+    f.sz(s.num_cells);
+    f.f64(s.offset_db);
+  }
+  f.sz(spec.surges.size());
+  for (const ArrivalSurge& s : spec.surges) {
+    f.f64(s.t0_s);
+    f.f64(s.t1_s);
+    f.f64(s.rate_multiplier);
+  }
+  const SeededFaultConfig& g = spec.seeded;
+  f.f64(g.horizon_s);
+  f.f64(g.epoch_s);
+  f.sz(g.domain_cells);
+  f.f64(g.outage_prob);
+  f.f64(g.outage_duration_s);
+  f.f64(g.brownout_prob);
+  f.f64(g.brownout_factor);
+  f.f64(g.brownout_duration_s);
+  f.f64(g.collapse_prob);
+  f.f64(g.collapse_db);
+  f.f64(g.collapse_duration_s);
+  f.f64(g.surge_prob);
+  f.f64(g.surge_multiplier);
+  f.f64(g.surge_duration_s);
+  f.u64(g.seed);
+
+  const FleetResilienceConfig& r = config.resilience;
+  f.f64(r.backoff_base_s);
+  f.f64(r.backoff_factor);
+  f.f64(r.backoff_max_s);
+  f.sz(r.max_retries);
+  f.sz(r.shed_live_threshold);
+  f.sz(r.shed_live_recover);
+  f.f64(r.shed_miss_rate_threshold);
+  f.sz(r.shed_miss_window);
+  f.f64(r.shed_hold_s);
+
+  const qoe::QoeModelParams& q = config.qoe;
+  f.f64(q.a);
+  f.f64(q.b);
+  f.f64(q.kappa);
+  f.f64(q.alpha_v);
+  f.f64(q.beta_r);
+  f.f64(q.switch_penalty);
+  f.f64(q.rebuffer_penalty_per_s);
+  f.f64(q.mos_min);
+  f.f64(q.mos_max);
+
+  const power::PowerModelParams& p = config.power;
+  f.f64(p.e_ref_j_per_mb);
+  f.f64(p.s_ref_dbm);
+  f.f64(p.k_per_db);
+  f.f64(p.e_min_j_per_mb);
+  f.f64(p.e_max_j_per_mb);
+  f.f64(p.p_base_w);
+  f.f64(p.c0_w);
+  f.f64(p.c1_w_per_mbps);
+  f.f64(p.p_pause_w);
+  f.f64(p.tail_energy_j);
+
+  f.u64(config.seed);
+  return f.h;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sidecar token stream. Every value is one decimal u64 token; doubles are
+// written as their IEEE-754 bit patterns (std::bit_cast), signed integers in
+// two's complement — exact, portable, diffable.
+
+struct Writer {
+  std::ostream& out;
+
+  void u64(std::uint64_t v) { out << v << '\n'; }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void sz(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64s(const std::vector<double>& xs) {
+    sz(xs.size());
+    for (const double x : xs) f64(x);
+  }
+  void u8s(const std::vector<std::uint8_t>& xs) {
+    sz(xs.size());
+    for (const std::uint8_t x : xs) u64(x);
+  }
+  void u32s(const std::vector<std::uint32_t>& xs) {
+    sz(xs.size());
+    for (const std::uint32_t x : xs) u64(x);
+  }
+  void ints(const std::vector<int>& xs) {
+    sz(xs.size());
+    for (const int x : xs) i64(x);
+  }
+  void szs(const std::vector<std::size_t>& xs) {
+    sz(xs.size());
+    for (const std::size_t x : xs) sz(x);
+  }
+
+  void running(const RunningStatsState& s) {
+    sz(s.count);
+    f64(s.mean);
+    f64(s.m2);
+    f64(s.sum);
+    f64(s.min);
+    f64(s.max);
+  }
+  void rng(const RngState& s) {
+    for (const std::uint64_t w : s.words) u64(w);
+    f64(s.cached_normal);
+    u64(s.has_cached_normal ? 1 : 0);
+  }
+  void reservoir(const ReservoirSamplerState& s) {
+    sz(s.capacity);
+    sz(s.count);
+    rng(s.rng);
+    f64s(s.items);
+  }
+  void p2(const P2QuantileState& s) {
+    f64(s.p);
+    sz(s.count);
+    for (const double v : s.heights) f64(v);
+    for (const double v : s.positions) f64(v);
+    for (const double v : s.desired) f64(v);
+    for (const double v : s.increments) f64(v);
+  }
+  void key(const core::DecisionKey& k) {
+    u64(k.ladder_id);
+    u64(k.alpha_bits);
+    i64(k.buffer);
+    i64(k.bandwidth);
+    i64(k.vibration);
+    i64(k.confidence);
+    i64(k.signal);
+    i64(k.remaining);
+    i64(k.prev_level);
+  }
+  void cost(const core::CostStats& s) {
+    u64(s.qoe_model_evals);
+    u64(s.power_model_evals);
+    u64(s.edge_evals);
+    u64(s.tables_built);
+    u64(s.plans);
+    u64(s.cache_hits);
+    u64(s.cache_misses);
+    u64(s.cache_evictions);
+  }
+  void metrics(const FleetRegionMetrics& m) {
+    sz(m.region);
+    sz(m.first_cell);
+    sz(m.num_cells);
+    sz(m.sessions);
+    sz(m.events);
+    sz(m.requests);
+    sz(m.handoffs);
+    sz(m.stall_events);
+    sz(m.peak_live_sessions);
+    sz(m.escape_handoffs);
+    sz(m.backoff_retries);
+    sz(m.abandoned_sessions);
+    sz(m.policy_sheds);
+    sz(m.policy_recoveries);
+    sz(m.shed_decisions);
+    f64(m.degraded_time_s);
+    f64(m.wasted_energy_j);
+    f64(m.median_qoe);
+    f64(m.median_energy_j);
+    cost(m.planner);
+  }
+};
+
+struct Reader {
+  std::istream& in;
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (!(in >> v)) {
+      throw std::runtime_error(
+          "load_fleet_checkpoint: truncated or malformed checkpoint");
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::size_t sz() { return static_cast<std::size_t>(u64()); }
+
+  std::vector<double> f64s() {
+    std::vector<double> xs(sz());
+    for (double& x : xs) x = f64();
+    return xs;
+  }
+  std::vector<std::uint8_t> u8s() {
+    std::vector<std::uint8_t> xs(sz());
+    for (std::uint8_t& x : xs) x = static_cast<std::uint8_t>(u64());
+    return xs;
+  }
+  std::vector<std::uint32_t> u32s() {
+    std::vector<std::uint32_t> xs(sz());
+    for (std::uint32_t& x : xs) x = static_cast<std::uint32_t>(u64());
+    return xs;
+  }
+  std::vector<int> ints() {
+    std::vector<int> xs(sz());
+    for (int& x : xs) x = static_cast<int>(i64());
+    return xs;
+  }
+  std::vector<std::size_t> szs() {
+    std::vector<std::size_t> xs(sz());
+    for (std::size_t& x : xs) x = sz();
+    return xs;
+  }
+
+  RunningStatsState running() {
+    RunningStatsState s;
+    s.count = sz();
+    s.mean = f64();
+    s.m2 = f64();
+    s.sum = f64();
+    s.min = f64();
+    s.max = f64();
+    return s;
+  }
+  RngState rng() {
+    RngState s;
+    for (std::uint64_t& w : s.words) w = u64();
+    s.cached_normal = f64();
+    s.has_cached_normal = u64() != 0;
+    return s;
+  }
+  ReservoirSamplerState reservoir() {
+    ReservoirSamplerState s;
+    s.capacity = sz();
+    s.count = sz();
+    s.rng = rng();
+    s.items = f64s();
+    return s;
+  }
+  P2QuantileState p2() {
+    P2QuantileState s;
+    s.p = f64();
+    s.count = sz();
+    for (double& v : s.heights) v = f64();
+    for (double& v : s.positions) v = f64();
+    for (double& v : s.desired) v = f64();
+    for (double& v : s.increments) v = f64();
+    return s;
+  }
+  core::DecisionKey key() {
+    core::DecisionKey k;
+    k.ladder_id = u64();
+    k.alpha_bits = u64();
+    k.buffer = i64();
+    k.bandwidth = i64();
+    k.vibration = i64();
+    k.confidence = i64();
+    k.signal = i64();
+    k.remaining = i64();
+    k.prev_level = i64();
+    return k;
+  }
+  core::CostStats cost() {
+    core::CostStats s;
+    s.qoe_model_evals = u64();
+    s.power_model_evals = u64();
+    s.edge_evals = u64();
+    s.tables_built = u64();
+    s.plans = u64();
+    s.cache_hits = u64();
+    s.cache_misses = u64();
+    s.cache_evictions = u64();
+    return s;
+  }
+  FleetRegionMetrics metrics() {
+    FleetRegionMetrics m;
+    m.region = sz();
+    m.first_cell = sz();
+    m.num_cells = sz();
+    m.sessions = sz();
+    m.events = sz();
+    m.requests = sz();
+    m.handoffs = sz();
+    m.stall_events = sz();
+    m.peak_live_sessions = sz();
+    m.escape_handoffs = sz();
+    m.backoff_retries = sz();
+    m.abandoned_sessions = sz();
+    m.policy_sheds = sz();
+    m.policy_recoveries = sz();
+    m.shed_decisions = sz();
+    m.degraded_time_s = f64();
+    m.wasted_energy_j = f64();
+    m.median_qoe = f64();
+    m.median_energy_j = f64();
+    m.planner = cost();
+    return m;
+  }
+};
+
+}  // namespace
+
+void save_fleet_checkpoint(const FleetCheckpoint& checkpoint,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_fleet_checkpoint: cannot open " + path);
+  }
+  out << kMagic << ' ' << kVersion << '\n';
+  Writer w{out};
+  w.u64(checkpoint.config_fingerprint);
+  w.f64(checkpoint.checkpoint_t_s);
+  w.sz(checkpoint.regions.size());
+  for (const FleetRegionCheckpoint& r : checkpoint.regions) {
+    w.sz(r.region);
+    w.sz(r.live);
+    w.sz(r.events.size());
+    for (const FleetEventState& e : r.events) {
+      w.f64(e.t_s);
+      w.i64(e.session);
+      w.u64(e.kind);
+      w.u64(e.slot);
+    }
+    const FleetArenaState& a = r.arena;
+    w.sz(a.window);
+    w.ints(a.session);
+    w.szs(a.cell);
+    w.szs(a.next_segment);
+    w.f64s(a.arrival_s);
+    w.f64s(a.last_event_s);
+    w.f64s(a.buffer_s);
+    w.u8s(a.playing);
+    w.f64s(a.startup_s);
+    w.f64s(a.rebuffer_s);
+    w.f64s(a.seg_rebuffer_s);
+    w.f64s(a.qoe_sum);
+    w.f64s(a.energy_j);
+    w.f64s(a.bitrate_sum);
+    w.f64s(a.prev_bitrate);
+    w.ints(a.prev_level);
+    w.f64s(a.request_s);
+    w.f64s(a.size_mb);
+    w.f64s(a.level_bitrate);
+    w.u32s(a.level);
+    w.sz(a.last_key.size());
+    for (const core::DecisionKey& k : a.last_key) w.key(k);
+    w.u32s(a.last_level);
+    w.u8s(a.has_last);
+    w.u32s(a.retries);
+    w.f64s(a.throughputs);
+    w.szs(a.seen);
+    w.u32s(a.free_slots);
+    w.szs(r.cell_active);
+    w.metrics(r.metrics);
+    w.running(r.qoe);
+    w.running(r.energy_j);
+    w.running(r.bitrate_mbps);
+    w.running(r.rebuffer_s);
+    w.running(r.startup_s);
+    w.reservoir(r.qoe_sample);
+    w.reservoir(r.energy_sample);
+    w.reservoir(r.rebuffer_sample);
+    w.p2(r.median_qoe);
+    w.p2(r.median_energy);
+    w.u64(r.shed.live_shed);
+    w.u64(r.shed.miss_shed);
+    w.f64(r.shed.shed_until_s);
+    w.u64(r.shed.window_consults);
+    w.u64(r.shed.window_misses);
+    w.u64(r.cache.stats.hits);
+    w.u64(r.cache.stats.misses);
+    w.u64(r.cache.stats.evictions);
+    w.sz(r.cache.entries.size());
+    for (const core::DecisionCacheState::Entry& e : r.cache.entries) {
+      w.sz(e.slot);
+      w.key(e.key);
+      w.u64(e.level);
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    throw std::runtime_error("save_fleet_checkpoint: write failed on " + path);
+  }
+}
+
+FleetCheckpoint load_fleet_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_fleet_checkpoint: cannot open " + path);
+  }
+  std::string magic;
+  std::uint64_t version = 0;
+  if (!(in >> magic >> version) || magic != kMagic || version != kVersion) {
+    throw std::runtime_error(
+        "load_fleet_checkpoint: bad magic or unsupported version in " + path);
+  }
+  Reader rd{in};
+  FleetCheckpoint checkpoint;
+  checkpoint.config_fingerprint = rd.u64();
+  checkpoint.checkpoint_t_s = rd.f64();
+  checkpoint.regions.resize(rd.sz());
+  for (FleetRegionCheckpoint& r : checkpoint.regions) {
+    r.region = rd.sz();
+    r.live = rd.sz();
+    r.events.resize(rd.sz());
+    for (FleetEventState& e : r.events) {
+      e.t_s = rd.f64();
+      e.session = static_cast<int>(rd.i64());
+      e.kind = static_cast<std::uint8_t>(rd.u64());
+      e.slot = static_cast<std::uint32_t>(rd.u64());
+    }
+    FleetArenaState& a = r.arena;
+    a.window = rd.sz();
+    a.session = rd.ints();
+    a.cell = rd.szs();
+    a.next_segment = rd.szs();
+    a.arrival_s = rd.f64s();
+    a.last_event_s = rd.f64s();
+    a.buffer_s = rd.f64s();
+    a.playing = rd.u8s();
+    a.startup_s = rd.f64s();
+    a.rebuffer_s = rd.f64s();
+    a.seg_rebuffer_s = rd.f64s();
+    a.qoe_sum = rd.f64s();
+    a.energy_j = rd.f64s();
+    a.bitrate_sum = rd.f64s();
+    a.prev_bitrate = rd.f64s();
+    a.prev_level = rd.ints();
+    a.request_s = rd.f64s();
+    a.size_mb = rd.f64s();
+    a.level_bitrate = rd.f64s();
+    a.level = rd.u32s();
+    a.last_key.resize(rd.sz());
+    for (core::DecisionKey& k : a.last_key) k = rd.key();
+    a.last_level = rd.u32s();
+    a.has_last = rd.u8s();
+    a.retries = rd.u32s();
+    a.throughputs = rd.f64s();
+    a.seen = rd.szs();
+    a.free_slots = rd.u32s();
+    r.cell_active = rd.szs();
+    r.metrics = rd.metrics();
+    r.qoe = rd.running();
+    r.energy_j = rd.running();
+    r.bitrate_mbps = rd.running();
+    r.rebuffer_s = rd.running();
+    r.startup_s = rd.running();
+    r.qoe_sample = rd.reservoir();
+    r.energy_sample = rd.reservoir();
+    r.rebuffer_sample = rd.reservoir();
+    r.median_qoe = rd.p2();
+    r.median_energy = rd.p2();
+    r.shed.live_shed = static_cast<std::uint8_t>(rd.u64());
+    r.shed.miss_shed = static_cast<std::uint8_t>(rd.u64());
+    r.shed.shed_until_s = rd.f64();
+    r.shed.window_consults = rd.u64();
+    r.shed.window_misses = rd.u64();
+    r.cache.stats.hits = rd.u64();
+    r.cache.stats.misses = rd.u64();
+    r.cache.stats.evictions = rd.u64();
+    r.cache.entries.resize(rd.sz());
+    for (core::DecisionCacheState::Entry& e : r.cache.entries) {
+      e.slot = rd.sz();
+      e.key = rd.key();
+      e.level = static_cast<std::uint32_t>(rd.u64());
+    }
+  }
+  return checkpoint;
+}
+
+}  // namespace eacs::sim

@@ -1,0 +1,150 @@
+#include "eacs/sim/fleet_fault_study.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eacs::sim {
+namespace {
+
+/// Intensity scaling conventions: probabilities scale linearly (clamped to
+/// 1); severities interpolate from "healthy" toward the full-strength value,
+/// so intensity 0 is exactly the clean fleet for every knob.
+double scaled_prob(double prob, double intensity) noexcept {
+  return std::min(1.0, prob * intensity);
+}
+double lerp_from_one(double full, double intensity) noexcept {
+  return 1.0 + (full - 1.0) * intensity;  // factors / multipliers
+}
+
+/// Seeded-episode horizon: the last arrival plus a generous multiple of the
+/// nominal session length, so late sessions still see faults.
+double fault_horizon_s(const FleetConfig& fleet) noexcept {
+  const double arrivals = static_cast<double>(fleet.num_sessions) /
+                          fleet.arrival_rate_per_s;
+  const double session_s = static_cast<double>(fleet.segments_per_session) *
+                           fleet.segment_duration_s;
+  return arrivals + 4.0 * session_s;
+}
+
+FleetFaultSpec spec_for(const FleetFaultStudyConfig& config,
+                        FleetFaultScenario scenario, double intensity) {
+  // kCombined runs every family at half the cell's intensity.
+  const bool combined = scenario == FleetFaultScenario::kCombined;
+  const double level = combined ? 0.5 * intensity : intensity;
+
+  FleetFaultSpec spec;
+  SeededFaultConfig& gen = spec.seeded;
+  gen.horizon_s = fault_horizon_s(config.fleet);
+  gen.epoch_s = config.epoch_s;
+  gen.domain_cells = config.domain_cells;
+  gen.seed = config.seed;
+  if (combined || scenario == FleetFaultScenario::kCellOutages) {
+    gen.outage_prob = scaled_prob(config.outage_prob, level);
+    gen.outage_duration_s = config.outage_duration_s;
+  }
+  if (combined || scenario == FleetFaultScenario::kBrownout) {
+    gen.brownout_prob = scaled_prob(config.brownout_prob, level);
+    gen.brownout_factor = lerp_from_one(config.brownout_factor, level);
+    gen.brownout_duration_s = config.brownout_duration_s;
+  }
+  if (combined || scenario == FleetFaultScenario::kSignalCollapse) {
+    gen.collapse_prob = scaled_prob(config.collapse_prob, level);
+    gen.collapse_db = config.collapse_db * level;
+    gen.collapse_duration_s = config.collapse_duration_s;
+  }
+  if (combined || scenario == FleetFaultScenario::kFlashCrowd) {
+    gen.surge_prob = scaled_prob(config.surge_prob, level);
+    gen.surge_multiplier = lerp_from_one(config.surge_multiplier, level);
+    gen.surge_duration_s = config.surge_duration_s;
+  }
+  return spec;
+}
+
+}  // namespace
+
+const char* to_string(FleetFaultScenario scenario) noexcept {
+  switch (scenario) {
+    case FleetFaultScenario::kCellOutages:
+      return "cell_outages";
+    case FleetFaultScenario::kBrownout:
+      return "brownout";
+    case FleetFaultScenario::kSignalCollapse:
+      return "signal_collapse";
+    case FleetFaultScenario::kFlashCrowd:
+      return "flash_crowd";
+    case FleetFaultScenario::kCombined:
+      return "combined";
+  }
+  return "unknown";
+}
+
+std::vector<FleetFaultScenario> all_fleet_fault_scenarios() {
+  return {FleetFaultScenario::kCellOutages, FleetFaultScenario::kBrownout,
+          FleetFaultScenario::kSignalCollapse, FleetFaultScenario::kFlashCrowd,
+          FleetFaultScenario::kCombined};
+}
+
+const FleetFaultStudyCell& FleetFaultStudyResult::cell(
+    FleetFaultScenario scenario, double intensity, FleetPolicy policy) const {
+  for (const FleetFaultStudyCell& c : cells) {
+    if (c.scenario == scenario && c.intensity == intensity &&
+        c.policy == policy) {
+      return c;
+    }
+  }
+  throw std::out_of_range("FleetFaultStudyResult::cell: no such grid point");
+}
+
+FleetFaultStudyResult run_fleet_fault_study(
+    const FleetFaultStudyConfig& config) {
+  if (config.intensities.empty() || config.policies.empty()) {
+    throw std::invalid_argument("run_fleet_fault_study: empty sweep axes");
+  }
+  for (const double intensity : config.intensities) {
+    if (!(intensity > 0.0 && intensity <= 1.0)) {
+      throw std::invalid_argument(
+          "run_fleet_fault_study: intensities must be in (0, 1]");
+    }
+  }
+  const auto scenarios = config.scenarios.empty() ? all_fleet_fault_scenarios()
+                                                  : config.scenarios;
+
+  FleetFaultStudyResult result;
+  result.policies = config.policies;
+
+  // Clean per-policy baselines anchor every delta.
+  result.baselines.reserve(config.policies.size());
+  for (const FleetPolicy policy : config.policies) {
+    FleetConfig fleet = config.fleet;
+    fleet.policy = policy;
+    fleet.faults = FleetFaultSpec{};
+    result.baselines.push_back(run_fleet(fleet));
+  }
+
+  for (const FleetFaultScenario scenario : scenarios) {
+    for (const double intensity : config.intensities) {
+      for (std::size_t p = 0; p < config.policies.size(); ++p) {
+        FleetConfig fleet = config.fleet;
+        fleet.policy = config.policies[p];
+        fleet.faults = spec_for(config, scenario, intensity);
+
+        FleetFaultStudyCell cell;
+        cell.scenario = scenario;
+        cell.intensity = intensity;
+        cell.policy = config.policies[p];
+        cell.metrics = run_fleet(fleet);
+        const FleetMetrics& clean = result.baselines[p];
+        cell.qoe_delta_vs_clean =
+            cell.metrics.qoe.mean() - clean.qoe.mean();
+        cell.energy_delta_vs_clean_j =
+            cell.metrics.energy_j.mean() - clean.energy_j.mean();
+        cell.rebuffer_delta_vs_clean_s =
+            cell.metrics.rebuffer_s.mean() - clean.rebuffer_s.mean();
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace eacs::sim

@@ -1,0 +1,259 @@
+#include "eacs/sim/fleet_faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "eacs/sim/seed_mix.h"
+
+namespace eacs::sim {
+namespace {
+
+// seed_mix lanes for the seeded episode draws (XORed into the base seed so
+// the per-kind streams are independent; see fleet.cpp's lane convention).
+constexpr std::uint64_t kOutageLane = 0x00FA'0001;
+constexpr std::uint64_t kBrownoutLane = 0x00FA'0002;
+constexpr std::uint64_t kCollapseLane = 0x00FA'0003;
+constexpr std::uint64_t kSurgeLane = 0x00FA'0004;
+
+bool finite_interval(double t0, double t1) noexcept {
+  return std::isfinite(t0) && std::isfinite(t1) && t1 > t0;
+}
+
+void check_interval(double t0, double t1, const char* what) {
+  if (!finite_interval(t0, t1)) {
+    throw std::invalid_argument(std::string("FleetFaultModel: ") + what +
+                                " interval must be finite with t1 > t0");
+  }
+}
+
+void check_cells(std::size_t first, std::size_t count, std::size_t total,
+                 const char* what) {
+  if (count == 0 || first >= total || total - first < count) {
+    throw std::invalid_argument(std::string("FleetFaultModel: ") + what +
+                                " cell range outside the network");
+  }
+}
+
+bool covers(std::size_t first, std::size_t count, std::size_t cell) noexcept {
+  return cell >= first && cell - first < count;
+}
+
+bool active(double t0, double t1, double t_s) noexcept {
+  return t_s >= t0 && t_s < t1;
+}
+
+/// SplitMix64 finalizer. seed_mix alone has no avalanche (it is XOR of
+/// multiplies), which is fine when the result seeds an Rng but not for a
+/// direct Bernoulli threshold: lane bits below position 11 would be wiped by
+/// seed_unit's mantissa shift, and a p = 0.5 draw would depend on bit 63
+/// alone. Finalizing diffuses every input bit across the word first.
+std::uint64_t avalanche(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Per-(domain, epoch) Bernoulli: pure in (seed, lane, domain, epoch).
+bool episode_fires(std::uint64_t seed, std::uint64_t lane, std::size_t domain,
+                   std::size_t epoch, double prob) noexcept {
+  if (!(prob > 0.0)) return false;
+  return seed_unit(avalanche(seed_mix(seed ^ lane, domain,
+                                      static_cast<int>(epoch)))) < prob;
+}
+
+}  // namespace
+
+FleetFaultModel::FleetFaultModel(const FleetFaultSpec& spec,
+                                 std::size_t num_cells) {
+  if (num_cells == 0) {
+    throw std::invalid_argument("FleetFaultModel: zero cells");
+  }
+
+  for (const CellOutage& o : spec.outages) {
+    check_interval(o.t0_s, o.t1_s, "outage");
+    check_cells(o.first_cell, o.num_cells, num_cells, "outage");
+    outages_.push_back(o);
+  }
+  for (const CapacityBrownout& b : spec.brownouts) {
+    check_interval(b.t0_s, b.t1_s, "brownout");
+    check_cells(b.first_cell, b.num_cells, num_cells, "brownout");
+    if (!(b.capacity_factor > 0.0 && b.capacity_factor <= 1.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: brownout factor must be in (0, 1]");
+    }
+    brownouts_.push_back(b);
+  }
+  for (const SignalCollapse& c : spec.collapses) {
+    check_interval(c.t0_s, c.t1_s, "collapse");
+    check_cells(c.first_cell, c.num_cells, num_cells, "collapse");
+    if (!(std::isfinite(c.offset_db) && c.offset_db <= 0.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: collapse offset must be finite and <= 0 dB");
+    }
+    collapses_.push_back(c);
+  }
+  std::vector<ArrivalSurge> surges;
+  for (const ArrivalSurge& s : spec.surges) {
+    check_interval(s.t0_s, s.t1_s, "surge");
+    if (!(std::isfinite(s.rate_multiplier) && s.rate_multiplier > 0.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: surge multiplier must be finite and > 0");
+    }
+    surges.push_back(s);
+  }
+
+  // Seeded episode generation: one Bernoulli per (domain, epoch) per kind,
+  // materialized in (epoch, domain) order so the episode lists are
+  // deterministic. Stateless draws — every run with this spec generates the
+  // identical episode set.
+  const SeededFaultConfig& gen = spec.seeded;
+  if (gen.enabled()) {
+    if (!(std::isfinite(gen.horizon_s) && gen.horizon_s > 0.0) ||
+        !(std::isfinite(gen.epoch_s) && gen.epoch_s > 0.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: seeded horizon and epoch must be finite and > 0");
+    }
+    if (gen.domain_cells == 0) {
+      throw std::invalid_argument(
+          "FleetFaultModel: seeded domain_cells must be >= 1");
+    }
+    for (const double p : {gen.outage_prob, gen.brownout_prob,
+                           gen.collapse_prob, gen.surge_prob}) {
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(
+            "FleetFaultModel: seeded probabilities must be in [0, 1]");
+      }
+    }
+    for (const double d :
+         {gen.outage_duration_s, gen.brownout_duration_s,
+          gen.collapse_duration_s, gen.surge_duration_s}) {
+      if (!(std::isfinite(d) && d > 0.0)) {
+        throw std::invalid_argument(
+            "FleetFaultModel: seeded durations must be finite and > 0");
+      }
+    }
+    if (!(gen.brownout_factor > 0.0 && gen.brownout_factor <= 1.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: seeded brownout factor must be in (0, 1]");
+    }
+    if (!(std::isfinite(gen.collapse_db) && gen.collapse_db <= 0.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: seeded collapse offset must be finite and <= 0");
+    }
+    if (!(std::isfinite(gen.surge_multiplier) && gen.surge_multiplier > 0.0)) {
+      throw std::invalid_argument(
+          "FleetFaultModel: seeded surge multiplier must be finite and > 0");
+    }
+    const auto num_epochs =
+        static_cast<std::size_t>(std::ceil(gen.horizon_s / gen.epoch_s));
+    const std::size_t num_domains =
+        (num_cells + gen.domain_cells - 1) / gen.domain_cells;
+    for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
+      const double t0 = static_cast<double>(epoch) * gen.epoch_s;
+      for (std::size_t domain = 0; domain < num_domains; ++domain) {
+        const std::size_t first = domain * gen.domain_cells;
+        const std::size_t count = std::min(gen.domain_cells, num_cells - first);
+        if (episode_fires(gen.seed, kOutageLane, domain, epoch,
+                          gen.outage_prob)) {
+          outages_.push_back({t0, t0 + gen.outage_duration_s, first, count});
+        }
+        if (episode_fires(gen.seed, kBrownoutLane, domain, epoch,
+                          gen.brownout_prob)) {
+          brownouts_.push_back({t0, t0 + gen.brownout_duration_s, first, count,
+                                gen.brownout_factor});
+        }
+        if (episode_fires(gen.seed, kCollapseLane, domain, epoch,
+                          gen.collapse_prob)) {
+          collapses_.push_back({t0, t0 + gen.collapse_duration_s, first, count,
+                                gen.collapse_db});
+        }
+      }
+      if (episode_fires(gen.seed, kSurgeLane, 0, epoch, gen.surge_prob)) {
+        // Clamped to the epoch so seeded surges never overlap each other.
+        surges.push_back({t0, t0 + std::min(gen.surge_duration_s, gen.epoch_s),
+                          gen.surge_multiplier});
+      }
+    }
+  }
+
+  // Surge profile: sweep all interval edges and take the most severe
+  // (largest) multiplier over the active set in each span. The trailing
+  // segment is multiplier 1 out to infinity, so the warp is the identity
+  // after the last surge ends.
+  if (!surges.empty()) {
+    std::vector<double> edges;
+    edges.push_back(0.0);
+    for (const ArrivalSurge& s : surges) {
+      if (s.t0_s > 0.0) edges.push_back(s.t0_s);
+      if (s.t1_s > 0.0) edges.push_back(s.t1_s);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (const double t0 : edges) {
+      double mult = 1.0;
+      for (const ArrivalSurge& s : surges) {
+        if (active(s.t0_s, s.t1_s, t0)) mult = std::max(mult, s.rate_multiplier);
+      }
+      if (!profile_.empty() && profile_.back().rate_mult == mult) continue;
+      profile_.push_back({t0, mult, 0.0});
+    }
+    for (std::size_t i = 1; i < profile_.size(); ++i) {
+      profile_[i].cum_units =
+          profile_[i - 1].cum_units +
+          profile_[i - 1].rate_mult * (profile_[i].t0_s - profile_[i - 1].t0_s);
+    }
+    if (profile_.size() == 1 && profile_[0].rate_mult == 1.0) {
+      profile_.clear();  // all surges were neutral: identity warp
+    }
+  }
+}
+
+bool FleetFaultModel::cell_dead(std::size_t cell, double t_s) const noexcept {
+  for (const CellOutage& o : outages_) {
+    if (active(o.t0_s, o.t1_s, t_s) && covers(o.first_cell, o.num_cells, cell)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FleetFaultModel::capacity_factor(std::size_t cell,
+                                        double t_s) const noexcept {
+  double factor = 1.0;
+  for (const CapacityBrownout& b : brownouts_) {
+    if (active(b.t0_s, b.t1_s, t_s) && covers(b.first_cell, b.num_cells, cell)) {
+      factor = std::min(factor, b.capacity_factor);
+    }
+  }
+  return factor;
+}
+
+double FleetFaultModel::signal_offset_db(std::size_t cell,
+                                         double t_s) const noexcept {
+  double offset = 0.0;
+  for (const SignalCollapse& c : collapses_) {
+    if (active(c.t0_s, c.t1_s, t_s) && covers(c.first_cell, c.num_cells, cell)) {
+      offset = std::min(offset, c.offset_db);
+    }
+  }
+  return offset;
+}
+
+double FleetFaultModel::arrival_time(std::size_t session,
+                                     double base_rate_per_s) const noexcept {
+  const double target = static_cast<double>(session) / base_rate_per_s;
+  if (profile_.empty()) return target;
+  // Find the last segment whose cumulative units do not exceed the target,
+  // then invert the piecewise-linear integral inside it.
+  std::size_t i = profile_.size() - 1;
+  while (i > 0 && profile_[i].cum_units > target) --i;
+  const SurgeSegment& seg = profile_[i];
+  return seg.t0_s + (target - seg.cum_units) / seg.rate_mult;
+}
+
+}  // namespace eacs::sim

@@ -12,6 +12,18 @@
 
 namespace eacs {
 
+/// Complete engine state of an Rng, exposed for deterministic
+/// checkpoint/resume (DESIGN §14): restoring a captured state reproduces the
+/// remaining draw stream bit-for-bit. The fields are the raw xoshiro256**
+/// words plus the Box-Muller carry.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// Deterministic random number generator (xoshiro256** engine).
 ///
 /// Not thread-safe; create one instance per logical stream. Use `fork()` to
@@ -51,6 +63,16 @@ class Rng {
 
   /// Derives an independent child stream; deterministic in (parent state, salt).
   Rng fork(std::uint64_t salt) noexcept;
+
+  /// Snapshot of the full engine state (checkpoint side).
+  RngState state() const noexcept {
+    return {state_, cached_normal_, has_cached_normal_};
+  }
+
+  /// Restores a previously captured state (resume side); throws
+  /// std::invalid_argument on the all-zero word state, which xoshiro256**
+  /// can never reach and never leave.
+  void restore(const RngState& state);
 
   /// Shuffles a vector in place (Fisher-Yates).
   template <typename T>

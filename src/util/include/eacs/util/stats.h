@@ -44,11 +44,39 @@ double max_of(std::span<const double> xs) noexcept;
 /// Pearson correlation coefficient; 0 if either side is constant or empty.
 double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
 
+/// Full internal state of a RunningStats accumulator. Exposed for the fleet
+/// checkpoint (DESIGN §14): restore(state()) reproduces the accumulator
+/// bit-for-bit, so serialize -> restore -> add/merge equals never-serialized.
+struct RunningStatsState {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  bool operator==(const RunningStatsState&) const = default;
+};
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 class RunningStats {
  public:
   void add(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
+
+  /// Checkpoint-safe state round-trip: state() captures every internal
+  /// field; restore() reinstates them exactly.
+  RunningStatsState state() const noexcept {
+    return {count_, mean_, m2_, sum_, min_, max_};
+  }
+  void restore(const RunningStatsState& state) noexcept {
+    count_ = state.count;
+    mean_ = state.mean;
+    m2_ = state.m2;
+    sum_ = state.sum;
+    min_ = state.min;
+    max_ = state.max;
+  }
 
   std::size_t count() const noexcept { return count_; }
   double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
@@ -94,6 +122,21 @@ class SlidingWindow {
   std::vector<double> items_;
 };
 
+/// Full internal state of a P2Quantile estimator (markers, positions, and
+/// bootstrap count). P^2 is deliberately NOT mergeable; exposing the state
+/// instead makes it checkpoint-safe: restore(state()) continues the stream
+/// bit-for-bit where the checkpoint cut it.
+struct P2QuantileState {
+  double p = 0.5;
+  std::size_t count = 0;
+  std::array<double, 5> heights{};
+  std::array<double, 5> positions{};
+  std::array<double, 5> desired{};
+  std::array<double, 5> increments{};
+
+  bool operator==(const P2QuantileState&) const = default;
+};
+
 /// Online quantile estimator (Jain & Chlamtac's P^2 algorithm): tracks one
 /// quantile of an unbounded stream in O(1) memory with five markers. Exact
 /// until five samples have arrived, then piecewise-parabolic interpolation.
@@ -107,6 +150,13 @@ class P2Quantile {
   explicit P2Quantile(double p);
 
   void add(double x);
+
+  /// Checkpoint-safe state round-trip. restore() throws
+  /// std::invalid_argument when the quantile parameter is outside (0, 1).
+  P2QuantileState state() const noexcept {
+    return {p_, count_, heights_, positions_, desired_, increments_};
+  }
+  void restore(const P2QuantileState& state);
 
   std::size_t count() const noexcept { return count_; }
   double p() const noexcept { return p_; }
@@ -122,6 +172,19 @@ class P2Quantile {
   std::array<double, 5> positions_{};  // actual marker positions n_i
   std::array<double, 5> desired_{};    // desired marker positions n'_i
   std::array<double, 5> increments_{}; // dn'_i per observation
+};
+
+/// Full internal state of a ReservoirSampler: the kept sample, the stream
+/// count, and the exact Rng engine state — everything the remaining stream's
+/// keep/evict draws depend on. Restoring it makes checkpointed sampling
+/// bit-identical to uninterrupted sampling, including across merges.
+struct ReservoirSamplerState {
+  std::size_t capacity = 1;
+  std::size_t count = 0;
+  RngState rng;
+  std::vector<double> items;
+
+  bool operator==(const ReservoirSamplerState&) const = default;
 };
 
 /// Fixed-capacity uniform sample of an unbounded stream (Algorithm R with a
@@ -141,6 +204,14 @@ class ReservoirSampler {
   /// reservoirs with probability proportional to their stream counts.
   /// Deterministic in (this state, other state).
   void merge(const ReservoirSampler& other);
+
+  /// Checkpoint-safe state round-trip. restore() throws
+  /// std::invalid_argument on zero capacity, more kept items than capacity,
+  /// fewer items than min(count, capacity), or an invalid Rng state.
+  ReservoirSamplerState state() const noexcept {
+    return {capacity_, count_, rng_.state(), items_};
+  }
+  void restore(const ReservoirSamplerState& state);
 
   std::size_t capacity() const noexcept { return capacity_; }
   /// Samples seen (the whole stream, not the kept subset).

@@ -1,6 +1,7 @@
 #include "eacs/util/rng.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace eacs {
 namespace {
@@ -105,6 +106,16 @@ bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::fork(std::uint64_t salt) noexcept {
   return Rng{next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL)};
+}
+
+void Rng::restore(const RngState& state) {
+  if (state.words[0] == 0 && state.words[1] == 0 && state.words[2] == 0 &&
+      state.words[3] == 0) {
+    throw std::invalid_argument("Rng::restore: all-zero xoshiro state");
+  }
+  state_ = state.words;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
 }
 
 }  // namespace eacs

@@ -221,6 +221,18 @@ void P2Quantile::add(double x) {
   }
 }
 
+void P2Quantile::restore(const P2QuantileState& state) {
+  if (!(state.p > 0.0 && state.p < 1.0)) {
+    throw std::invalid_argument("P2Quantile::restore: p must be in (0, 1)");
+  }
+  p_ = state.p;
+  count_ = state.count;
+  heights_ = state.heights;
+  positions_ = state.positions;
+  desired_ = state.desired;
+  increments_ = state.increments;
+}
+
 double P2Quantile::value() const noexcept {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {
@@ -282,6 +294,28 @@ void ReservoirSampler::merge(const ReservoirSampler& other) {
   }
   items_ = std::move(merged);
   count_ += other.count_;
+}
+
+void ReservoirSampler::restore(const ReservoirSamplerState& state) {
+  if (state.capacity == 0) {
+    throw std::invalid_argument("ReservoirSampler::restore: zero capacity");
+  }
+  if (state.items.size() > state.capacity) {
+    throw std::invalid_argument(
+        "ReservoirSampler::restore: more kept items than capacity");
+  }
+  if (state.items.size() != std::min(state.count, state.capacity)) {
+    throw std::invalid_argument(
+        "ReservoirSampler::restore: kept-item count inconsistent with stream "
+        "count");
+  }
+  Rng rng(0);  // seed irrelevant; the state overwrite below is total
+  rng.restore(state.rng);
+  capacity_ = state.capacity;
+  count_ = state.count;
+  rng_ = rng;
+  items_ = state.items;
+  items_.reserve(capacity_);
 }
 
 double ReservoirSampler::quantile(double p) const {

@@ -1,0 +1,263 @@
+// Deterministic fleet checkpoint/resume (DESIGN §14).
+//
+// The headline contract: run_fleet_until(T) + resume_fleet == run_fleet,
+// EXPECT_EQ on every aggregate — not approximately, bitwise — for both
+// policies, with and without faults, at several cut points including
+// degenerate ones (before the first arrival, after the drain). The sidecar
+// file round-trips the checkpoint exactly, and the config fingerprint
+// refuses to resume under a config that would silently diverge.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eacs/sim/fleet.h"
+#include "eacs/sim/fleet_checkpoint.h"
+
+namespace eacs::sim {
+namespace {
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.network.num_cells = 8;
+  config.num_sessions = 400;
+  config.arrival_rate_per_s = 4.0;
+  config.segments_per_session = 12;
+  config.regions = 4;
+  return config;
+}
+
+FleetConfig faulted_fleet() {
+  FleetConfig config = small_fleet();
+  config.faults.outages.push_back(
+      {.t0_s = 10.0, .t1_s = 45.0, .first_cell = 0, .num_cells = 4});
+  config.faults.surges.push_back(
+      {.t0_s = 5.0, .t1_s = 25.0, .rate_multiplier = 3.0});
+  config.faults.seeded.horizon_s = 200.0;
+  config.faults.seeded.brownout_prob = 0.4;
+  config.faults.seeded.collapse_prob = 0.4;
+  return config;
+}
+
+void expect_metrics_eq(const FleetMetrics& a, const FleetMetrics& b) {
+  EXPECT_EQ(a.sessions, b.sessions);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.handoffs, b.handoffs);
+  EXPECT_EQ(a.stall_events, b.stall_events);
+  EXPECT_EQ(a.peak_live_sessions, b.peak_live_sessions);
+  EXPECT_EQ(a.escape_handoffs, b.escape_handoffs);
+  EXPECT_EQ(a.backoff_retries, b.backoff_retries);
+  EXPECT_EQ(a.abandoned_sessions, b.abandoned_sessions);
+  EXPECT_EQ(a.policy_sheds, b.policy_sheds);
+  EXPECT_EQ(a.policy_recoveries, b.policy_recoveries);
+  EXPECT_EQ(a.shed_decisions, b.shed_decisions);
+  EXPECT_EQ(a.degraded_time_s, b.degraded_time_s);
+  EXPECT_EQ(a.wasted_energy_j, b.wasted_energy_j);
+  EXPECT_EQ(a.planner.plans, b.planner.plans);
+  EXPECT_EQ(a.planner.cache_hits, b.planner.cache_hits);
+  EXPECT_EQ(a.planner.cache_misses, b.planner.cache_misses);
+  EXPECT_EQ(a.planner.cache_evictions, b.planner.cache_evictions);
+  EXPECT_EQ(a.planner.model_evals(), b.planner.model_evals());
+  EXPECT_EQ(a.qoe.mean(), b.qoe.mean());
+  EXPECT_EQ(a.qoe.variance(), b.qoe.variance());
+  EXPECT_EQ(a.energy_j.sum(), b.energy_j.sum());
+  EXPECT_EQ(a.bitrate_mbps.mean(), b.bitrate_mbps.mean());
+  EXPECT_EQ(a.rebuffer_s.sum(), b.rebuffer_s.sum());
+  EXPECT_EQ(a.startup_s.mean(), b.startup_s.mean());
+  EXPECT_EQ(a.qoe_quantile(0.5), b.qoe_quantile(0.5));
+  EXPECT_EQ(a.energy_quantile(0.9), b.energy_quantile(0.9));
+  EXPECT_EQ(a.rebuffer_quantile(0.99), b.rebuffer_quantile(0.99));
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t r = 0; r < a.regions.size(); ++r) {
+    EXPECT_EQ(a.regions[r].events, b.regions[r].events);
+    EXPECT_EQ(a.regions[r].sessions, b.regions[r].sessions);
+    EXPECT_EQ(a.regions[r].median_qoe, b.regions[r].median_qoe);
+    EXPECT_EQ(a.regions[r].median_energy_j, b.regions[r].median_energy_j);
+    EXPECT_EQ(a.regions[r].planner.cache_hits, b.regions[r].planner.cache_hits);
+    EXPECT_EQ(a.regions[r].wasted_energy_j, b.regions[r].wasted_energy_j);
+  }
+}
+
+TEST(FleetCheckpointTest, ResumeMatchesUninterruptedRun) {
+  for (const FleetPolicy policy :
+       {FleetPolicy::kThroughput, FleetPolicy::kPlanner}) {
+    for (const bool faulted : {false, true}) {
+      FleetConfig config = faulted ? faulted_fleet() : small_fleet();
+      config.policy = policy;
+      const FleetMetrics reference = run_fleet(config);
+      for (const double cut : {0.5, 30.0, 75.0}) {
+        const FleetCheckpoint checkpoint = run_fleet_until(config, cut);
+        EXPECT_EQ(checkpoint.checkpoint_t_s, cut);
+        const FleetMetrics resumed = resume_fleet(config, checkpoint);
+        expect_metrics_eq(resumed, reference);
+      }
+    }
+  }
+}
+
+TEST(FleetCheckpointTest, ResumeMatchesAtAnyJobCount) {
+  // Checkpoint under one job count, resume under others: the §6 contract
+  // extends to the cut.
+  FleetConfig config = faulted_fleet();
+  config.policy = FleetPolicy::kPlanner;
+  config.exec = ExecutionPolicy{1};
+  const FleetMetrics reference = run_fleet(config);
+  const FleetCheckpoint checkpoint = run_fleet_until(config, 40.0);
+  for (const std::size_t jobs : {1, 2, 8}) {
+    FleetConfig resumed_config = config;
+    resumed_config.exec = ExecutionPolicy{jobs};
+    const FleetMetrics resumed = resume_fleet(resumed_config, checkpoint);
+    expect_metrics_eq(resumed, reference);
+  }
+}
+
+TEST(FleetCheckpointTest, CutAfterDrainResumesToSameResult) {
+  const FleetConfig config = small_fleet();
+  const FleetMetrics reference = run_fleet(config);
+  // 1e9 s is long past the drain: the checkpoint holds only finished state.
+  const FleetCheckpoint checkpoint = run_fleet_until(config, 1e9);
+  for (const auto& region : checkpoint.regions) {
+    EXPECT_TRUE(region.events.empty());
+    EXPECT_EQ(region.live, 0U);
+  }
+  expect_metrics_eq(resume_fleet(config, checkpoint), reference);
+}
+
+TEST(FleetCheckpointTest, EventAtCutTimeBelongsToResumedRun) {
+  // Arrivals land at exact multiples of 1/rate = 0.25 s. A cut at exactly
+  // 0.25 must leave that arrival in the checkpoint (strict < convention), so
+  // the pending event count across regions is num_sessions minus the
+  // arrivals strictly before the cut (session 0 at t = 0).
+  const FleetConfig config = small_fleet();
+  const FleetCheckpoint checkpoint = run_fleet_until(config, 0.25);
+  std::size_t pending_arrivals = 0;
+  for (const auto& region : checkpoint.regions) {
+    for (const auto& event : region.events) {
+      if (event.kind == 0) ++pending_arrivals;
+      EXPECT_GE(event.t_s, 0.25);
+    }
+  }
+  EXPECT_EQ(pending_arrivals, config.num_sessions - 1);
+}
+
+TEST(FleetCheckpointTest, ValidatesCutTime) {
+  const FleetConfig config = small_fleet();
+  EXPECT_THROW(run_fleet_until(config, 0.0), std::invalid_argument);
+  EXPECT_THROW(run_fleet_until(config, -1.0), std::invalid_argument);
+  EXPECT_THROW(
+      run_fleet_until(config, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      run_fleet_until(config, std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+TEST(FleetCheckpointTest, FingerprintRejectsForeignConfig) {
+  const FleetConfig config = small_fleet();
+  const FleetCheckpoint checkpoint = run_fleet_until(config, 30.0);
+
+  // Any result-shaping change must be refused...
+  FleetConfig changed = config;
+  changed.seed ^= 1;
+  EXPECT_THROW(resume_fleet(changed, checkpoint), std::invalid_argument);
+  changed = config;
+  changed.planner_alpha = 0.7;
+  EXPECT_THROW(resume_fleet(changed, checkpoint), std::invalid_argument);
+  changed = config;
+  changed.resilience.max_retries = 3;
+  EXPECT_THROW(resume_fleet(changed, checkpoint), std::invalid_argument);
+  changed = config;
+  changed.faults.outages.push_back({.t0_s = 1.0, .t1_s = 2.0});
+  EXPECT_THROW(resume_fleet(changed, checkpoint), std::invalid_argument);
+  changed = config;
+  changed.ladder_mbps.back() = 5.0;
+  EXPECT_THROW(resume_fleet(changed, checkpoint), std::invalid_argument);
+
+  // ...but exec.jobs is explicitly outside the fingerprint (§6).
+  FleetConfig rejobbed = config;
+  rejobbed.exec = ExecutionPolicy{8};
+  EXPECT_EQ(fleet_config_fingerprint(rejobbed),
+            fleet_config_fingerprint(config));
+}
+
+TEST(FleetCheckpointTest, SidecarRoundTripsBitExactly) {
+  FleetConfig config = faulted_fleet();
+  config.policy = FleetPolicy::kPlanner;
+  const FleetCheckpoint checkpoint = run_fleet_until(config, 30.0);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "fleet_ckpt_test.txt")
+          .string();
+  save_fleet_checkpoint(checkpoint, path);
+  const FleetCheckpoint loaded = load_fleet_checkpoint(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.config_fingerprint, checkpoint.config_fingerprint);
+  EXPECT_EQ(loaded.checkpoint_t_s, checkpoint.checkpoint_t_s);
+  ASSERT_EQ(loaded.regions.size(), checkpoint.regions.size());
+  for (std::size_t r = 0; r < loaded.regions.size(); ++r) {
+    const auto& a = loaded.regions[r];
+    const auto& b = checkpoint.regions[r];
+    EXPECT_EQ(a.live, b.live);
+    EXPECT_EQ(a.events, b.events);     // bit-exact doubles via bit_cast
+    EXPECT_EQ(a.arena, b.arena);       // every SoA vector, field for field
+    EXPECT_EQ(a.cell_active, b.cell_active);
+    EXPECT_EQ(a.qoe, b.qoe);
+    EXPECT_EQ(a.qoe_sample, b.qoe_sample);  // reservoir incl. Rng engine
+    EXPECT_EQ(a.median_qoe, b.median_qoe);  // P^2 markers
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.cache.entries, b.cache.entries);
+  }
+
+  // And the loaded checkpoint resumes to the uninterrupted result.
+  expect_metrics_eq(resume_fleet(config, loaded), run_fleet(config));
+}
+
+TEST(FleetCheckpointTest, LoadRejectsMissingTruncatedAndForeignFiles) {
+  EXPECT_THROW(load_fleet_checkpoint("/nonexistent/fleet.ckpt"),
+               std::runtime_error);
+
+  const auto dir = std::filesystem::path(::testing::TempDir());
+  {
+    const std::string path = (dir / "fleet_ckpt_bad_magic.txt").string();
+    std::ofstream out(path);
+    out << "NOT_A_CHECKPOINT 1\n";
+    out.close();
+    EXPECT_THROW(load_fleet_checkpoint(path), std::runtime_error);
+    std::remove(path.c_str());
+  }
+  {
+    // A valid prefix cut mid-stream must throw, not fabricate state.
+    const FleetCheckpoint checkpoint =
+        run_fleet_until(small_fleet(), 30.0);
+    const std::string full = (dir / "fleet_ckpt_full.txt").string();
+    save_fleet_checkpoint(checkpoint, full);
+    std::ifstream in(full);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    std::remove(full.c_str());
+    const std::string truncated = (dir / "fleet_ckpt_trunc.txt").string();
+    std::ofstream out(truncated);
+    out << contents.substr(0, contents.size() / 2);
+    out.close();
+    EXPECT_THROW(load_fleet_checkpoint(truncated), std::runtime_error);
+    std::remove(truncated.c_str());
+  }
+}
+
+TEST(FleetCheckpointTest, RegionCountMismatchThrows) {
+  const FleetConfig config = small_fleet();
+  FleetCheckpoint checkpoint = run_fleet_until(config, 30.0);
+  checkpoint.regions.pop_back();
+  EXPECT_THROW(resume_fleet(config, checkpoint), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eacs::sim

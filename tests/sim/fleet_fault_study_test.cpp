@@ -1,0 +1,113 @@
+// run_fleet_fault_study: the population-layer resilience sweep (DESIGN §14).
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "eacs/sim/fleet_fault_study.h"
+
+namespace eacs::sim {
+namespace {
+
+FleetFaultStudyConfig quick_study() {
+  FleetFaultStudyConfig config;
+  config.fleet.network.num_cells = 8;
+  config.fleet.num_sessions = 300;
+  config.fleet.arrival_rate_per_s = 4.0;
+  config.fleet.segments_per_session = 10;
+  config.fleet.regions = 4;
+  config.intensities = {1.0};
+  config.policies = {FleetPolicy::kThroughput};
+  return config;
+}
+
+TEST(FleetFaultStudyTest, ValidatesSweepAxes) {
+  FleetFaultStudyConfig config = quick_study();
+  config.intensities = {};
+  EXPECT_THROW(run_fleet_fault_study(config), std::invalid_argument);
+  config = quick_study();
+  config.intensities = {0.0};
+  EXPECT_THROW(run_fleet_fault_study(config), std::invalid_argument);
+  config = quick_study();
+  config.intensities = {1.5};
+  EXPECT_THROW(run_fleet_fault_study(config), std::invalid_argument);
+  config = quick_study();
+  config.policies = {};
+  EXPECT_THROW(run_fleet_fault_study(config), std::invalid_argument);
+}
+
+TEST(FleetFaultStudyTest, GridShapeAndBaselines) {
+  FleetFaultStudyConfig config = quick_study();
+  config.intensities = {0.5, 1.0};
+  config.policies = {FleetPolicy::kThroughput, FleetPolicy::kPlanner};
+  const FleetFaultStudyResult result = run_fleet_fault_study(config);
+  // All five scenarios by default, full cross product.
+  EXPECT_EQ(result.cells.size(), 5U * 2U * 2U);
+  ASSERT_EQ(result.baselines.size(), 2U);
+  for (const FleetMetrics& baseline : result.baselines) {
+    EXPECT_EQ(baseline.sessions, config.fleet.num_sessions);
+    EXPECT_EQ(baseline.abandoned_sessions, 0U);  // clean anchors
+  }
+  // cell() finds every grid point and throws off-grid.
+  for (const FleetFaultScenario scenario : all_fleet_fault_scenarios()) {
+    for (const double intensity : config.intensities) {
+      for (const FleetPolicy policy : config.policies) {
+        const FleetFaultStudyCell& cell =
+            result.cell(scenario, intensity, policy);
+        EXPECT_EQ(cell.metrics.sessions + cell.metrics.abandoned_sessions,
+                  config.fleet.num_sessions);
+      }
+    }
+  }
+  EXPECT_THROW(
+      result.cell(FleetFaultScenario::kBrownout, 0.25,
+                  FleetPolicy::kThroughput),
+      std::out_of_range);
+}
+
+TEST(FleetFaultStudyTest, FaultsActuallyHurt) {
+  FleetFaultStudyConfig config = quick_study();
+  config.scenarios = {FleetFaultScenario::kCellOutages,
+                      FleetFaultScenario::kSignalCollapse};
+  // The quick fleet's horizon only spans a handful of epochs; raise the
+  // episode density so every scenario actually fires on it.
+  config.epoch_s = 20.0;
+  config.outage_prob = 0.9;
+  config.collapse_prob = 0.9;
+  const FleetFaultStudyResult result = run_fleet_fault_study(config);
+  // Full-intensity outages must engage the degradation ladder somewhere.
+  const FleetFaultStudyCell& outage = result.cell(
+      FleetFaultScenario::kCellOutages, 1.0, FleetPolicy::kThroughput);
+  EXPECT_GT(outage.metrics.escape_handoffs + outage.metrics.backoff_retries,
+            0U);
+  // A fleet-wide signal collapse costs energy vs. clean.
+  const FleetFaultStudyCell& collapse = result.cell(
+      FleetFaultScenario::kSignalCollapse, 1.0, FleetPolicy::kThroughput);
+  EXPECT_GT(collapse.energy_delta_vs_clean_j, 0.0);
+}
+
+TEST(FleetFaultStudyTest, DeterministicAcrossRunsAndJobs) {
+  FleetFaultStudyConfig config = quick_study();
+  config.scenarios = {FleetFaultScenario::kCombined};
+  const FleetFaultStudyResult a = run_fleet_fault_study(config);
+  config.fleet.exec = ExecutionPolicy{8};
+  const FleetFaultStudyResult b = run_fleet_fault_study(config);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].metrics.events, b.cells[i].metrics.events);
+    EXPECT_EQ(a.cells[i].qoe_delta_vs_clean, b.cells[i].qoe_delta_vs_clean);
+    EXPECT_EQ(a.cells[i].energy_delta_vs_clean_j,
+              b.cells[i].energy_delta_vs_clean_j);
+  }
+}
+
+TEST(FleetFaultStudyTest, ScenarioNamesAreStable) {
+  EXPECT_STREQ(to_string(FleetFaultScenario::kCellOutages), "cell_outages");
+  EXPECT_STREQ(to_string(FleetFaultScenario::kBrownout), "brownout");
+  EXPECT_STREQ(to_string(FleetFaultScenario::kSignalCollapse),
+               "signal_collapse");
+  EXPECT_STREQ(to_string(FleetFaultScenario::kFlashCrowd), "flash_crowd");
+  EXPECT_STREQ(to_string(FleetFaultScenario::kCombined), "combined");
+}
+
+}  // namespace
+}  // namespace eacs::sim

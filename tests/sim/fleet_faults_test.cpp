@@ -1,0 +1,500 @@
+// Fleet fault domains + graceful degradation (DESIGN §14).
+//
+// Three claim families: (1) FleetFaultModel is a validated, *pure* overlay —
+// every query is a function of (spec, cell, time) and the arrival warp is the
+// exact inverse of the piecewise-constant surge profile; (2) the empty spec
+// is a certified no-op — run_fleet with an inert fault block is bitwise
+// identical to the clean run; (3) the degradation ladder actually engages
+// under injected faults: escape handoffs, bounded backoff with wasted-energy
+// accounting, abandonment conservation, and the planner overload shed.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "eacs/sim/fleet.h"
+#include "eacs/sim/fleet_faults.h"
+
+namespace eacs::sim {
+namespace {
+
+constexpr std::size_t kCells = 8;
+
+FleetConfig small_fleet() {
+  FleetConfig config;
+  config.network.num_cells = kCells;
+  config.num_sessions = 400;
+  config.arrival_rate_per_s = 4.0;
+  config.segments_per_session = 12;
+  config.regions = 4;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(FleetFaultModelTest, ValidatesScriptedEpisodes) {
+  {
+    FleetFaultSpec spec;
+    spec.outages.push_back({.t0_s = 10.0, .t1_s = 5.0});  // reversed
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.outages.push_back(
+        {.t0_s = 0.0, .t1_s = 10.0, .first_cell = 7, .num_cells = 4});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.outages.push_back({.t0_s = 0.0, .t1_s = 10.0, .num_cells = 0});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.brownouts.push_back(
+        {.t0_s = 0.0, .t1_s = 10.0, .capacity_factor = 0.0});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.brownouts.push_back(
+        {.t0_s = 0.0, .t1_s = 10.0, .capacity_factor = 1.5});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.collapses.push_back({.t0_s = 0.0, .t1_s = 10.0, .offset_db = 3.0});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.surges.push_back({.t0_s = 0.0, .t1_s = 10.0, .rate_multiplier = 0.0});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.outages.push_back(
+        {.t0_s = std::numeric_limits<double>::quiet_NaN(), .t1_s = 10.0});
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+}
+
+TEST(FleetFaultModelTest, ValidatesSeededConfig) {
+  {
+    FleetFaultSpec spec;
+    spec.seeded.horizon_s = 100.0;
+    spec.seeded.outage_prob = 1.5;  // probability outside [0, 1]
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.seeded.horizon_s = 100.0;
+    spec.seeded.outage_prob = 0.5;
+    spec.seeded.epoch_s = 0.0;
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.seeded.horizon_s = 100.0;
+    spec.seeded.surge_prob = 0.5;
+    spec.seeded.domain_cells = 0;
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+  {
+    FleetFaultSpec spec;
+    spec.seeded.horizon_s = 100.0;
+    spec.seeded.brownout_prob = 0.5;
+    spec.seeded.brownout_factor = 2.0;
+    EXPECT_THROW(FleetFaultModel(spec, kCells), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted queries + most-severe-wins combination
+
+TEST(FleetFaultModelTest, ScriptedQueriesAndSeverestWins) {
+  FleetFaultSpec spec;
+  spec.outages.push_back(
+      {.t0_s = 10.0, .t1_s = 20.0, .first_cell = 2, .num_cells = 2});
+  spec.brownouts.push_back({.t0_s = 0.0,
+                            .t1_s = 50.0,
+                            .first_cell = 0,
+                            .num_cells = 8,
+                            .capacity_factor = 0.8});
+  spec.brownouts.push_back({.t0_s = 10.0,
+                            .t1_s = 30.0,
+                            .first_cell = 4,
+                            .num_cells = 2,
+                            .capacity_factor = 0.25});
+  spec.collapses.push_back({.t0_s = 5.0,
+                            .t1_s = 15.0,
+                            .first_cell = 0,
+                            .num_cells = 8,
+                            .offset_db = -6.0});
+  spec.collapses.push_back({.t0_s = 10.0,
+                            .t1_s = 12.0,
+                            .first_cell = 1,
+                            .num_cells = 1,
+                            .offset_db = -30.0});
+  const FleetFaultModel model(spec, kCells);
+  EXPECT_FALSE(model.empty());
+
+  // Outage: half-open [t0, t1), exact cell range.
+  EXPECT_FALSE(model.cell_dead(2, 9.999));
+  EXPECT_TRUE(model.cell_dead(2, 10.0));
+  EXPECT_TRUE(model.cell_dead(3, 19.999));
+  EXPECT_FALSE(model.cell_dead(3, 20.0));
+  EXPECT_FALSE(model.cell_dead(1, 15.0));
+  EXPECT_FALSE(model.cell_dead(4, 15.0));
+
+  // Brownout: min factor where episodes overlap, 1 outside.
+  EXPECT_EQ(model.capacity_factor(4, 15.0), 0.25);
+  EXPECT_EQ(model.capacity_factor(4, 40.0), 0.8);
+  EXPECT_EQ(model.capacity_factor(4, 60.0), 1.0);
+  EXPECT_EQ(model.capacity_factor(0, 15.0), 0.8);
+
+  // Collapse: most negative offset where episodes overlap, 0 outside.
+  EXPECT_EQ(model.signal_offset_db(1, 11.0), -30.0);
+  EXPECT_EQ(model.signal_offset_db(1, 13.0), -6.0);
+  EXPECT_EQ(model.signal_offset_db(1, 20.0), 0.0);
+
+  // Purity: identical answers on re-query.
+  EXPECT_EQ(model.capacity_factor(4, 15.0), model.capacity_factor(4, 15.0));
+  EXPECT_EQ(model.signal_offset_db(1, 11.0), model.signal_offset_db(1, 11.0));
+}
+
+TEST(FleetFaultModelTest, ArrivalWarpIsExactWithoutSurges) {
+  const FleetFaultModel model(FleetFaultSpec{}, kCells);
+  EXPECT_TRUE(model.empty());
+  EXPECT_FALSE(model.has_surges());
+  for (std::size_t s : {0UL, 1UL, 17UL, 999UL}) {
+    // Bitwise, not approximately: the no-surge path must be s / rate.
+    EXPECT_EQ(model.arrival_time(s, 4.0), static_cast<double>(s) / 4.0);
+  }
+}
+
+TEST(FleetFaultModelTest, SurgeWarpCompressesArrivals) {
+  FleetFaultSpec spec;
+  spec.surges.push_back({.t0_s = 10.0, .t1_s = 20.0, .rate_multiplier = 4.0});
+  const FleetFaultModel model(spec, kCells);
+  ASSERT_TRUE(model.has_surges());
+  const double rate = 1.0;
+
+  // Before the surge the schedule is untouched.
+  EXPECT_EQ(model.arrival_time(5, rate), 5.0);
+  // During the surge, arrivals pack 4x: sessions 10..49 land in [10, 20).
+  EXPECT_EQ(model.arrival_time(10, rate), 10.0);
+  EXPECT_NEAR(model.arrival_time(30, rate), 15.0, 1e-12);
+  // Unit 50 is the first past the surge (10 + 40 warped units consumed).
+  EXPECT_NEAR(model.arrival_time(50, rate), 20.0, 1e-12);
+  // After the surge the rate is nominal again, shifted by the packed block.
+  EXPECT_NEAR(model.arrival_time(60, rate), 30.0, 1e-12);
+
+  // Strictly increasing across the whole schedule.
+  double prev = -1.0;
+  for (std::size_t s = 0; s < 100; ++s) {
+    const double t = model.arrival_time(s, rate);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(FleetFaultModelTest, SeededEpisodesAreDeterministicAndAligned) {
+  FleetFaultSpec spec;
+  spec.seeded.horizon_s = 600.0;
+  spec.seeded.epoch_s = 60.0;
+  spec.seeded.domain_cells = 4;
+  spec.seeded.outage_prob = 0.5;
+  spec.seeded.brownout_prob = 0.5;
+  spec.seeded.collapse_prob = 0.5;
+  spec.seeded.surge_prob = 0.5;
+  const FleetFaultModel a(spec, kCells);
+  const FleetFaultModel b(spec, kCells);
+
+  // Stateless draws: two constructions materialize the identical episode set.
+  ASSERT_EQ(a.outages().size(), b.outages().size());
+  for (std::size_t i = 0; i < a.outages().size(); ++i) {
+    EXPECT_EQ(a.outages()[i].t0_s, b.outages()[i].t0_s);
+    EXPECT_EQ(a.outages()[i].first_cell, b.outages()[i].first_cell);
+  }
+  // With p = 0.5 over 10 epochs x 2 domains, some of each family must fire.
+  EXPECT_GT(a.outages().size(), 0U);
+  EXPECT_GT(a.brownouts().size(), 0U);
+  EXPECT_GT(a.collapses().size(), 0U);
+  EXPECT_TRUE(a.has_surges());
+
+  // Episodes start on epoch boundaries and stay inside the cell grid.
+  for (const CellOutage& o : a.outages()) {
+    EXPECT_EQ(std::fmod(o.t0_s, spec.seeded.epoch_s), 0.0);
+    EXPECT_LE(o.first_cell + o.num_cells, kCells);
+    EXPECT_EQ(o.t1_s - o.t0_s, spec.seeded.outage_duration_s);
+  }
+
+  // A different seed draws a different episode set — compare the full
+  // timeline content, not just counts (counts can coincide by chance).
+  FleetFaultSpec other = spec;
+  other.seeded.seed ^= 0x9E37'79B9ULL;
+  const FleetFaultModel c(other, kCells);
+  const auto signature = [](const FleetFaultModel& model) {
+    std::string sig;
+    for (const CellOutage& o : model.outages()) {
+      sig += "o" + std::to_string(o.t0_s) + "@" + std::to_string(o.first_cell);
+    }
+    for (const CapacityBrownout& b : model.brownouts()) {
+      sig += "b" + std::to_string(b.t0_s) + "@" + std::to_string(b.first_cell);
+    }
+    for (const SignalCollapse& s : model.collapses()) {
+      sig += "c" + std::to_string(s.t0_s) + "@" + std::to_string(s.first_cell);
+    }
+    return sig;
+  };
+  EXPECT_NE(signature(a), signature(c));
+}
+
+// ---------------------------------------------------------------------------
+// Certified no-op: an inert fault block takes the clean code path, bitwise.
+
+TEST(FleetFaultsTest, InertSpecIsBitwiseNoOp) {
+  const FleetConfig clean = small_fleet();
+  const FleetMetrics reference = run_fleet(clean);
+
+  // Three inert shapes: default, probabilities-without-horizon, and
+  // horizon-without-probabilities.
+  FleetConfig probed = small_fleet();
+  probed.faults.seeded.outage_prob = 0.9;  // horizon_s == 0 still disables
+  FleetConfig empty_probs = small_fleet();
+  empty_probs.faults.seeded.horizon_s = 500.0;  // all probs still 0
+
+  for (const FleetConfig* config : {&probed, &empty_probs}) {
+    const FleetMetrics metrics = run_fleet(*config);
+    EXPECT_EQ(metrics.events, reference.events);
+    EXPECT_EQ(metrics.requests, reference.requests);
+    EXPECT_EQ(metrics.handoffs, reference.handoffs);
+    EXPECT_EQ(metrics.stall_events, reference.stall_events);
+    EXPECT_EQ(metrics.qoe.mean(), reference.qoe.mean());
+    EXPECT_EQ(metrics.qoe.variance(), reference.qoe.variance());
+    EXPECT_EQ(metrics.energy_j.sum(), reference.energy_j.sum());
+    EXPECT_EQ(metrics.rebuffer_s.sum(), reference.rebuffer_s.sum());
+    EXPECT_EQ(metrics.qoe_quantile(0.5), reference.qoe_quantile(0.5));
+    // The degradation ladder never engaged.
+    EXPECT_EQ(metrics.escape_handoffs, 0U);
+    EXPECT_EQ(metrics.backoff_retries, 0U);
+    EXPECT_EQ(metrics.abandoned_sessions, 0U);
+    EXPECT_EQ(metrics.policy_sheds, 0U);
+    EXPECT_EQ(metrics.shed_decisions, 0U);
+    EXPECT_EQ(metrics.degraded_time_s, 0.0);
+    EXPECT_EQ(metrics.wasted_energy_j, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder under injected faults
+
+TEST(FleetFaultsTest, OutageTriggersEscapeHandoffsNotAbandonment) {
+  // Kill half the cells mid-run: sessions there must escape to live cells.
+  // The other half stays up, so nobody needs to back off for long and every
+  // session still finishes.
+  FleetConfig config = small_fleet();
+  config.regions = 1;  // all 8 cells in one region: escape routes exist
+  config.faults.outages.push_back(
+      {.t0_s = 10.0, .t1_s = 60.0, .first_cell = 0, .num_cells = 4});
+  const FleetMetrics metrics = run_fleet(config);
+  EXPECT_EQ(metrics.sessions + metrics.abandoned_sessions,
+            config.num_sessions);
+  EXPECT_GT(metrics.escape_handoffs, 0U);
+  EXPECT_EQ(metrics.abandoned_sessions, 0U);  // live cells always reachable
+}
+
+TEST(FleetFaultsTest, TotalBlackoutBacksOffThenAbandons) {
+  // Every cell dead for far longer than the whole backoff ladder: sessions
+  // caught inside must burn retries, accrue degraded time + wasted pause
+  // energy, and eventually abandon. Conservation still holds.
+  FleetConfig config = small_fleet();
+  config.faults.outages.push_back(
+      {.t0_s = 5.0, .t1_s = 100000.0, .first_cell = 0, .num_cells = kCells});
+  const FleetMetrics metrics = run_fleet(config);
+  EXPECT_EQ(metrics.sessions + metrics.abandoned_sessions,
+            config.num_sessions);
+  EXPECT_GT(metrics.abandoned_sessions, 0U);
+  EXPECT_GT(metrics.backoff_retries, 0U);
+  EXPECT_GT(metrics.degraded_time_s, 0.0);
+  EXPECT_GT(metrics.wasted_energy_j, 0.0);
+  // The ladder is bounded: at most max_retries sleeps per abandonment plus
+  // whatever the survivors burned before the outage started.
+  EXPECT_LE(metrics.backoff_retries,
+            config.resilience.max_retries * config.num_sessions);
+  // Abandoned sessions never pollute the QoE aggregates.
+  EXPECT_EQ(metrics.qoe.count(), metrics.sessions);
+  EXPECT_EQ(metrics.energy_j.count(), metrics.sessions);
+}
+
+TEST(FleetFaultsTest, ShorterBackoffLadderAbandonsFaster) {
+  FleetConfig config = small_fleet();
+  config.faults.outages.push_back(
+      {.t0_s = 5.0, .t1_s = 100000.0, .first_cell = 0, .num_cells = kCells});
+  FleetConfig impatient = config;
+  impatient.resilience.max_retries = 1;
+  const FleetMetrics patient = run_fleet(config);
+  const FleetMetrics quick = run_fleet(impatient);
+  EXPECT_GE(quick.abandoned_sessions, patient.abandoned_sessions);
+  EXPECT_LT(quick.degraded_time_s, patient.degraded_time_s);
+}
+
+TEST(FleetFaultsTest, BrownoutDegradesServiceWithoutKillingSessions) {
+  FleetConfig config = small_fleet();
+  config.faults.brownouts.push_back({.t0_s = 0.0,
+                                     .t1_s = 100000.0,
+                                     .first_cell = 0,
+                                     .num_cells = kCells,
+                                     .capacity_factor = 0.25});
+  const FleetMetrics clean = run_fleet(small_fleet());
+  const FleetMetrics browned = run_fleet(config);
+  EXPECT_EQ(browned.sessions, config.num_sessions);
+  EXPECT_EQ(browned.abandoned_sessions, 0U);
+  // A 4x capacity cut must cost bitrate or stalls (or both).
+  EXPECT_TRUE(browned.bitrate_mbps.mean() < clean.bitrate_mbps.mean() ||
+              browned.rebuffer_s.sum() > clean.rebuffer_s.sum());
+}
+
+TEST(FleetFaultsTest, SignalCollapseRaisesEnergyPerMb) {
+  // The paper's energy model prices bad signal: a fleet-wide collapse must
+  // raise the energy the radio spends on the same content.
+  FleetConfig config = small_fleet();
+  config.faults.collapses.push_back({.t0_s = 0.0,
+                                     .t1_s = 100000.0,
+                                     .first_cell = 0,
+                                     .num_cells = kCells,
+                                     .offset_db = -25.0});
+  const FleetMetrics clean = run_fleet(small_fleet());
+  const FleetMetrics collapsed = run_fleet(config);
+  EXPECT_EQ(collapsed.sessions, config.num_sessions);
+  EXPECT_GT(collapsed.energy_j.mean(), clean.energy_j.mean());
+}
+
+TEST(FleetFaultsTest, FlashCrowdRaisesPeakLive) {
+  FleetConfig config = small_fleet();
+  config.num_sessions = 1000;
+  config.faults.surges.push_back(
+      {.t0_s = 20.0, .t1_s = 60.0, .rate_multiplier = 6.0});
+  FleetConfig clean = small_fleet();
+  clean.num_sessions = 1000;
+  const FleetMetrics surged = run_fleet(config);
+  const FleetMetrics base = run_fleet(clean);
+  EXPECT_EQ(surged.sessions + surged.abandoned_sessions, config.num_sessions);
+  EXPECT_GT(surged.peak_live_sessions, base.peak_live_sessions);
+}
+
+TEST(FleetFaultsTest, FaultedRunsStayBitIdenticalAcrossJobCounts) {
+  FleetConfig config = small_fleet();
+  config.faults.outages.push_back(
+      {.t0_s = 10.0, .t1_s = 40.0, .first_cell = 0, .num_cells = 4});
+  config.faults.surges.push_back(
+      {.t0_s = 5.0, .t1_s = 25.0, .rate_multiplier = 3.0});
+  config.faults.seeded.horizon_s = 200.0;
+  config.faults.seeded.brownout_prob = 0.4;
+  config.faults.seeded.collapse_prob = 0.4;
+  config.exec = ExecutionPolicy{1};
+  const FleetMetrics serial = run_fleet(config);
+  for (const std::size_t jobs : {2, 8}) {
+    config.exec = ExecutionPolicy{jobs};
+    const FleetMetrics parallel = run_fleet(config);
+    EXPECT_EQ(parallel.events, serial.events);
+    EXPECT_EQ(parallel.escape_handoffs, serial.escape_handoffs);
+    EXPECT_EQ(parallel.backoff_retries, serial.backoff_retries);
+    EXPECT_EQ(parallel.abandoned_sessions, serial.abandoned_sessions);
+    EXPECT_EQ(parallel.degraded_time_s, serial.degraded_time_s);
+    EXPECT_EQ(parallel.wasted_energy_j, serial.wasted_energy_j);
+    EXPECT_EQ(parallel.qoe.mean(), serial.qoe.mean());
+    EXPECT_EQ(parallel.energy_j.sum(), serial.energy_j.sum());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner overload shed
+
+FleetConfig planner_fleet() {
+  FleetConfig config = small_fleet();
+  config.policy = FleetPolicy::kPlanner;
+  return config;
+}
+
+TEST(FleetShedTest, LiveCountTriggerShedsAndRecovers) {
+  FleetConfig config = planner_fleet();
+  config.num_sessions = 1000;
+  config.resilience.shed_live_threshold = 8;  // well inside the steady state
+  const FleetMetrics metrics = run_fleet(config);
+  EXPECT_GT(metrics.policy_sheds, 0U);
+  EXPECT_GT(metrics.shed_decisions, 0U);
+  // The fleet drains at the end, so every shed eventually recovers.
+  EXPECT_EQ(metrics.policy_recoveries, metrics.policy_sheds);
+  // Consultation conservation with sheds in the ledger: every non-startup
+  // request either consulted the cache or was shed.
+  EXPECT_EQ(metrics.planner.cache_hits + metrics.planner.cache_misses +
+                metrics.shed_decisions,
+            metrics.requests - metrics.sessions);
+  // Shed decisions skip the planner: strictly fewer solves than unshedded.
+  const FleetConfig unshedded = planner_fleet();
+  FleetConfig big_unshedded = unshedded;
+  big_unshedded.num_sessions = 1000;
+  const FleetMetrics base = run_fleet(big_unshedded);
+  EXPECT_LT(metrics.planner.plans, base.planner.plans);
+}
+
+TEST(FleetShedTest, DisabledTriggersNeverShed) {
+  FleetConfig config = planner_fleet();
+  config.num_sessions = 1000;  // same load as the trigger test above
+  const FleetMetrics metrics = run_fleet(config);
+  EXPECT_EQ(metrics.policy_sheds, 0U);
+  EXPECT_EQ(metrics.shed_decisions, 0U);
+  EXPECT_EQ(metrics.planner.cache_hits + metrics.planner.cache_misses,
+            metrics.requests - metrics.sessions);
+}
+
+TEST(FleetShedTest, MissRateTriggerShedsUnderThrash) {
+  // A 1-slot cache thrashes; a threshold below the observed thrash rate must
+  // trip the miss-rate trigger and hold the shed for shed_hold_s. The
+  // threshold is calibrated from an untriggered run of the same workload
+  // (the arena L1 still serves hits, so the rate is workload-dependent).
+  FleetConfig config = planner_fleet();
+  config.num_sessions = 1000;
+  config.planner_cache.capacity = 1;
+  const FleetMetrics probe = run_fleet(config);
+  const double thrash_rate =
+      static_cast<double>(probe.planner.cache_misses) /
+      static_cast<double>(probe.planner.cache_hits +
+                          probe.planner.cache_misses);
+  ASSERT_GT(thrash_rate, 0.0);
+  config.resilience.shed_miss_rate_threshold = 0.8 * thrash_rate;
+  config.resilience.shed_miss_window = 64;
+  config.resilience.shed_hold_s = 10.0;
+  const FleetMetrics metrics = run_fleet(config);
+  EXPECT_GT(metrics.policy_sheds, 0U);
+  EXPECT_GT(metrics.shed_decisions, 0U);
+  EXPECT_EQ(metrics.planner.cache_hits + metrics.planner.cache_misses +
+                metrics.shed_decisions,
+            metrics.requests - metrics.sessions);
+}
+
+TEST(FleetShedTest, ShedMetricsBitIdenticalAcrossJobCounts) {
+  FleetConfig config = planner_fleet();
+  config.num_sessions = 1000;
+  config.resilience.shed_live_threshold = 8;
+  config.exec = ExecutionPolicy{1};
+  const FleetMetrics serial = run_fleet(config);
+  for (const std::size_t jobs : {2, 8}) {
+    config.exec = ExecutionPolicy{jobs};
+    const FleetMetrics parallel = run_fleet(config);
+    EXPECT_EQ(parallel.policy_sheds, serial.policy_sheds);
+    EXPECT_EQ(parallel.policy_recoveries, serial.policy_recoveries);
+    EXPECT_EQ(parallel.shed_decisions, serial.shed_decisions);
+    EXPECT_EQ(parallel.planner.plans, serial.planner.plans);
+    EXPECT_EQ(parallel.qoe.mean(), serial.qoe.mean());
+    EXPECT_EQ(parallel.energy_j.sum(), serial.energy_j.sum());
+  }
+}
+
+}  // namespace
+}  // namespace eacs::sim

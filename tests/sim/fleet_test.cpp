@@ -4,6 +4,7 @@
 // obey conservation invariants, and the live set — not the total session
 // count — bounds the state.
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -236,12 +237,57 @@ TEST(FleetTest, LongSessionsThrottleAtBufferThresholdAndTerminate) {
   EXPECT_GT(metrics.events, config.num_sessions + 2 * metrics.requests);
 }
 
-TEST(FleetTest, MoreRegionsThanCellsClamps) {
+TEST(FleetTest, MoreRegionsThanCellsThrows) {
+  // Regression: this used to clamp silently to one cell per region, hiding a
+  // misconfigured sweep. A region must own at least one cell, so anything
+  // outside [1, num_cells] is rejected up front.
   FleetConfig config = small_fleet();
-  config.regions = 64;  // > num_cells: clamped to one cell per region
-  const auto metrics = run_fleet(config);
-  EXPECT_EQ(metrics.regions.size(), config.network.num_cells);
-  EXPECT_EQ(metrics.sessions, config.num_sessions);
+  config.regions = 64;  // > num_cells
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config.regions = 0;
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config.regions = config.network.num_cells;  // boundary: one cell per region
+  EXPECT_EQ(run_fleet(config).regions.size(), config.network.num_cells);
+}
+
+TEST(FleetTest, ValidatesNonFiniteConfig) {
+  FleetConfig config = small_fleet();
+  config.arrival_rate_per_s = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.arrival_rate_per_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.segment_duration_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.segment_duration_s = 0.0;
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.ladder_mbps = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+}
+
+TEST(FleetTest, ValidatesResilienceConfig) {
+  FleetConfig config = small_fleet();
+  config.resilience.backoff_base_s = 0.0;
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.resilience.backoff_factor = 0.5;  // must be >= 1
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.resilience.backoff_max_s = 1.0;  // below backoff_base_s
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.resilience.backoff_base_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.resilience.max_retries = 0;
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
+  config = small_fleet();
+  config.resilience.shed_miss_rate_threshold = 0.5;  // enabled...
+  config.resilience.shed_miss_window = 0;            // ...but no window
+  EXPECT_THROW(run_fleet(config), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
